@@ -1,0 +1,24 @@
+//! # pinum-advisor
+//!
+//! The index-selection tool of paper §V-E: "The tool expects a workload
+//! and a space budget as input. It determines a set of indexes which
+//! occupies less than the budgeted space and attempts to provide the
+//! maximum speed up to the workload."
+//!
+//! * [`candidates`] statically analyses the queries into a large candidate
+//!   set (the paper generates 1093 candidates for its ten-query workload);
+//! * [`greedy`] implements the iterative benefit-greedy selection — simple,
+//!   but "it has been shown to perform better in terms of accuracy than
+//!   more complex algorithms used in the commercial designers, mainly
+//!   because of its significantly larger candidate index set";
+//! * [`tool`] wires candidates + INUM/PINUM caches + greedy search into
+//!   the end-to-end advisor, with a pluggable cost oracle so the
+//!   cache-based model can be compared against direct optimizer calls.
+
+pub mod candidates;
+pub mod greedy;
+pub mod tool;
+
+pub use candidates::generate_candidates;
+pub use greedy::{greedy_select, GreedyOptions, GreedyResult};
+pub use tool::{advise, Advice, AdvisorOptions, CostOracle, QueryOutcome};

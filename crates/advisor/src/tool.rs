@@ -1,0 +1,305 @@
+//! The end-to-end index advisor: candidates → per-query INUM caches →
+//! greedy search → per-query outcomes (paper §V-E / §VI-E).
+
+use crate::candidates::generate_candidates;
+use crate::greedy::{greedy_select, GreedyOptions, GreedyResult};
+use pinum_catalog::Catalog;
+use pinum_core::access_costs::{collect_inum, collect_pinum, AccessCostCatalog};
+use pinum_core::builder::{build_cache_inum, build_cache_pinum, BuilderOptions};
+use pinum_core::{CacheCostModel, CandidatePool, PlanCache, Selection};
+use pinum_optimizer::{Optimizer, OptimizerOptions};
+use pinum_query::Query;
+use std::time::Duration;
+
+/// Which machinery answers what-if questions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostOracle {
+    /// PINUM: caches filled with ~2 optimizer calls, access costs with 1.
+    PinumCache,
+    /// Classic INUM: caches filled with one call per IOC.
+    InumCache,
+    /// No cache at all: every greedy evaluation calls the optimizer
+    /// (intractably slow beyond tiny inputs; ablations only).
+    DirectOptimizer,
+}
+
+/// Advisor knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AdvisorOptions {
+    pub budget_bytes: u64,
+    pub oracle: CostOracle,
+    pub builder: BuilderOptions,
+    /// Rank by benefit per byte instead of raw benefit.
+    pub benefit_per_byte: bool,
+}
+
+impl AdvisorOptions {
+    /// The paper's experiment: 5 GB budget, PINUM caches.
+    pub fn paper_defaults() -> Self {
+        Self {
+            budget_bytes: 5 * 1024 * 1024 * 1024,
+            oracle: CostOracle::PinumCache,
+            builder: BuilderOptions::default(),
+            benefit_per_byte: false,
+        }
+    }
+}
+
+/// Before/after cost of one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    pub name: String,
+    /// Cost with no candidate indexes.
+    pub original_cost: f64,
+    /// Cost with the suggested indexes.
+    pub final_cost: f64,
+}
+
+impl QueryOutcome {
+    /// The paper's headline metric: fractional improvement.
+    pub fn improvement(&self) -> f64 {
+        if self.original_cost <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.final_cost / self.original_cost
+        }
+    }
+}
+
+/// The advisor's output.
+#[derive(Debug)]
+pub struct Advice {
+    pub pool: CandidatePool,
+    pub greedy: GreedyResult,
+    pub per_query: Vec<QueryOutcome>,
+    /// Time spent building caches + collecting access costs (the paper's
+    /// "cost model construction").
+    pub model_build_time: Duration,
+    /// Optimizer calls spent building the model.
+    pub model_build_calls: usize,
+}
+
+impl Advice {
+    /// Average fractional improvement over the workload (the paper reports
+    /// 95 %).
+    pub fn average_improvement(&self) -> f64 {
+        if self.per_query.is_empty() {
+            return 0.0;
+        }
+        self.per_query.iter().map(QueryOutcome::improvement).sum::<f64>()
+            / self.per_query.len() as f64
+    }
+
+    /// The selected indexes, resolved.
+    pub fn selected_indexes(&self) -> Vec<&pinum_catalog::Index> {
+        self.greedy.picked.iter().map(|&i| self.pool.index(i)).collect()
+    }
+}
+
+/// Runs the whole tool on a workload.
+pub fn advise(catalog: &Catalog, queries: &[Query], options: &AdvisorOptions) -> Advice {
+    let optimizer = Optimizer::new(catalog);
+    let pool = generate_candidates(catalog, queries);
+
+    // --- Build the cost model (the part PINUM accelerates). ---
+    let mut build_time = Duration::ZERO;
+    let mut build_calls = 0usize;
+    let mut models: Vec<(PlanCache, AccessCostCatalog)> = Vec::new();
+    if options.oracle != CostOracle::DirectOptimizer {
+        for q in queries {
+            let built = match options.oracle {
+                CostOracle::PinumCache => build_cache_pinum(&optimizer, q, &options.builder),
+                CostOracle::InumCache => build_cache_inum(&optimizer, q, &options.builder),
+                CostOracle::DirectOptimizer => unreachable!(),
+            };
+            let (access, astats) = match options.oracle {
+                CostOracle::PinumCache => collect_pinum(&optimizer, q, &pool),
+                CostOracle::InumCache => collect_inum(&optimizer, q, &pool),
+                CostOracle::DirectOptimizer => unreachable!(),
+            };
+            build_time += built.stats.wall + astats.wall;
+            build_calls += built.stats.optimizer_calls + astats.optimizer_calls;
+            models.push((built.cache, access));
+        }
+    }
+
+    // --- Greedy search over the pool. ---
+    let gopts = GreedyOptions {
+        budget_bytes: options.budget_bytes,
+        benefit_per_byte: options.benefit_per_byte,
+    };
+    let workload_cost = |sel: &Selection| -> f64 {
+        match options.oracle {
+            CostOracle::DirectOptimizer => {
+                let (config, _) = pool.configuration(sel);
+                queries
+                    .iter()
+                    .map(|q| {
+                        optimizer
+                            .optimize(q, &config, &OptimizerOptions::standard())
+                            .best_cost
+                            .total
+                    })
+                    .sum()
+            }
+            _ => models
+                .iter()
+                .map(|(cache, access)| {
+                    CacheCostModel::new(cache, access)
+                        .estimate(sel)
+                        .map(|e| e.cost)
+                        .unwrap_or(f64::INFINITY)
+                })
+                .sum(),
+        }
+    };
+    let greedy = greedy_select(&pool, &gopts, workload_cost);
+
+    // --- Per-query outcomes (reported from the same oracle). ---
+    let empty = Selection::empty(pool.len());
+    let per_query: Vec<QueryOutcome> = match options.oracle {
+        CostOracle::DirectOptimizer => {
+            let (cfg_final, _) = pool.configuration(&greedy.selection);
+            let cfg_empty = pinum_catalog::Configuration::empty();
+            queries
+                .iter()
+                .map(|q| QueryOutcome {
+                    name: q.name.clone(),
+                    original_cost: optimizer
+                        .optimize(q, &cfg_empty, &OptimizerOptions::standard())
+                        .best_cost
+                        .total,
+                    final_cost: optimizer
+                        .optimize(q, &cfg_final, &OptimizerOptions::standard())
+                        .best_cost
+                        .total,
+                })
+                .collect()
+        }
+        _ => queries
+            .iter()
+            .zip(&models)
+            .map(|(q, (cache, access))| {
+                let model = CacheCostModel::new(cache, access);
+                QueryOutcome {
+                    name: q.name.clone(),
+                    original_cost: model.estimate(&empty).map(|e| e.cost).unwrap_or(0.0),
+                    final_cost: model
+                        .estimate(&greedy.selection)
+                        .map(|e| e.cost)
+                        .unwrap_or(0.0),
+                }
+            })
+            .collect(),
+    };
+
+    Advice {
+        pool,
+        greedy,
+        per_query,
+        model_build_time: build_time,
+        model_build_calls: build_calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinum_catalog::{Column, ColumnType, Table};
+    use pinum_query::QueryBuilder;
+
+    fn setup() -> (Catalog, Vec<Query>) {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "f",
+            400_000,
+            vec![
+                Column::new("fk", ColumnType::Int8).with_ndv(4_000),
+                Column::new("v", ColumnType::Int4).with_ndv(1_000),
+                Column::new("s", ColumnType::Int4).with_ndv(100),
+            ],
+        ));
+        cat.add_table(Table::new(
+            "d",
+            4_000,
+            vec![
+                Column::new("k", ColumnType::Int8).with_ndv(4_000),
+                Column::new("w", ColumnType::Int4).with_ndv(50),
+            ],
+        ));
+        let q1 = QueryBuilder::new("q1", &cat)
+            .table("f")
+            .table("d")
+            .join(("f", "fk"), ("d", "k"))
+            .filter_range(("f", "v"), 0.0, 10.0)
+            .select(("f", "s"))
+            .order_by(("d", "w"))
+            .build();
+        let q2 = QueryBuilder::new("q2", &cat)
+            .table("f")
+            .filter_range(("f", "v"), 0.0, 10.0)
+            .select(("f", "s"))
+            .order_by(("f", "s"))
+            .build();
+        (cat, vec![q1, q2])
+    }
+
+    #[test]
+    fn advisor_improves_workload_within_budget() {
+        let (cat, queries) = setup();
+        let opts = AdvisorOptions {
+            budget_bytes: 512 * 1024 * 1024,
+            ..AdvisorOptions::paper_defaults()
+        };
+        let advice = advise(&cat, &queries, &opts);
+        assert!(!advice.greedy.picked.is_empty(), "should pick something");
+        assert!(advice.greedy.total_bytes <= opts.budget_bytes);
+        assert!(advice.average_improvement() > 0.1, "improvement {:?}", advice.average_improvement());
+        for o in &advice.per_query {
+            assert!(
+                o.final_cost <= o.original_cost * (1.0 + 1e-9),
+                "{}: got worse",
+                o.name
+            );
+        }
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing() {
+        let (cat, queries) = setup();
+        let opts = AdvisorOptions {
+            budget_bytes: 0,
+            ..AdvisorOptions::paper_defaults()
+        };
+        let advice = advise(&cat, &queries, &opts);
+        assert!(advice.greedy.picked.is_empty());
+        assert_eq!(advice.average_improvement(), 0.0);
+    }
+
+    #[test]
+    fn inum_and_pinum_oracles_agree_on_direction() {
+        let (cat, queries) = setup();
+        let budget = 512 * 1024 * 1024;
+        let pinum = advise(
+            &cat,
+            &queries,
+            &AdvisorOptions {
+                budget_bytes: budget,
+                ..AdvisorOptions::paper_defaults()
+            },
+        );
+        let inum = advise(
+            &cat,
+            &queries,
+            &AdvisorOptions {
+                budget_bytes: budget,
+                oracle: CostOracle::InumCache,
+                ..AdvisorOptions::paper_defaults()
+            },
+        );
+        // Both improve the workload substantially; PINUM builds faster.
+        assert!(pinum.average_improvement() > 0.1);
+        assert!(inum.average_improvement() > 0.1);
+        assert!(pinum.model_build_calls < inum.model_build_calls);
+    }
+}

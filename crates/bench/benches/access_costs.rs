@@ -1,0 +1,31 @@
+//! Criterion bench for §V-C: pricing the whole candidate pool with one
+//! keep-all call (PINUM) vs one call per atomic batch (INUM).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pinum_advisor::candidates::generate_candidates;
+use pinum_bench::paper_workload;
+use pinum_core::access_costs::{collect_inum, collect_pinum};
+use pinum_optimizer::Optimizer;
+
+fn bench_access_costs(c: &mut Criterion) {
+    let pw = paper_workload(1.0);
+    let opt = Optimizer::new(&pw.schema.catalog);
+    let pool = generate_candidates(&pw.schema.catalog, &pw.workload.queries);
+    let mut group = c.benchmark_group("access_costs");
+    group.sample_size(10);
+    for (i, q) in pw.workload.queries.iter().enumerate() {
+        if ![0, 4, 9].contains(&i) {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("inum", &q.name), q, |b, q| {
+            b.iter(|| collect_inum(&opt, q, &pool))
+        });
+        group.bench_with_input(BenchmarkId::new("pinum", &q.name), q, |b, q| {
+            b.iter(|| collect_pinum(&opt, q, &pool))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_access_costs);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 4/5's core claim: the INUM plan cache is
+//! built one optimizer call per IOC; PINUM needs two calls total.
+//!
+//! Uses a reduced statistics scale so each iteration is quick; the ratio —
+//! not the absolute time — is the figure's message.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pinum_bench::paper_workload;
+use pinum_core::builder::{build_cache_inum, build_cache_pinum, BuilderOptions};
+use pinum_optimizer::Optimizer;
+
+fn bench_cache_construction(c: &mut Criterion) {
+    let pw = paper_workload(1.0);
+    let opt = Optimizer::new(&pw.schema.catalog);
+    let opts = BuilderOptions::default();
+    let mut group = c.benchmark_group("cache_construction");
+    group.sample_size(10);
+    for (i, q) in pw.workload.queries.iter().enumerate() {
+        // One narrow, one medium, one wide query keeps the bench fast.
+        if ![0, 4, 9].contains(&i) {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("inum", &q.name), q, |b, q| {
+            b.iter(|| build_cache_inum(&opt, q, &opts))
+        });
+        group.bench_with_input(BenchmarkId::new("pinum", &q.name), q, |b, q| {
+            b.iter(|| build_cache_pinum(&opt, q, &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_construction);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for INUM's raison d'être (§II): a cache lookup must be
+//! orders of magnitude cheaper than an optimizer call, so "four to five
+//! orders of magnitude more configurations [can] be evaluated".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinum_advisor::candidates::generate_candidates;
+use pinum_bench::paper_workload;
+use pinum_core::access_costs::collect_pinum;
+use pinum_core::builder::{build_cache_pinum, BuilderOptions};
+use pinum_core::{CacheCostModel, Selection};
+use pinum_optimizer::{Optimizer, OptimizerOptions};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn bench_cost_lookup(c: &mut Criterion) {
+    let pw = paper_workload(1.0);
+    let opt = Optimizer::new(&pw.schema.catalog);
+    let pool = generate_candidates(&pw.schema.catalog, &pw.workload.queries);
+    let q = &pw.workload.queries[4];
+    let built = build_cache_pinum(&opt, q, &BuilderOptions::default());
+    let (access, _) = collect_pinum(&opt, q, &pool);
+    let model = CacheCostModel::new(&built.cache, &access);
+    let mut rng = StdRng::seed_from_u64(7);
+    let per_rel: Vec<Vec<usize>> = (0..q.relation_count() as u16)
+        .map(|rel| pool.on_table(q.table_of(rel)).to_vec())
+        .collect();
+    let selections: Vec<Selection> = (0..64)
+        .map(|_| {
+            let ids: Vec<usize> = per_rel
+                .iter()
+                .filter_map(|c| c.choose(&mut rng).copied())
+                .collect();
+            Selection::from_ids(pool.len(), &ids)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("cost_lookup");
+    group.bench_function("cache_estimate", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % selections.len();
+            model.estimate(&selections[i])
+        })
+    });
+    group.sample_size(20);
+    group.bench_function("optimizer_call", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % selections.len();
+            let (config, _) = pool.configuration(&selections[i]);
+            opt.optimize(q, &config, &OptimizerOptions::standard())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_lookup);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench of the end-to-end advisor (§V-E) at a reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinum_advisor::tool::{advise, AdvisorOptions, CostOracle};
+use pinum_workload::star::{StarSchema, StarWorkload};
+
+fn bench_advisor(c: &mut Criterion) {
+    let schema = StarSchema::generate(42, 0.05);
+    let workload = StarWorkload::generate(&schema, 7, 5);
+    let mut group = c.benchmark_group("index_selection");
+    group.sample_size(10);
+    for (name, oracle) in [("pinum", CostOracle::PinumCache), ("inum", CostOracle::InumCache)] {
+        let opts = AdvisorOptions {
+            budget_bytes: 256 * 1024 * 1024,
+            oracle,
+            ..AdvisorOptions::paper_defaults()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| advise(&schema.catalog, &workload.queries, &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_advisor);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench of the bare optimizer across join widths (the substrate
+//! every INUM/PINUM number is denominated in).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pinum_bench::paper_workload;
+use pinum_catalog::Configuration;
+use pinum_core::builder::covering_configuration;
+use pinum_optimizer::{Optimizer, OptimizerOptions};
+
+fn bench_optimize(c: &mut Criterion) {
+    let pw = paper_workload(1.0);
+    let opt = Optimizer::new(&pw.schema.catalog);
+    let mut group = c.benchmark_group("optimize");
+    for (i, q) in pw.workload.queries.iter().enumerate() {
+        if ![0, 4, 9].contains(&i) {
+            continue;
+        }
+        let empty = Configuration::empty();
+        group.bench_with_input(BenchmarkId::new("standard_no_indexes", &q.name), q, |b, q| {
+            b.iter(|| opt.optimize(q, &empty, &OptimizerOptions::standard()))
+        });
+        let covering = covering_configuration(&pw.schema.catalog, q);
+        group.bench_with_input(BenchmarkId::new("standard_covering", &q.name), q, |b, q| {
+            b.iter(|| opt.optimize(q, &covering, &OptimizerOptions::standard()))
+        });
+        group.bench_with_input(BenchmarkId::new("pinum_export", &q.name), q, |b, q| {
+            b.iter(|| opt.optimize(q, &covering, &OptimizerOptions::pinum_export()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimize);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Runs every experiment in sequence — regenerates all of the paper's
+//! tables and figures (EXPERIMENTS.md records one full run).
+use pinum_bench::experiments as e;
+use pinum_bench::fixtures::scale_from_env;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("==== PINUM reproduction: full experiment run (scale {scale}) ====\n");
+    e::redundancy::run(scale);
+    e::whatif::run(scale);
+    e::cost_accuracy::run(scale);
+    e::cache_construction::run(scale);
+    e::index_selection::run(scale);
+    e::pruning::run(scale);
+    e::nlj::run(scale);
+    e::greedy_quality::run(scale);
+    e::engine_validation::run(scale);
+    println!("==== done ====");
+}

@@ -1,0 +1,4 @@
+//! E4 — Figure 4/5 cache-construction times. See `pinum_bench::experiments::cache_construction`.
+fn main() {
+    pinum_bench::experiments::cache_construction::run(pinum_bench::fixtures::scale_from_env());
+}

@@ -1,0 +1,4 @@
+//! E3 — §VI-C cache cost-model accuracy. See `pinum_bench::experiments::cost_accuracy`.
+fn main() {
+    pinum_bench::experiments::cost_accuracy::run(pinum_bench::fixtures::scale_from_env());
+}

@@ -1,0 +1,4 @@
+//! V1 — engine validation. See `pinum_bench::experiments::engine_validation`.
+fn main() {
+    pinum_bench::experiments::engine_validation::run(pinum_bench::fixtures::scale_from_env());
+}

@@ -1,0 +1,4 @@
+//! A3 — greedy vs exhaustive quality. See `pinum_bench::experiments::greedy_quality`.
+fn main() {
+    pinum_bench::experiments::greedy_quality::run(pinum_bench::fixtures::scale_from_env());
+}

@@ -1,0 +1,4 @@
+//! E5 — Figure 6/7 index-selection outcome. See `pinum_bench::experiments::index_selection`.
+fn main() {
+    pinum_bench::experiments::index_selection::run(pinum_bench::fixtures::scale_from_env());
+}

@@ -1,0 +1,4 @@
+//! A2 — NLJ caching ablation. See `pinum_bench::experiments::nlj`.
+fn main() {
+    pinum_bench::experiments::nlj::run(pinum_bench::fixtures::scale_from_env());
+}

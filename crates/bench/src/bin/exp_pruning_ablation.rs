@@ -1,0 +1,4 @@
+//! A1 — §V-D pruning ablation. See `pinum_bench::experiments::pruning`.
+fn main() {
+    pinum_bench::experiments::pruning::run(pinum_bench::fixtures::scale_from_env());
+}

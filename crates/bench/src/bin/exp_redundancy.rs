@@ -1,0 +1,4 @@
+//! E1 — §IV plan-redundancy numbers. See `pinum_bench::experiments::redundancy`.
+fn main() {
+    pinum_bench::experiments::redundancy::run(pinum_bench::fixtures::scale_from_env());
+}

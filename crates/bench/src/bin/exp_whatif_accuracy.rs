@@ -1,0 +1,4 @@
+//! E2 — §VI-B what-if index accuracy. See `pinum_bench::experiments::whatif`.
+fn main() {
+    pinum_bench::experiments::whatif::run(pinum_bench::fixtures::scale_from_env());
+}

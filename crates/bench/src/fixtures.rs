@@ -1,0 +1,34 @@
+//! Shared experiment fixtures: the paper's workload at a configurable
+//! scale, with one place defining the seeds so every experiment sees the
+//! same database and queries.
+
+use pinum_workload::star::{StarSchema, StarWorkload};
+
+/// Default schema seed (printed by every experiment for reproducibility).
+pub const SCHEMA_SEED: u64 = 42;
+
+/// Default workload seed.
+pub const WORKLOAD_SEED: u64 = 7;
+
+/// The paper's experimental setup: star schema plus ten queries.
+pub struct PaperWorkload {
+    pub schema: StarSchema,
+    pub workload: StarWorkload,
+}
+
+/// Builds the §VI-A workload. `scale = 1.0` is the paper's 10 GB database;
+/// experiments default to 1.0 since only statistics are materialized.
+pub fn paper_workload(scale: f64) -> PaperWorkload {
+    let schema = StarSchema::generate(SCHEMA_SEED, scale);
+    let workload = StarWorkload::generate(&schema, WORKLOAD_SEED, 10);
+    PaperWorkload { schema, workload }
+}
+
+/// Scale requested via the `PINUM_SCALE` environment variable (default 1.0)
+/// so CI can run the full harness quickly.
+pub fn scale_from_env() -> f64 {
+    std::env::var("PINUM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}

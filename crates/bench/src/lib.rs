@@ -1,0 +1,25 @@
+//! # pinum-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! DESIGN.md's per-experiment index and EXPERIMENTS.md for results), plus
+//! shared fixtures and a plain-text table renderer.
+//!
+//! | Binary | Paper artefact |
+//! |--------|----------------|
+//! | `exp_redundancy` | §IV in-text numbers (TPC-H Q5: 648 IOCs, ~64 unique plans; star workload totals) |
+//! | `exp_whatif_accuracy` | §VI-B what-if index accuracy (50 random index sets) |
+//! | `exp_cost_accuracy` | §VI-C cost-model accuracy (1000 random atomic configurations per query) |
+//! | `exp_cache_construction` | Figure 4/5: INUM vs PINUM cache construction and access-cost collection times |
+//! | `exp_index_selection` | Figure 6/7: index selection under a 5 GB budget |
+//! | `exp_pruning_ablation` | §V-D pruning on/off ablation |
+//! | `exp_nlj_ablation` | §V-D nested-loop handling ablation |
+//! | `exp_greedy_quality` | §V-E greedy vs exhaustive ablation |
+//! | `exp_engine_validation` | cost-model validation against the mini engine |
+//! | `exp_all` | runs everything in sequence |
+
+pub mod experiments;
+pub mod fixtures;
+pub mod table;
+
+pub use fixtures::{paper_workload, PaperWorkload};
+pub use table::TextTable;

@@ -1,0 +1,72 @@
+//! PostgreSQL page-layout constants used by the heap and B-tree size models.
+
+/// Disk block size (PostgreSQL `BLCKSZ`).
+pub const BLOCK_SIZE: u32 = 8192;
+
+/// Fixed page header (`PageHeaderData`).
+pub const PAGE_HEADER: u32 = 24;
+
+/// Per-tuple line pointer (`ItemIdData`).
+pub const ITEM_ID: u32 = 4;
+
+/// Heap tuple header (`HeapTupleHeaderData`, 23 bytes, MAXALIGNed to 24 by
+/// [`crate::types::aligned_tuple_width`]).
+pub const HEAP_TUPLE_HEADER: u32 = 23;
+
+/// Index tuple header (`IndexTupleData`).
+pub const INDEX_TUPLE_HEADER: u32 = 8;
+
+/// B-tree "special space" at the end of every B-tree page
+/// (`BTPageOpaqueData`, MAXALIGNed).
+pub const BTREE_SPECIAL: u32 = 16;
+
+/// Default B-tree leaf fill factor (PostgreSQL `BTREE_DEFAULT_FILLFACTOR`).
+pub const BTREE_LEAF_FILL: f64 = 0.90;
+
+/// Fill factor used for non-leaf B-tree pages
+/// (`BTREE_NONLEAF_FILLFACTOR` is 70 in PostgreSQL).
+pub const BTREE_NONLEAF_FILL: f64 = 0.70;
+
+/// Usable bytes per heap page.
+pub fn heap_usable_bytes() -> u32 {
+    BLOCK_SIZE - PAGE_HEADER
+}
+
+/// Usable bytes per B-tree page before applying a fill factor.
+pub fn btree_usable_bytes() -> u32 {
+    BLOCK_SIZE - PAGE_HEADER - BTREE_SPECIAL
+}
+
+/// Number of heap pages needed for `rows` tuples of `tuple_width` bytes
+/// (width must already include the aligned heap tuple header).
+pub fn heap_pages(rows: u64, tuple_width: u32) -> u64 {
+    if rows == 0 {
+        return 1; // PostgreSQL never reports zero-page relations.
+    }
+    let per_page = (heap_usable_bytes() / (tuple_width + ITEM_ID)).max(1) as u64;
+    rows.div_ceil(per_page)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usable_space_is_positive_and_sane() {
+        assert!(heap_usable_bytes() > 8000);
+        assert!(btree_usable_bytes() < heap_usable_bytes());
+    }
+
+    #[test]
+    fn heap_pages_rounds_up() {
+        // 36-byte tuples (incl. header) + 4-byte line pointers → 204 per page.
+        let per_page = (heap_usable_bytes() / 40) as u64;
+        assert_eq!(heap_pages(per_page, 36), 1);
+        assert_eq!(heap_pages(per_page + 1, 36), 2);
+    }
+
+    #[test]
+    fn empty_table_occupies_one_page() {
+        assert_eq!(heap_pages(0, 36), 1);
+    }
+}

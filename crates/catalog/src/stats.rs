@@ -1,0 +1,186 @@
+//! Column-level statistics: distinct counts, value ranges, and equi-depth
+//! histograms, as produced by PostgreSQL's `ANALYZE`.
+
+/// An equi-depth histogram over a numeric column: `bounds` has `n+1` entries
+/// delimiting `n` buckets that each hold the same fraction of rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+}
+
+impl Histogram {
+    /// Builds a histogram from bucket bounds. Requires at least two
+    /// non-decreasing bounds.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(bounds.len() >= 2, "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "histogram bounds must be non-decreasing"
+        );
+        Self { bounds }
+    }
+
+    /// Builds an equi-depth histogram for a uniform distribution over
+    /// `[min, max]` with `buckets` buckets — exactly what `ANALYZE` produces
+    /// on the paper's uniformly distributed synthetic columns.
+    pub fn uniform(min: f64, max: f64, buckets: usize) -> Self {
+        assert!(buckets >= 1 && max >= min);
+        let step = (max - min) / buckets as f64;
+        let bounds = (0..=buckets).map(|i| min + step * i as f64).collect();
+        Self::new(bounds)
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Bucket bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Estimated fraction of rows with value `< x` (PostgreSQL's
+    /// `ineq_histogram_selectivity` with linear interpolation inside the
+    /// containing bucket).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let lo = *self.bounds.first().unwrap();
+        let hi = *self.bounds.last().unwrap();
+        if x <= lo {
+            return 0.0;
+        }
+        if x >= hi {
+            return 1.0;
+        }
+        let n = self.buckets() as f64;
+        // Find the bucket containing x.
+        match self
+            .bounds
+            .windows(2)
+            .position(|w| w[0] <= x && x < w[1].max(w[0] + f64::EPSILON))
+        {
+            Some(b) => {
+                let (blo, bhi) = (self.bounds[b], self.bounds[b + 1]);
+                let within = if bhi > blo { (x - blo) / (bhi - blo) } else { 0.5 };
+                (b as f64 + within) / n
+            }
+            None => 1.0,
+        }
+    }
+
+    /// Estimated fraction of rows with `lo <= value < hi`.
+    pub fn fraction_between(&self, lo: f64, hi: f64) -> f64 {
+        (self.fraction_below(hi) - self.fraction_below(lo)).max(0.0)
+    }
+}
+
+/// Per-column statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub n_distinct: f64,
+    /// Fraction of NULLs.
+    pub null_frac: f64,
+    /// Minimum value (numeric columns).
+    pub min: f64,
+    /// Maximum value (numeric columns).
+    pub max: f64,
+    /// Physical-vs-logical order correlation in `[-1, 1]`; drives the
+    /// random-vs-sequential mix of index-scan heap fetches.
+    pub correlation: f64,
+    /// Optional equi-depth histogram.
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// Statistics for a column uniformly distributed over `[min, max]`
+    /// (the paper's synthetic columns are "uniformly distributed across all
+    /// positive integers", §VI-A).
+    pub fn uniform(min: f64, max: f64, n_distinct: f64) -> Self {
+        Self {
+            n_distinct: n_distinct.max(1.0),
+            null_frac: 0.0,
+            min,
+            max,
+            correlation: 0.0,
+            histogram: Some(Histogram::uniform(min, max, 100)),
+        }
+    }
+
+    /// Selectivity of `col = const` (PostgreSQL `eqsel`): `1/n_distinct`
+    /// scaled by the non-null fraction.
+    pub fn eq_selectivity(&self) -> f64 {
+        ((1.0 - self.null_frac) / self.n_distinct).clamp(0.0, 1.0)
+    }
+
+    /// Selectivity of `lo <= col < hi` using the histogram when present and
+    /// a uniform assumption otherwise.
+    pub fn range_selectivity(&self, lo: f64, hi: f64) -> f64 {
+        let frac = match &self.histogram {
+            Some(h) => h.fraction_between(lo, hi),
+            None => {
+                if self.max > self.min {
+                    ((hi.min(self.max) - lo.max(self.min)) / (self.max - self.min)).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                }
+            }
+        };
+        (frac * (1.0 - self.null_frac)).clamp(0.0, 1.0)
+    }
+}
+
+impl Default for ColumnStats {
+    fn default() -> Self {
+        Self::uniform(0.0, 1_000_000.0, 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_histogram_fractions() {
+        let h = Histogram::uniform(0.0, 100.0, 10);
+        assert_eq!(h.buckets(), 10);
+        assert!((h.fraction_below(50.0) - 0.5).abs() < 1e-9);
+        assert!((h.fraction_below(-1.0)).abs() < 1e-12);
+        assert!((h.fraction_below(1000.0) - 1.0).abs() < 1e-12);
+        assert!((h.fraction_between(25.0, 75.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_within_bucket() {
+        let h = Histogram::uniform(0.0, 10.0, 2);
+        // x = 2.5 sits halfway inside the first of two buckets → 0.25.
+        assert!((h.fraction_below(2.5) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_bounds_panic() {
+        Histogram::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn eq_selectivity_uses_ndv() {
+        let s = ColumnStats::uniform(0.0, 1000.0, 200.0);
+        assert!((s.eq_selectivity() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_selectivity_clamps() {
+        let s = ColumnStats::uniform(0.0, 1000.0, 1000.0);
+        assert!((s.range_selectivity(0.0, 10.0) - 0.01).abs() < 1e-9);
+        assert_eq!(s.range_selectivity(2000.0, 3000.0), 0.0);
+        assert!((s.range_selectivity(-1e9, 1e9) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn null_fraction_scales_selectivity() {
+        let mut s = ColumnStats::uniform(0.0, 100.0, 10.0);
+        s.null_frac = 0.5;
+        assert!((s.eq_selectivity() - 0.05).abs() < 1e-12);
+    }
+}

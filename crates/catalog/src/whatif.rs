@@ -1,0 +1,102 @@
+//! What-if index helpers (paper §V-A).
+//!
+//! "To determine the optimal plans in presence of an index, the query
+//! optimizer uses two types of statistical information — the size of the
+//! index, and histograms of the columns in the index. Since the histogram
+//! information is associated with the table, we do not replicate or modify
+//! them. To compute size, we use the average attribute size, the total
+//! number of rows, and the attribute alignments to find the number of leaf
+//! pages required to store the index."
+//!
+//! The size model itself lives in [`crate::index`]; this module adds the
+//! comparison utilities used by the what-if accuracy experiment (§VI-B).
+
+use crate::index::{Index, IndexKind};
+use crate::table::Table;
+
+/// Builds the what-if twin of a materialized index definition.
+pub fn hypothetical_twin(table: &Table, materialized: &Index) -> Index {
+    assert_eq!(materialized.table(), table.id());
+    Index::hypothetical(
+        table,
+        materialized.key_columns().to_vec(),
+        materialized.is_unique(),
+    )
+}
+
+/// Builds the materialized twin of a what-if index definition.
+pub fn materialized_twin(table: &Table, hypothetical: &Index) -> Index {
+    assert_eq!(hypothetical.table(), table.id());
+    Index::materialized(
+        table,
+        hypothetical.key_columns().to_vec(),
+        hypothetical.is_unique(),
+    )
+}
+
+/// Relative page-count error of the what-if size model for one index:
+/// `(materialized_pages - whatif_pages) / materialized_pages`.
+///
+/// This is the mechanical source of the paper's 0.33 % average cost error:
+/// what-if sizing skips internal pages.
+pub fn size_error(table: &Table, key_columns: &[u16]) -> f64 {
+    let m = Index::materialized(table, key_columns.to_vec(), false);
+    let h = Index::hypothetical(table, key_columns.to_vec(), false);
+    let mp = m.size().total_pages() as f64;
+    let hp = h.size().total_pages() as f64;
+    (mp - hp) / mp
+}
+
+/// Checks that an index is of the expected kind; useful in debug asserts at
+/// API boundaries.
+pub fn ensure_kind(index: &Index, kind: IndexKind) {
+    debug_assert_eq!(index.kind(), kind, "unexpected index kind for {}", index.name());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Column;
+    use crate::types::{ColumnType, TableId};
+
+    fn table(rows: u64) -> Table {
+        let mut t = Table::new(
+            "t",
+            rows,
+            vec![
+                Column::new("a", ColumnType::Int8).with_ndv(rows.max(1)),
+                Column::new("b", ColumnType::Int4).with_ndv(1000),
+            ],
+        );
+        t.assign_id(TableId(0));
+        t
+    }
+
+    #[test]
+    fn twins_roundtrip() {
+        let t = table(1_000_000);
+        let m = Index::materialized(&t, vec![0, 1], true);
+        let h = hypothetical_twin(&t, &m);
+        assert_eq!(h.key_columns(), m.key_columns());
+        assert_eq!(h.is_unique(), m.is_unique());
+        assert_eq!(h.kind(), IndexKind::Hypothetical);
+        let m2 = materialized_twin(&t, &h);
+        assert_eq!(m2.size(), m.size());
+    }
+
+    #[test]
+    fn size_error_is_small_but_positive_for_large_indexes() {
+        let t = table(50_000_000);
+        let err = size_error(&t, &[0]);
+        assert!(err > 0.0, "materialized must be at least as large");
+        assert!(err < 0.02, "error {err} should stay below 2 %");
+    }
+
+    #[test]
+    fn size_error_larger_for_tiny_indexes() {
+        // "they affect the relative page sizes only on very small indexes"
+        let big = size_error(&table(50_000_000), &[0]);
+        let tiny = size_error(&table(2_000), &[0]);
+        assert!(tiny >= big);
+    }
+}

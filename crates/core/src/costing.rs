@@ -1,0 +1,219 @@
+//! The cache-based cost model: pricing an arbitrary configuration from the
+//! plan cache and the access-cost catalog, **without calling the
+//! optimizer**.
+//!
+//! "During normal operation, query costs are derived exclusively from the
+//! pre-computed information without any further optimizer invocation. The
+//! derivation involves simple numerical calculations and is significantly
+//! faster compared to the complex query optimization code." (§II)
+
+use crate::access_costs::AccessCostCatalog;
+use crate::cache::PlanCache;
+use crate::candidates::Selection;
+use pinum_query::RelIdx;
+
+/// A cache-derived cost estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimated query cost under the configuration.
+    pub cost: f64,
+    /// Index of the winning cached plan.
+    pub plan: usize,
+}
+
+/// Prices configurations for one query.
+pub struct CacheCostModel<'a> {
+    cache: &'a PlanCache,
+    access: &'a AccessCostCatalog,
+}
+
+impl<'a> CacheCostModel<'a> {
+    pub fn new(cache: &'a PlanCache, access: &'a AccessCostCatalog) -> Self {
+        assert_eq!(cache.n_rels, access.relation_count(), "query mismatch");
+        Self { cache, access }
+    }
+
+    pub fn cache(&self) -> &PlanCache {
+        self.cache
+    }
+
+    /// The estimated cost of the query under `selection`, with the chosen
+    /// plan. Returns `None` only for an empty cache.
+    ///
+    /// A cached plan is *applicable* when every interesting order its
+    /// leaves require is covered by a selected (or always-available) index;
+    /// its cost is `internal + Σ coef_r · access(r)` where `access(r)` is
+    /// the cheapest covering access path for required-order slots and the
+    /// cheapest unordered access otherwise.
+    pub fn estimate(&self, selection: &Selection) -> Option<Estimate> {
+        self.estimate_filtered(selection, |_| true)
+    }
+
+    /// Like [`Self::estimate`] but restricted to plans without nested-loop
+    /// joins (INUM's conservative mode).
+    pub fn estimate_without_nlj(&self, selection: &Selection) -> Option<Estimate> {
+        self.estimate_filtered(selection, |p| !p.uses_nlj)
+    }
+
+    /// Shared pricing loop with a plan predicate.
+    fn estimate_filtered(
+        &self,
+        selection: &Selection,
+        keep: impl Fn(&crate::cache::CachedPlan) -> bool,
+    ) -> Option<Estimate> {
+        let mut best: Option<Estimate> = None;
+        'plans: for (i, plan) in self.cache.plans().iter().enumerate() {
+            if !keep(plan) {
+                continue;
+            }
+            let mut cost = plan.internal;
+            for rel in 0..self.cache.n_rels as RelIdx {
+                let required = self.cache.orders.column_of(plan.ioc, rel);
+                // Standalone access term.
+                let coef = plan.coefs[rel as usize];
+                if coef != 0.0 {
+                    let access = match required {
+                        Some(col) => match self.access.best(rel, Some(col), selection) {
+                            Some(a) => a,
+                            None => continue 'plans, // plan not applicable
+                        },
+                        None => self
+                            .access
+                            .best(rel, None, selection)
+                            .expect("sequential scan is always available"),
+                    };
+                    cost += coef * access;
+                } else if let Some(col) = required {
+                    // No standalone term, but the requirement must still be
+                    // coverable (e.g. a probe-only slot).
+                    if self.access.best(rel, Some(col), selection).is_none() {
+                        continue 'plans;
+                    }
+                }
+                // Per-probe access term (parameterized NLJ inners).
+                let pcoef = plan.probe_coefs[rel as usize];
+                if pcoef != 0.0 {
+                    let Some(col) = required else {
+                        continue 'plans; // probes always require an order
+                    };
+                    match self.access.best_probe(rel, col, selection, pcoef) {
+                        Some(p) => cost += pcoef * p,
+                        None => continue 'plans,
+                    }
+                }
+            }
+            if best.is_none_or(|b| cost < b.cost) {
+                best = Some(Estimate { cost, plan: i });
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access_costs::collect_pinum;
+    use crate::builder::{build_cache_pinum, BuilderOptions};
+    use crate::candidates::CandidatePool;
+    use pinum_catalog::{Catalog, Column, ColumnType, Index, Table};
+    use pinum_optimizer::Optimizer;
+    use pinum_query::{Query, QueryBuilder};
+
+    fn setup() -> (Catalog, Query, CandidatePool) {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "f",
+            300_000,
+            vec![
+                Column::new("fk", ColumnType::Int8).with_ndv(3_000),
+                Column::new("v", ColumnType::Int4).with_ndv(1_000),
+                Column::new("s", ColumnType::Int4).with_ndv(100),
+            ],
+        ));
+        cat.add_table(Table::new(
+            "d",
+            3_000,
+            vec![
+                Column::new("k", ColumnType::Int8).with_ndv(3_000),
+                Column::new("w", ColumnType::Int4).with_ndv(50),
+            ],
+        ));
+        let q = QueryBuilder::new("q", &cat)
+            .table("f")
+            .table("d")
+            .join(("f", "fk"), ("d", "k"))
+            .filter_range(("f", "v"), 0.0, 10.0)
+            .select(("f", "s"))
+            .order_by(("d", "w"))
+            .build();
+        let f = cat.table(cat.table_id("f").unwrap()).clone();
+        let d = cat.table(cat.table_id("d").unwrap()).clone();
+        let pool = CandidatePool::from_indexes(vec![
+            Index::hypothetical(&f, vec![0], false),        // covers fk order
+            Index::hypothetical(&f, vec![1, 0, 2], false),  // filter covering
+            Index::hypothetical(&d, vec![0], false),        // covers k order
+            Index::hypothetical(&d, vec![1], false),        // covers w order
+        ]);
+        (cat, q, pool)
+    }
+
+    #[test]
+    fn more_indexes_never_increase_estimated_cost() {
+        let (cat, q, pool) = setup();
+        let opt = Optimizer::new(&cat);
+        let built = build_cache_pinum(&opt, &q, &BuilderOptions::default());
+        let (access, _) = collect_pinum(&opt, &q, &pool);
+        let model = CacheCostModel::new(&built.cache, &access);
+
+        let empty = model.estimate(&Selection::empty(pool.len())).unwrap();
+        let mut prev = empty.cost;
+        let mut sel = Selection::empty(pool.len());
+        for i in 0..pool.len() {
+            sel.insert(i);
+            let est = model.estimate(&sel).unwrap();
+            assert!(
+                est.cost <= prev * (1.0 + 1e-9),
+                "adding candidate {i} increased cost: {prev} → {}",
+                est.cost
+            );
+            prev = est.cost;
+        }
+    }
+
+    #[test]
+    fn estimate_matches_optimizer_for_empty_configuration() {
+        let (cat, q, pool) = setup();
+        let opt = Optimizer::new(&cat);
+        let built = build_cache_pinum(&opt, &q, &BuilderOptions::default());
+        let (access, _) = collect_pinum(&opt, &q, &pool);
+        let model = CacheCostModel::new(&built.cache, &access);
+        let est = model.estimate(&Selection::empty(pool.len())).unwrap();
+        let direct = opt.optimize(
+            &q,
+            &pinum_catalog::Configuration::empty(),
+            &pinum_optimizer::OptimizerOptions::standard(),
+        );
+        let err = (est.cost - direct.best_cost.total).abs() / direct.best_cost.total;
+        assert!(
+            err < 0.05,
+            "empty-config estimate off by {:.1}%: {} vs {}",
+            err * 100.0,
+            est.cost,
+            direct.best_cost.total
+        );
+    }
+
+    #[test]
+    fn nlj_free_estimate_is_never_cheaper() {
+        let (cat, q, pool) = setup();
+        let opt = Optimizer::new(&cat);
+        let built = build_cache_pinum(&opt, &q, &BuilderOptions::default());
+        let (access, _) = collect_pinum(&opt, &q, &pool);
+        let model = CacheCostModel::new(&built.cache, &access);
+        let sel = Selection::full(pool.len());
+        let all = model.estimate(&sel).unwrap();
+        let mhj = model.estimate_without_nlj(&sel).unwrap();
+        assert!(all.cost <= mhj.cost * (1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,46 @@
+//! # pinum-core
+//!
+//! The paper's primary contribution: the **INUM plan cache** and its two
+//! construction strategies.
+//!
+//! INUM (Papadomanolakis, Dash, Ailamaki, VLDB'07) observes that, for a
+//! fixed query, the optimizer's output varies over a small set of *internal
+//! plans*, one per **interesting-order combination (IOC)**; the cost of the
+//! query under any *atomic configuration* is then
+//!
+//! ```text
+//! cost(C) = min over cached plans p applicable under C of
+//!           internal(p) + Σ_r coef_p(r) · access_cost(r, order_p(r), C)
+//! ```
+//!
+//! Filling that cache is the expensive part:
+//!
+//! * [`builder::build_cache_inum`] is the classic strategy — **one
+//!   optimizer call per IOC** (648 for TPC-H Q5), each with a what-if
+//!   configuration covering that combination;
+//! * [`builder::build_cache_pinum`] is the paper's contribution — **two
+//!   calls** (one with nested-loop joins disabled, one with them enabled),
+//!   both against a configuration covering *every* interesting order, with
+//!   the optimizer's §V-D hook exporting one optimal plan per IOC.
+//!
+//! Access costs are collected analogously: [`access_costs::collect_pinum`]
+//! prices the entire candidate pool with **one** keep-all call (§V-C),
+//! [`access_costs::collect_inum`] needs one call per atomic batch of
+//! candidates.
+
+pub mod access_costs;
+pub mod builder;
+pub mod cache;
+pub mod candidates;
+pub mod costing;
+
+pub use access_costs::{
+    collect_inum, collect_pinum, AccessCostCatalog, CandidateAccess, CollectStats,
+};
+pub use builder::{
+    build_cache_inum, build_cache_pinum, covering_configuration, BuildStats, BuilderOptions,
+    BuiltCache,
+};
+pub use cache::{CachedPlan, PlanCache};
+pub use candidates::{CandidatePool, Selection};
+pub use costing::{CacheCostModel, Estimate};

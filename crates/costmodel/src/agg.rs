@@ -1,0 +1,89 @@
+//! Aggregation/grouping costs (PostgreSQL `cost_agg`, `cost_group`).
+
+use crate::{clamp_row_est, Cost, CostParams};
+
+/// Aggregation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggStrategy {
+    /// Input sorted on the grouping columns; streaming, non-blocking.
+    Sorted,
+    /// Hash table keyed on the grouping columns; blocking.
+    Hashed,
+    /// No grouping columns: a single result row (still blocking).
+    Plain,
+}
+
+/// Cost of aggregating `input_rows` into `groups` groups over
+/// `group_cols` grouping columns, with `agg_ops` aggregate transitions per
+/// input row. Input cost not included.
+pub fn cost_agg(
+    p: &CostParams,
+    strategy: AggStrategy,
+    input_rows: f64,
+    groups: f64,
+    group_cols: u32,
+    agg_ops: u32,
+) -> Cost {
+    let n = clamp_row_est(input_rows);
+    let g = clamp_row_est(groups);
+    let per_input = p.cpu_operator_cost * (group_cols.max(1) + agg_ops) as f64;
+    let output = g * p.cpu_tuple_cost;
+    match strategy {
+        AggStrategy::Sorted => {
+            // Streams: groups emerge as the sorted input advances.
+            Cost::new(0.0, n * per_input + output)
+        }
+        AggStrategy::Hashed | AggStrategy::Plain => {
+            // Must consume all input before emitting anything.
+            let startup = n * per_input;
+            Cost::new(startup, startup + output)
+        }
+    }
+}
+
+/// PostgreSQL's `estimate_num_groups` for independent columns: the product
+/// of per-column distinct counts, clamped by the input cardinality.
+pub fn estimate_num_groups(input_rows: f64, per_column_ndv: &[f64]) -> f64 {
+    if per_column_ndv.is_empty() {
+        return 1.0;
+    }
+    let product: f64 = per_column_ndv.iter().map(|d| d.max(1.0)).product();
+    clamp_row_est(product.min(input_rows.max(1.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> CostParams {
+        CostParams::default()
+    }
+
+    #[test]
+    fn sorted_agg_streams() {
+        let c = cost_agg(&p(), AggStrategy::Sorted, 10_000.0, 100.0, 1, 1);
+        assert_eq!(c.startup, 0.0);
+        assert!(c.total > 0.0);
+    }
+
+    #[test]
+    fn hashed_agg_blocks() {
+        let c = cost_agg(&p(), AggStrategy::Hashed, 10_000.0, 100.0, 1, 1);
+        assert!(c.startup > 0.0);
+        assert!(c.total > c.startup);
+    }
+
+    #[test]
+    fn group_estimate_clamps_at_input() {
+        assert_eq!(estimate_num_groups(1000.0, &[100.0, 100.0]), 1000.0);
+        assert_eq!(estimate_num_groups(1_000_000.0, &[100.0, 10.0]), 1000.0);
+        assert_eq!(estimate_num_groups(1000.0, &[]), 1.0);
+    }
+
+    #[test]
+    fn more_group_cols_cost_more() {
+        let one = cost_agg(&p(), AggStrategy::Hashed, 10_000.0, 50.0, 1, 0);
+        let three = cost_agg(&p(), AggStrategy::Hashed, 10_000.0, 50.0, 3, 0);
+        assert!(three.total > one.total);
+    }
+}

@@ -1,0 +1,64 @@
+//! Cost parameters: PostgreSQL's planner GUCs with their default values.
+
+/// Planner cost constants (PostgreSQL defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Cost of a sequentially fetched page (`seq_page_cost`).
+    pub seq_page_cost: f64,
+    /// Cost of a randomly fetched page (`random_page_cost`).
+    pub random_page_cost: f64,
+    /// CPU cost of processing one tuple (`cpu_tuple_cost`).
+    pub cpu_tuple_cost: f64,
+    /// CPU cost of processing one index entry (`cpu_index_tuple_cost`).
+    pub cpu_index_tuple_cost: f64,
+    /// CPU cost of one operator/function call (`cpu_operator_cost`).
+    pub cpu_operator_cost: f64,
+    /// Assumed size of the OS/shared cache, in pages
+    /// (`effective_cache_size`, default 4 GB worth of 8 kB pages).
+    pub effective_cache_pages: f64,
+    /// Memory available to a sort or hash, in kB (`work_mem`).
+    pub work_mem_kb: u64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self {
+            seq_page_cost: 1.0,
+            random_page_cost: 4.0,
+            cpu_tuple_cost: 0.01,
+            cpu_index_tuple_cost: 0.005,
+            cpu_operator_cost: 0.0025,
+            effective_cache_pages: 16_384.0, // 128 MB, the 8.3-era default
+            work_mem_kb: 1_024,              // 1 MB, the PostgreSQL 8.3 default
+        }
+    }
+}
+
+impl CostParams {
+    /// work_mem in bytes.
+    pub fn work_mem_bytes(&self) -> f64 {
+        self.work_mem_kb as f64 * 1024.0
+    }
+
+    /// Sort comparison cost (PostgreSQL uses `2 * cpu_operator_cost`).
+    pub fn comparison_cost(&self) -> f64 {
+        2.0 * self.cpu_operator_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_postgresql() {
+        let p = CostParams::default();
+        assert_eq!(p.seq_page_cost, 1.0);
+        assert_eq!(p.random_page_cost, 4.0);
+        assert_eq!(p.cpu_tuple_cost, 0.01);
+        assert_eq!(p.cpu_index_tuple_cost, 0.005);
+        assert_eq!(p.cpu_operator_cost, 0.0025);
+        assert_eq!(p.comparison_cost(), 0.005);
+        assert_eq!(p.work_mem_bytes(), 1_048_576.0);
+    }
+}

@@ -1,0 +1,375 @@
+//! `add_path`: path-list maintenance with pruning.
+//!
+//! * [`PruneMode::Standard`] mirrors PostgreSQL: a path survives unless an
+//!   existing path is at least as good on *total cost*, *startup cost* and
+//!   *output ordering*.
+//! * [`PruneMode::KeepIoc`] is the PINUM modification (§V-D): one optimal
+//!   plan is retained per *(leaf interesting-order combination, output
+//!   ordering)*, with the paper's subset-cost rule — "If plans A and B
+//!   provide interesting orders in set SA and SB, where SA ⊆ SB and
+//!   Cost(SA) < Cost(SB), then we remove Plan B" — applied as a sweep when
+//!   a join relation is complete ([`PathList::subset_cost_sweep`]). The
+//!   split keeps inserts O(1) (hash-keyed) while the sweep "reduces the
+//!   search space of the join planner, while preserving all useful plans".
+//!
+//! Keeping only the cheapest *total* per key in KeepIoc mode is lossless
+//! for final plan totals: every parent operator's total cost in this cost
+//! model is a function of child totals only (startup is pass-through
+//! bookkeeping), so a path that loses on total can never win later.
+
+use crate::path::{Path, PathArena, PathId};
+use crate::preprocess::EcId;
+use std::collections::HashMap;
+
+/// Pruning discipline for a [`PathList`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneMode {
+    /// PostgreSQL behaviour: cheapest per (startup, total, pathkeys).
+    Standard,
+    /// PINUM §V-D: retain per leaf interesting-order combination.
+    KeepIoc,
+}
+
+/// Statistics about pruning decisions (reported in `PlannerStats`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AddPathStats {
+    pub added: usize,
+    pub rejected: usize,
+    pub displaced: usize,
+}
+
+/// A set of surviving paths for one relation set.
+#[derive(Debug, Default)]
+pub struct PathList {
+    ids: Vec<PathId>,
+    /// KeepIoc fast index: (ioc, pathkeys) → slot in `ids`.
+    fast: HashMap<(u64, Vec<EcId>), usize>,
+}
+
+/// Numeric slack: costs within this relative tolerance count as equal, so
+/// tie-breaking is deterministic (first-added wins).
+const FUZZ: f64 = 1.0 + 1e-10;
+
+/// `a`'s pathkeys subsume `b`'s (b's keys are a prefix of a's).
+fn pathkeys_subsume(a: &Path, b: &Path) -> bool {
+    b.pathkeys.len() <= a.pathkeys.len() && a.pathkeys[..b.pathkeys.len()] == b.pathkeys[..]
+}
+
+/// Full PostgreSQL-style dominance (Standard mode).
+fn dominates_standard(a: &Path, b: &Path) -> bool {
+    a.cost.total <= b.cost.total * FUZZ
+        && a.cost.startup <= b.cost.startup * FUZZ
+        && pathkeys_subsume(a, b)
+}
+
+impl PathList {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn ids(&self) -> &[PathId] {
+        &self.ids
+    }
+
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Considers `candidate` for membership; returns its id if it survived.
+    pub fn add_path(
+        &mut self,
+        arena: &mut PathArena,
+        candidate: Path,
+        mode: PruneMode,
+        stats: &mut AddPathStats,
+    ) -> Option<PathId> {
+        match mode {
+            PruneMode::Standard => self.add_path_standard(arena, candidate, stats),
+            PruneMode::KeepIoc => self.add_path_keepioc(arena, candidate, stats),
+        }
+    }
+
+    fn add_path_standard(
+        &mut self,
+        arena: &mut PathArena,
+        candidate: Path,
+        stats: &mut AddPathStats,
+    ) -> Option<PathId> {
+        for &id in &self.ids {
+            if dominates_standard(arena.get(id), &candidate) {
+                stats.rejected += 1;
+                return None;
+            }
+        }
+        let before = self.ids.len();
+        self.ids
+            .retain(|&id| !dominates_standard(&candidate, arena.get(id)));
+        stats.displaced += before - self.ids.len();
+        let id = arena.add(candidate);
+        self.ids.push(id);
+        stats.added += 1;
+        Some(id)
+    }
+
+    /// O(1) retention per (ioc, pathkeys): keep the cheapest total.
+    fn add_path_keepioc(
+        &mut self,
+        arena: &mut PathArena,
+        candidate: Path,
+        stats: &mut AddPathStats,
+    ) -> Option<PathId> {
+        let key = (candidate.leaf_ioc.raw(), candidate.pathkeys.clone());
+        if let Some(&pos) = self.fast.get(&key) {
+            let existing = arena.get(self.ids[pos]);
+            if candidate.cost.total * FUZZ < existing.cost.total {
+                let id = arena.add(candidate);
+                self.ids[pos] = id;
+                stats.displaced += 1;
+                stats.added += 1;
+                Some(id)
+            } else {
+                stats.rejected += 1;
+                None
+            }
+        } else {
+            let id = arena.add(candidate);
+            self.fast.insert(key, self.ids.len());
+            self.ids.push(id);
+            stats.added += 1;
+            Some(id)
+        }
+    }
+
+    /// The §V-D subset-cost pruning pass: drops every path for which a
+    /// cheaper path with a subset of its interesting-order requirements
+    /// (and an output ordering subsuming its own) exists. Called once per
+    /// completed join relation in KeepIoc mode.
+    pub fn subset_cost_sweep(&mut self, arena: &PathArena, stats: &mut AddPathStats) {
+        if self.ids.len() <= 1 {
+            return;
+        }
+        let mut order = self.ids.clone();
+        order.sort_by(|a, b| {
+            arena
+                .get(*a)
+                .cost
+                .total
+                .partial_cmp(&arena.get(*b).cost.total)
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+        });
+        let mut kept: Vec<PathId> = Vec::with_capacity(order.len());
+        'candidates: for id in order {
+            let p = arena.get(id);
+            for &k in &kept {
+                let a = arena.get(k);
+                // Kept paths are no costlier (total) than p by
+                // construction; like PostgreSQL's add_path, a better
+                // startup cost or stronger ordering still saves p.
+                if a.leaf_ioc.is_subset_of(p.leaf_ioc)
+                    && pathkeys_subsume(a, p)
+                    && a.cost.startup <= p.cost.startup * FUZZ
+                {
+                    stats.rejected += 1;
+                    continue 'candidates;
+                }
+            }
+            kept.push(id);
+        }
+        self.ids = kept;
+        self.fast.clear();
+        // Rebuild the fast index so later inserts (e.g. the grouping
+        // planner's finished list) stay consistent.
+        for (pos, &id) in self.ids.iter().enumerate() {
+            let p = arena.get(id);
+            self.fast
+                .insert((p.leaf_ioc.raw(), p.pathkeys.clone()), pos);
+        }
+    }
+
+    /// The cheapest-total path.
+    pub fn cheapest_total(&self, arena: &PathArena) -> Option<PathId> {
+        self.ids
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                arena
+                    .get(*a)
+                    .cost
+                    .total
+                    .partial_cmp(&arena.get(*b).cost.total)
+                    .unwrap()
+                    .then(a.0.cmp(&b.0))
+            })
+    }
+
+    /// The cheapest path whose pathkeys satisfy `required` (prefix match).
+    pub fn cheapest_with_order(&self, arena: &PathArena, required: &[EcId]) -> Option<PathId> {
+        self.ids
+            .iter()
+            .copied()
+            .filter(|id| arena.get(*id).provides_order(required))
+            .min_by(|a, b| {
+                arena
+                    .get(*a)
+                    .cost
+                    .total
+                    .partial_cmp(&arena.get(*b).cost.total)
+                    .unwrap()
+                    .then(a.0.cmp(&b.0))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::{LinearCost, PathKind};
+    use crate::relset::RelSet;
+    use pinum_cost::Cost;
+    use pinum_query::Ioc;
+
+    fn mk(total: f64, startup: f64, keys: Vec<EcId>, ioc: Ioc) -> Path {
+        Path {
+            kind: PathKind::SeqScan { rel: 0 },
+            rels: RelSet::single(0),
+            rows: 1.0,
+            cost: Cost::new(startup, total),
+            rescan: Cost::new(startup, total),
+            pathkeys: keys,
+            leaf_ioc: ioc,
+            linear: LinearCost::leaf(1, 0),
+            leaf_access: vec![total],
+            probe_access: vec![0.0],
+        }
+    }
+
+    #[test]
+    fn standard_keeps_cheapest_per_order() {
+        let mut arena = PathArena::new();
+        let mut list = PathList::new();
+        let mut st = AddPathStats::default();
+        let a = list.add_path(&mut arena, mk(10.0, 0.0, vec![], Ioc::NONE), PruneMode::Standard, &mut st);
+        assert!(a.is_some());
+        // More expensive unordered path: rejected.
+        assert!(list
+            .add_path(&mut arena, mk(20.0, 0.0, vec![], Ioc::NONE), PruneMode::Standard, &mut st)
+            .is_none());
+        // More expensive but ordered: kept.
+        assert!(list
+            .add_path(&mut arena, mk(20.0, 0.0, vec![EcId(0)], Ioc::NONE), PruneMode::Standard, &mut st)
+            .is_some());
+        // Cheaper ordered path displaces both (it subsumes unordered too).
+        assert!(list
+            .add_path(&mut arena, mk(5.0, 0.0, vec![EcId(0)], Ioc::NONE), PruneMode::Standard, &mut st)
+            .is_some());
+        assert_eq!(list.len(), 1);
+        assert_eq!(st.displaced, 2);
+    }
+
+    #[test]
+    fn startup_cost_is_a_separate_dimension_in_standard() {
+        let mut arena = PathArena::new();
+        let mut list = PathList::new();
+        let mut st = AddPathStats::default();
+        list.add_path(&mut arena, mk(10.0, 5.0, vec![], Ioc::NONE), PruneMode::Standard, &mut st);
+        // Worse total but better startup: kept.
+        assert!(list
+            .add_path(&mut arena, mk(12.0, 0.0, vec![], Ioc::NONE), PruneMode::Standard, &mut st)
+            .is_some());
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn keepioc_retains_per_combination() {
+        let mut arena = PathArena::new();
+        let mut list = PathList::new();
+        let mut st = AddPathStats::default();
+        let phi = Ioc::NONE;
+        let a = Ioc::NONE.with_order(0, 0);
+        list.add_path(&mut arena, mk(10.0, 0.0, vec![], phi), PruneMode::KeepIoc, &mut st);
+        // A cheaper plan requiring order A coexists with the Φ plan.
+        assert!(list
+            .add_path(&mut arena, mk(5.0, 0.0, vec![], a), PruneMode::KeepIoc, &mut st)
+            .is_some());
+        assert_eq!(list.len(), 2);
+        // Same (ioc, pathkeys) key, worse total: rejected immediately.
+        assert!(list
+            .add_path(&mut arena, mk(7.0, 0.0, vec![], a), PruneMode::KeepIoc, &mut st)
+            .is_none());
+        // Same key, better total: replaces in place.
+        assert!(list
+            .add_path(&mut arena, mk(3.0, 0.0, vec![], a), PruneMode::KeepIoc, &mut st)
+            .is_some());
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn sweep_applies_subset_cost_rule() {
+        // Paper §V-D: SA ⊆ SB and cost(A) < cost(B) ⇒ drop B.
+        let mut arena = PathArena::new();
+        let mut list = PathList::new();
+        let mut st = AddPathStats::default();
+        let a = Ioc::NONE.with_order(0, 0);
+        let ab = a.with_order(1, 0);
+        list.add_path(&mut arena, mk(10.0, 0.0, vec![], a), PruneMode::KeepIoc, &mut st);
+        // Requires more orders *and* costs more: survives insert …
+        assert!(list
+            .add_path(&mut arena, mk(15.0, 0.0, vec![], ab), PruneMode::KeepIoc, &mut st)
+            .is_some());
+        assert_eq!(list.len(), 2);
+        // … but the sweep removes it.
+        list.subset_cost_sweep(&arena, &mut st);
+        assert_eq!(list.len(), 1);
+        // A cheaper superset-requirement plan survives the sweep, along
+        // with the subset plan.
+        list.add_path(&mut arena, mk(5.0, 0.0, vec![], ab), PruneMode::KeepIoc, &mut st);
+        list.subset_cost_sweep(&arena, &mut st);
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn sweep_respects_pathkey_subsumption() {
+        let mut arena = PathArena::new();
+        let mut list = PathList::new();
+        let mut st = AddPathStats::default();
+        let phi = Ioc::NONE;
+        // Cheap unordered plan + costlier ordered plan with same (empty)
+        // requirements: the ordered one must survive (its ordering may be
+        // needed upstream).
+        list.add_path(&mut arena, mk(10.0, 0.0, vec![], phi), PruneMode::KeepIoc, &mut st);
+        list.add_path(&mut arena, mk(15.0, 0.0, vec![EcId(1)], phi), PruneMode::KeepIoc, &mut st);
+        list.subset_cost_sweep(&arena, &mut st);
+        assert_eq!(list.len(), 2);
+        // But a costlier *less-ordered* plan is swept: [1,2] at 12 beats
+        // [1] at 20.
+        list.add_path(&mut arena, mk(12.0, 0.0, vec![EcId(1), EcId(2)], phi), PruneMode::KeepIoc, &mut st);
+        list.add_path(&mut arena, mk(20.0, 0.0, vec![EcId(1)], phi), PruneMode::KeepIoc, &mut st);
+        // The 15-cost [1] plan is now dominated by the 12-cost [1,2] plan.
+        list.subset_cost_sweep(&arena, &mut st);
+        let totals: Vec<f64> = list.ids().iter().map(|&i| arena.get(i).cost.total).collect();
+        assert!(totals.contains(&10.0));
+        assert!(totals.contains(&12.0));
+        assert!(!totals.contains(&15.0));
+        assert!(!totals.contains(&20.0));
+    }
+
+    #[test]
+    fn cheapest_queries() {
+        let mut arena = PathArena::new();
+        let mut list = PathList::new();
+        let mut st = AddPathStats::default();
+        list.add_path(&mut arena, mk(10.0, 0.0, vec![], Ioc::NONE), PruneMode::Standard, &mut st);
+        let ordered = list
+            .add_path(&mut arena, mk(20.0, 0.0, vec![EcId(3)], Ioc::NONE), PruneMode::Standard, &mut st)
+            .unwrap();
+        let cheapest = list.cheapest_total(&arena).unwrap();
+        assert_eq!(arena.get(cheapest).cost.total, 10.0);
+        assert_eq!(list.cheapest_with_order(&arena, &[EcId(3)]), Some(ordered));
+        assert!(list.cheapest_with_order(&arena, &[EcId(9)]).is_none());
+    }
+}

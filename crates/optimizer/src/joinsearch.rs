@@ -1,0 +1,667 @@
+//! The join planner (paper Fig. 2): a System-R bottom-up dynamic program.
+//!
+//! "Given a query joining n relations, the join planner's dynamic program
+//! consists of n-1 levels. In the first level, optimal join methods are
+//! determined for every two pairs of relations. Every subsequent level adds
+//! one more relation to the join of the previous level and finds the optimal
+//! plan for the join." We additionally allow bushy shapes, as PostgreSQL's
+//! standard join search does.
+//!
+//! Under [`PruneMode::KeepIoc`] the per-relset path lists retain one optimal
+//! plan per *leaf interesting-order combination* (the §V-D pruning rule),
+//! which is what lets a single call export the whole INUM cache.
+
+use crate::access::param_index_scan;
+use crate::addpath::{AddPathStats, PathList, PruneMode};
+use crate::path::{IndexRef, Path, PathArena, PathId, PathKind};
+use crate::preprocess::{EcId, PlannerInfo};
+use crate::relset::RelSet;
+use pinum_cost::join::{cost_hashjoin, cost_mergejoin, cost_nestloop, JoinInput};
+use pinum_cost::sort::{cost_material, cost_rescan_material, cost_sort};
+use pinum_cost::{Cost, CostParams};
+use std::collections::HashMap;
+
+/// Options consumed by the join search.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinSearchOptions {
+    /// PostgreSQL's `enable_nestloop`; PINUM "tweak[s] the join planner to
+    /// remove nested loop operations if this flag is set" (§V-B).
+    pub enable_nestloop: bool,
+    /// Allow bushy join trees (both sides composite).
+    pub enable_bushy: bool,
+    pub prune_mode: PruneMode,
+    /// Apply the §V-D sweep per completed join relation.
+    pub subset_pruning: bool,
+}
+
+/// The DP state: one [`PathList`] per planned relation set.
+pub struct JoinSearch<'a, 'q> {
+    info: &'a PlannerInfo<'q>,
+    params: &'a CostParams,
+    options: JoinSearchOptions,
+    lists: HashMap<RelSet, PathList>,
+    /// Memoized sort wrappers: (input, sort keys) → path.
+    sorts: HashMap<(PathId, Vec<EcId>), PathId>,
+    /// Memoized materialize wrappers.
+    materials: HashMap<PathId, PathId>,
+    pub stats: AddPathStats,
+    pub joinrels_planned: usize,
+}
+
+impl<'a, 'q> JoinSearch<'a, 'q> {
+    pub fn new(
+        info: &'a PlannerInfo<'q>,
+        params: &'a CostParams,
+        options: JoinSearchOptions,
+    ) -> Self {
+        Self {
+            info,
+            params,
+            options,
+            lists: HashMap::new(),
+            sorts: HashMap::new(),
+            materials: HashMap::new(),
+            stats: AddPathStats::default(),
+            joinrels_planned: 0,
+        }
+    }
+
+    /// Runs the DP; `base_lists[r]` holds relation `r`'s access paths.
+    /// Returns the path list of the full relation set.
+    pub fn run(mut self, arena: &mut PathArena, base_lists: Vec<PathList>) -> (PathList, AddPathStats, usize) {
+        let n = self.info.relation_count();
+        for (r, list) in base_lists.into_iter().enumerate() {
+            self.lists.insert(RelSet::single(r as u16), list);
+        }
+        if n == 1 {
+            let list = self.lists.remove(&RelSet::single(0)).unwrap();
+            return (list, self.stats, self.joinrels_planned);
+        }
+
+        let full = RelSet::all(n);
+        for size in 2..=n as u32 {
+            // Enumerate masks with the right population count.
+            for mask in 1..=full.0 {
+                let set = RelSet(mask);
+                if set.len() != size || !set.is_subset_of(full) {
+                    continue;
+                }
+                self.plan_joinrel(arena, set);
+            }
+        }
+        let list = self.lists.remove(&full).unwrap_or_default();
+        (list, self.stats, self.joinrels_planned)
+    }
+
+    fn plan_joinrel(&mut self, arena: &mut PathArena, set: RelSet) {
+        let mut list = PathList::new();
+        let mut planned = false;
+        let partitions: Vec<RelSet> = set.proper_submasks_with_first().collect();
+        for left in partitions {
+            let right = RelSet(set.0 & !left.0);
+            if !self.lists.contains_key(&left) || !self.lists.contains_key(&right) {
+                continue; // a side is disconnected
+            }
+            if !self.info.connected(left, right) {
+                continue; // would be a Cartesian product
+            }
+            if !self.options.enable_bushy && left.len() > 1 && right.len() > 1 {
+                continue;
+            }
+            planned = true;
+            self.make_joins(arena, &mut list, left, right);
+            self.make_joins(arena, &mut list, right, left);
+        }
+        if planned && !list.is_empty() {
+            // §V-D: apply the subset-cost pruning once the relation set is
+            // fully planned — "This pruning process reduces the search
+            // space of the join planner, while preserving all useful
+            // plans."
+            if self.options.prune_mode == PruneMode::KeepIoc && self.options.subset_pruning {
+                list.subset_cost_sweep(arena, &mut self.stats);
+            }
+            self.joinrels_planned += 1;
+            self.lists.insert(set, list);
+        }
+    }
+
+    /// Generates hash, merge and nested-loop paths for `outer ⋈ inner`.
+    fn make_joins(
+        &mut self,
+        arena: &mut PathArena,
+        list: &mut PathList,
+        outer_set: RelSet,
+        inner_set: RelSet,
+    ) {
+        let info = self.info;
+        let set = outer_set.union(inner_set);
+        let output_rows = info.joinrel_rows(set);
+        let edges: Vec<(EcId, (u16, u16))> = info
+            .edges_between(outer_set, inner_set)
+            .iter()
+            .map(|e| (e.ec, (e.left.1, e.right.1)))
+            .collect();
+        let qual_ops = edges.len() as u32;
+        let inner_width = info.joinrel_width(inner_set);
+
+        let outer_ids: Vec<PathId> = self.lists[&outer_set].ids().to_vec();
+        let inner_ids: Vec<PathId> = self.lists[&inner_set].ids().to_vec();
+
+        for &outer_id in &outer_ids {
+            for &inner_id in &inner_ids {
+                self.hash_join(arena, list, outer_id, inner_id, output_rows, qual_ops, inner_width, set);
+                for &(ec, _) in &edges {
+                    self.merge_join(arena, list, outer_id, inner_id, ec, output_rows, qual_ops, set);
+                }
+                if self.options.enable_nestloop {
+                    self.nest_loop_plain(arena, list, outer_id, inner_id, output_rows, qual_ops, set);
+                }
+            }
+            // Parameterized inner index scans (PostgreSQL 8.3 creates these
+            // at join time when the inner is a single base relation).
+            if self.options.enable_nestloop && inner_set.len() == 1 {
+                self.nest_loop_param(arena, list, outer_id, inner_set.first(), outer_set, output_rows, qual_ops, set);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn hash_join(
+        &mut self,
+        arena: &mut PathArena,
+        list: &mut PathList,
+        outer_id: PathId,
+        inner_id: PathId,
+        output_rows: f64,
+        qual_ops: u32,
+        inner_width: u32,
+        set: RelSet,
+    ) {
+        let (outer, inner) = (arena.get(outer_id).clone(), arena.get(inner_id).clone());
+        let j = JoinInput {
+            outer_cost: outer.cost,
+            outer_rows: outer.rows,
+            inner_cost: inner.cost,
+            inner_rows: inner.rows,
+            output_rows,
+            qual_ops,
+        };
+        let cost = cost_hashjoin(self.params, &j, inner_width);
+        let extra = cost.total - outer.cost.total - inner.cost.total;
+        let path = Path {
+            kind: PathKind::HashJoin {
+                outer: outer_id,
+                inner: inner_id,
+            },
+            rels: set,
+            rows: output_rows,
+            cost,
+            rescan: cost,
+            pathkeys: vec![], // conservative, as in PostgreSQL (multi-batch)
+            leaf_ioc: outer.leaf_ioc.union(inner.leaf_ioc).expect("disjoint rels"),
+            linear: outer.linear.combine(&inner.linear, extra.max(0.0)),
+            leaf_access: merge_leaf_access(&outer.leaf_access, &inner.leaf_access),
+            probe_access: merge_probe_access(&outer.probe_access, &inner.probe_access),
+        };
+        list.add_path(arena, path, self.options.prune_mode, &mut self.stats);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn merge_join(
+        &mut self,
+        arena: &mut PathArena,
+        list: &mut PathList,
+        outer_id: PathId,
+        inner_id: PathId,
+        ec: EcId,
+        output_rows: f64,
+        qual_ops: u32,
+        set: RelSet,
+    ) {
+        // Sort either side when it does not already deliver the key order.
+        let outer_sorted = self.ensure_sorted(arena, outer_id, ec);
+        let inner_sorted = self.ensure_sorted(arena, inner_id, ec);
+        let (outer, inner) = (
+            arena.get(outer_sorted).clone(),
+            arena.get(inner_sorted).clone(),
+        );
+        let j = JoinInput {
+            outer_cost: outer.cost,
+            outer_rows: outer.rows,
+            inner_cost: inner.cost,
+            inner_rows: inner.rows,
+            output_rows,
+            qual_ops,
+        };
+        let cost = cost_mergejoin(self.params, &j);
+        let extra = cost.total - outer.cost.total - inner.cost.total;
+        let path = Path {
+            kind: PathKind::MergeJoin {
+                outer: outer_sorted,
+                inner: inner_sorted,
+            },
+            rels: set,
+            rows: output_rows,
+            cost,
+            rescan: cost,
+            pathkeys: outer.pathkeys.clone(), // merge preserves outer order
+            leaf_ioc: outer.leaf_ioc.union(inner.leaf_ioc).expect("disjoint rels"),
+            linear: outer.linear.combine(&inner.linear, extra.max(0.0)),
+            leaf_access: merge_leaf_access(&outer.leaf_access, &inner.leaf_access),
+            probe_access: merge_probe_access(&outer.probe_access, &inner.probe_access),
+        };
+        list.add_path(arena, path, self.options.prune_mode, &mut self.stats);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn nest_loop_plain(
+        &mut self,
+        arena: &mut PathArena,
+        list: &mut PathList,
+        outer_id: PathId,
+        inner_id: PathId,
+        output_rows: f64,
+        qual_ops: u32,
+        set: RelSet,
+    ) {
+        // Inner variants: leaves rescan as-is; sorts/materials rescan
+        // cheaply; composite plans must be materialized.
+        let inner_kind_is_leaf = matches!(
+            arena.get(inner_id).kind,
+            PathKind::SeqScan { .. } | PathKind::IndexScan { .. } | PathKind::BitmapScan { .. }
+        );
+        let inner_is_rescannable = matches!(
+            arena.get(inner_id).kind,
+            PathKind::Sort { .. } | PathKind::Material { .. }
+        );
+        let mut variants: Vec<(PathId, bool)> = Vec::with_capacity(2);
+        if inner_kind_is_leaf {
+            variants.push((inner_id, true)); // rescans re-access the leaf
+            variants.push((self.materialize(arena, inner_id), false));
+        } else if inner_is_rescannable {
+            variants.push((inner_id, false));
+        } else {
+            variants.push((self.materialize(arena, inner_id), false));
+        }
+
+        for (iv, reaccesses) in variants {
+            let (outer, inner) = (arena.get(outer_id).clone(), arena.get(iv).clone());
+            let j = JoinInput {
+                outer_cost: outer.cost,
+                outer_rows: outer.rows,
+                inner_cost: inner.cost,
+                inner_rows: inner.rows,
+                output_rows,
+                qual_ops,
+            };
+            let cost = cost_nestloop(self.params, &j, inner.rescan);
+            let scale = if reaccesses { outer.rows.max(1.0) } else { 1.0 };
+            let extra = cost.total - outer.cost.total - scale * inner.cost.total;
+            let path = Path {
+                kind: PathKind::NestLoop {
+                    outer: outer_id,
+                    inner: iv,
+                },
+                rels: set,
+                rows: output_rows,
+                cost,
+                rescan: cost,
+                pathkeys: outer.pathkeys.clone(), // NLJ preserves outer order
+                leaf_ioc: outer.leaf_ioc.union(inner.leaf_ioc).expect("disjoint rels"),
+                linear: outer.linear.combine_scaled(&inner.linear, scale, extra.max(0.0)),
+                leaf_access: merge_leaf_access(&outer.leaf_access, &inner.leaf_access),
+                probe_access: merge_probe_access(&outer.probe_access, &inner.probe_access),
+            };
+            list.add_path(arena, path, self.options.prune_mode, &mut self.stats);
+        }
+    }
+
+    /// Nested loop with a parameterized inner index scan: the inner index is
+    /// probed with the outer row's join key.
+    #[allow(clippy::too_many_arguments)]
+    fn nest_loop_param(
+        &mut self,
+        arena: &mut PathArena,
+        list: &mut PathList,
+        outer_id: PathId,
+        inner_rel: u16,
+        outer_set: RelSet,
+        output_rows: f64,
+        qual_ops: u32,
+        set: RelSet,
+    ) {
+        let info = self.info;
+        let outer = arena.get(outer_id).clone();
+        let inner_table = info.base[inner_rel as usize].table;
+        let lookup_cols = info.inner_join_columns(inner_rel, outer_set);
+        for (col, ec, sel) in lookup_cols {
+            let catalog_ixs = info
+                .catalog
+                .table_indexes(inner_table)
+                .iter()
+                .map(|id| (IndexRef::Catalog(*id), info.catalog.index(*id)));
+            let config_ixs = info
+                .config
+                .indexes()
+                .iter()
+                .enumerate()
+                .filter(|(_, ix)| ix.table() == inner_table)
+                .map(|(i, ix)| (IndexRef::Config(i), ix));
+            for (ixref, index) in catalog_ixs.chain(config_ixs) {
+                let Some(inner_path) = param_index_scan(
+                    info,
+                    self.params,
+                    inner_rel,
+                    ixref,
+                    index,
+                    col,
+                    ec,
+                    sel,
+                    outer.rows,
+                ) else {
+                    continue;
+                };
+                let inner_id = arena.add(inner_path);
+                let inner = arena.get(inner_id).clone();
+                let j = JoinInput {
+                    outer_cost: outer.cost,
+                    outer_rows: outer.rows,
+                    inner_cost: inner.cost,
+                    inner_rows: inner.rows,
+                    output_rows,
+                    // The probe enforces this join qual via the index.
+                    qual_ops: qual_ops.saturating_sub(1),
+                };
+                let cost = cost_nestloop(self.params, &j, inner.rescan);
+                let scale = outer.rows.max(1.0);
+                let extra = cost.total - outer.cost.total - scale * inner.cost.total;
+                let path = Path {
+                    kind: PathKind::NestLoop {
+                        outer: outer_id,
+                        inner: inner_id,
+                    },
+                    rels: set,
+                    rows: output_rows,
+                    cost,
+                    rescan: cost,
+                    pathkeys: outer.pathkeys.clone(),
+                    leaf_ioc: outer.leaf_ioc.union(inner.leaf_ioc).expect("disjoint rels"),
+                    linear: outer
+                        .linear
+                        .combine_scaled(&inner.linear, scale, extra.max(0.0)),
+                    leaf_access: outer.leaf_access.clone(),
+                    probe_access: merge_probe_access(&outer.probe_access, &inner.probe_access),
+                };
+                list.add_path(arena, path, self.options.prune_mode, &mut self.stats);
+            }
+        }
+    }
+
+    /// Returns `input` if already ordered on `ec`, else a (memoized) sort
+    /// wrapper.
+    fn ensure_sorted(&mut self, arena: &mut PathArena, input: PathId, ec: EcId) -> PathId {
+        if arena.get(input).provides_order(&[ec]) {
+            return input;
+        }
+        self.sort_path(arena, input, vec![ec])
+    }
+
+    /// Builds (or reuses) an explicit sort above `input`.
+    pub fn sort_path(&mut self, arena: &mut PathArena, input: PathId, keys: Vec<EcId>) -> PathId {
+        if let Some(&id) = self.sorts.get(&(input, keys.clone())) {
+            return id;
+        }
+        let id = make_sort_path(arena, self.info, self.params, input, keys.clone());
+        self.sorts.insert((input, keys), id);
+        id
+    }
+
+    /// Builds (or reuses) a materialize node above `input`.
+    fn materialize(&mut self, arena: &mut PathArena, input: PathId) -> PathId {
+        if let Some(&id) = self.materials.get(&input) {
+            return id;
+        }
+        let id = make_material_path(arena, self.info, self.params, input);
+        self.materials.insert(input, id);
+        id
+    }
+}
+
+/// Standalone sort-wrapper construction (shared with the grouping planner).
+pub fn make_sort_path(
+    arena: &mut PathArena,
+    info: &PlannerInfo<'_>,
+    params: &CostParams,
+    input: PathId,
+    keys: Vec<EcId>,
+) -> PathId {
+    let inp = arena.get(input).clone();
+    let width = info.joinrel_width(inp.rels);
+    let sort = cost_sort(params, inp.rows, width);
+    let cost = Cost::new(inp.cost.total + sort.startup, inp.cost.total + sort.total);
+    let path = Path {
+        kind: PathKind::Sort { input },
+        rels: inp.rels,
+        rows: inp.rows,
+        cost,
+        // Rescanning a finished sort replays the stored result.
+        rescan: Cost::run_only(sort.run()),
+        pathkeys: keys,
+        leaf_ioc: inp.leaf_ioc,
+        linear: inp.linear.plus_c0(sort.total),
+        leaf_access: inp.leaf_access.clone(),
+        probe_access: inp.probe_access.clone(),
+    };
+    arena.add(path)
+}
+
+/// Standalone materialize-wrapper construction.
+pub fn make_material_path(
+    arena: &mut PathArena,
+    info: &PlannerInfo<'_>,
+    params: &CostParams,
+    input: PathId,
+) -> PathId {
+    let inp = arena.get(input).clone();
+    let width = info.joinrel_width(inp.rels);
+    let mat = cost_material(params, inp.rows, width);
+    let rescan = cost_rescan_material(params, inp.rows, width);
+    let cost = Cost::new(inp.cost.startup, inp.cost.total + mat.total);
+    let path = Path {
+        kind: PathKind::Material { input },
+        rels: inp.rels,
+        rows: inp.rows,
+        cost,
+        rescan,
+        pathkeys: inp.pathkeys.clone(),
+        leaf_ioc: inp.leaf_ioc,
+        linear: inp.linear.plus_c0(mat.total),
+        leaf_access: inp.leaf_access.clone(),
+        probe_access: inp.probe_access.clone(),
+    };
+    arena.add(path)
+}
+
+fn merge_leaf_access(a: &[f64], b: &[f64]) -> Vec<f64> {
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+fn merge_probe_access(a: &[f64], b: &[f64]) -> Vec<f64> {
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::collect_access_paths;
+    use pinum_catalog::{Catalog, Column, ColumnType, Configuration, ConfigurationBuilder, Table};
+    use pinum_query::{Query, QueryBuilder};
+
+    fn setup() -> (Catalog, Query) {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "f",
+            1_000_000,
+            vec![
+                Column::new("fk1", ColumnType::Int8).with_ndv(10_000),
+                Column::new("fk2", ColumnType::Int8).with_ndv(1_000),
+                Column::new("v", ColumnType::Int4).with_ndv(100),
+            ],
+        ));
+        cat.add_table(Table::new(
+            "d1",
+            10_000,
+            vec![
+                Column::new("k", ColumnType::Int8).with_ndv(10_000),
+                Column::new("a", ColumnType::Int4).with_ndv(50),
+            ],
+        ));
+        cat.add_table(Table::new(
+            "d2",
+            1_000,
+            vec![Column::new("k", ColumnType::Int8).with_ndv(1_000)],
+        ));
+        let q = QueryBuilder::new("q", &cat)
+            .table("f")
+            .table("d1")
+            .table("d2")
+            .join(("f", "fk1"), ("d1", "k"))
+            .join(("f", "fk2"), ("d2", "k"))
+            .filter_range(("f", "v"), 0.0, 1.0)
+            .select(("d1", "a"))
+            .build();
+        (cat, q)
+    }
+
+    fn run_search(
+        cat: &Catalog,
+        q: &Query,
+        cfg: &Configuration,
+        options: JoinSearchOptions,
+    ) -> (PathArena, PathList) {
+        let info = PlannerInfo::new(cat, q, cfg);
+        let params = CostParams::default();
+        let mut arena = PathArena::new();
+        let keep_all = false;
+        let mut base_lists = Vec::new();
+        let mut stats = AddPathStats::default();
+        for r in 0..info.relation_count() as u16 {
+            let acc = collect_access_paths(&info, &params, r, keep_all);
+            let mut list = PathList::new();
+            for p in acc.paths {
+                list.add_path(&mut arena, p, options.prune_mode, &mut stats);
+            }
+            base_lists.push(list);
+        }
+        let search = JoinSearch::new(&info, &params, options);
+        let (top, _, _) = search.run(&mut arena, base_lists);
+        (arena, top)
+    }
+
+    fn default_opts(mode: PruneMode) -> JoinSearchOptions {
+        JoinSearchOptions {
+            enable_nestloop: true,
+            enable_bushy: true,
+            prune_mode: mode,
+            subset_pruning: true,
+        }
+    }
+
+    #[test]
+    fn three_way_join_produces_plans() {
+        let (cat, q) = setup();
+        let cfg = Configuration::empty();
+        let (arena, top) = run_search(&cat, &q, &cfg, default_opts(PruneMode::Standard));
+        assert!(!top.is_empty());
+        let best = top.cheapest_total(&arena).unwrap();
+        let path = arena.get(best);
+        assert_eq!(path.rels, RelSet::all(3));
+        assert!(path.cost.total > 0.0);
+    }
+
+    #[test]
+    fn linear_decomposition_survives_joins() {
+        let (cat, q) = setup();
+        let t = cat.table_id("f").unwrap();
+        let d1 = cat.table_id("d1").unwrap();
+        let cfg = ConfigurationBuilder::new()
+            .whatif_index(&cat, t, vec![0])
+            .whatif_index(&cat, d1, vec![0])
+            .build();
+        let (arena, top) = run_search(&cat, &q, &cfg, default_opts(PruneMode::KeepIoc));
+        assert!(!top.is_empty());
+        for &id in top.ids() {
+            let p = arena.get(id);
+            let eval = p.linear.eval(&p.leaf_access, &p.probe_access);
+            assert!(
+                (eval - p.cost.total).abs() / p.cost.total.max(1.0) < 1e-6,
+                "decomposition mismatch for {}: {eval} vs {}",
+                arena.describe(id),
+                p.cost.total
+            );
+        }
+    }
+
+    #[test]
+    fn disabling_nestloop_removes_nl_plans() {
+        let (cat, q) = setup();
+        let cfg = Configuration::empty();
+        let mut opts = default_opts(PruneMode::KeepIoc);
+        opts.enable_nestloop = false;
+        let (arena, top) = run_search(&cat, &q, &cfg, opts);
+        for &id in top.ids() {
+            assert!(
+                !arena.get(id).uses_nestloop(&arena),
+                "NL plan survived with enable_nestloop=off: {}",
+                arena.describe(id)
+            );
+        }
+    }
+
+    #[test]
+    fn keepioc_top_list_is_not_smaller_than_standard() {
+        let (cat, q) = setup();
+        let t = cat.table_id("f").unwrap();
+        let d1 = cat.table_id("d1").unwrap();
+        let d2 = cat.table_id("d2").unwrap();
+        // Covering indexes for all interesting orders, as the PINUM call
+        // does.
+        let cfg = ConfigurationBuilder::new()
+            .whatif_index(&cat, t, vec![0])
+            .whatif_index(&cat, t, vec![1])
+            .whatif_index(&cat, d1, vec![0])
+            .whatif_index(&cat, d2, vec![0])
+            .build();
+        let (arena_s, std_top) = run_search(&cat, &q, &cfg, default_opts(PruneMode::Standard));
+        let (arena_k, ioc_top) = run_search(&cat, &q, &cfg, default_opts(PruneMode::KeepIoc));
+        let distinct_iocs = |arena: &PathArena, list: &PathList| {
+            let mut iocs: Vec<_> = list.ids().iter().map(|&i| arena.get(i).leaf_ioc).collect();
+            iocs.sort_unstable();
+            iocs.dedup();
+            iocs.len()
+        };
+        // KeepIoc retains plans for at least as many distinct IOCs as the
+        // standard mode, and more than one.
+        assert!(distinct_iocs(&arena_k, &ioc_top) >= distinct_iocs(&arena_s, &std_top));
+        assert!(
+            distinct_iocs(&arena_k, &ioc_top) > 1,
+            "KeepIoc should retain multiple IOC plans"
+        );
+    }
+
+    #[test]
+    fn best_plans_match_across_modes() {
+        // The PINUM pruning must never lose the overall cheapest plan.
+        let (cat, q) = setup();
+        let t = cat.table_id("f").unwrap();
+        let cfg = ConfigurationBuilder::new().whatif_index(&cat, t, vec![0]).build();
+        let (arena_s, top_s) = run_search(&cat, &q, &cfg, default_opts(PruneMode::Standard));
+        let (arena_k, top_k) = run_search(&cat, &q, &cfg, default_opts(PruneMode::KeepIoc));
+        let best_s = arena_s.get(top_s.cheapest_total(&arena_s).unwrap()).cost.total;
+        let best_k = arena_k.get(top_k.cheapest_total(&arena_k).unwrap()).cost.total;
+        assert!(
+            (best_s - best_k).abs() / best_s < 1e-9,
+            "best plans diverge: {best_s} vs {best_k}"
+        );
+    }
+}

@@ -1,0 +1,411 @@
+//! Access and join paths: the DP's partial plans.
+//!
+//! Every path carries, besides the usual cost/rows/pathkeys:
+//!
+//! * its **leaf interesting-order combination** ([`Ioc`]): which interesting
+//!   order each base relation's leaf access uses — the plan's *requirement*
+//!   on a configuration in INUM terms;
+//! * its **linear cost decomposition** `total = c0 + Σ coef_r · access_r`,
+//!   where `access_r` is the build-time standalone access cost of the leaf
+//!   on relation `r`. Hash/merge joins keep `coef = 1` (INUM observation 1);
+//!   an unmaterialized nested-loop inner multiplies its subtree's
+//!   coefficients by the outer cardinality; parameterized inner index scans
+//!   fold into `c0` (the INUM approximation the paper quantifies in §VI-C).
+
+use crate::preprocess::EcId;
+use crate::relset::RelSet;
+use pinum_catalog::IndexId;
+use pinum_cost::Cost;
+use pinum_query::{Ioc, RelIdx};
+
+/// Identifies a path inside one [`PathArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathId(pub u32);
+
+/// Which index a scan uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexRef {
+    /// A materialized index of the catalog.
+    Catalog(IndexId),
+    /// The `i`-th index of the what-if configuration.
+    Config(usize),
+}
+
+/// Aggregation strategy tag (mirrors `pinum_cost::agg::AggStrategy` but kept
+/// here to avoid leaking cost-model types into plan trees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    Sorted,
+    Hashed,
+    Plain,
+}
+
+/// The operator of a path node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathKind {
+    SeqScan {
+        rel: RelIdx,
+    },
+    IndexScan {
+        rel: RelIdx,
+        index: IndexRef,
+        index_only: bool,
+        /// `Some(ec)` when this is a parameterized inner scan probing the
+        /// join key of equivalence class `ec` (constructed only as a
+        /// nested-loop inner, never enters path lists).
+        param: Option<EcId>,
+    },
+    /// Bitmap index + heap scan: order-destroying medium-selectivity
+    /// access (PostgreSQL 8.3's bitmap scans).
+    BitmapScan {
+        rel: RelIdx,
+        index: IndexRef,
+    },
+    Sort {
+        input: PathId,
+    },
+    Material {
+        input: PathId,
+    },
+    NestLoop {
+        outer: PathId,
+        inner: PathId,
+    },
+    MergeJoin {
+        outer: PathId,
+        inner: PathId,
+    },
+    HashJoin {
+        outer: PathId,
+        inner: PathId,
+    },
+    Agg {
+        input: PathId,
+        kind: AggKind,
+    },
+}
+
+/// Linear decomposition of a path's total cost over its leaf access costs.
+///
+/// Two families of terms: *standalone* access (`coefs`, multiplied by the
+/// cost of scanning the relation once under the required order) and
+/// *probe* access (`probe_coefs`, multiplied by the per-probe cost of a
+/// parameterized index lookup — INUM's treatment of nested-loop inners,
+/// whose access cost is one probe times the outer cardinality).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearCost {
+    /// Constant ("internal") part.
+    pub c0: f64,
+    /// Per-relation coefficient on the build-time leaf access cost.
+    pub coefs: Vec<f64>,
+    /// Per-relation coefficient on the per-probe access cost.
+    pub probe_coefs: Vec<f64>,
+}
+
+impl LinearCost {
+    pub fn zero(n_rels: usize) -> Self {
+        Self {
+            c0: 0.0,
+            coefs: vec![0.0; n_rels],
+            probe_coefs: vec![0.0; n_rels],
+        }
+    }
+
+    /// The decomposition of a plain leaf: `1 · access_rel`.
+    pub fn leaf(n_rels: usize, rel: RelIdx) -> Self {
+        let mut l = Self::zero(n_rels);
+        l.coefs[rel as usize] = 1.0;
+        l
+    }
+
+    /// A fully-constant cost.
+    pub fn constant(n_rels: usize, c0: f64) -> Self {
+        let mut l = Self::zero(n_rels);
+        l.c0 = c0;
+        l
+    }
+
+    /// The decomposition of a parameterized probe leaf: `1 · probe_rel`
+    /// plus a residual constant (the difference between the charged
+    /// per-execution cost and the reference probe cost).
+    pub fn probe_leaf(n_rels: usize, rel: RelIdx, residual: f64) -> Self {
+        let mut l = Self::zero(n_rels);
+        l.probe_coefs[rel as usize] = 1.0;
+        l.c0 = residual;
+        l
+    }
+
+    /// `self + other`, plus an extra constant.
+    pub fn combine(&self, other: &LinearCost, extra_c0: f64) -> Self {
+        self.combine_scaled(other, 1.0, extra_c0)
+    }
+
+    /// `self + scale · other + extra_c0` — the nested-loop composition where
+    /// the inner subtree is re-executed `scale` times.
+    pub fn combine_scaled(&self, other: &LinearCost, scale: f64, extra_c0: f64) -> Self {
+        debug_assert_eq!(self.coefs.len(), other.coefs.len());
+        Self {
+            c0: self.c0 + scale * other.c0 + extra_c0,
+            coefs: self
+                .coefs
+                .iter()
+                .zip(&other.coefs)
+                .map(|(a, b)| a + scale * b)
+                .collect(),
+            probe_coefs: self
+                .probe_coefs
+                .iter()
+                .zip(&other.probe_coefs)
+                .map(|(a, b)| a + scale * b)
+                .collect(),
+        }
+    }
+
+    /// Adds a constant.
+    pub fn plus_c0(&self, extra: f64) -> Self {
+        Self {
+            c0: self.c0 + extra,
+            coefs: self.coefs.clone(),
+            probe_coefs: self.probe_coefs.clone(),
+        }
+    }
+
+    /// Evaluates against per-relation standalone and per-probe access
+    /// costs.
+    pub fn eval(&self, access: &[f64], probes: &[f64]) -> f64 {
+        debug_assert_eq!(access.len(), self.coefs.len());
+        debug_assert_eq!(probes.len(), self.probe_coefs.len());
+        self.c0
+            + self
+                .coefs
+                .iter()
+                .zip(access)
+                .map(|(c, a)| c * a)
+                .sum::<f64>()
+            + self
+                .probe_coefs
+                .iter()
+                .zip(probes)
+                .map(|(c, a)| c * a)
+                .sum::<f64>()
+    }
+}
+
+/// A partial plan.
+#[derive(Debug, Clone)]
+pub struct Path {
+    pub kind: PathKind,
+    /// Relations joined so far.
+    pub rels: RelSet,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Startup/total cost.
+    pub cost: Cost,
+    /// Cost to re-execute after the first run (used when this path is a
+    /// nested-loop inner). For most nodes this equals `cost`, for
+    /// materialize it is the cheap tuplestore re-read.
+    pub rescan: Cost,
+    /// Output ordering as equivalence classes, prefix semantics.
+    pub pathkeys: Vec<EcId>,
+    /// Leaf interesting-order requirements (INUM's `S_plan`).
+    pub leaf_ioc: Ioc,
+    /// Linear decomposition of `cost.total` over leaf access costs.
+    pub linear: LinearCost,
+    /// Build-time standalone access cost per relation (only the entries for
+    /// relations in `rels` with non-parameterized leaves are meaningful).
+    pub leaf_access: Vec<f64>,
+    /// Build-time reference per-probe cost per relation (parameterized
+    /// leaves only).
+    pub probe_access: Vec<f64>,
+}
+
+impl Path {
+    /// `true` if this plan (sub)tree contains a nested-loop join — the flag
+    /// INUM uses to segregate cached plans (§V-D).
+    pub fn uses_nestloop(&self, arena: &PathArena) -> bool {
+        match &self.kind {
+            PathKind::NestLoop { .. } => true,
+            PathKind::SeqScan { .. }
+            | PathKind::IndexScan { .. }
+            | PathKind::BitmapScan { .. } => false,
+            PathKind::Sort { input }
+            | PathKind::Material { input }
+            | PathKind::Agg { input, .. } => arena.get(*input).uses_nestloop(arena),
+            PathKind::MergeJoin { outer, inner } | PathKind::HashJoin { outer, inner } => {
+                arena.get(*outer).uses_nestloop(arena) || arena.get(*inner).uses_nestloop(arena)
+            }
+        }
+    }
+
+    /// True if `self`'s output ordering satisfies `required` (required keys
+    /// are a prefix of the provided keys).
+    pub fn provides_order(&self, required: &[EcId]) -> bool {
+        required.len() <= self.pathkeys.len() && self.pathkeys[..required.len()] == *required
+    }
+}
+
+/// Arena holding every path of one optimize call; paths reference children
+/// by [`PathId`], so cloning a path is cheap and the DP never drops a child
+/// that a surviving parent needs.
+#[derive(Default)]
+pub struct PathArena {
+    paths: Vec<Path>,
+}
+
+impl PathArena {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, path: Path) -> PathId {
+        let id = PathId(self.paths.len() as u32);
+        self.paths.push(path);
+        id
+    }
+
+    pub fn get(&self, id: PathId) -> &Path {
+        &self.paths[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Compact one-line rendering of a plan, for explain output and cache
+    /// diagnostics, e.g. `HJ(MJ(ix(0),ix(1)),seq(2))`.
+    pub fn describe(&self, id: PathId) -> String {
+        let p = self.get(id);
+        match &p.kind {
+            PathKind::SeqScan { rel } => format!("seq({rel})"),
+            PathKind::IndexScan {
+                rel,
+                index_only,
+                param,
+                ..
+            } => {
+                let tag = if *index_only { "ixo" } else { "ix" };
+                if param.is_some() {
+                    format!("{tag}*({rel})")
+                } else {
+                    format!("{tag}({rel})")
+                }
+            }
+            PathKind::BitmapScan { rel, .. } => format!("bmp({rel})"),
+            PathKind::Sort { input } => format!("sort({})", self.describe(*input)),
+            PathKind::Material { input } => format!("mat({})", self.describe(*input)),
+            PathKind::NestLoop { outer, inner } => {
+                format!("NL({},{})", self.describe(*outer), self.describe(*inner))
+            }
+            PathKind::MergeJoin { outer, inner } => {
+                format!("MJ({},{})", self.describe(*outer), self.describe(*inner))
+            }
+            PathKind::HashJoin { outer, inner } => {
+                format!("HJ({},{})", self.describe(*outer), self.describe(*inner))
+            }
+            PathKind::Agg { input, kind } => {
+                let tag = match kind {
+                    AggKind::Sorted => "gagg",
+                    AggKind::Hashed => "hagg",
+                    AggKind::Plain => "agg",
+                };
+                format!("{tag}({})", self.describe(*input))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_cost_composition() {
+        let leaf_a = LinearCost::leaf(2, 0);
+        let leaf_b = LinearCost::leaf(2, 1);
+        // Hash join: coefficients add, join work goes to c0.
+        let hj = leaf_a.combine(&leaf_b, 5.0);
+        assert_eq!(hj.c0, 5.0);
+        assert_eq!(hj.coefs, vec![1.0, 1.0]);
+        // NLJ with 10 outer rows re-executing the inner.
+        let nlj = leaf_a.combine_scaled(&leaf_b, 10.0, 2.0);
+        assert_eq!(nlj.coefs, vec![1.0, 10.0]);
+        assert_eq!(nlj.c0, 2.0);
+        // Evaluation.
+        assert_eq!(nlj.eval(&[3.0, 1.0], &[0.0, 0.0]), 2.0 + 3.0 + 10.0);
+    }
+
+    #[test]
+    fn probe_leaf_composition() {
+        let probe = LinearCost::probe_leaf(2, 1, 0.5);
+        let outer = LinearCost::leaf(2, 0);
+        // NLJ over 100 outer rows: probe coefficient scales.
+        let nlj = outer.combine_scaled(&probe, 100.0, 3.0);
+        assert_eq!(nlj.probe_coefs, vec![0.0, 100.0]);
+        assert_eq!(nlj.coefs, vec![1.0, 0.0]);
+        assert!((nlj.eval(&[7.0, 0.0], &[0.0, 0.02]) - (50.0 + 3.0 + 7.0 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_linear_cost() {
+        let c = LinearCost::constant(3, 7.5);
+        assert_eq!(c.eval(&[100.0; 3], &[100.0; 3]), 7.5);
+    }
+
+    #[test]
+    fn provides_order_prefix_semantics() {
+        let p = Path {
+            kind: PathKind::SeqScan { rel: 0 },
+            rels: RelSet::single(0),
+            rows: 1.0,
+            cost: Cost::ZERO,
+            rescan: Cost::ZERO,
+            pathkeys: vec![EcId(0), EcId(1)],
+            leaf_ioc: Ioc::NONE,
+            linear: LinearCost::leaf(1, 0),
+            leaf_access: vec![0.0],
+            probe_access: vec![0.0],
+        };
+        assert!(p.provides_order(&[]));
+        assert!(p.provides_order(&[EcId(0)]));
+        assert!(p.provides_order(&[EcId(0), EcId(1)]));
+        assert!(!p.provides_order(&[EcId(1)]));
+        assert!(!p.provides_order(&[EcId(0), EcId(1), EcId(2)]));
+    }
+
+    #[test]
+    fn describe_renders_nested_plans() {
+        let mut arena = PathArena::new();
+        let mk_leaf = |rel: RelIdx| Path {
+            kind: PathKind::SeqScan { rel },
+            rels: RelSet::single(rel),
+            rows: 1.0,
+            cost: Cost::ZERO,
+            rescan: Cost::ZERO,
+            pathkeys: vec![],
+            leaf_ioc: Ioc::NONE,
+            linear: LinearCost::leaf(2, rel),
+            leaf_access: vec![0.0; 2],
+            probe_access: vec![0.0; 2],
+        };
+        let a = arena.add(mk_leaf(0));
+        let b = arena.add(mk_leaf(1));
+        let join = arena.add(Path {
+            kind: PathKind::HashJoin { outer: a, inner: b },
+            rels: RelSet::all(2),
+            rows: 1.0,
+            cost: Cost::ZERO,
+            rescan: Cost::ZERO,
+            pathkeys: vec![],
+            leaf_ioc: Ioc::NONE,
+            linear: LinearCost::zero(2),
+            leaf_access: vec![0.0; 2],
+            probe_access: vec![0.0; 2],
+        });
+        assert_eq!(arena.describe(join), "HJ(seq(0),seq(1))");
+        assert!(!arena.get(join).uses_nestloop(&arena));
+    }
+}

@@ -1,0 +1,123 @@
+//! The sub-query planner (paper Fig. 2): "optimizes each sub-query that
+//! cannot be merged into the top-level query individually. In this step, it
+//! identifies the sub-queries and invokes the next component on each of
+//! them."
+//!
+//! The paper's implementation "does not address queries containing complex
+//! sub-queries" (§VI-A); like it, we support only *uncorrelated* scalar
+//! sub-queries, each planned independently with its cost added to the
+//! statement's total.
+
+use crate::planner::{Optimizer, OptimizerOptions, PlannedQuery};
+use pinum_catalog::Configuration;
+use pinum_query::Query;
+
+/// A statement: a top-level query plus uncorrelated scalar sub-queries.
+#[derive(Debug, Clone)]
+pub struct Statement {
+    pub query: Query,
+    pub scalar_subqueries: Vec<Query>,
+}
+
+impl Statement {
+    /// A statement with no sub-queries.
+    pub fn simple(query: Query) -> Self {
+        Self {
+            query,
+            scalar_subqueries: Vec::new(),
+        }
+    }
+
+    pub fn with_subquery(mut self, sub: Query) -> Self {
+        self.scalar_subqueries.push(sub);
+        self
+    }
+}
+
+/// The planned statement: the top-level plan plus each sub-query's plan.
+#[derive(Debug)]
+pub struct PlannedStatement {
+    pub top: PlannedQuery,
+    pub subplans: Vec<PlannedQuery>,
+    /// Total cost: top-level plus all sub-queries (each executed once).
+    pub total_cost: f64,
+}
+
+/// Plans a statement: every sub-query first (each with its own optimizer
+/// invocation, like PostgreSQL's `SS_process_sublinks`), then the
+/// top-level query.
+pub fn plan_statement(
+    optimizer: &Optimizer<'_>,
+    stmt: &Statement,
+    config: &Configuration,
+    options: &OptimizerOptions,
+) -> PlannedStatement {
+    let subplans: Vec<PlannedQuery> = stmt
+        .scalar_subqueries
+        .iter()
+        .map(|sq| optimizer.optimize(sq, config, options))
+        .collect();
+    let top = optimizer.optimize(&stmt.query, config, options);
+    let total_cost =
+        top.best_cost.total + subplans.iter().map(|p| p.best_cost.total).sum::<f64>();
+    PlannedStatement {
+        top,
+        subplans,
+        total_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinum_catalog::{Catalog, Column, ColumnType, Table};
+    use pinum_query::QueryBuilder;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "t",
+            10_000,
+            vec![Column::new("a", ColumnType::Int8).with_ndv(10_000)],
+        ));
+        cat.add_table(Table::new(
+            "s",
+            500,
+            vec![Column::new("b", ColumnType::Int8).with_ndv(500)],
+        ));
+        cat
+    }
+
+    #[test]
+    fn statement_cost_adds_subqueries() {
+        let cat = catalog();
+        let main = QueryBuilder::new("main", &cat)
+            .table("t")
+            .select(("t", "a"))
+            .build();
+        let sub = QueryBuilder::new("sub", &cat)
+            .table("s")
+            .select(("s", "b"))
+            .build();
+        let opt = Optimizer::new(&cat);
+        let cfg = Configuration::empty();
+        let opts = OptimizerOptions::standard();
+
+        let simple = plan_statement(&opt, &Statement::simple(main.clone()), &cfg, &opts);
+        let with_sub = plan_statement(
+            &opt,
+            &Statement::simple(main).with_subquery(sub),
+            &cfg,
+            &opts,
+        );
+        assert_eq!(simple.subplans.len(), 0);
+        assert_eq!(with_sub.subplans.len(), 1);
+        assert!(with_sub.total_cost > simple.total_cost);
+        assert!(
+            (with_sub.total_cost
+                - (with_sub.top.best_cost.total + with_sub.subplans[0].best_cost.total))
+                .abs()
+                < 1e-9
+        );
+    }
+}

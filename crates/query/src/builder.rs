@@ -1,0 +1,200 @@
+//! Ergonomic construction of [`Query`] values by table/column *name*.
+
+use crate::{FilterOp, FilterPredicate, JoinPredicate, Query, RelIdx};
+use pinum_catalog::Catalog;
+
+/// Builder resolving names against a catalog.
+///
+/// ```
+/// # use pinum_catalog::{Catalog, Column, ColumnType, Table};
+/// # use pinum_query::QueryBuilder;
+/// # let mut cat = Catalog::new();
+/// # cat.add_table(Table::new("t", 100, vec![Column::new("a", ColumnType::Int8)]));
+/// # cat.add_table(Table::new("s", 100, vec![Column::new("a", ColumnType::Int8)]));
+/// let q = QueryBuilder::new("demo", &cat)
+///     .table("t")
+///     .table("s")
+///     .join(("t", "a"), ("s", "a"))
+///     .select(("t", "a"))
+///     .build();
+/// assert_eq!(q.relation_count(), 2);
+/// ```
+pub struct QueryBuilder<'a> {
+    catalog: &'a Catalog,
+    query: Query,
+}
+
+impl<'a> QueryBuilder<'a> {
+    pub fn new(name: impl Into<String>, catalog: &'a Catalog) -> Self {
+        Self {
+            catalog,
+            query: Query {
+                name: name.into(),
+                relations: Vec::new(),
+                filters: Vec::new(),
+                joins: Vec::new(),
+                select: Vec::new(),
+                group_by: Vec::new(),
+                order_by: Vec::new(),
+            },
+        }
+    }
+
+    fn resolve(&self, (table, column): (&str, &str)) -> (RelIdx, u16) {
+        let tid = self
+            .catalog
+            .table_id(table)
+            .unwrap_or_else(|| panic!("unknown table {table:?}"));
+        let rel = self
+            .query
+            .relations
+            .iter()
+            .position(|t| *t == tid)
+            .unwrap_or_else(|| panic!("table {table:?} not in FROM clause")) as RelIdx;
+        let col = self
+            .catalog
+            .table(tid)
+            .column_ordinal(column)
+            .unwrap_or_else(|| panic!("unknown column {table}.{column}"));
+        (rel, col)
+    }
+
+    /// Adds a table to the FROM clause.
+    pub fn table(mut self, name: &str) -> Self {
+        let tid = self
+            .catalog
+            .table_id(name)
+            .unwrap_or_else(|| panic!("unknown table {name:?}"));
+        assert!(
+            !self.query.relations.contains(&tid),
+            "table {name:?} added twice (self-joins unsupported)"
+        );
+        self.query.relations.push(tid);
+        self
+    }
+
+    /// Adds an equi-join predicate.
+    pub fn join(mut self, left: (&str, &str), right: (&str, &str)) -> Self {
+        let left = self.resolve(left);
+        let right = self.resolve(right);
+        self.query.joins.push(JoinPredicate { left, right });
+        self
+    }
+
+    /// Adds `col = value`.
+    pub fn filter_eq(mut self, col: (&str, &str), value: f64) -> Self {
+        let (rel, column) = self.resolve(col);
+        self.query.filters.push(FilterPredicate {
+            rel,
+            column,
+            op: FilterOp::Eq { value },
+        });
+        self
+    }
+
+    /// Adds `lo <= col < hi`.
+    pub fn filter_range(mut self, col: (&str, &str), lo: f64, hi: f64) -> Self {
+        let (rel, column) = self.resolve(col);
+        self.query.filters.push(FilterPredicate {
+            rel,
+            column,
+            op: FilterOp::Range { lo, hi },
+        });
+        self
+    }
+
+    /// Adds an output column.
+    pub fn select(mut self, col: (&str, &str)) -> Self {
+        let col = self.resolve(col);
+        self.query.select.push(col);
+        self
+    }
+
+    /// Adds a GROUP BY column.
+    pub fn group_by(mut self, col: (&str, &str)) -> Self {
+        let col = self.resolve(col);
+        self.query.group_by.push(col);
+        self
+    }
+
+    /// Adds an ORDER BY column.
+    pub fn order_by(mut self, col: (&str, &str)) -> Self {
+        let col = self.resolve(col);
+        self.query.order_by.push(col);
+        self
+    }
+
+    /// Validates and returns the query.
+    pub fn build(self) -> Query {
+        self.query.validate(self.catalog);
+        self.query
+    }
+
+    /// Returns the query without validation (tests of invalid shapes).
+    pub fn build_unchecked(self) -> Query {
+        self.query
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinum_catalog::{Column, ColumnType, Table};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "orders",
+            1000,
+            vec![
+                Column::new("o_id", ColumnType::Int8).with_ndv(1000),
+                Column::new("o_cust", ColumnType::Int8).with_ndv(100),
+            ],
+        ));
+        cat.add_table(Table::new(
+            "customer",
+            100,
+            vec![Column::new("c_id", ColumnType::Int8).with_ndv(100)],
+        ));
+        cat
+    }
+
+    #[test]
+    fn builds_a_join_query() {
+        let cat = catalog();
+        let q = QueryBuilder::new("q", &cat)
+            .table("orders")
+            .table("customer")
+            .join(("orders", "o_cust"), ("customer", "c_id"))
+            .filter_eq(("orders", "o_id"), 5.0)
+            .select(("customer", "c_id"))
+            .order_by(("orders", "o_id"))
+            .build();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.filters.len(), 1);
+        assert_eq!(q.order_by, vec![(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown table")]
+    fn unknown_table_panics() {
+        let cat = catalog();
+        let _ = QueryBuilder::new("q", &cat).table("nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in FROM clause")]
+    fn join_requires_from() {
+        let cat = catalog();
+        let _ = QueryBuilder::new("q", &cat)
+            .table("orders")
+            .join(("orders", "o_cust"), ("customer", "c_id"));
+    }
+
+    #[test]
+    #[should_panic(expected = "added twice")]
+    fn duplicate_table_panics() {
+        let cat = catalog();
+        let _ = QueryBuilder::new("q", &cat).table("orders").table("orders");
+    }
+}

@@ -1,0 +1,141 @@
+//! Selectivity estimation (PostgreSQL `clauselist_selectivity`,
+//! `eqsel`, `scalarltsel`, `eqjoinsel`).
+
+use crate::{FilterOp, FilterPredicate, JoinPredicate, Query, RelIdx};
+use pinum_catalog::Catalog;
+
+/// Selectivity of one filter predicate.
+pub fn filter_selectivity(catalog: &Catalog, query: &Query, f: &FilterPredicate) -> f64 {
+    let table = catalog.table(query.table_of(f.rel));
+    let stats = table.column(f.column).stats();
+    match f.op {
+        FilterOp::Eq { .. } => stats.eq_selectivity(),
+        FilterOp::Range { lo, hi } => stats.range_selectivity(lo, hi),
+    }
+}
+
+/// Combined selectivity of all filters on `rel`, assuming independence
+/// (PostgreSQL's default for unrelated columns).
+pub fn relation_selectivity(catalog: &Catalog, query: &Query, rel: RelIdx) -> f64 {
+    query
+        .filters_on(rel)
+        .map(|f| filter_selectivity(catalog, query, f))
+        .product::<f64>()
+        .clamp(0.0, 1.0)
+}
+
+/// Rows surviving the filters on `rel`.
+pub fn relation_rows(catalog: &Catalog, query: &Query, rel: RelIdx) -> f64 {
+    let table = catalog.table(query.table_of(rel));
+    (table.rows() as f64 * relation_selectivity(catalog, query, rel)).max(1.0)
+}
+
+/// Selectivity of an equi-join predicate: `1 / max(ndv_left, ndv_right)`
+/// (PostgreSQL `eqjoinsel` without MCV refinement).
+pub fn join_selectivity(catalog: &Catalog, query: &Query, j: &JoinPredicate) -> f64 {
+    let ndv = |(rel, col): (RelIdx, u16)| {
+        catalog
+            .table(query.table_of(rel))
+            .column(col)
+            .stats()
+            .n_distinct
+            .max(1.0)
+    };
+    (1.0 / ndv(j.left).max(ndv(j.right))).clamp(0.0, 1.0)
+}
+
+/// Distinct count of a column after the relation's filters, PostgreSQL's
+/// heuristic `min(ndv, filtered_rows)`.
+pub fn filtered_ndv(catalog: &Catalog, query: &Query, rel: RelIdx, col: u16) -> f64 {
+    let ndv = catalog
+        .table(query.table_of(rel))
+        .column(col)
+        .stats()
+        .n_distinct;
+    ndv.min(relation_rows(catalog, query, rel)).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryBuilder;
+    use pinum_catalog::{Column, ColumnStats, ColumnType, Table};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "fact",
+            100_000,
+            vec![
+                Column::new("fk", ColumnType::Int8).with_ndv(1_000),
+                Column::new("val", ColumnType::Int4)
+                    .with_stats(ColumnStats::uniform(0.0, 10_000.0, 10_000.0)),
+            ],
+        ));
+        cat.add_table(Table::new(
+            "dim",
+            1_000,
+            vec![Column::new("pk", ColumnType::Int8).with_ndv(1_000)],
+        ));
+        cat
+    }
+
+    fn query(cat: &Catalog) -> Query {
+        QueryBuilder::new("q", cat)
+            .table("fact")
+            .table("dim")
+            .join(("fact", "fk"), ("dim", "pk"))
+            .filter_range(("fact", "val"), 0.0, 100.0) // 1% selectivity
+            .select(("dim", "pk"))
+            .build()
+    }
+
+    #[test]
+    fn one_percent_range_filter() {
+        let cat = catalog();
+        let q = query(&cat);
+        let sel = relation_selectivity(&cat, &q, 0);
+        assert!((sel - 0.01).abs() < 1e-6, "sel = {sel}");
+        assert!((relation_rows(&cat, &q, 0) - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn unfiltered_relation_is_full() {
+        let cat = catalog();
+        let q = query(&cat);
+        assert_eq!(relation_selectivity(&cat, &q, 1), 1.0);
+        assert_eq!(relation_rows(&cat, &q, 1), 1000.0);
+    }
+
+    #[test]
+    fn fk_join_selectivity() {
+        let cat = catalog();
+        let q = query(&cat);
+        let sel = join_selectivity(&cat, &q, &q.joins[0]);
+        assert!((sel - 1.0 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filtered_ndv_clamps_to_rows() {
+        let cat = catalog();
+        let q = query(&cat);
+        // fact.val has 10k distinct but only ~1000 rows survive the filter.
+        let ndv = filtered_ndv(&cat, &q, 0, 1);
+        assert!(ndv <= 1000.0 + 1.0);
+        // dim.pk keeps its full ndv.
+        assert_eq!(filtered_ndv(&cat, &q, 1, 0), 1000.0);
+    }
+
+    #[test]
+    fn conjunction_multiplies() {
+        let cat = catalog();
+        let q = QueryBuilder::new("q", &cat)
+            .table("fact")
+            .filter_range(("fact", "val"), 0.0, 100.0)
+            .filter_eq(("fact", "fk"), 1.0)
+            .select(("fact", "val"))
+            .build();
+        let sel = relation_selectivity(&cat, &q, 0);
+        assert!((sel - 0.01 * 0.001).abs() < 1e-9);
+    }
+}

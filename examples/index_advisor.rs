@@ -1,0 +1,54 @@
+//! The paper's end-to-end use case (§V-E, Fig. 6/7): run the index
+//! advisor over the ten-query star workload with a disk budget and report
+//! per-query improvements.
+//!
+//! Run with: `cargo run --release --example index_advisor [budget-MB]`
+
+use pinum::advisor::tool::{advise, AdvisorOptions};
+use pinum::workload::star::{StarSchema, StarWorkload};
+
+fn main() {
+    let budget_mb: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    // A 10%-scale database keeps this example snappy.
+    let schema = StarSchema::generate(42, 0.1);
+    let workload = StarWorkload::generate(&schema, 7, 10);
+    println!(
+        "database: {:.2} GB, {} queries, budget {budget_mb} MB\n",
+        schema.total_bytes() as f64 / (1024.0 * 1024.0 * 1024.0),
+        workload.queries.len()
+    );
+
+    let opts = AdvisorOptions {
+        budget_bytes: budget_mb * 1024 * 1024,
+        ..AdvisorOptions::paper_defaults()
+    };
+    let advice = advise(&schema.catalog, &workload.queries, &opts);
+
+    println!("{:<6} {:>14} {:>14} {:>12}", "query", "original", "with indexes", "improvement");
+    for o in &advice.per_query {
+        println!(
+            "{:<6} {:>14.0} {:>14.0} {:>11.0}%",
+            o.name,
+            o.original_cost,
+            o.final_cost,
+            o.improvement() * 100.0
+        );
+    }
+    println!("\nsuggested indexes:");
+    for ix in advice.selected_indexes() {
+        println!(
+            "  {} ({:.1} MB)",
+            ix.name(),
+            ix.size().total_bytes() as f64 / (1024.0 * 1024.0)
+        );
+    }
+    println!(
+        "\naverage improvement {:.0}% | model built with {} optimizer calls in {:?}",
+        advice.average_improvement() * 100.0,
+        advice.model_build_calls,
+        advice.model_build_time
+    );
+}

@@ -1,0 +1,46 @@
+//! # pinum — Caching All Plans with Just One Optimizer Call
+//!
+//! Facade crate for the reproduction of Dash et al., *Caching All Plans with
+//! Just One Optimizer Call* (ICDE Workshops 2010). It re-exports the public
+//! API of every subsystem:
+//!
+//! * [`catalog`] — tables, statistics, B-tree size models, what-if indexes,
+//!   configurations;
+//! * [`cost`] — PostgreSQL-style cost model;
+//! * [`query`] — SPJ+aggregation queries, selectivity, interesting orders;
+//! * [`optimizer`] — bottom-up System-R dynamic-programming optimizer with
+//!   the PINUM instrumentation hooks;
+//! * [`core`] — the INUM plan cache, its cost model, and the classic
+//!   (per-IOC) and PINUM (one-call) cache builders;
+//! * [`advisor`] — greedy index-selection tool with a space budget;
+//! * [`workload`] — the paper's synthetic star-schema workload and TPC-H
+//!   statistics;
+//! * [`engine`] — a mini in-memory executor for small-scale validation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pinum::workload::star::{StarSchema, StarWorkload};
+//! use pinum::optimizer::{Optimizer, OptimizerOptions};
+//! use pinum::core::builder::{build_cache_pinum, BuilderOptions};
+//!
+//! // The paper's synthetic star-schema workload, scaled down.
+//! let schema = StarSchema::generate(42, 0.01);
+//! let workload = StarWorkload::generate(&schema, 42, 10);
+//! let optimizer = Optimizer::new(&schema.catalog);
+//!
+//! // Fill an INUM plan cache with ~2 optimizer calls instead of one per
+//! // interesting-order combination.
+//! let query = &workload.queries[0];
+//! let built = build_cache_pinum(&optimizer, query, &BuilderOptions::default());
+//! assert!(built.stats.optimizer_calls <= 3);
+//! ```
+
+pub use pinum_advisor as advisor;
+pub use pinum_catalog as catalog;
+pub use pinum_core as core;
+pub use pinum_cost as cost;
+pub use pinum_engine as engine;
+pub use pinum_optimizer as optimizer;
+pub use pinum_query as query;
+pub use pinum_workload as workload;

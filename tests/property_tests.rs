@@ -1,0 +1,172 @@
+//! Property-based tests over the core invariants (proptest).
+
+use pinum::catalog::{Catalog, Column, ColumnStats, ColumnType, Index, Table};
+use pinum::core::builder::{build_cache_pinum, BuilderOptions};
+use pinum::core::access_costs::collect_pinum;
+use pinum::core::{CacheCostModel, CandidatePool, Selection};
+use pinum::optimizer::{Optimizer, OptimizerOptions};
+use pinum::query::{InterestingOrders, Ioc, QueryBuilder};
+use proptest::prelude::*;
+
+/// Random interesting-order shapes: per-relation order counts.
+fn order_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..4, 1..6)
+}
+
+proptest! {
+    /// IOC enumeration yields exactly Π(orders+1) distinct combinations.
+    #[test]
+    fn ioc_enumeration_is_exact(shape in order_shape()) {
+        let orders = InterestingOrders::new(
+            shape.iter().map(|&n| (0..n as u16).collect()).collect(),
+        );
+        let all: Vec<Ioc> = orders.combinations().collect();
+        let expected: u64 = shape.iter().map(|&n| n as u64 + 1).product();
+        prop_assert_eq!(all.len() as u64, expected);
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), all.len());
+    }
+
+    /// Subset/union laws of the nibble-packed IOC encoding.
+    #[test]
+    fn ioc_subset_union_laws(
+        a in prop::collection::vec(0u8..4, 4),
+        b in prop::collection::vec(0u8..4, 4),
+    ) {
+        let enc = |v: &[u8]| {
+            let mut ioc = Ioc::NONE;
+            for (rel, &k) in v.iter().enumerate() {
+                if k > 0 {
+                    ioc = ioc.with_order(rel as u16, k - 1);
+                }
+            }
+            ioc
+        };
+        let (x, y) = (enc(&a), enc(&b));
+        // Reflexive; NONE is bottom.
+        prop_assert!(x.is_subset_of(x));
+        prop_assert!(Ioc::NONE.is_subset_of(x));
+        // Definition check against the per-relation semantics.
+        let subset_naive = a.iter().zip(&b).all(|(&p, &q)| p == 0 || p == q);
+        prop_assert_eq!(x.is_subset_of(y), subset_naive);
+        // Union agrees with compatibility.
+        let compatible = a.iter().zip(&b).all(|(&p, &q)| p == 0 || q == 0 || p == q);
+        prop_assert_eq!(x.union(y).is_some(), compatible);
+        if let Some(u) = x.union(y) {
+            prop_assert!(x.is_subset_of(u));
+            prop_assert!(y.is_subset_of(u));
+        }
+    }
+
+    /// What-if index sizes are monotone in both rows and key width, and
+    /// never exceed their materialized twins.
+    #[test]
+    fn whatif_size_monotonicity(rows in 1_000u64..5_000_000, extra_col in 0usize..2) {
+        let table = {
+            let mut t = Table::new(
+                "t",
+                rows,
+                vec![
+                    Column::new("a", ColumnType::Int8).with_ndv(rows),
+                    Column::new("b", ColumnType::Int4).with_ndv(100),
+                    Column::new("c", ColumnType::Int4).with_ndv(10),
+                ],
+            );
+            let mut cat = Catalog::new();
+            let id = cat.add_table(t.clone());
+            t = cat.table(id).clone();
+            t
+        };
+        let narrow = Index::hypothetical(&table, vec![0], false);
+        let mut cols = vec![0u16, 1];
+        if extra_col > 0 { cols.push(2); }
+        let wide = Index::hypothetical(&table, cols.clone(), false);
+        prop_assert!(wide.size().leaf_pages >= narrow.size().leaf_pages);
+        let mat = Index::materialized(&table, cols, false);
+        prop_assert!(mat.size().total_pages() >= wide.size().total_pages());
+    }
+
+    /// Selectivity estimates always land in [0, 1] and compose.
+    #[test]
+    fn selectivity_bounds(lo in 0.0f64..1000.0, width in 0.0f64..2000.0, ndv in 1.0f64..100000.0) {
+        let stats = ColumnStats::uniform(0.0, 1000.0, ndv);
+        let sel = stats.range_selectivity(lo, lo + width);
+        prop_assert!((0.0..=1.0).contains(&sel));
+        let eq = stats.eq_selectivity();
+        prop_assert!((0.0..=1.0).contains(&eq));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End-to-end cache invariant on random two-table schemas: adding
+    /// candidates never increases the estimated cost, and the empty-config
+    /// estimate approximates a direct optimizer call.
+    #[test]
+    fn cache_estimates_are_monotone_and_calibrated(
+        fact_rows in 50_000u64..400_000,
+        dim_rows in 500u64..20_000,
+        sel_pct in 1u32..20,
+    ) {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "f",
+            fact_rows,
+            vec![
+                Column::new("fk", ColumnType::Int8).with_ndv(dim_rows),
+                Column::new("v", ColumnType::Int4).with_ndv(1_000),
+                Column::new("s", ColumnType::Int4).with_ndv(100),
+            ],
+        ));
+        cat.add_table(Table::new(
+            "d",
+            dim_rows,
+            vec![
+                Column::new("k", ColumnType::Int8).with_ndv(dim_rows).with_correlation(1.0),
+                Column::new("w", ColumnType::Int4).with_ndv(50),
+            ],
+        ));
+        let q = QueryBuilder::new("q", &cat)
+            .table("f")
+            .table("d")
+            .join(("f", "fk"), ("d", "k"))
+            .filter_range(("f", "v"), 0.0, 10.0 * sel_pct as f64)
+            .select(("f", "s"))
+            .order_by(("d", "w"))
+            .build();
+        let f = cat.table(cat.table_id("f").unwrap()).clone();
+        let d = cat.table(cat.table_id("d").unwrap()).clone();
+        let pool = CandidatePool::from_indexes(vec![
+            Index::hypothetical(&f, vec![0], false),
+            Index::hypothetical(&f, vec![1, 0, 2], false),
+            Index::hypothetical(&d, vec![0], false),
+            Index::hypothetical(&d, vec![1], false),
+        ]);
+        let opt = Optimizer::new(&cat);
+        let built = build_cache_pinum(&opt, &q, &BuilderOptions::default());
+        let (access, _) = collect_pinum(&opt, &q, &pool);
+        let model = CacheCostModel::new(&built.cache, &access);
+
+        // Monotone in the selection.
+        let mut prev = model.estimate(&Selection::empty(pool.len())).unwrap().cost;
+        let mut sel = Selection::empty(pool.len());
+        for i in 0..pool.len() {
+            sel.insert(i);
+            let est = model.estimate(&sel).unwrap().cost;
+            prop_assert!(est <= prev * (1.0 + 1e-9));
+            prev = est;
+        }
+
+        // Calibrated at the empty configuration.
+        let est = model.estimate(&Selection::empty(pool.len())).unwrap().cost;
+        let direct = opt
+            .optimize(&q, &pinum::catalog::Configuration::empty(), &OptimizerOptions::standard())
+            .best_cost
+            .total;
+        prop_assert!((est - direct).abs() / direct < 0.10,
+            "est {} vs direct {}", est, direct);
+    }
+}
