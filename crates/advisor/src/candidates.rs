@@ -63,7 +63,11 @@ fn generate_for_relation(catalog: &Catalog, q: &Query, rel: RelIdx, pool: &mut C
     }
     // 4. Covering indexes (only when they add columns beyond the leader).
     if referenced.len() > 1 {
-        let mut leaders: Vec<u16> = filter_cols.iter().chain(order_cols.iter()).copied().collect();
+        let mut leaders: Vec<u16> = filter_cols
+            .iter()
+            .chain(order_cols.iter())
+            .copied()
+            .collect();
         leaders.sort_unstable();
         leaders.dedup();
         for &lead in &leaders {
@@ -113,7 +117,7 @@ mod tests {
     #[test]
     fn generates_order_filter_and_covering_candidates() {
         let (cat, q) = setup();
-        let pool = generate_candidates(&cat, &[q.clone()]);
+        let pool = generate_candidates(&cat, std::slice::from_ref(&q));
         assert!(!pool.is_empty());
         let f = cat.table_id("f").unwrap();
         let d = cat.table_id("d").unwrap();
@@ -133,7 +137,7 @@ mod tests {
     #[test]
     fn candidates_are_deduplicated_across_queries() {
         let (cat, q) = setup();
-        let once = generate_candidates(&cat, &[q.clone()]);
+        let once = generate_candidates(&cat, std::slice::from_ref(&q));
         let twice = generate_candidates(&cat, &[q.clone(), q]);
         assert_eq!(once.len(), twice.len());
     }

@@ -5,8 +5,21 @@
 //! of earlier iterations. It adds the index with most benefit to the
 //! winning set, and iterates till adding an index would violate the space
 //! constraint."
+//!
+//! Two engines implement the same search:
+//!
+//! * [`greedy_select`] — the naive engine: every probe re-prices the whole
+//!   workload through an arbitrary cost closure. O(workload) per probe;
+//!   still needed for the direct-optimizer oracle and as the reference in
+//!   ablations.
+//! * [`greedy_select_model`] — the incremental engine over a
+//!   [`WorkloadModel`]: a probe re-prices only the queries the candidate
+//!   can affect ([`WorkloadModel::price_delta_into`]); a full re-pricing
+//!   happens once per *pick*, not per probe. Produces the identical pick
+//!   sequence and cost trajectory (bit for bit) as the naive engine over
+//!   the same cached models — verified by the `advisor_scale` experiment.
 
-use pinum_core::{CandidatePool, Selection};
+use pinum_core::{CandidatePool, Selection, WorkloadModel};
 
 /// Greedy knobs.
 #[derive(Debug, Clone, Copy)]
@@ -29,8 +42,12 @@ pub struct GreedyResult {
     pub cost_trajectory: Vec<f64>,
     /// Total bytes of the final selection.
     pub total_bytes: u64,
-    /// Number of cost-model evaluations performed.
+    /// Number of workload-cost evaluations performed.
     pub evaluations: usize,
+    /// Number of individual query re-pricings those evaluations cost
+    /// (only tracked by [`greedy_select_model`]; the naive engine cannot
+    /// see inside its cost closure and reports 0).
+    pub queries_repriced: usize,
 }
 
 /// Runs the greedy selection against an arbitrary workload-cost function
@@ -62,8 +79,11 @@ pub fn greedy_select(
             let with = selection.with(cand);
             let cost = workload_cost(&with);
             evaluations += 1;
+            // Keep only strictly positive benefits; a NaN benefit
+            // (inf - inf when a query prices to infinity) is also skipped
+            // instead of poisoning the argmax.
             let benefit = current_cost - cost;
-            if benefit <= 0.0 {
+            if benefit.is_nan() || benefit <= 0.0 {
                 continue;
             }
             let score = if opts.benefit_per_byte {
@@ -93,6 +113,88 @@ pub fn greedy_select(
         cost_trajectory: trajectory,
         total_bytes: used_bytes,
         evaluations,
+        queries_repriced: 0,
+    }
+}
+
+/// The incremental greedy engine: identical search to [`greedy_select`],
+/// but candidate probes are priced with [`WorkloadModel::price_delta_into`]
+/// (re-pricing only affected queries, no allocation) and the workload is
+/// fully re-priced only when a candidate is actually picked. The pick
+/// sequence, cost trajectory, evaluation count, and final selection are
+/// exactly those of the naive engine over the same cached models.
+pub fn greedy_select_model(
+    pool: &CandidatePool,
+    opts: &GreedyOptions,
+    model: &WorkloadModel,
+) -> GreedyResult {
+    assert_eq!(
+        pool.len(),
+        model.pool_size(),
+        "model built against a different candidate pool"
+    );
+    let mut selection = Selection::empty(pool.len());
+    let mut picked = Vec::new();
+    let mut evaluations = 0usize;
+    let mut queries_repriced = 0usize;
+    let mut state = model.price_full(&selection);
+    evaluations += 1;
+    queries_repriced += model.query_count();
+    let mut trajectory = vec![state.total];
+    let mut used_bytes = 0u64;
+    let mut scratch = Vec::new();
+
+    loop {
+        let mut best: Option<(usize, f64)> = None; // (candidate, score)
+        for cand in 0..pool.len() {
+            if selection.contains(cand) {
+                continue;
+            }
+            let size = pool.index(cand).size().total_bytes();
+            if used_bytes + size > opts.budget_bytes {
+                continue; // would violate the space constraint
+            }
+            let cost = model.price_delta_into(&state, &selection, cand, &mut scratch);
+            evaluations += 1;
+            queries_repriced += model.affected(cand).len();
+            // Same NaN-proof guard as the naive engine (the two must stay
+            // decision-identical): inf - inf probes are skipped, not picked.
+            let benefit = state.total - cost;
+            if benefit.is_nan() || benefit <= 0.0 {
+                continue;
+            }
+            let score = if opts.benefit_per_byte {
+                benefit / size.max(1) as f64
+            } else {
+                benefit
+            };
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((cand, score));
+            }
+        }
+        match best {
+            Some((cand, _)) => {
+                selection.insert(cand);
+                picked.push(cand);
+                used_bytes += pool.index(cand).size().total_bytes();
+                // Full re-price once per pick; the delta totals are
+                // bit-identical to this, so the trajectory matches the
+                // naive engine's.
+                state = model.price_full(&selection);
+                queries_repriced += model.query_count();
+                trajectory.push(state.total);
+            }
+            None => break,
+        }
+    }
+
+    GreedyResult {
+        picked,
+        selection,
+        cost_trajectory: trajectory,
+        total_bytes: used_bytes,
+        evaluations,
+        queries_repriced,
     }
 }
 
@@ -177,6 +279,25 @@ mod tests {
         assert_eq!(r.picked.len(), 1);
         assert_eq!(r.picked[0], 0, "must pick the highest-benefit index");
         assert!(r.total_bytes <= opts.budget_bytes);
+    }
+
+    #[test]
+    fn infinite_workload_cost_picks_nothing() {
+        // A workload that prices to infinity under every selection (e.g. a
+        // query with an empty plan cache) yields NaN benefits; the guard
+        // must skip those rather than pick budget-filling junk.
+        let (pool, _) = pool3();
+        let opts = GreedyOptions {
+            budget_bytes: u64::MAX,
+            benefit_per_byte: false,
+        };
+        let r = greedy_select(&pool, &opts, |_| f64::INFINITY);
+        assert!(
+            r.picked.is_empty(),
+            "picked {:?} at infinite cost",
+            r.picked
+        );
+        assert_eq!(r.cost_trajectory, vec![f64::INFINITY]);
     }
 
     #[test]

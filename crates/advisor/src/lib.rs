@@ -10,15 +10,22 @@
 //! * [`greedy`] implements the iterative benefit-greedy selection — simple,
 //!   but "it has been shown to perform better in terms of accuracy than
 //!   more complex algorithms used in the commercial designers, mainly
-//!   because of its significantly larger candidate index set";
-//! * [`tool`] wires candidates + INUM/PINUM caches + greedy search into
-//!   the end-to-end advisor, with a pluggable cost oracle so the
-//!   cache-based model can be compared against direct optimizer calls.
+//!   because of its significantly larger candidate index set". Two engines
+//!   share the search: a naive full-repricing one and an incremental one
+//!   over [`pinum_core::WorkloadModel`] that re-prices only the queries a
+//!   probed candidate can affect;
+//! * [`tool`] wires candidates + INUM/PINUM caches + the workload model +
+//!   greedy search into the end-to-end advisor, with a pluggable cost
+//!   oracle so the cache-based model can be compared against direct
+//!   optimizer calls.
+//!
+//! With the `parallel` feature, the workload model prices queries across
+//! std threads during full re-pricings (see `pinum-core`).
 
 pub mod candidates;
 pub mod greedy;
 pub mod tool;
 
 pub use candidates::generate_candidates;
-pub use greedy::{greedy_select, GreedyOptions, GreedyResult};
+pub use greedy::{greedy_select, greedy_select_model, GreedyOptions, GreedyResult};
 pub use tool::{advise, Advice, AdvisorOptions, CostOracle, QueryOutcome};

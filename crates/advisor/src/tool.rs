@@ -1,12 +1,19 @@
 //! The end-to-end index advisor: candidates → per-query INUM caches →
-//! greedy search → per-query outcomes (paper §V-E / §VI-E).
+//! workload pricing model → greedy search → per-query outcomes (paper
+//! §V-E / §VI-E).
+//!
+//! For the cache-backed oracles the greedy search runs on the incremental
+//! [`WorkloadModel`] engine: each candidate probe re-prices only the
+//! queries that candidate can affect, instead of the whole workload. The
+//! direct-optimizer oracle (ablations only) keeps the naive closure-driven
+//! engine, since every probe there is an optimizer call anyway.
 
 use crate::candidates::generate_candidates;
-use crate::greedy::{greedy_select, GreedyOptions, GreedyResult};
+use crate::greedy::{greedy_select, greedy_select_model, GreedyOptions, GreedyResult};
 use pinum_catalog::Catalog;
 use pinum_core::access_costs::{collect_inum, collect_pinum, AccessCostCatalog};
 use pinum_core::builder::{build_cache_inum, build_cache_pinum, BuilderOptions};
-use pinum_core::{CacheCostModel, CandidatePool, PlanCache, Selection};
+use pinum_core::{CandidatePool, PlanCache, Selection, WorkloadModel};
 use pinum_optimizer::{Optimizer, OptimizerOptions};
 use pinum_query::Query;
 use std::time::Duration;
@@ -86,13 +93,20 @@ impl Advice {
         if self.per_query.is_empty() {
             return 0.0;
         }
-        self.per_query.iter().map(QueryOutcome::improvement).sum::<f64>()
+        self.per_query
+            .iter()
+            .map(QueryOutcome::improvement)
+            .sum::<f64>()
             / self.per_query.len() as f64
     }
 
     /// The selected indexes, resolved.
     pub fn selected_indexes(&self) -> Vec<&pinum_catalog::Index> {
-        self.greedy.picked.iter().map(|&i| self.pool.index(i)).collect()
+        self.greedy
+            .picked
+            .iter()
+            .map(|&i| self.pool.index(i))
+            .collect()
     }
 }
 
@@ -123,42 +137,35 @@ pub fn advise(catalog: &Catalog, queries: &[Query], options: &AdvisorOptions) ->
         }
     }
 
+    // --- Flatten into the workload pricing model (cache oracles). ---
+    let workload_model = (options.oracle != CostOracle::DirectOptimizer)
+        .then(|| WorkloadModel::build(pool.len(), models.iter().map(|(c, a)| (c, a))));
+
     // --- Greedy search over the pool. ---
     let gopts = GreedyOptions {
         budget_bytes: options.budget_bytes,
         benefit_per_byte: options.benefit_per_byte,
     };
-    let workload_cost = |sel: &Selection| -> f64 {
-        match options.oracle {
-            CostOracle::DirectOptimizer => {
-                let (config, _) = pool.configuration(sel);
-                queries
-                    .iter()
-                    .map(|q| {
-                        optimizer
-                            .optimize(q, &config, &OptimizerOptions::standard())
-                            .best_cost
-                            .total
-                    })
-                    .sum()
-            }
-            _ => models
+    let greedy = match &workload_model {
+        Some(model) => greedy_select_model(&pool, &gopts, model),
+        None => greedy_select(&pool, &gopts, |sel: &Selection| -> f64 {
+            let (config, _) = pool.configuration(sel);
+            queries
                 .iter()
-                .map(|(cache, access)| {
-                    CacheCostModel::new(cache, access)
-                        .estimate(sel)
-                        .map(|e| e.cost)
-                        .unwrap_or(f64::INFINITY)
+                .map(|q| {
+                    optimizer
+                        .optimize(q, &config, &OptimizerOptions::standard())
+                        .best_cost
+                        .total
                 })
-                .sum(),
-        }
+                .sum()
+        }),
     };
-    let greedy = greedy_select(&pool, &gopts, workload_cost);
 
     // --- Per-query outcomes (reported from the same oracle). ---
     let empty = Selection::empty(pool.len());
-    let per_query: Vec<QueryOutcome> = match options.oracle {
-        CostOracle::DirectOptimizer => {
+    let per_query: Vec<QueryOutcome> = match &workload_model {
+        None => {
             let (cfg_final, _) = pool.configuration(&greedy.selection);
             let cfg_empty = pinum_catalog::Configuration::empty();
             queries
@@ -176,18 +183,16 @@ pub fn advise(catalog: &Catalog, queries: &[Query], options: &AdvisorOptions) ->
                 })
                 .collect()
         }
-        _ => queries
+        Some(model) => queries
             .iter()
-            .zip(&models)
-            .map(|(q, (cache, access))| {
-                let model = CacheCostModel::new(cache, access);
+            .enumerate()
+            .map(|(i, q)| {
+                let original = model.price_query(i, &empty, None);
+                let fin = model.price_query(i, &greedy.selection, None);
                 QueryOutcome {
                     name: q.name.clone(),
-                    original_cost: model.estimate(&empty).map(|e| e.cost).unwrap_or(0.0),
-                    final_cost: model
-                        .estimate(&greedy.selection)
-                        .map(|e| e.cost)
-                        .unwrap_or(0.0),
+                    original_cost: if original.is_finite() { original } else { 0.0 },
+                    final_cost: if fin.is_finite() { fin } else { 0.0 },
                 }
             })
             .collect(),
@@ -254,7 +259,11 @@ mod tests {
         let advice = advise(&cat, &queries, &opts);
         assert!(!advice.greedy.picked.is_empty(), "should pick something");
         assert!(advice.greedy.total_bytes <= opts.budget_bytes);
-        assert!(advice.average_improvement() > 0.1, "improvement {:?}", advice.average_improvement());
+        assert!(
+            advice.average_improvement() > 0.1,
+            "improvement {:?}",
+            advice.average_improvement()
+        );
         for o in &advice.per_query {
             assert!(
                 o.final_cost <= o.original_cost * (1.0 + 1e-9),
@@ -274,6 +283,51 @@ mod tests {
         let advice = advise(&cat, &queries, &opts);
         assert!(advice.greedy.picked.is_empty());
         assert_eq!(advice.average_improvement(), 0.0);
+    }
+
+    #[test]
+    fn model_engine_matches_naive_engine_exactly() {
+        use crate::greedy::{greedy_select, greedy_select_model, GreedyOptions};
+        use pinum_core::{CacheCostModel, WorkloadModel};
+        use pinum_optimizer::Optimizer;
+
+        let (cat, queries) = setup();
+        let optimizer = Optimizer::new(&cat);
+        let pool = generate_candidates(&cat, &queries);
+        let models: Vec<(PlanCache, AccessCostCatalog)> = queries
+            .iter()
+            .map(|q| {
+                let built = build_cache_pinum(&optimizer, q, &BuilderOptions::default());
+                let (access, _) = collect_pinum(&optimizer, q, &pool);
+                (built.cache, access)
+            })
+            .collect();
+        let gopts = GreedyOptions {
+            budget_bytes: 512 * 1024 * 1024,
+            benefit_per_byte: false,
+        };
+        // The pre-WorkloadModel advisor: full re-pricing per probe.
+        let naive = greedy_select(&pool, &gopts, |sel: &Selection| {
+            models
+                .iter()
+                .map(|(cache, access)| {
+                    CacheCostModel::new(cache, access)
+                        .estimate(sel)
+                        .map(|e| e.cost)
+                        .unwrap_or(f64::INFINITY)
+                })
+                .sum()
+        });
+        let model = WorkloadModel::build(pool.len(), models.iter().map(|(c, a)| (c, a)));
+        let incremental = greedy_select_model(&pool, &gopts, &model);
+        assert_eq!(naive.picked, incremental.picked);
+        assert_eq!(
+            naive.cost_trajectory, incremental.cost_trajectory,
+            "trajectories diverged"
+        );
+        assert_eq!(naive.total_bytes, incremental.total_bytes);
+        assert_eq!(naive.evaluations, incremental.evaluations);
+        assert!(incremental.queries_repriced > 0);
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Criterion bench of the workload-scale greedy engines: naive full
+//! repricing vs the incremental `WorkloadModel` delta engine, over the
+//! same pre-built per-query caches (model construction is excluded — the
+//! comparison is purely the search).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinum_advisor::greedy::{greedy_select_model, GreedyOptions};
+use pinum_bench::experiments::advisor_scale::{build_scale_fixture, naive_greedy};
+use pinum_core::WorkloadModel;
+
+fn bench_advisor_scale(c: &mut Criterion) {
+    // Reduced from the experiment's 200×400 so the naive side stays
+    // bench-able; the shape (many queries, shared fact candidates) is the
+    // same.
+    let (_schema, _workload, pool, models) = build_scale_fixture(0.05, 60, 200);
+    let budget = 256 * 1024 * 1024u64;
+    let gopts = GreedyOptions {
+        budget_bytes: budget,
+        benefit_per_byte: false,
+    };
+    let mut group = c.benchmark_group("advisor_scale");
+    group.sample_size(10);
+    group.bench_function("naive_full_repricing", |b| {
+        b.iter(|| naive_greedy(&pool, &models, &gopts))
+    });
+    group.bench_function("incremental_with_build", |b| {
+        b.iter(|| {
+            let model = WorkloadModel::build(pool.len(), models.iter().map(|(c, a)| (c, a)));
+            greedy_select_model(&pool, &gopts, &model)
+        })
+    });
+    let model = WorkloadModel::build(pool.len(), models.iter().map(|(c, a)| (c, a)));
+    group.bench_function("incremental_search_only", |b| {
+        b.iter(|| greedy_select_model(&pool, &gopts, &model))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_advisor_scale);
+criterion_main!(benches);

@@ -9,7 +9,10 @@ fn bench_advisor(c: &mut Criterion) {
     let workload = StarWorkload::generate(&schema, 7, 5);
     let mut group = c.benchmark_group("index_selection");
     group.sample_size(10);
-    for (name, oracle) in [("pinum", CostOracle::PinumCache), ("inum", CostOracle::InumCache)] {
+    for (name, oracle) in [
+        ("pinum", CostOracle::PinumCache),
+        ("inum", CostOracle::InumCache),
+    ] {
         let opts = AdvisorOptions {
             budget_bytes: 256 * 1024 * 1024,
             oracle,

@@ -16,9 +16,11 @@ fn bench_optimize(c: &mut Criterion) {
             continue;
         }
         let empty = Configuration::empty();
-        group.bench_with_input(BenchmarkId::new("standard_no_indexes", &q.name), q, |b, q| {
-            b.iter(|| opt.optimize(q, &empty, &OptimizerOptions::standard()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("standard_no_indexes", &q.name),
+            q,
+            |b, q| b.iter(|| opt.optimize(q, &empty, &OptimizerOptions::standard())),
+        );
         let covering = covering_configuration(&pw.schema.catalog, q);
         group.bench_with_input(BenchmarkId::new("standard_covering", &q.name), q, |b, q| {
             b.iter(|| opt.optimize(q, &covering, &OptimizerOptions::standard()))

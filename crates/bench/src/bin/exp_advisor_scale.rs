@@ -1,0 +1,14 @@
+//! Workload-scale advisor: incremental WorkloadModel greedy vs naive full
+//! repricing on a 200-query star workload (see
+//! `experiments::advisor_scale`).
+use pinum_bench::experiments::advisor_scale;
+use pinum_bench::fixtures::scale_from_env;
+
+fn main() {
+    let outcome = advisor_scale::run(scale_from_env());
+    assert!(
+        outcome.speedup >= 5.0,
+        "acceptance: incremental engine must be ≥5x faster (got {:.1}x)",
+        outcome.speedup
+    );
+}

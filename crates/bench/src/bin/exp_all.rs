@@ -15,5 +15,6 @@ fn main() {
     e::nlj::run(scale);
     e::greedy_quality::run(scale);
     e::engine_validation::run(scale);
+    e::advisor_scale::run(scale);
     println!("==== done ====");
 }

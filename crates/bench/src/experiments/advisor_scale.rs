@@ -1,0 +1,172 @@
+//! A4 — workload-scale advisor: naive full-repricing greedy vs the
+//! incremental [`WorkloadModel`] engine.
+//!
+//! The paper's point is that cached plans make configuration pricing
+//! "simple numerical calculations" fast enough to drive index selection —
+//! but a naive greedy still re-prices the *entire* workload for every
+//! candidate probe: O(workload × pool) per pick. The workload model probes
+//! with per-candidate deltas instead, re-pricing only the affected
+//! queries. This experiment runs both engines over the same cached models
+//! on a 200-query × ≥200-candidate star workload and verifies they produce
+//! the **identical pick sequence and cost trajectory**, then reports the
+//! wall-clock speedup.
+
+use crate::fixtures::{SCHEMA_SEED, WORKLOAD_SEED};
+use crate::table::{fmt_duration, TextTable};
+use pinum_advisor::candidates::generate_candidates;
+use pinum_advisor::greedy::{greedy_select, greedy_select_model, GreedyOptions, GreedyResult};
+use pinum_core::access_costs::{collect_pinum, AccessCostCatalog};
+use pinum_core::builder::{build_cache_pinum, BuilderOptions};
+use pinum_core::{CacheCostModel, CandidatePool, PlanCache, Selection, WorkloadModel};
+use pinum_optimizer::Optimizer;
+use pinum_workload::star::{StarSchema, StarWorkload};
+use std::time::{Duration, Instant};
+
+/// Workload size (the paper uses 10 queries; the scale target is 200).
+pub const QUERIES: usize = 200;
+
+/// Cap on the candidate pool so the *naive* engine stays tractable enough
+/// to be timed; the acceptance floor is ≥ 200 candidates.
+pub const CANDIDATE_CAP: usize = 400;
+
+pub struct ScaleOutcome {
+    pub queries: usize,
+    pub candidates: usize,
+    pub picks: usize,
+    pub naive_wall: Duration,
+    pub incremental_wall: Duration,
+    pub speedup: f64,
+    pub identical: bool,
+}
+
+/// Builds the scaled-up workload and its per-query cached models.
+pub fn build_scale_fixture(
+    scale: f64,
+    queries: usize,
+    candidate_cap: usize,
+) -> (
+    StarSchema,
+    StarWorkload,
+    CandidatePool,
+    Vec<(PlanCache, AccessCostCatalog)>,
+) {
+    let schema = StarSchema::generate(SCHEMA_SEED, scale);
+    let workload = StarWorkload::generate(&schema, WORKLOAD_SEED, queries);
+    let full_pool = generate_candidates(&schema.catalog, &workload.queries);
+    let pool = if full_pool.len() > candidate_cap {
+        CandidatePool::from_indexes(full_pool.indexes()[..candidate_cap].to_vec())
+    } else {
+        full_pool
+    };
+    let optimizer = Optimizer::new(&schema.catalog);
+    let models = workload
+        .queries
+        .iter()
+        .map(|q| {
+            let built = build_cache_pinum(&optimizer, q, &BuilderOptions::default());
+            let (access, _) = collect_pinum(&optimizer, q, &pool);
+            (built.cache, access)
+        })
+        .collect();
+    (schema, workload, pool, models)
+}
+
+/// The naive engine exactly as the advisor ran before the workload model:
+/// every probe sums a fresh `CacheCostModel::estimate` over all queries.
+pub fn naive_greedy(
+    pool: &CandidatePool,
+    models: &[(PlanCache, AccessCostCatalog)],
+    opts: &GreedyOptions,
+) -> GreedyResult {
+    greedy_select(pool, opts, |sel: &Selection| {
+        models
+            .iter()
+            .map(|(cache, access)| {
+                CacheCostModel::new(cache, access)
+                    .estimate(sel)
+                    .map(|e| e.cost)
+                    .unwrap_or(f64::INFINITY)
+            })
+            .sum()
+    })
+}
+
+pub fn run(scale: f64) -> ScaleOutcome {
+    println!(
+        "A4: workload-scale advisor — {QUERIES} queries, candidate cap {CANDIDATE_CAP}, \
+         schema seed {SCHEMA_SEED:#x}, workload seed {WORKLOAD_SEED:#x}\n"
+    );
+    let build_start = Instant::now();
+    let (_schema, _workload, pool, models) = build_scale_fixture(scale, QUERIES, CANDIDATE_CAP);
+    println!(
+        "built {} per-query PINUM models over {} candidates in {}",
+        models.len(),
+        pool.len(),
+        fmt_duration(build_start.elapsed())
+    );
+    assert!(
+        pool.len() >= 200,
+        "scale target needs ≥200 candidates, got {}",
+        pool.len()
+    );
+
+    let budget = (5.0 * 1024.0 * 1024.0 * 1024.0 * scale) as u64;
+    let gopts = GreedyOptions {
+        budget_bytes: budget,
+        benefit_per_byte: false,
+    };
+
+    // --- Naive engine: full workload re-pricing per probe. ---
+    let naive_start = Instant::now();
+    let naive = naive_greedy(&pool, &models, &gopts);
+    let naive_wall = naive_start.elapsed();
+
+    // --- Incremental engine: flatten once, probe with deltas. ---
+    let incr_start = Instant::now();
+    let model = WorkloadModel::build(pool.len(), models.iter().map(|(c, a)| (c, a)));
+    let incremental = greedy_select_model(&pool, &gopts, &model);
+    let incremental_wall = incr_start.elapsed();
+
+    let identical = naive.picked == incremental.picked
+        && naive.cost_trajectory == incremental.cost_trajectory
+        && naive.total_bytes == incremental.total_bytes;
+    let speedup = naive_wall.as_secs_f64() / incremental_wall.as_secs_f64().max(1e-9);
+
+    let mut table = TextTable::new(vec![
+        "engine",
+        "wall",
+        "evaluations",
+        "queries repriced",
+        "picks",
+        "final cost",
+    ]);
+    table.row(vec![
+        "naive full repricing".to_string(),
+        fmt_duration(naive_wall),
+        naive.evaluations.to_string(),
+        (naive.evaluations * models.len()).to_string(),
+        naive.picked.len().to_string(),
+        format!("{:.0}", naive.cost_trajectory.last().unwrap()),
+    ]);
+    table.row(vec![
+        "incremental delta".to_string(),
+        fmt_duration(incremental_wall),
+        incremental.evaluations.to_string(),
+        incremental.queries_repriced.to_string(),
+        incremental.picked.len().to_string(),
+        format!("{:.0}", incremental.cost_trajectory.last().unwrap()),
+    ]);
+    println!("{}", table.render());
+    println!("pick sequences identical: {identical}; speedup: {speedup:.1}x (acceptance: ≥5x)\n");
+    assert!(identical, "engines diverged — delta pricing is broken");
+
+    ScaleOutcome {
+        queries: models.len(),
+        candidates: pool.len(),
+        picks: incremental.picked.len(),
+        naive_wall,
+        incremental_wall,
+        speedup,
+        identical,
+    }
+}

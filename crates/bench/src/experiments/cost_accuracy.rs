@@ -41,9 +41,7 @@ pub fn run_with(scale: f64, configs_per_query: usize, seed: u64) -> Vec<QueryAcc
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::new();
 
-    let mut table = TextTable::new(vec![
-        "query", "tables", "mean err", "p95 err", "max err",
-    ]);
+    let mut table = TextTable::new(vec!["query", "tables", "mean err", "p95 err", "max err"]);
     for q in &pw.workload.queries {
         let built = build_cache_pinum(&opt, q, &BuilderOptions::default());
         let (access, _) = collect_pinum(&opt, q, &pool);
@@ -93,7 +91,10 @@ pub fn run_with(scale: f64, configs_per_query: usize, seed: u64) -> Vec<QueryAcc
     }
     println!("{}", table.render());
     let under_1 = out.iter().filter(|a| a.mean_error < 0.01).count();
-    let under_5 = out.iter().filter(|a| (0.01..0.05).contains(&a.mean_error)).count();
+    let under_5 = out
+        .iter()
+        .filter(|a| (0.01..0.05).contains(&a.mean_error))
+        .count();
     let over_5 = out.iter().filter(|a| a.mean_error >= 0.05).count();
     println!("this repro: {under_1} queries <1% error, {under_5} in 1–5%, {over_5} ≥5%");
     println!("paper:      6 queries <1% error, 3 ≈4%, 1 ≈9% (NLJ-favouring query)\n");

@@ -21,7 +21,11 @@ pub fn run(_scale: f64) {
     let db = Database::generate(&schema.catalog, 99);
 
     let mut table = TextTable::new(vec![
-        "query", "est rows", "actual rows", "ratio", "plans agree",
+        "query",
+        "est rows",
+        "actual rows",
+        "ratio",
+        "plans agree",
     ]);
     for q in workload.queries.iter().take(6) {
         let plain = opt.optimize(q, &Configuration::empty(), &OptimizerOptions::standard());
@@ -44,7 +48,11 @@ pub fn run(_scale: f64) {
             format!("{est:.0}"),
             format!("{:.0}", out_a.rows.len()),
             format!("{:.2}", est / actual),
-            if agree { "yes".into() } else { "NO".to_string() },
+            if agree {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
         assert!(agree, "{}: plans disagree on results", q.name);
     }

@@ -18,7 +18,12 @@ use pinum_workload::star::{StarSchema, StarWorkload};
 pub fn run(_scale: f64) {
     println!("A3: greedy vs exhaustive selection quality (small instances)\n");
     let mut table = TextTable::new(vec![
-        "queries", "candidates", "budget MB", "greedy cost", "optimal cost", "gap",
+        "queries",
+        "candidates",
+        "budget MB",
+        "greedy cost",
+        "optimal cost",
+        "gap",
     ]);
     for (nq, budget_mb) in [(2usize, 64u64), (3, 128), (3, 512)] {
         let schema = StarSchema::generate(11, 0.002);
@@ -28,9 +33,8 @@ pub fn run(_scale: f64) {
         // Shrink to ≤14 candidates for tractable exhaustion: keep the
         // first candidates per table in pool order.
         let keep: Vec<usize> = (0..full_pool.len()).take(14).collect();
-        let pool = CandidatePool::from_indexes(
-            keep.iter().map(|&i| full_pool.index(i).clone()).collect(),
-        );
+        let pool =
+            CandidatePool::from_indexes(keep.iter().map(|&i| full_pool.index(i).clone()).collect());
 
         let models: Vec<_> = workload
             .queries
@@ -68,5 +72,7 @@ pub fn run(_scale: f64) {
         ]);
     }
     println!("{}", table.render());
-    println!("(the greedy gap stays small; the paper's quality comes from the large candidate set)\n");
+    println!(
+        "(the greedy gap stays small; the paper's quality comes from the large candidate set)\n"
+    );
 }

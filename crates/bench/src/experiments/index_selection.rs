@@ -33,7 +33,12 @@ pub fn run(scale: f64) -> SelectionOutcome {
     };
     let advice = advise(&pw.schema.catalog, &pw.workload.queries, &opts);
 
-    let mut table = TextTable::new(vec!["query", "original cost", "with indexes", "improvement"]);
+    let mut table = TextTable::new(vec![
+        "query",
+        "original cost",
+        "with indexes",
+        "improvement",
+    ]);
     for o in &advice.per_query {
         table.row(vec![
             o.name.clone(),

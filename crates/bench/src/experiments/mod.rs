@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per paper artefact. Thin
 //! binaries under `src/bin/` call these, and `exp_all` chains them.
 
+pub mod advisor_scale;
 pub mod cache_construction;
 pub mod cost_accuracy;
 pub mod engine_validation;

@@ -29,7 +29,10 @@ pub fn run(scale: f64) {
     let mut rng = StdRng::seed_from_u64(0x1417);
 
     let mut table = TextTable::new(vec![
-        "query", "NLJ plans cached", "err with NLJ", "err without NLJ",
+        "query",
+        "NLJ plans cached",
+        "err with NLJ",
+        "err without NLJ",
     ]);
     for q in &pw.workload.queries {
         let built = build_cache_pinum(&opt, q, &BuilderOptions::default());

@@ -48,5 +48,7 @@ pub fn run(scale: f64) {
         ]);
     }
     println!("{}", table.render());
-    println!("(identical winning plans in both modes — the pruning only removes unhelpful IOC plans)\n");
+    println!(
+        "(identical winning plans in both modes — the pruning only removes unhelpful IOC plans)\n"
+    );
 }

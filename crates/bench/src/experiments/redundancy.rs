@@ -32,28 +32,29 @@ pub fn run(scale: f64) {
     // per-IOC winners (the paper's §IV counting), and the plans the PINUM
     // skyline retains per §V-D — the set a configuration with expensive
     // unordered access will actually need.
-    let add_row = |table: &mut TextTable, opt: &Optimizer<'_>, q: &pinum_query::Query| -> (u64, usize) {
-        let inum = build_cache_inum(
-            opt,
-            q,
-            &BuilderOptions {
-                include_nlj: false,
-                nlj_extreme_calls: false,
-            },
-        );
-        let pinum = build_cache_pinum(opt, q, &BuilderOptions::default());
-        let ioc = inum.stats.ioc_count;
-        let unique = inum.stats.unique_plan_structures;
-        table.row(vec![
-            q.name.clone(),
-            q.relation_count().to_string(),
-            ioc.to_string(),
-            unique.to_string(),
-            format!("{:.0}%", 100.0 * (1.0 - unique as f64 / ioc as f64)),
-            pinum.stats.plans_cached.to_string(),
-        ]);
-        (ioc, pinum.stats.plans_cached)
-    };
+    let add_row =
+        |table: &mut TextTable, opt: &Optimizer<'_>, q: &pinum_query::Query| -> (u64, usize) {
+            let inum = build_cache_inum(
+                opt,
+                q,
+                &BuilderOptions {
+                    include_nlj: false,
+                    nlj_extreme_calls: false,
+                },
+            );
+            let pinum = build_cache_pinum(opt, q, &BuilderOptions::default());
+            let ioc = inum.stats.ioc_count;
+            let unique = inum.stats.unique_plan_structures;
+            table.row(vec![
+                q.name.clone(),
+                q.relation_count().to_string(),
+                ioc.to_string(),
+                unique.to_string(),
+                format!("{:.0}%", 100.0 * (1.0 - unique as f64 / ioc as f64)),
+                pinum.stats.plans_cached.to_string(),
+            ]);
+            (ioc, pinum.stats.plans_cached)
+        };
 
     // --- TPC-H Q5 (the paper's motivating example). ---
     let tpch = tpch_catalog(1.0);

@@ -21,7 +21,9 @@ use rand::{Rng, SeedableRng};
 pub fn run(scale: f64) {
     const TRIALS: usize = 50;
     let seed = 0xACC0;
-    println!("E2: what-if index accuracy (paper §VI-B) — {TRIALS} random index sets, seed {seed:#x}\n");
+    println!(
+        "E2: what-if index accuracy (paper §VI-B) — {TRIALS} random index sets, seed {seed:#x}\n"
+    );
 
     let pw = paper_workload(scale);
     let catalog = &pw.schema.catalog;
@@ -51,11 +53,19 @@ pub fn run(scale: f64) {
             continue;
         }
         let c_whatif = opt
-            .optimize(&q, &Configuration::new(whatif), &OptimizerOptions::standard())
+            .optimize(
+                &q,
+                &Configuration::new(whatif),
+                &OptimizerOptions::standard(),
+            )
             .best_cost
             .total;
         let c_real = opt
-            .optimize(&q, &Configuration::new(materialized), &OptimizerOptions::standard())
+            .optimize(
+                &q,
+                &Configuration::new(materialized),
+                &OptimizerOptions::standard(),
+            )
             .best_cost
             .total;
         let err = (c_whatif - c_real).abs() / c_real;
@@ -65,9 +75,23 @@ pub fn run(scale: f64) {
     let avg = errors.iter().sum::<f64>() / errors.len() as f64;
     let max = errors.iter().cloned().fold(0.0, f64::max);
     let mut table = TextTable::new(vec!["metric", "this repro", "paper"]);
-    table.row(vec!["average error".to_string(), format!("{:.2}%", avg * 100.0), "0.33%".into()]);
-    table.row(vec!["maximum error".to_string(), format!("{:.2}%", max * 100.0), "1.05%".into()]);
-    table.row(vec!["index sets".to_string(), errors.len().to_string(), TRIALS.to_string()]);
+    table.row(vec![
+        "average error".to_string(),
+        format!("{:.2}%", avg * 100.0),
+        "0.33%".into(),
+    ]);
+    table.row(vec![
+        "maximum error".to_string(),
+        format!("{:.2}%", max * 100.0),
+        "1.05%".into(),
+    ]);
+    table.row(vec![
+        "index sets".to_string(),
+        errors.len().to_string(),
+        TRIALS.to_string(),
+    ]);
     println!("{}", table.render());
-    println!("(what-if sizes ignore internal B-tree pages; the residual error is that page-count gap)\n");
+    println!(
+        "(what-if sizes ignore internal B-tree pages; the residual error is that page-count gap)\n"
+    );
 }

@@ -15,6 +15,7 @@
 //! | `exp_nlj_ablation` | §V-D nested-loop handling ablation |
 //! | `exp_greedy_quality` | §V-E greedy vs exhaustive ablation |
 //! | `exp_engine_validation` | cost-model validation against the mini engine |
+//! | `exp_advisor_scale` | workload-scale advisor: incremental `WorkloadModel` greedy vs naive full repricing (200 queries) |
 //! | `exp_all` | runs everything in sequence |
 
 pub mod experiments;

@@ -93,8 +93,11 @@ impl ConfigurationBuilder {
         table: TableId,
         key_columns: Vec<u16>,
     ) -> Self {
-        self.indexes
-            .push(Index::hypothetical(catalog.table(table), key_columns, false));
+        self.indexes.push(Index::hypothetical(
+            catalog.table(table),
+            key_columns,
+            false,
+        ));
         self
     }
 

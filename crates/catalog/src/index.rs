@@ -72,7 +72,10 @@ impl Index {
     }
 
     fn build(table: &Table, key_columns: Vec<u16>, unique: bool, kind: IndexKind) -> Self {
-        assert!(!key_columns.is_empty(), "index needs at least one key column");
+        assert!(
+            !key_columns.is_empty(),
+            "index needs at least one key column"
+        );
         for &k in &key_columns {
             assert!(
                 (k as usize) < table.columns().len(),
@@ -176,10 +179,7 @@ impl Index {
 /// Size model shared by both kinds; the only difference is whether internal
 /// pages are counted (see [`IndexKind`]).
 fn compute_size(table: &Table, key_columns: &[u16], kind: IndexKind) -> IndexSize {
-    let types: Vec<_> = key_columns
-        .iter()
-        .map(|k| table.column(*k).ty())
-        .collect();
+    let types: Vec<_> = key_columns.iter().map(|k| table.column(*k).ty()).collect();
     let tuple = aligned_tuple_width(page::INDEX_TUPLE_HEADER, types.iter());
     let usable_leaf = (page::btree_usable_bytes() as f64 * page::BTREE_LEAF_FILL) as u32;
     let per_leaf = (usable_leaf / (tuple + page::ITEM_ID)).max(1) as u64;

@@ -114,6 +114,7 @@ impl Catalog {
     }
 
     /// Looks a materialized index up by id.
+    #[allow(clippy::should_implement_trait)] // "index" is the domain noun here
     pub fn index(&self, id: IndexId) -> &Index {
         &self.indexes[id.0 as usize]
     }
@@ -174,7 +175,11 @@ mod tests {
         let t0 = cat.add_table(toy_table("fact", 1_000_000, 8));
         let t1 = cat.add_table(toy_table("dim", 10_000, 4));
         let i0 = cat.add_index(Index::materialized(&cat.table(t0).clone(), vec![0], false));
-        let i1 = cat.add_index(Index::materialized(&cat.table(t0).clone(), vec![1, 2], false));
+        let i1 = cat.add_index(Index::materialized(
+            &cat.table(t0).clone(),
+            vec![1, 2],
+            false,
+        ));
         let i2 = cat.add_index(Index::materialized(&cat.table(t1).clone(), vec![0], true));
         assert_eq!(cat.table_indexes(t0), &[i0, i1]);
         assert_eq!(cat.table_indexes(t1), &[i2]);

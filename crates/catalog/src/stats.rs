@@ -61,7 +61,11 @@ impl Histogram {
         {
             Some(b) => {
                 let (blo, bhi) = (self.bounds[b], self.bounds[b + 1]);
-                let within = if bhi > blo { (x - blo) / (bhi - blo) } else { 0.5 };
+                let within = if bhi > blo {
+                    (x - blo) / (bhi - blo)
+                } else {
+                    0.5
+                };
                 (b as f64 + within) / n
             }
             None => 1.0,

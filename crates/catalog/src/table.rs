@@ -129,7 +129,14 @@ impl Table {
 
     /// Average heap tuple width, including the aligned tuple header.
     pub fn tuple_width(&self) -> u32 {
-        aligned_tuple_width(page::HEAP_TUPLE_HEADER, self.columns.iter().map(Column::ty).collect::<Vec<_>>().iter())
+        aligned_tuple_width(
+            page::HEAP_TUPLE_HEADER,
+            self.columns
+                .iter()
+                .map(Column::ty)
+                .collect::<Vec<_>>()
+                .iter(),
+        )
     }
 
     /// Average width of just the data payload for a subset of columns

@@ -86,7 +86,10 @@ pub fn align_up(offset: u32, align: u32) -> u32 {
 /// This mirrors PostgreSQL's `heap_compute_data_size` + MAXALIGN discipline
 /// and is what the paper's §V-A uses to size what-if indexes ("the average
 /// attribute size ... and the attribute alignments").
-pub fn aligned_tuple_width<'a>(header: u32, types: impl IntoIterator<Item = &'a ColumnType>) -> u32 {
+pub fn aligned_tuple_width<'a>(
+    header: u32,
+    types: impl IntoIterator<Item = &'a ColumnType>,
+) -> u32 {
     let mut w = header;
     for ty in types {
         w = align_up(w, ty.alignment());

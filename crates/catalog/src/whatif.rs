@@ -50,7 +50,12 @@ pub fn size_error(table: &Table, key_columns: &[u16]) -> f64 {
 /// Checks that an index is of the expected kind; useful in debug asserts at
 /// API boundaries.
 pub fn ensure_kind(index: &Index, kind: IndexKind) {
-    debug_assert_eq!(index.kind(), kind, "unexpected index kind for {}", index.name());
+    debug_assert_eq!(
+        index.kind(),
+        kind,
+        "unexpected index kind for {}",
+        index.name()
+    );
 }
 
 #[cfg(test)]

@@ -57,6 +57,12 @@ impl AccessCostCatalog {
         &self.per_rel[rel as usize]
     }
 
+    /// Cost parameters the probe specs were collected under (needed to
+    /// re-price probes at a plan's loop count, e.g. by the workload model).
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
     fn push(&mut self, rel: RelIdx, entry: CandidateAccess) {
         self.per_rel[rel as usize].push(entry);
     }
@@ -105,7 +111,9 @@ impl AccessCostCatalog {
                 spec.loop_count = loops.max(1.0);
                 cost_index_scan(&self.params, &spec).total
             })
-            .fold(None, |acc: Option<f64>, p| Some(acc.map_or(p, |a| a.min(p))))
+            .fold(None, |acc: Option<f64>, p| {
+                Some(acc.map_or(p, |a| a.min(p)))
+            })
     }
 }
 
@@ -186,14 +194,12 @@ pub fn collect_inum(
 
     loop {
         // Draw one candidate per relation.
-        let batch: Vec<usize> = queues
-            .iter_mut()
-            .filter_map(|q| q.pop())
-            .collect();
+        let batch: Vec<usize> = queues.iter_mut().filter_map(|q| q.pop()).collect();
         if batch.is_empty() {
             if calls == 0 {
                 // No candidates at all: one call to price the base paths.
-                let planned = optimizer.optimize(query, &pinum_catalog::Configuration::empty(), &options);
+                let planned =
+                    optimizer.optimize(query, &pinum_catalog::Configuration::empty(), &options);
                 calls = 1;
                 for e in &planned.access_costs {
                     catalog.push(
@@ -346,7 +352,10 @@ mod tests {
         let all = Selection::full(pool.len());
         let unordered_none = catalog.best(0, None, &none).unwrap();
         let unordered_all = catalog.best(0, None, &all).unwrap();
-        assert!(unordered_all <= unordered_none, "more indexes can only help");
+        assert!(
+            unordered_all <= unordered_none,
+            "more indexes can only help"
+        );
     }
 
     #[test]

@@ -13,6 +13,29 @@ use std::collections::HashMap;
 pub struct CandidatePool {
     indexes: Vec<Index>,
     by_table: HashMap<TableId, Vec<usize>>,
+    /// Hashed structural identity → id, so [`CandidatePool::add`] dedups in
+    /// O(1) instead of scanning (and re-cloning key columns of) every
+    /// existing candidate on the table.
+    dedup: HashMap<CandidateKey, usize>,
+}
+
+/// Structural identity of a candidate: same table, same key columns, same
+/// uniqueness ⇒ same index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CandidateKey {
+    table: TableId,
+    key_columns: Box<[u16]>,
+    unique: bool,
+}
+
+impl CandidateKey {
+    fn of(index: &Index) -> Self {
+        Self {
+            table: index.table(),
+            key_columns: index.key_columns().into(),
+            unique: index.is_unique(),
+        }
+    }
 }
 
 impl CandidatePool {
@@ -32,21 +55,16 @@ impl CandidatePool {
 
     /// Adds a candidate unless an identical one exists; returns its id.
     pub fn add(&mut self, index: Index) -> usize {
-        let key = (
-            index.table(),
-            index.key_columns().to_vec(),
-            index.is_unique(),
-        );
-        for &i in self.by_table.get(&index.table()).into_iter().flatten() {
-            let existing = &self.indexes[i];
-            if (existing.table(), existing.key_columns().to_vec(), existing.is_unique()) == key {
-                return i;
+        match self.dedup.entry(CandidateKey::of(&index)) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let id = self.indexes.len();
+                e.insert(id);
+                self.by_table.entry(index.table()).or_default().push(id);
+                self.indexes.push(index);
+                id
             }
         }
-        let id = self.indexes.len();
-        self.by_table.entry(index.table()).or_default().push(id);
-        self.indexes.push(index);
-        id
     }
 
     pub fn len(&self) -> usize {
@@ -57,6 +75,7 @@ impl CandidatePool {
         self.indexes.is_empty()
     }
 
+    #[allow(clippy::should_implement_trait)] // "index" is the domain noun here
     pub fn index(&self, id: usize) -> &Index {
         &self.indexes[id]
     }

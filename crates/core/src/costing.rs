@@ -150,10 +150,10 @@ mod tests {
         let f = cat.table(cat.table_id("f").unwrap()).clone();
         let d = cat.table(cat.table_id("d").unwrap()).clone();
         let pool = CandidatePool::from_indexes(vec![
-            Index::hypothetical(&f, vec![0], false),        // covers fk order
-            Index::hypothetical(&f, vec![1, 0, 2], false),  // filter covering
-            Index::hypothetical(&d, vec![0], false),        // covers k order
-            Index::hypothetical(&d, vec![1], false),        // covers w order
+            Index::hypothetical(&f, vec![0], false), // covers fk order
+            Index::hypothetical(&f, vec![1, 0, 2], false), // filter covering
+            Index::hypothetical(&d, vec![0], false), // covers k order
+            Index::hypothetical(&d, vec![1], false), // covers w order
         ]);
         (cat, q, pool)
     }

@@ -27,12 +27,20 @@
 //! prices the entire candidate pool with **one** keep-all call (§V-C),
 //! [`access_costs::collect_inum`] needs one call per atomic batch of
 //! candidates.
+//!
+//! On top of the per-query caches, [`workload_model::WorkloadModel`]
+//! flattens a whole workload's plans and access costs into a dense,
+//! incrementally-evaluable pricing engine: `price_full` for a selection,
+//! `price_delta` to re-price only the queries a probed candidate can
+//! affect — the structure the index advisor's greedy loop runs on. With
+//! the `parallel` feature, full re-pricings fan out across std threads.
 
 pub mod access_costs;
 pub mod builder;
 pub mod cache;
 pub mod candidates;
 pub mod costing;
+pub mod workload_model;
 
 pub use access_costs::{
     collect_inum, collect_pinum, AccessCostCatalog, CandidateAccess, CollectStats,
@@ -44,3 +52,4 @@ pub use builder::{
 pub use cache::{CachedPlan, PlanCache};
 pub use candidates::{CandidatePool, Selection};
 pub use costing::{CacheCostModel, Estimate};
+pub use workload_model::{PricedWorkload, WorkloadModel};

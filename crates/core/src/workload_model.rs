@@ -1,0 +1,591 @@
+//! # Workload-scale pricing engine
+//!
+//! [`CacheCostModel`](crate::CacheCostModel) prices *one* query by walking
+//! every cached plan × relation × access-path entry on every call. That is
+//! fine for a handful of estimates, but the advisor's greedy loop prices
+//! the **whole workload once per candidate probe**: O(workload × pool ×
+//! picks) full re-pricings, each of which re-filters access-path entries
+//! and re-prices nested-loop probes from scratch. This module is the
+//! amortized replacement — the "simple numerical calculations" of §II
+//! precomputed once per workload and then evaluated incrementally.
+//!
+//! ## Design
+//!
+//! [`WorkloadModel::build`] flattens, per query and per cached plan, each
+//! `(plan, relation, order-slot)` into a dense [`Slot`]:
+//!
+//! * the applicable access paths are resolved **once** into arrays of
+//!   `(cost, candidate)` arms, ascending by cost, so pricing a slot under a
+//!   selection is "take the first arm whose candidate is selected (or
+//!   always available)" — no per-call filtering;
+//! * nested-loop **probe arms are pre-priced at the plan's loop count**
+//!   (the loop count is a property of the cached plan, so
+//!   `cost_index_scan` runs at build time, not on every estimate);
+//! * arms behind an always-available arm are unreachable and dropped, and
+//!   plans that can never become applicable (a required order no candidate
+//!   covers, a probe slot with no probe-able path) are dropped entirely.
+//!
+//! On top of the flattened queries sits an **inverted index**
+//! `candidate → affected (query, plan) pairs`, reduced to the affected
+//! *query* set: adding candidate `c` to a selection can only change the
+//! price of queries whose arms mention `c`.
+//!
+//! ## Incremental pricing
+//!
+//! [`WorkloadModel::price_full`] prices every query and records the
+//! per-query costs in a [`PricedWorkload`]. A greedy probe then calls
+//! [`WorkloadModel::price_delta`], which re-prices **only the affected
+//! queries** with the probed candidate overlaid (no selection clone, no
+//! allocation on the hot path via
+//! [`WorkloadModel::price_delta_into`]) and re-sums the workload total in
+//! query order — so the returned total is **bit-for-bit identical** to a
+//! full re-pricing under the extended selection. A `debug_assert` path
+//! proves exactly that on every delta in debug builds.
+//!
+//! The arithmetic deliberately mirrors `CacheCostModel::estimate` term for
+//! term (same entry order, same addition order, same tie-breaking), so the
+//! incremental advisor reproduces the naive advisor's pick sequence and
+//! cost trajectory exactly — verified end-to-end by the `advisor_scale`
+//! experiment and the equivalence tests.
+
+use crate::access_costs::AccessCostCatalog;
+use crate::cache::PlanCache;
+use crate::candidates::Selection;
+use pinum_cost::scan::cost_index_scan;
+use pinum_query::RelIdx;
+
+/// Sentinel for "always available" access arms (sequential scans and
+/// materialized catalog indexes): applicable under every selection.
+const ALWAYS: u32 = u32::MAX;
+
+/// One pre-resolved access path: its (pre-priced) cost and the pool
+/// candidate that must be selected for it to apply.
+#[derive(Debug, Clone, Copy)]
+struct AccessArm {
+    cost: f64,
+    candidate: u32,
+}
+
+/// One contributing relation slot of a flattened plan.
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Coefficient on the standalone access cost (0 ⇒ applicability-only).
+    coef: f64,
+    /// Coefficient on the per-probe access cost (0 ⇒ no probe term).
+    pcoef: f64,
+    /// Whether the plan requires an interesting order on this relation
+    /// (if so, the slot is inapplicable when no standalone arm is live).
+    required: bool,
+    /// Standalone access arms, ascending by cost.
+    standalone: Vec<AccessArm>,
+    /// Probe arms pre-priced at this plan's loop count, ascending by cost.
+    probes: Vec<AccessArm>,
+}
+
+/// One flattened cached plan: internal cost plus contributing slots in
+/// relation order.
+#[derive(Debug, Clone)]
+struct FlatPlan {
+    internal: f64,
+    slots: Vec<Slot>,
+}
+
+/// One flattened query.
+#[derive(Debug, Clone)]
+struct QueryModel {
+    plans: Vec<FlatPlan>,
+}
+
+/// A priced workload snapshot: per-query costs under one selection and
+/// their sum (always accumulated in query order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PricedWorkload {
+    pub per_query: Vec<f64>,
+    pub total: f64,
+}
+
+/// The precomputed workload pricing engine. See the module docs.
+#[derive(Debug, Clone)]
+pub struct WorkloadModel {
+    queries: Vec<QueryModel>,
+    /// Inverted index: candidate id → sorted query ids whose price can
+    /// change when the candidate joins the selection.
+    affected: Vec<Vec<u32>>,
+    pool_size: usize,
+}
+
+impl WorkloadModel {
+    /// Flattens per-query `(plan cache, access-cost catalog)` models into
+    /// the dense pricing structure. `pool_size` is the candidate pool
+    /// cardinality the access catalogs were collected against.
+    pub fn build<'a, I>(pool_size: usize, models: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a PlanCache, &'a AccessCostCatalog)>,
+    {
+        let mut queries = Vec::new();
+        let mut affected: Vec<Vec<u32>> = vec![Vec::new(); pool_size];
+        for (qid, (cache, access)) in models.into_iter().enumerate() {
+            let qm = flatten_query(cache, access);
+            let mut touched: Vec<u32> = qm
+                .plans
+                .iter()
+                .flat_map(|p| &p.slots)
+                .flat_map(|s| s.standalone.iter().chain(&s.probes))
+                .filter(|a| a.candidate != ALWAYS)
+                .map(|a| a.candidate)
+                .collect();
+            touched.sort_unstable();
+            touched.dedup();
+            for c in touched {
+                affected[c as usize].push(qid as u32);
+            }
+            queries.push(qm);
+        }
+        Self {
+            queries,
+            affected,
+            pool_size,
+        }
+    }
+
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Query ids whose price can change when `candidate` is added
+    /// (ascending).
+    pub fn affected(&self, candidate: usize) -> &[u32] {
+        &self.affected[candidate]
+    }
+
+    /// Prices one query under `selection`, with `extra` overlaid as a
+    /// virtual member of the selection (no clone). `f64::INFINITY` when no
+    /// cached plan is applicable (e.g. an empty cache) — matching the
+    /// advisor's treatment of `CacheCostModel::estimate == None`.
+    pub fn price_query(&self, query: usize, selection: &Selection, extra: Option<usize>) -> f64 {
+        let mut best = f64::INFINITY;
+        for plan in &self.queries[query].plans {
+            if let Some(cost) = price_plan(plan, selection, extra) {
+                if cost < best {
+                    best = cost;
+                }
+            }
+        }
+        best
+    }
+
+    /// Prices the entire workload under `selection`. With the `parallel`
+    /// feature, per-query pricing fans out over std threads; the total is
+    /// always accumulated serially in query order, so the result is
+    /// deterministic and identical across both code paths.
+    pub fn price_full(&self, selection: &Selection) -> PricedWorkload {
+        let per_query = self.per_query_costs(selection);
+        let total = per_query.iter().sum();
+        PricedWorkload { per_query, total }
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn per_query_costs(&self, selection: &Selection) -> Vec<f64> {
+        (0..self.queries.len())
+            .map(|q| self.price_query(q, selection, None))
+            .collect()
+    }
+
+    #[cfg(feature = "parallel")]
+    fn per_query_costs(&self, selection: &Selection) -> Vec<f64> {
+        let n = self.queries.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.div_ceil(16).max(1));
+        if threads <= 1 {
+            return (0..n)
+                .map(|q| self.price_query(q, selection, None))
+                .collect();
+        }
+        let mut per_query = vec![0.0f64; n];
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, out) in per_query.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                scope.spawn(move || {
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        *slot = self.price_query(start + i, selection, None);
+                    }
+                });
+            }
+        });
+        per_query
+    }
+
+    /// The workload total if `added` joined `selection`, re-pricing only
+    /// the affected queries. `state` must be the [`PricedWorkload`] of
+    /// `selection` itself. Allocates a scratch vector; the greedy hot loop
+    /// uses [`Self::price_delta_into`] with a reused buffer.
+    pub fn price_delta(&self, state: &PricedWorkload, selection: &Selection, added: usize) -> f64 {
+        let mut scratch = Vec::new();
+        self.price_delta_into(state, selection, added, &mut scratch)
+    }
+
+    /// [`Self::price_delta`] with a caller-owned scratch buffer; on return
+    /// `changed` holds the re-priced `(query, cost)` pairs (ascending by
+    /// query). The returned total re-sums all per-query costs in query
+    /// order, so it is bit-identical to `price_full(selection ∪ {added})`.
+    pub fn price_delta_into(
+        &self,
+        state: &PricedWorkload,
+        selection: &Selection,
+        added: usize,
+        changed: &mut Vec<(u32, f64)>,
+    ) -> f64 {
+        debug_assert_eq!(state.per_query.len(), self.queries.len(), "stale state");
+        changed.clear();
+        for &q in &self.affected[added] {
+            changed.push((q, self.price_query(q as usize, selection, Some(added))));
+        }
+        let mut total = 0.0;
+        let mut next = changed.iter().copied().peekable();
+        for (q, &cost) in state.per_query.iter().enumerate() {
+            total += match next.peek() {
+                Some(&(cq, new_cost)) if cq as usize == q => {
+                    next.next();
+                    new_cost
+                }
+                _ => cost,
+            };
+        }
+        #[cfg(debug_assertions)]
+        {
+            // The whole point: delta pricing must equal full re-pricing.
+            let full = self.price_full(&selection.with(added));
+            debug_assert!(
+                total == full.total || (total.is_infinite() && full.total.is_infinite()),
+                "price_delta diverged from price_full: {total} vs {} (candidate {added})",
+                full.total
+            );
+        }
+        total
+    }
+}
+
+/// Prices one flattened plan; `None` when inapplicable under the
+/// selection. Mirrors `CacheCostModel::estimate_filtered` term for term.
+fn price_plan(plan: &FlatPlan, selection: &Selection, extra: Option<usize>) -> Option<f64> {
+    let mut cost = plan.internal;
+    for slot in &plan.slots {
+        if slot.coef != 0.0 {
+            let access = first_applicable(&slot.standalone, selection, extra)?;
+            cost += slot.coef * access;
+        } else if slot.required && first_applicable(&slot.standalone, selection, extra).is_none() {
+            return None;
+        }
+        if slot.pcoef != 0.0 {
+            let probe = first_applicable(&slot.probes, selection, extra)?;
+            cost += slot.pcoef * probe;
+        }
+    }
+    Some(cost)
+}
+
+/// Cheapest live arm: arms are ascending by cost, so the first applicable
+/// one wins (same tie-breaking as the sorted `AccessCostCatalog` walk).
+fn first_applicable(
+    arms: &[AccessArm],
+    selection: &Selection,
+    extra: Option<usize>,
+) -> Option<f64> {
+    arms.iter()
+        .find(|a| {
+            a.candidate == ALWAYS
+                || extra == Some(a.candidate as usize)
+                || selection.contains(a.candidate as usize)
+        })
+        .map(|a| a.cost)
+}
+
+/// Arms after the first always-available arm can never win (the walk stops
+/// there at the latest); later duplicates of a candidate are dominated by
+/// their first (cheapest) occurrence.
+fn prune_arms(arms: &mut Vec<AccessArm>) {
+    let mut seen = std::collections::HashSet::with_capacity(arms.len());
+    let mut keep = 0;
+    for i in 0..arms.len() {
+        let arm = arms[i];
+        if arm.candidate != ALWAYS && !seen.insert(arm.candidate) {
+            continue;
+        }
+        arms[keep] = arm;
+        keep += 1;
+        if arm.candidate == ALWAYS {
+            break;
+        }
+    }
+    arms.truncate(keep);
+}
+
+fn flatten_query(cache: &PlanCache, access: &AccessCostCatalog) -> QueryModel {
+    let params = access.params();
+    let mut plans = Vec::with_capacity(cache.len());
+    'plans: for plan in cache.plans() {
+        let mut slots = Vec::new();
+        for rel in 0..cache.n_rels as RelIdx {
+            let required = cache.orders.column_of(plan.ioc, rel);
+            let coef = plan.coefs[rel as usize];
+            let pcoef = plan.probe_coefs[rel as usize];
+            if coef == 0.0 && pcoef == 0.0 && required.is_none() {
+                continue; // nothing to price, nothing to check
+            }
+            // A probe slot without a required order can never apply (§V-D:
+            // parameterized inner lookups need an index order); drop the
+            // plan outright instead of re-discovering that on every call.
+            if pcoef != 0.0 && required.is_none() {
+                continue 'plans;
+            }
+            let mut standalone: Vec<AccessArm> = access
+                .entries(rel)
+                .iter()
+                .filter(|e| match required {
+                    None => true,
+                    Some(o) => e.order == Some(o),
+                })
+                .map(|e| AccessArm {
+                    cost: e.cost,
+                    candidate: e.candidate.map_or(ALWAYS, |c| c as u32),
+                })
+                .collect();
+            prune_arms(&mut standalone);
+            if standalone.is_empty() {
+                if required.is_some() {
+                    // No candidate ever covers this order: the plan is
+                    // inapplicable under every selection.
+                    continue 'plans;
+                }
+                unreachable!("sequential scan is always available");
+            }
+            let mut probes: Vec<AccessArm> = Vec::new();
+            if pcoef != 0.0 {
+                let order = required.expect("checked above");
+                probes = access
+                    .entries(rel)
+                    .iter()
+                    .filter(|e| e.order == Some(order))
+                    .filter_map(|e| e.probe.map(|p| (e.candidate, p)))
+                    .map(|(candidate, mut spec)| {
+                        // The loop count is fixed by the plan, so the probe
+                        // can be priced once, here, instead of on every
+                        // estimate (exactly `AccessCostCatalog::best_probe`
+                        // at `loops = pcoef`).
+                        spec.loop_count = pcoef.max(1.0);
+                        AccessArm {
+                            cost: cost_index_scan(params, &spec).total,
+                            candidate: candidate.map_or(ALWAYS, |c| c as u32),
+                        }
+                    })
+                    .collect();
+                probes.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+                prune_arms(&mut probes);
+                if probes.is_empty() {
+                    continue 'plans; // no probe-able path will ever exist
+                }
+            }
+            slots.push(Slot {
+                coef,
+                pcoef,
+                required: required.is_some(),
+                standalone,
+                probes,
+            });
+        }
+        plans.push(FlatPlan {
+            internal: plan.internal,
+            slots,
+        });
+    }
+    QueryModel { plans }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access_costs::collect_pinum;
+    use crate::builder::{build_cache_pinum, BuilderOptions};
+    use crate::candidates::CandidatePool;
+    use crate::costing::CacheCostModel;
+    use pinum_catalog::{Catalog, Column, ColumnType, Index, Table};
+    use pinum_optimizer::Optimizer;
+    use pinum_query::{Query, QueryBuilder};
+
+    fn setup() -> (Catalog, Vec<Query>, CandidatePool) {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "f",
+            300_000,
+            vec![
+                Column::new("fk", ColumnType::Int8).with_ndv(3_000),
+                Column::new("v", ColumnType::Int4).with_ndv(1_000),
+                Column::new("s", ColumnType::Int4).with_ndv(100),
+            ],
+        ));
+        cat.add_table(Table::new(
+            "d",
+            3_000,
+            vec![
+                Column::new("k", ColumnType::Int8).with_ndv(3_000),
+                Column::new("w", ColumnType::Int4).with_ndv(50),
+            ],
+        ));
+        let q1 = QueryBuilder::new("q1", &cat)
+            .table("f")
+            .table("d")
+            .join(("f", "fk"), ("d", "k"))
+            .filter_range(("f", "v"), 0.0, 10.0)
+            .select(("f", "s"))
+            .order_by(("d", "w"))
+            .build();
+        let q2 = QueryBuilder::new("q2", &cat)
+            .table("f")
+            .filter_range(("f", "v"), 0.0, 10.0)
+            .select(("f", "s"))
+            .order_by(("f", "s"))
+            .build();
+        let f = cat.table(cat.table_id("f").unwrap()).clone();
+        let d = cat.table(cat.table_id("d").unwrap()).clone();
+        let pool = CandidatePool::from_indexes(vec![
+            Index::hypothetical(&f, vec![0], false),
+            Index::hypothetical(&f, vec![1, 0, 2], false),
+            Index::hypothetical(&f, vec![2], false),
+            Index::hypothetical(&d, vec![0], false),
+            Index::hypothetical(&d, vec![1], false),
+        ]);
+        (cat, vec![q1, q2], pool)
+    }
+
+    fn build_models(
+        cat: &Catalog,
+        queries: &[Query],
+        pool: &CandidatePool,
+    ) -> Vec<(PlanCache, AccessCostCatalog)> {
+        let opt = Optimizer::new(cat);
+        queries
+            .iter()
+            .map(|q| {
+                let built = build_cache_pinum(&opt, q, &BuilderOptions::default());
+                let (access, _) = collect_pinum(&opt, q, pool);
+                (built.cache, access)
+            })
+            .collect()
+    }
+
+    fn model_of(models: &[(PlanCache, AccessCostCatalog)], pool: &CandidatePool) -> WorkloadModel {
+        WorkloadModel::build(pool.len(), models.iter().map(|(c, a)| (c, a)))
+    }
+
+    #[test]
+    fn matches_cache_cost_model_on_every_subset() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let wm = model_of(&models, &pool);
+        // Exhaustive over all 32 selections of the 5-candidate pool.
+        for mask in 0u32..(1 << pool.len()) {
+            let ids: Vec<usize> = (0..pool.len()).filter(|i| mask & (1 << i) != 0).collect();
+            let sel = Selection::from_ids(pool.len(), &ids);
+            for (q, (cache, access)) in models.iter().enumerate() {
+                let reference = CacheCostModel::new(cache, access)
+                    .estimate(&sel)
+                    .map(|e| e.cost)
+                    .unwrap_or(f64::INFINITY);
+                let flat = wm.price_query(q, &sel, None);
+                assert_eq!(
+                    flat, reference,
+                    "query {q} selection {ids:?}: flat {flat} vs reference {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_equals_full_for_every_candidate() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let wm = model_of(&models, &pool);
+        for mask in 0u32..(1 << pool.len()) {
+            let ids: Vec<usize> = (0..pool.len()).filter(|i| mask & (1 << i) != 0).collect();
+            let sel = Selection::from_ids(pool.len(), &ids);
+            let state = wm.price_full(&sel);
+            for cand in 0..pool.len() {
+                if sel.contains(cand) {
+                    continue;
+                }
+                let delta = wm.price_delta(&state, &sel, cand);
+                let full = wm.price_full(&sel.with(cand));
+                assert_eq!(delta, full.total, "selection {ids:?} + candidate {cand}");
+            }
+        }
+    }
+
+    #[test]
+    fn affected_index_is_sound_and_minimal_enough() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let wm = model_of(&models, &pool);
+        // Soundness: a query NOT in affected(c) never changes price when c
+        // is added, under any base selection.
+        for cand in 0..pool.len() {
+            let affected = wm.affected(cand);
+            for mask in 0u32..(1 << pool.len()) {
+                let ids: Vec<usize> = (0..pool.len()).filter(|i| mask & (1 << i) != 0).collect();
+                let sel = Selection::from_ids(pool.len(), &ids);
+                for q in 0..wm.query_count() {
+                    if affected.contains(&(q as u32)) {
+                        continue;
+                    }
+                    assert_eq!(
+                        wm.price_query(q, &sel, Some(cand)),
+                        wm.price_query(q, &sel, None),
+                        "candidate {cand} changed unaffected query {q}"
+                    );
+                }
+            }
+        }
+        // q2 references only table f, so d-only candidates must not list it.
+        let d_cand = 3; // Index::hypothetical(&d, vec![0]) in setup()
+        assert!(
+            !wm.affected(d_cand).contains(&1),
+            "single-table query q2 affected by a d index"
+        );
+    }
+
+    #[test]
+    fn price_full_state_is_consistent() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let wm = model_of(&models, &pool);
+        let sel = Selection::from_ids(pool.len(), &[0, 3]);
+        let state = wm.price_full(&sel);
+        assert_eq!(state.per_query.len(), 2);
+        assert_eq!(state.total, state.per_query.iter().sum::<f64>());
+        for (q, &c) in state.per_query.iter().enumerate() {
+            assert_eq!(c, wm.price_query(q, &sel, None));
+            assert!(c.is_finite());
+        }
+    }
+
+    #[test]
+    fn empty_cache_prices_to_infinity() {
+        let (cat, queries, pool) = setup();
+        let mut models = build_models(&cat, &queries, &pool);
+        // Replace q2's cache with an empty one.
+        let orders = models[1].0.orders.clone();
+        models[1].0 = PlanCache::new("q2", 1, orders);
+        let wm = model_of(&models, &pool);
+        let sel = Selection::empty(pool.len());
+        let state = wm.price_full(&sel);
+        assert!(state.per_query[0].is_finite());
+        assert!(state.per_query[1].is_infinite());
+        assert!(state.total.is_infinite());
+    }
+}

@@ -36,7 +36,8 @@ pub fn cost_nestloop(p: &CostParams, j: &JoinInput, inner_rescan: Cost) -> Cost 
     // charge; we approximate inspected pairs by outer * inner-rows-per-scan.
     let pairs = outer * clamp_row_est(j.inner_rows);
     run += pairs * p.cpu_tuple_cost * 0.5;
-    run += clamp_row_est(j.output_rows) * (p.cpu_tuple_cost + j.qual_ops as f64 * p.cpu_operator_cost);
+    run +=
+        clamp_row_est(j.output_rows) * (p.cpu_tuple_cost + j.qual_ops as f64 * p.cpu_operator_cost);
     Cost::new(startup, startup + run)
 }
 
@@ -50,8 +51,8 @@ pub fn cost_mergejoin(p: &CostParams, j: &JoinInput) -> Cost {
     let mut run = j.outer_cost.run() + j.inner_cost.run();
     // One comparison per advanced tuple on either side.
     run += (outer + inner) * p.cpu_operator_cost;
-    run += clamp_row_est(j.output_rows)
-        * (p.cpu_tuple_cost + j.qual_ops as f64 * p.cpu_operator_cost);
+    run +=
+        clamp_row_est(j.output_rows) * (p.cpu_tuple_cost + j.qual_ops as f64 * p.cpu_operator_cost);
     Cost::new(startup, startup + run)
 }
 
@@ -75,8 +76,8 @@ pub fn cost_hashjoin(p: &CostParams, j: &JoinInput, inner_width: u32) -> Cost {
         let outer_pages = (outer * 32.0 / 8192.0).ceil();
         run += 2.0 * (inner_pages + outer_pages) * p.seq_page_cost;
     }
-    run += clamp_row_est(j.output_rows)
-        * (p.cpu_tuple_cost + j.qual_ops as f64 * p.cpu_operator_cost);
+    run +=
+        clamp_row_est(j.output_rows) * (p.cpu_tuple_cost + j.qual_ops as f64 * p.cpu_operator_cost);
     Cost::new(startup, startup + run)
 }
 

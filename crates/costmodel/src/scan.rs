@@ -125,7 +125,8 @@ pub fn cost_index_scan(p: &CostParams, input: &IndexScanInput) -> Cost {
         );
         pages * p.random_page_cost / input.loop_count
     } else {
-        let max_pages = index_pages_fetched(tuples_fetched, input.heap_pages, p.effective_cache_pages);
+        let max_pages =
+            index_pages_fetched(tuples_fetched, input.heap_pages, p.effective_cache_pages);
         let max_io = max_pages * p.random_page_cost;
         // Perfectly correlated: the needed fraction of the heap, read almost
         // sequentially (first page random, rest sequential).
@@ -169,15 +170,14 @@ pub fn cost_bitmap_heap_scan(p: &CostParams, input: &IndexScanInput) -> Cost {
             .min(t)
             .max(1.0);
     let cost_per_page = if pages_fetched >= 2.0 {
-        p.random_page_cost
-            - (p.random_page_cost - p.seq_page_cost) * (pages_fetched / t).sqrt()
+        p.random_page_cost - (p.random_page_cost - p.seq_page_cost) * (pages_fetched / t).sqrt()
     } else {
         p.random_page_cost
     };
     let heap_io = pages_fetched * cost_per_page;
     // Every fetched tuple is rechecked against the quals.
-    let cpu_heap = tuples_fetched
-        * (p.cpu_tuple_cost + (input.filter_ops as f64 + 1.0) * p.cpu_operator_cost);
+    let cpu_heap =
+        tuples_fetched * (p.cpu_tuple_cost + (input.filter_ops as f64 + 1.0) * p.cpu_operator_cost);
 
     // The whole bitmap must exist before the first heap page is read.
     Cost::new(build, build + heap_io + cpu_heap)
@@ -207,7 +207,7 @@ mod tests {
         assert_eq!(pf, 1000.0);
         // Few probes touch about that many pages.
         let pf = index_pages_fetched(3.0, 100_000, 524_288.0);
-        assert!(pf <= 3.0 && pf >= 1.0);
+        assert!((1.0..=3.0).contains(&pf));
         assert_eq!(index_pages_fetched(0.0, 1000, 1e6), 0.0);
     }
 

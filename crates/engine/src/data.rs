@@ -92,7 +92,9 @@ mod tests {
             "t",
             1_000,
             vec![
-                Column::new("k", ColumnType::Int8).with_ndv(1_000).with_correlation(1.0),
+                Column::new("k", ColumnType::Int8)
+                    .with_ndv(1_000)
+                    .with_correlation(1.0),
                 Column::new("v", ColumnType::Int4)
                     .with_stats(ColumnStats::uniform(0.0, 10.0, 10.0)),
             ],

@@ -65,7 +65,11 @@ pub fn execute(catalog: &Catalog, query: &Query, db: &Database, plan: &PlanNode)
     let mut stats = ExecStats::default();
     let (layout, rows) = run(catalog, query, db, plan, &mut stats);
     stats.rows_out = rows.len() as u64;
-    ExecOutput { layout, rows, stats }
+    ExecOutput {
+        layout,
+        rows,
+        stats,
+    }
 }
 
 type Rows = Vec<Vec<i64>>;
@@ -81,18 +85,26 @@ fn run(
         PlanNode::SeqScan { rel, .. } => {
             (vec![*rel], scan_base(catalog, query, db, *rel, None, stats))
         }
-        PlanNode::BitmapScan { rel, key_columns, .. } => (
+        PlanNode::BitmapScan {
+            rel, key_columns, ..
+        } => (
             vec![*rel],
             scan_base(catalog, query, db, *rel, Some(key_columns), stats),
         ),
         PlanNode::IndexScan {
-            rel, key_columns, parameterized, ..
+            rel,
+            key_columns,
+            parameterized,
+            ..
         } => {
             let mut rows = scan_base(catalog, query, db, *rel, Some(key_columns), stats);
             // A plain index scan delivers key order; parameterized probes
             // are ordered per probe only, which the NLJ driver handles.
             if !parameterized {
-                sort_rows(&mut rows, &key_columns.iter().map(|&c| c as usize).collect::<Vec<_>>());
+                sort_rows(
+                    &mut rows,
+                    &key_columns.iter().map(|&c| c as usize).collect::<Vec<_>>(),
+                );
             }
             (vec![*rel], rows)
         }
@@ -106,15 +118,51 @@ fn run(
             (layout, rows)
         }
         PlanNode::Material { input, .. } => run(catalog, query, db, input, stats),
-        PlanNode::NestLoop { outer, inner, quals, .. } => {
-            join(catalog, query, db, outer, inner, quals, JoinAlgo::NestLoop, stats)
-        }
-        PlanNode::MergeJoin { outer, inner, quals, .. } => {
-            join(catalog, query, db, outer, inner, quals, JoinAlgo::Merge, stats)
-        }
-        PlanNode::HashJoin { outer, inner, quals, .. } => {
-            join(catalog, query, db, outer, inner, quals, JoinAlgo::Hash, stats)
-        }
+        PlanNode::NestLoop {
+            outer,
+            inner,
+            quals,
+            ..
+        } => join(
+            catalog,
+            query,
+            db,
+            outer,
+            inner,
+            quals,
+            JoinAlgo::NestLoop,
+            stats,
+        ),
+        PlanNode::MergeJoin {
+            outer,
+            inner,
+            quals,
+            ..
+        } => join(
+            catalog,
+            query,
+            db,
+            outer,
+            inner,
+            quals,
+            JoinAlgo::Merge,
+            stats,
+        ),
+        PlanNode::HashJoin {
+            outer,
+            inner,
+            quals,
+            ..
+        } => join(
+            catalog,
+            query,
+            db,
+            outer,
+            inner,
+            quals,
+            JoinAlgo::Hash,
+            stats,
+        ),
         PlanNode::Agg { input, .. } => {
             let (layout, rows) = run(catalog, query, db, input, stats);
             let offsets: Vec<usize> = query
@@ -176,13 +224,13 @@ fn scan_base(
             if !filters
                 .iter()
                 .filter(|f| keys.contains(&f.column))
-                .all(|f| passes(&f, r))
+                .all(|f| passes(f, r))
             {
                 continue;
             }
         }
         stats.rows_scanned += 1;
-        if filters.iter().all(|f| passes(&f, r)) {
+        if filters.iter().all(|f| passes(f, r)) {
             out.push((0..ncols as u16).map(|c| data.value(c, r)).collect());
         }
     }
@@ -263,10 +311,7 @@ fn join(
 }
 
 fn quals_match(orow: &[i64], irow: &[i64], o_off: &[usize], i_off: &[usize]) -> bool {
-    o_off
-        .iter()
-        .zip(i_off)
-        .all(|(&o, &i)| orow[o] == irow[i])
+    o_off.iter().zip(i_off).all(|(&o, &i)| orow[o] == irow[i])
 }
 
 fn concat(a: &[i64], b: &[i64]) -> Vec<i64> {
@@ -328,7 +373,9 @@ mod tests {
             "d",
             100,
             vec![
-                Column::new("k", ColumnType::Int8).with_ndv(100).with_correlation(1.0),
+                Column::new("k", ColumnType::Int8)
+                    .with_ndv(100)
+                    .with_correlation(1.0),
                 Column::new("w", ColumnType::Int4)
                     .with_stats(ColumnStats::uniform(0.0, 10.0, 10.0)),
             ],
@@ -347,7 +394,7 @@ mod tests {
     }
 
     /// Brute-force reference join for verification.
-    fn reference(cat: &Catalog, q: &Query, db: &Database) -> usize {
+    fn reference(_cat: &Catalog, q: &Query, db: &Database) -> usize {
         let f = db.table(q.table_of(0));
         let d = db.table(q.table_of(1));
         let mut n = 0;
@@ -399,7 +446,10 @@ mod tests {
         let out = execute(&cat, &q, &db, &planned.plan);
         let w_off = out.offset(&cat, &q, 1, 1);
         let ws: Vec<i64> = out.rows.iter().map(|r| r[w_off]).collect();
-        assert!(ws.windows(2).all(|p| p[0] <= p[1]), "output not sorted by d.w");
+        assert!(
+            ws.windows(2).all(|p| p[0] <= p[1]),
+            "output not sorted by d.w"
+        );
     }
 
     #[test]

@@ -442,7 +442,9 @@ mod tests {
     fn filter_index_enables_cheap_bitmap_access() {
         let (cat, q) = setup();
         let t = cat.table_id("t").unwrap();
-        let cfg = ConfigurationBuilder::new().whatif_index(&cat, t, vec![2]).build();
+        let cfg = ConfigurationBuilder::new()
+            .whatif_index(&cat, t, vec![2])
+            .build();
         let info = PlannerInfo::new(&cat, &q, &cfg);
         let params = CostParams::default();
         let acc = collect_access_paths(&info, &params, 0, false);
@@ -470,7 +472,9 @@ mod tests {
     fn param_scan_requires_matching_leading_column() {
         let (cat, q) = setup();
         let s = cat.table_id("s").unwrap();
-        let cfg = ConfigurationBuilder::new().whatif_index(&cat, s, vec![0]).build();
+        let cfg = ConfigurationBuilder::new()
+            .whatif_index(&cat, s, vec![0])
+            .build();
         let info = PlannerInfo::new(&cat, &q, &cfg);
         let params = CostParams::default();
         let ec = info.ec(1, 0).unwrap();
@@ -514,7 +518,9 @@ mod tests {
     fn leaf_linear_decomposition_matches_cost() {
         let (cat, q) = setup();
         let t = cat.table_id("t").unwrap();
-        let cfg = ConfigurationBuilder::new().whatif_index(&cat, t, vec![1]).build();
+        let cfg = ConfigurationBuilder::new()
+            .whatif_index(&cat, t, vec![1])
+            .build();
         let info = PlannerInfo::new(&cat, &q, &cfg);
         let params = CostParams::default();
         let acc = collect_access_paths(&info, &params, 0, false);

@@ -193,18 +193,15 @@ impl PathList {
 
     /// The cheapest-total path.
     pub fn cheapest_total(&self, arena: &PathArena) -> Option<PathId> {
-        self.ids
-            .iter()
-            .copied()
-            .min_by(|a, b| {
-                arena
-                    .get(*a)
-                    .cost
-                    .total
-                    .partial_cmp(&arena.get(*b).cost.total)
-                    .unwrap()
-                    .then(a.0.cmp(&b.0))
-            })
+        self.ids.iter().copied().min_by(|a, b| {
+            arena
+                .get(*a)
+                .cost
+                .total
+                .partial_cmp(&arena.get(*b).cost.total)
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+        })
     }
 
     /// The cheapest path whose pathkeys satisfy `required` (prefix match).
@@ -253,19 +250,39 @@ mod tests {
         let mut arena = PathArena::new();
         let mut list = PathList::new();
         let mut st = AddPathStats::default();
-        let a = list.add_path(&mut arena, mk(10.0, 0.0, vec![], Ioc::NONE), PruneMode::Standard, &mut st);
+        let a = list.add_path(
+            &mut arena,
+            mk(10.0, 0.0, vec![], Ioc::NONE),
+            PruneMode::Standard,
+            &mut st,
+        );
         assert!(a.is_some());
         // More expensive unordered path: rejected.
         assert!(list
-            .add_path(&mut arena, mk(20.0, 0.0, vec![], Ioc::NONE), PruneMode::Standard, &mut st)
+            .add_path(
+                &mut arena,
+                mk(20.0, 0.0, vec![], Ioc::NONE),
+                PruneMode::Standard,
+                &mut st
+            )
             .is_none());
         // More expensive but ordered: kept.
         assert!(list
-            .add_path(&mut arena, mk(20.0, 0.0, vec![EcId(0)], Ioc::NONE), PruneMode::Standard, &mut st)
+            .add_path(
+                &mut arena,
+                mk(20.0, 0.0, vec![EcId(0)], Ioc::NONE),
+                PruneMode::Standard,
+                &mut st
+            )
             .is_some());
         // Cheaper ordered path displaces both (it subsumes unordered too).
         assert!(list
-            .add_path(&mut arena, mk(5.0, 0.0, vec![EcId(0)], Ioc::NONE), PruneMode::Standard, &mut st)
+            .add_path(
+                &mut arena,
+                mk(5.0, 0.0, vec![EcId(0)], Ioc::NONE),
+                PruneMode::Standard,
+                &mut st
+            )
             .is_some());
         assert_eq!(list.len(), 1);
         assert_eq!(st.displaced, 2);
@@ -276,10 +293,20 @@ mod tests {
         let mut arena = PathArena::new();
         let mut list = PathList::new();
         let mut st = AddPathStats::default();
-        list.add_path(&mut arena, mk(10.0, 5.0, vec![], Ioc::NONE), PruneMode::Standard, &mut st);
+        list.add_path(
+            &mut arena,
+            mk(10.0, 5.0, vec![], Ioc::NONE),
+            PruneMode::Standard,
+            &mut st,
+        );
         // Worse total but better startup: kept.
         assert!(list
-            .add_path(&mut arena, mk(12.0, 0.0, vec![], Ioc::NONE), PruneMode::Standard, &mut st)
+            .add_path(
+                &mut arena,
+                mk(12.0, 0.0, vec![], Ioc::NONE),
+                PruneMode::Standard,
+                &mut st
+            )
             .is_some());
         assert_eq!(list.len(), 2);
     }
@@ -291,19 +318,39 @@ mod tests {
         let mut st = AddPathStats::default();
         let phi = Ioc::NONE;
         let a = Ioc::NONE.with_order(0, 0);
-        list.add_path(&mut arena, mk(10.0, 0.0, vec![], phi), PruneMode::KeepIoc, &mut st);
+        list.add_path(
+            &mut arena,
+            mk(10.0, 0.0, vec![], phi),
+            PruneMode::KeepIoc,
+            &mut st,
+        );
         // A cheaper plan requiring order A coexists with the Φ plan.
         assert!(list
-            .add_path(&mut arena, mk(5.0, 0.0, vec![], a), PruneMode::KeepIoc, &mut st)
+            .add_path(
+                &mut arena,
+                mk(5.0, 0.0, vec![], a),
+                PruneMode::KeepIoc,
+                &mut st
+            )
             .is_some());
         assert_eq!(list.len(), 2);
         // Same (ioc, pathkeys) key, worse total: rejected immediately.
         assert!(list
-            .add_path(&mut arena, mk(7.0, 0.0, vec![], a), PruneMode::KeepIoc, &mut st)
+            .add_path(
+                &mut arena,
+                mk(7.0, 0.0, vec![], a),
+                PruneMode::KeepIoc,
+                &mut st
+            )
             .is_none());
         // Same key, better total: replaces in place.
         assert!(list
-            .add_path(&mut arena, mk(3.0, 0.0, vec![], a), PruneMode::KeepIoc, &mut st)
+            .add_path(
+                &mut arena,
+                mk(3.0, 0.0, vec![], a),
+                PruneMode::KeepIoc,
+                &mut st
+            )
             .is_some());
         assert_eq!(list.len(), 2);
     }
@@ -316,10 +363,20 @@ mod tests {
         let mut st = AddPathStats::default();
         let a = Ioc::NONE.with_order(0, 0);
         let ab = a.with_order(1, 0);
-        list.add_path(&mut arena, mk(10.0, 0.0, vec![], a), PruneMode::KeepIoc, &mut st);
+        list.add_path(
+            &mut arena,
+            mk(10.0, 0.0, vec![], a),
+            PruneMode::KeepIoc,
+            &mut st,
+        );
         // Requires more orders *and* costs more: survives insert …
         assert!(list
-            .add_path(&mut arena, mk(15.0, 0.0, vec![], ab), PruneMode::KeepIoc, &mut st)
+            .add_path(
+                &mut arena,
+                mk(15.0, 0.0, vec![], ab),
+                PruneMode::KeepIoc,
+                &mut st
+            )
             .is_some());
         assert_eq!(list.len(), 2);
         // … but the sweep removes it.
@@ -327,7 +384,12 @@ mod tests {
         assert_eq!(list.len(), 1);
         // A cheaper superset-requirement plan survives the sweep, along
         // with the subset plan.
-        list.add_path(&mut arena, mk(5.0, 0.0, vec![], ab), PruneMode::KeepIoc, &mut st);
+        list.add_path(
+            &mut arena,
+            mk(5.0, 0.0, vec![], ab),
+            PruneMode::KeepIoc,
+            &mut st,
+        );
         list.subset_cost_sweep(&arena, &mut st);
         assert_eq!(list.len(), 2);
     }
@@ -341,17 +403,41 @@ mod tests {
         // Cheap unordered plan + costlier ordered plan with same (empty)
         // requirements: the ordered one must survive (its ordering may be
         // needed upstream).
-        list.add_path(&mut arena, mk(10.0, 0.0, vec![], phi), PruneMode::KeepIoc, &mut st);
-        list.add_path(&mut arena, mk(15.0, 0.0, vec![EcId(1)], phi), PruneMode::KeepIoc, &mut st);
+        list.add_path(
+            &mut arena,
+            mk(10.0, 0.0, vec![], phi),
+            PruneMode::KeepIoc,
+            &mut st,
+        );
+        list.add_path(
+            &mut arena,
+            mk(15.0, 0.0, vec![EcId(1)], phi),
+            PruneMode::KeepIoc,
+            &mut st,
+        );
         list.subset_cost_sweep(&arena, &mut st);
         assert_eq!(list.len(), 2);
         // But a costlier *less-ordered* plan is swept: [1,2] at 12 beats
         // [1] at 20.
-        list.add_path(&mut arena, mk(12.0, 0.0, vec![EcId(1), EcId(2)], phi), PruneMode::KeepIoc, &mut st);
-        list.add_path(&mut arena, mk(20.0, 0.0, vec![EcId(1)], phi), PruneMode::KeepIoc, &mut st);
+        list.add_path(
+            &mut arena,
+            mk(12.0, 0.0, vec![EcId(1), EcId(2)], phi),
+            PruneMode::KeepIoc,
+            &mut st,
+        );
+        list.add_path(
+            &mut arena,
+            mk(20.0, 0.0, vec![EcId(1)], phi),
+            PruneMode::KeepIoc,
+            &mut st,
+        );
         // The 15-cost [1] plan is now dominated by the 12-cost [1,2] plan.
         list.subset_cost_sweep(&arena, &mut st);
-        let totals: Vec<f64> = list.ids().iter().map(|&i| arena.get(i).cost.total).collect();
+        let totals: Vec<f64> = list
+            .ids()
+            .iter()
+            .map(|&i| arena.get(i).cost.total)
+            .collect();
         assert!(totals.contains(&10.0));
         assert!(totals.contains(&12.0));
         assert!(!totals.contains(&15.0));
@@ -363,9 +449,19 @@ mod tests {
         let mut arena = PathArena::new();
         let mut list = PathList::new();
         let mut st = AddPathStats::default();
-        list.add_path(&mut arena, mk(10.0, 0.0, vec![], Ioc::NONE), PruneMode::Standard, &mut st);
+        list.add_path(
+            &mut arena,
+            mk(10.0, 0.0, vec![], Ioc::NONE),
+            PruneMode::Standard,
+            &mut st,
+        );
         let ordered = list
-            .add_path(&mut arena, mk(20.0, 0.0, vec![EcId(3)], Ioc::NONE), PruneMode::Standard, &mut st)
+            .add_path(
+                &mut arena,
+                mk(20.0, 0.0, vec![EcId(3)], Ioc::NONE),
+                PruneMode::Standard,
+                &mut st,
+            )
             .unwrap();
         let cheapest = list.cheapest_total(&arena).unwrap();
         assert_eq!(arena.get(cheapest).cost.total, 10.0);

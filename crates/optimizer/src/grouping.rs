@@ -94,10 +94,9 @@ fn agg_path(
         // Streaming: startup stays the input's.
         AggKind::Sorted => Cost::new(inp.cost.startup + agg.startup, inp.cost.total + agg.total),
         // Blocking: everything must be consumed first.
-        AggKind::Hashed | AggKind::Plain => Cost::new(
-            inp.cost.total + agg.startup,
-            inp.cost.total + agg.total,
-        ),
+        AggKind::Hashed | AggKind::Plain => {
+            Cost::new(inp.cost.total + agg.startup, inp.cost.total + agg.total)
+        }
     };
     let pathkeys = match kind {
         AggKind::Sorted => {
@@ -154,7 +153,14 @@ mod tests {
         for p in collect_access_paths(&info, &params, 0, false).paths {
             list.add_path(&mut arena, p, PruneMode::Standard, &mut stats);
         }
-        let out = finish_paths(&mut arena, &info, &params, list, PruneMode::Standard, &mut stats);
+        let out = finish_paths(
+            &mut arena,
+            &info,
+            &params,
+            list,
+            PruneMode::Standard,
+            &mut stats,
+        );
         (arena, out)
     }
 
@@ -181,7 +187,9 @@ mod tests {
             .select(("t", "a"))
             .order_by(("t", "a"))
             .build();
-        let cfg = ConfigurationBuilder::new().whatif_index(&cat, t, vec![0]).build();
+        let cfg = ConfigurationBuilder::new()
+            .whatif_index(&cat, t, vec![0])
+            .build();
         let (arena, out) = finish_single_table(&cat, &q, &cfg);
         // Among finished paths there must be one with no sort (index
         // delivers the order); it should win since sorting 100k rows is
@@ -218,6 +226,9 @@ mod tests {
         assert!(prefix_covers_set(&[EcId(1)], &[EcId(1)]));
         assert!(!prefix_covers_set(&[EcId(1)], &[EcId(2)]));
         assert!(!prefix_covers_set(&[], &[EcId(1)]));
-        assert!(prefix_covers_set(&[EcId(3), EcId(0), EcId(9)], &[EcId(0), EcId(3)]));
+        assert!(prefix_covers_set(
+            &[EcId(3), EcId(0), EcId(9)],
+            &[EcId(0), EcId(3)]
+        ));
     }
 }

@@ -68,7 +68,11 @@ impl<'a, 'q> JoinSearch<'a, 'q> {
 
     /// Runs the DP; `base_lists[r]` holds relation `r`'s access paths.
     /// Returns the path list of the full relation set.
-    pub fn run(mut self, arena: &mut PathArena, base_lists: Vec<PathList>) -> (PathList, AddPathStats, usize) {
+    pub fn run(
+        mut self,
+        arena: &mut PathArena,
+        base_lists: Vec<PathList>,
+    ) -> (PathList, AddPathStats, usize) {
         let n = self.info.relation_count();
         for (r, list) in base_lists.into_iter().enumerate() {
             self.lists.insert(RelSet::single(r as u16), list);
@@ -149,18 +153,53 @@ impl<'a, 'q> JoinSearch<'a, 'q> {
 
         for &outer_id in &outer_ids {
             for &inner_id in &inner_ids {
-                self.hash_join(arena, list, outer_id, inner_id, output_rows, qual_ops, inner_width, set);
+                self.hash_join(
+                    arena,
+                    list,
+                    outer_id,
+                    inner_id,
+                    output_rows,
+                    qual_ops,
+                    inner_width,
+                    set,
+                );
                 for &(ec, _) in &edges {
-                    self.merge_join(arena, list, outer_id, inner_id, ec, output_rows, qual_ops, set);
+                    self.merge_join(
+                        arena,
+                        list,
+                        outer_id,
+                        inner_id,
+                        ec,
+                        output_rows,
+                        qual_ops,
+                        set,
+                    );
                 }
                 if self.options.enable_nestloop {
-                    self.nest_loop_plain(arena, list, outer_id, inner_id, output_rows, qual_ops, set);
+                    self.nest_loop_plain(
+                        arena,
+                        list,
+                        outer_id,
+                        inner_id,
+                        output_rows,
+                        qual_ops,
+                        set,
+                    );
                 }
             }
             // Parameterized inner index scans (PostgreSQL 8.3 creates these
             // at join time when the inner is a single base relation).
             if self.options.enable_nestloop && inner_set.len() == 1 {
-                self.nest_loop_param(arena, list, outer_id, inner_set.first(), outer_set, output_rows, qual_ops, set);
+                self.nest_loop_param(
+                    arena,
+                    list,
+                    outer_id,
+                    inner_set.first(),
+                    outer_set,
+                    output_rows,
+                    qual_ops,
+                    set,
+                );
             }
         }
     }
@@ -308,7 +347,9 @@ impl<'a, 'q> JoinSearch<'a, 'q> {
                 rescan: cost,
                 pathkeys: outer.pathkeys.clone(), // NLJ preserves outer order
                 leaf_ioc: outer.leaf_ioc.union(inner.leaf_ioc).expect("disjoint rels"),
-                linear: outer.linear.combine_scaled(&inner.linear, scale, extra.max(0.0)),
+                linear: outer
+                    .linear
+                    .combine_scaled(&inner.linear, scale, extra.max(0.0)),
                 leaf_access: merge_leaf_access(&outer.leaf_access, &inner.leaf_access),
                 probe_access: merge_probe_access(&outer.probe_access, &inner.probe_access),
             };
@@ -654,11 +695,19 @@ mod tests {
         // The PINUM pruning must never lose the overall cheapest plan.
         let (cat, q) = setup();
         let t = cat.table_id("f").unwrap();
-        let cfg = ConfigurationBuilder::new().whatif_index(&cat, t, vec![0]).build();
+        let cfg = ConfigurationBuilder::new()
+            .whatif_index(&cat, t, vec![0])
+            .build();
         let (arena_s, top_s) = run_search(&cat, &q, &cfg, default_opts(PruneMode::Standard));
         let (arena_k, top_k) = run_search(&cat, &q, &cfg, default_opts(PruneMode::KeepIoc));
-        let best_s = arena_s.get(top_s.cheapest_total(&arena_s).unwrap()).cost.total;
-        let best_k = arena_k.get(top_k.cheapest_total(&arena_k).unwrap()).cost.total;
+        let best_s = arena_s
+            .get(top_s.cheapest_total(&arena_s).unwrap())
+            .cost
+            .total;
+        let best_k = arena_k
+            .get(top_k.cheapest_total(&arena_k).unwrap())
+            .cost
+            .total;
         assert!(
             (best_s - best_k).abs() / best_s < 1e-9,
             "best plans diverge: {best_s} vs {best_k}"

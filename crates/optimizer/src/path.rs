@@ -225,9 +225,9 @@ impl Path {
     pub fn uses_nestloop(&self, arena: &PathArena) -> bool {
         match &self.kind {
             PathKind::NestLoop { .. } => true,
-            PathKind::SeqScan { .. }
-            | PathKind::IndexScan { .. }
-            | PathKind::BitmapScan { .. } => false,
+            PathKind::SeqScan { .. } | PathKind::IndexScan { .. } | PathKind::BitmapScan { .. } => {
+                false
+            }
             PathKind::Sort { input }
             | PathKind::Material { input }
             | PathKind::Agg { input, .. } => arena.get(*input).uses_nestloop(arena),

@@ -118,17 +118,15 @@ impl PlanNode {
     /// Number of operator nodes.
     pub fn node_count(&self) -> usize {
         1 + match self {
-            PlanNode::SeqScan { .. }
-            | PlanNode::IndexScan { .. }
-            | PlanNode::BitmapScan { .. } => 0,
+            PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } | PlanNode::BitmapScan { .. } => {
+                0
+            }
             PlanNode::Sort { input, .. }
             | PlanNode::Material { input, .. }
             | PlanNode::Agg { input, .. } => input.node_count(),
             PlanNode::NestLoop { outer, inner, .. }
             | PlanNode::MergeJoin { outer, inner, .. }
-            | PlanNode::HashJoin { outer, inner, .. } => {
-                outer.node_count() + inner.node_count()
-            }
+            | PlanNode::HashJoin { outer, inner, .. } => outer.node_count() + inner.node_count(),
         }
     }
 
@@ -136,14 +134,13 @@ impl PlanNode {
     pub fn uses_nestloop(&self) -> bool {
         match self {
             PlanNode::NestLoop { .. } => true,
-            PlanNode::SeqScan { .. }
-            | PlanNode::IndexScan { .. }
-            | PlanNode::BitmapScan { .. } => false,
+            PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } | PlanNode::BitmapScan { .. } => {
+                false
+            }
             PlanNode::Sort { input, .. }
             | PlanNode::Material { input, .. }
             | PlanNode::Agg { input, .. } => input.uses_nestloop(),
-            PlanNode::MergeJoin { outer, inner, .. }
-            | PlanNode::HashJoin { outer, inner, .. } => {
+            PlanNode::MergeJoin { outer, inner, .. } | PlanNode::HashJoin { outer, inner, .. } => {
                 outer.uses_nestloop() || inner.uses_nestloop()
             }
         }
@@ -166,7 +163,9 @@ impl PlanNode {
             );
         };
         match self {
-            PlanNode::SeqScan { table, rows, cost, .. } => {
+            PlanNode::SeqScan {
+                table, rows, cost, ..
+            } => {
                 line(out, "Seq Scan", &format!(" on {table}"), *rows, *cost);
             }
             PlanNode::IndexScan {
@@ -178,8 +177,16 @@ impl PlanNode {
                 cost,
                 ..
             } => {
-                let kind = if *index_only { "Index Only Scan" } else { "Index Scan" };
-                let par = if *parameterized { " (parameterized)" } else { "" };
+                let kind = if *index_only {
+                    "Index Only Scan"
+                } else {
+                    "Index Scan"
+                };
+                let par = if *parameterized {
+                    " (parameterized)"
+                } else {
+                    ""
+                };
                 line(
                     out,
                     kind,
@@ -203,7 +210,12 @@ impl PlanNode {
                     *cost,
                 );
             }
-            PlanNode::Sort { input, keys, rows, cost } => {
+            PlanNode::Sort {
+                input,
+                keys,
+                rows,
+                cost,
+            } => {
                 let detail = format!(
                     " key: {}",
                     keys.iter()
@@ -218,22 +230,45 @@ impl PlanNode {
                 line(out, "Materialize", "", *rows, *cost);
                 input.explain_into(out, depth + 1);
             }
-            PlanNode::NestLoop { outer, inner, rows, cost, .. } => {
+            PlanNode::NestLoop {
+                outer,
+                inner,
+                rows,
+                cost,
+                ..
+            } => {
                 line(out, "Nested Loop", "", *rows, *cost);
                 outer.explain_into(out, depth + 1);
                 inner.explain_into(out, depth + 1);
             }
-            PlanNode::MergeJoin { outer, inner, rows, cost, .. } => {
+            PlanNode::MergeJoin {
+                outer,
+                inner,
+                rows,
+                cost,
+                ..
+            } => {
                 line(out, "Merge Join", "", *rows, *cost);
                 outer.explain_into(out, depth + 1);
                 inner.explain_into(out, depth + 1);
             }
-            PlanNode::HashJoin { outer, inner, rows, cost, .. } => {
+            PlanNode::HashJoin {
+                outer,
+                inner,
+                rows,
+                cost,
+                ..
+            } => {
                 line(out, "Hash Join", "", *rows, *cost);
                 outer.explain_into(out, depth + 1);
                 inner.explain_into(out, depth + 1);
             }
-            PlanNode::Agg { input, kind, rows, cost } => {
+            PlanNode::Agg {
+                input,
+                kind,
+                rows,
+                cost,
+            } => {
                 let name = match kind {
                     AggKind::Sorted => "GroupAggregate",
                     AggKind::Hashed => "HashAggregate",
@@ -313,9 +348,27 @@ pub fn build_plan(arena: &PathArena, info: &PlannerInfo<'_>, id: PathId) -> Plan
             let o = Box::new(build_plan(arena, info, *outer));
             let i = Box::new(build_plan(arena, info, *inner));
             match &p.kind {
-                PathKind::NestLoop { .. } => PlanNode::NestLoop { outer: o, inner: i, quals, rows, cost },
-                PathKind::MergeJoin { .. } => PlanNode::MergeJoin { outer: o, inner: i, quals, rows, cost },
-                _ => PlanNode::HashJoin { outer: o, inner: i, quals, rows, cost },
+                PathKind::NestLoop { .. } => PlanNode::NestLoop {
+                    outer: o,
+                    inner: i,
+                    quals,
+                    rows,
+                    cost,
+                },
+                PathKind::MergeJoin { .. } => PlanNode::MergeJoin {
+                    outer: o,
+                    inner: i,
+                    quals,
+                    rows,
+                    cost,
+                },
+                _ => PlanNode::HashJoin {
+                    outer: o,
+                    inner: i,
+                    quals,
+                    rows,
+                    cost,
+                },
             }
         }
         PathKind::Agg { input, kind } => PlanNode::Agg {
@@ -413,7 +466,10 @@ mod tests {
         let plan = build_plan(&arena, &info, best);
         assert!(plan.node_count() >= 3);
         let text = plan.explain();
-        assert!(text.contains("Join") || text.contains("Nested Loop"), "{text}");
+        assert!(
+            text.contains("Join") || text.contains("Nested Loop"),
+            "{text}"
+        );
         assert!(text.contains("Seq Scan"), "{text}");
         // The join must carry the equi-join qual.
         match &plan {

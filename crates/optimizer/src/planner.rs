@@ -222,8 +222,14 @@ impl<'a> Optimizer<'a> {
         add_stats.displaced += join_stats.displaced;
 
         // --- Grouping Planner. ---
-        let mut finished =
-            finish_paths(&mut arena, &info, &self.params, top, prune_mode, &mut add_stats);
+        let mut finished = finish_paths(
+            &mut arena,
+            &info,
+            &self.params,
+            top,
+            prune_mode,
+            &mut add_stats,
+        );
         if prune_mode == PruneMode::KeepIoc && options.pinum_subset_pruning {
             finished.subset_cost_sweep(&arena, &mut add_stats);
         }

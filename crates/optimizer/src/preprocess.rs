@@ -65,7 +65,7 @@ pub struct PlannerInfo<'a> {
     /// Estimated number of groups (1.0 when no GROUP BY).
     pub num_groups: f64,
     /// Memoized joinrel cardinalities.
-    rows_cache: parking_lot::Mutex<HashMap<RelSet, f64>>,
+    rows_cache: std::sync::Mutex<HashMap<RelSet, f64>>,
 }
 
 impl<'a> PlannerInfo<'a> {
@@ -129,9 +129,7 @@ impl<'a> PlannerInfo<'a> {
             let ndvs: Vec<f64> = query
                 .group_by
                 .iter()
-                .map(|&(rel, col)| {
-                    pinum_query::selectivity::filtered_ndv(catalog, query, rel, col)
-                })
+                .map(|&(rel, col)| pinum_query::selectivity::filtered_ndv(catalog, query, rel, col))
                 .collect();
             let top_rows: f64 = base.iter().map(|b| b.rows).product::<f64>()
                 * edges.iter().map(|e| e.selectivity).product::<f64>();
@@ -150,7 +148,7 @@ impl<'a> PlannerInfo<'a> {
             required_order,
             group_order,
             num_groups,
-            rows_cache: parking_lot::Mutex::new(HashMap::new()),
+            rows_cache: std::sync::Mutex::new(HashMap::new()),
         }
     }
 
@@ -202,7 +200,7 @@ impl<'a> PlannerInfo<'a> {
     /// base rows and the selectivities of all join edges internal to the
     /// set (PostgreSQL `calc_joinrel_size_estimate` lineage).
     pub fn joinrel_rows(&self, set: RelSet) -> f64 {
-        if let Some(r) = self.rows_cache.lock().get(&set) {
+        if let Some(r) = self.rows_cache.lock().unwrap().get(&set) {
             return *r;
         }
         let mut rows: f64 = set.iter().map(|r| self.base[r as usize].rows).product();
@@ -212,7 +210,7 @@ impl<'a> PlannerInfo<'a> {
             }
         }
         let rows = pinum_cost::clamp_row_est(rows);
-        self.rows_cache.lock().insert(set, rows);
+        self.rows_cache.lock().unwrap().insert(set, rows);
         rows
     }
 

@@ -58,8 +58,7 @@ pub fn plan_statement(
         .map(|sq| optimizer.optimize(sq, config, options))
         .collect();
     let top = optimizer.optimize(&stmt.query, config, options);
-    let total_cost =
-        top.best_cost.total + subplans.iter().map(|p| p.best_cost.total).sum::<f64>();
+    let total_cost = top.best_cost.total + subplans.iter().map(|p| p.best_cost.total).sum::<f64>();
     PlannedStatement {
         top,
         subplans,

@@ -50,7 +50,8 @@ impl<'a> QueryBuilder<'a> {
             .relations
             .iter()
             .position(|t| *t == tid)
-            .unwrap_or_else(|| panic!("table {table:?} not in FROM clause")) as RelIdx;
+            .unwrap_or_else(|| panic!("table {table:?} not in FROM clause"))
+            as RelIdx;
         let col = self
             .catalog
             .table(tid)

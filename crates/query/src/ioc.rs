@@ -21,7 +21,10 @@ impl InterestingOrders {
         assert!(per_rel.len() <= MAX_RELATIONS);
         for cols in &per_rel {
             assert!(cols.len() <= MAX_ORDERS_PER_REL);
-            debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "orders must be sorted");
+            debug_assert!(
+                cols.windows(2).all(|w| w[0] < w[1]),
+                "orders must be sorted"
+            );
         }
         Self { per_rel }
     }
@@ -212,12 +215,7 @@ mod tests {
     use super::*;
 
     fn io(counts: &[usize]) -> InterestingOrders {
-        InterestingOrders::new(
-            counts
-                .iter()
-                .map(|&n| (0..n as u16).collect())
-                .collect(),
-        )
+        InterestingOrders::new(counts.iter().map(|&n| (0..n as u16).collect()).collect())
     }
 
     #[test]

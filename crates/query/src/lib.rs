@@ -110,17 +110,16 @@ impl Query {
         );
         let col_ok = |(rel, col): &QualifiedColumn| {
             (*rel as usize) < self.relations.len()
-                && (*col as usize)
-                    < catalog
-                        .table(self.relations[*rel as usize])
-                        .columns()
-                        .len()
+                && (*col as usize) < catalog.table(self.relations[*rel as usize]).columns().len()
         };
         for f in &self.filters {
             assert!(col_ok(&(f.rel, f.column)), "filter column out of range");
         }
         for j in &self.joins {
-            assert!(col_ok(&j.left) && col_ok(&j.right), "join column out of range");
+            assert!(
+                col_ok(&j.left) && col_ok(&j.right),
+                "join column out of range"
+            );
             assert_ne!(j.left.0, j.right.0, "self-joins are out of scope (§VI-A)");
         }
         for c in self

@@ -61,9 +61,12 @@ impl StarSchema {
         // as in the paper, so a 5 GB budget fits a handful of fact-table
         // covering indexes (§VI-E).
         let fact_rows = (25_000_000.0 * scale).max(1000.0) as u64;
-        let l1_rows = |rng: &mut StdRng| (rng.gen_range(800_000..4_000_000) as f64 * scale).max(50.0) as u64;
-        let l2_rows = |rng: &mut StdRng| (rng.gen_range(80_000..600_000) as f64 * scale).max(20.0) as u64;
-        let l3_rows = |rng: &mut StdRng| (rng.gen_range(10_000..80_000) as f64 * scale).max(10.0) as u64;
+        let l1_rows =
+            |rng: &mut StdRng| (rng.gen_range(800_000..4_000_000) as f64 * scale).max(50.0) as u64;
+        let l2_rows =
+            |rng: &mut StdRng| (rng.gen_range(80_000..600_000) as f64 * scale).max(20.0) as u64;
+        let l3_rows =
+            |rng: &mut StdRng| (rng.gen_range(10_000..80_000) as f64 * scale).max(10.0) as u64;
 
         // --- Level 3 first (leaves of the snowflake). ---
         let mut level3 = Vec::new();
@@ -78,7 +81,7 @@ impl StarSchema {
         let mut level2 = Vec::new();
         for i in 0..LEVELS[1] {
             let rows = l2_rows(&mut rng);
-            let child = if i < LEVELS[2] { Some(level3[i]) } else { None };
+            let child = level3.get(i).copied();
             let t = catalog.add_table(dimension_table(
                 &format!("dim2_{i}"),
                 rows,
@@ -102,7 +105,7 @@ impl StarSchema {
         let mut level1 = Vec::new();
         for i in 0..LEVELS[0] {
             let rows = l1_rows(&mut rng);
-            let child = if i < LEVELS[1] { Some(level2[i]) } else { None };
+            let child = level2.get(i).copied();
             let t = catalog.add_table(dimension_table(
                 &format!("dim1_{i}"),
                 rows,
@@ -159,7 +162,11 @@ impl StarSchema {
 
     /// Children of `table` in the snowflake (via FK edges).
     pub fn children_of(&self, table: TableId) -> Vec<FkEdge> {
-        self.edges.iter().filter(|e| e.child == table).copied().collect()
+        self.edges
+            .iter()
+            .filter(|e| e.child == table)
+            .copied()
+            .collect()
     }
 }
 
@@ -172,7 +179,7 @@ fn dimension_table(name: &str, rows: u64, fks: usize, rng: &mut StdRng) -> Table
         cols.push(Column::new(format!("fk{i}"), ColumnType::Int8).with_ndv(1));
     }
     for i in 0..DIM_ATTRS {
-        let ndv = (rows / rng.gen_range(2..50)).max(2);
+        let ndv = (rows / rng.gen_range(2..50u64)).max(2);
         cols.push(
             Column::new(format!("a{i}"), ColumnType::Int8)
                 .with_stats(ColumnStats::uniform(0.0, ndv as f64, ndv as f64)),
@@ -259,7 +266,7 @@ fn generate_query(schema: &StarSchema, rng: &mut StdRng, name: &str, width: usiz
     // workload with a handful of covering indexes (paper §VI-E finds 4
     // fact-table covering indexes suffice).
     let fact = catalog.table(schema.fact);
-    let measure = LEVELS[0] + rng.gen_range(0..3);
+    let measure = LEVELS[0] + rng.gen_range(0..3usize);
     let mcol = fact.column(measure as u16);
     let hi = mcol.stats().max * 0.01;
     qb = qb.filter_range(("fact", mcol.name()), 0.0, hi);
@@ -277,7 +284,7 @@ fn generate_query(schema: &StarSchema, rng: &mut StdRng, name: &str, width: usiz
     }
 
     // Random select columns: one from the fact, one from each dimension.
-    let fmeasure = LEVELS[0] + rng.gen_range(0..4);
+    let fmeasure = LEVELS[0] + rng.gen_range(0..4usize);
     qb = qb.select(("fact", fact.column(fmeasure as u16).name()));
     for &t in tables.iter().skip(1) {
         let dt = catalog.table(t);
@@ -301,7 +308,7 @@ fn generate_query(schema: &StarSchema, rng: &mut StdRng, name: &str, width: usiz
         let a_name = dt.column(attr).name().to_string();
         qb = qb.order_by((&dt_name, &a_name));
     } else {
-        let m = LEVELS[0] + rng.gen_range(0..4);
+        let m = LEVELS[0] + rng.gen_range(0..4usize);
         qb = qb.order_by(("fact", fact.column(m as u16).name()));
     }
 

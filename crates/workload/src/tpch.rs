@@ -55,7 +55,8 @@ pub fn tpch_catalog(sf: f64) -> Catalog {
         n(10_000.0),
         vec![
             Column::new("s_suppkey", ColumnType::Int4).with_stats(correlated(n(10_000.0))),
-            Column::new("s_name", ColumnType::Text { avg_len: 18 }).with_stats(uniform(n(10_000.0))),
+            Column::new("s_name", ColumnType::Text { avg_len: 18 })
+                .with_stats(uniform(n(10_000.0))),
             Column::new("s_nationkey", ColumnType::Int4).with_stats(uniform(25)),
             Column::new("s_acctbal", ColumnType::Float8).with_stats(uniform(n(10_000.0))),
         ],
@@ -65,7 +66,8 @@ pub fn tpch_catalog(sf: f64) -> Catalog {
         n(150_000.0),
         vec![
             Column::new("c_custkey", ColumnType::Int4).with_stats(correlated(n(150_000.0))),
-            Column::new("c_name", ColumnType::Text { avg_len: 18 }).with_stats(uniform(n(150_000.0))),
+            Column::new("c_name", ColumnType::Text { avg_len: 18 })
+                .with_stats(uniform(n(150_000.0))),
             Column::new("c_nationkey", ColumnType::Int4).with_stats(uniform(25)),
             Column::new("c_mktsegment", ColumnType::Text { avg_len: 10 }).with_stats(uniform(5)),
             Column::new("c_acctbal", ColumnType::Float8).with_stats(uniform(n(140_000.0))),
@@ -76,7 +78,8 @@ pub fn tpch_catalog(sf: f64) -> Catalog {
         n(200_000.0),
         vec![
             Column::new("p_partkey", ColumnType::Int4).with_stats(correlated(n(200_000.0))),
-            Column::new("p_name", ColumnType::Text { avg_len: 32 }).with_stats(uniform(n(200_000.0))),
+            Column::new("p_name", ColumnType::Text { avg_len: 32 })
+                .with_stats(uniform(n(200_000.0))),
             Column::new("p_type", ColumnType::Text { avg_len: 20 }).with_stats(uniform(150)),
             Column::new("p_size", ColumnType::Int4).with_stats(uniform(50)),
         ],
@@ -96,8 +99,11 @@ pub fn tpch_catalog(sf: f64) -> Catalog {
         vec![
             Column::new("o_orderkey", ColumnType::Int4).with_stats(correlated(n(1_500_000.0))),
             Column::new("o_custkey", ColumnType::Int4).with_stats(uniform(n(100_000.0))),
-            Column::new("o_orderdate", ColumnType::Date)
-                .with_stats({ let mut s = ColumnStats::uniform(0.0, 2406.0, 2406.0); s.correlation = 1.0; s }), // days 1992-01-01..1998-08-02
+            Column::new("o_orderdate", ColumnType::Date).with_stats({
+                let mut s = ColumnStats::uniform(0.0, 2406.0, 2406.0);
+                s.correlation = 1.0;
+                s
+            }), // days 1992-01-01..1998-08-02
             Column::new("o_shippriority", ColumnType::Int4).with_stats(uniform(1)),
             Column::new("o_totalprice", ColumnType::Float8).with_stats(uniform(n(1_500_000.0))),
         ],

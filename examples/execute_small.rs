@@ -15,7 +15,11 @@ fn main() {
     let schema = StarSchema::generate(42, 0.001); // ~25k fact rows
     let workload = StarWorkload::generate(&schema, 7, 6);
     let db = Database::generate(&schema.catalog, 99);
-    println!("generated {} rows across {} tables\n", db.total_rows(), schema.catalog.table_count());
+    println!(
+        "generated {} rows across {} tables\n",
+        db.total_rows(),
+        schema.catalog.table_count()
+    );
 
     let advice = advise(
         &schema.catalog,
@@ -30,7 +34,11 @@ fn main() {
 
     let optimizer = Optimizer::new(&schema.catalog);
     for query in workload.queries.iter().take(3) {
-        let before = optimizer.optimize(query, &Configuration::empty(), &OptimizerOptions::standard());
+        let before = optimizer.optimize(
+            query,
+            &Configuration::empty(),
+            &OptimizerOptions::standard(),
+        );
         let after = optimizer.optimize(query, &tuned_config, &OptimizerOptions::standard());
         let out_before = execute(&schema.catalog, query, &db, &before.plan);
         let out_after = execute(&schema.catalog, query, &db, &after.plan);

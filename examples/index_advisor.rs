@@ -27,7 +27,10 @@ fn main() {
     };
     let advice = advise(&schema.catalog, &workload.queries, &opts);
 
-    println!("{:<6} {:>14} {:>14} {:>12}", "query", "original", "with indexes", "improvement");
+    println!(
+        "{:<6} {:>14} {:>14} {:>12}",
+        "query", "original", "with indexes", "improvement"
+    );
     for o in &advice.per_query {
         println!(
             "{:<6} {:>14.0} {:>14.0} {:>11.0}%",

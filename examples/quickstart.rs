@@ -26,8 +26,15 @@ fn main() {
     );
 
     // Plain optimizer call: the plan without any indexes.
-    let planned = optimizer.optimize(query, &Configuration::empty(), &OptimizerOptions::standard());
-    println!("plan without indexes (cost {:.0}):", planned.best_cost.total);
+    let planned = optimizer.optimize(
+        query,
+        &Configuration::empty(),
+        &OptimizerOptions::standard(),
+    );
+    println!(
+        "plan without indexes (cost {:.0}):",
+        planned.best_cost.total
+    );
     println!("{}", planned.plan.explain());
 
     // Fill the whole INUM plan cache with two calls (paper §V-D).

@@ -1,0 +1,179 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness (the build environment has no access to crates.io).
+//!
+//! It supports the subset the workspace's benches use — benchmark groups,
+//! `sample_size`, `bench_function`, `bench_with_input`, `BenchmarkId`, and
+//! `Bencher::iter` — measures wall-clock time per iteration, and prints a
+//! one-line min/median/mean summary per benchmark. No statistics beyond
+//! that: the point is that `cargo bench` runs and reports comparable
+//! numbers, not confidence intervals.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 30,
+        }
+    }
+}
+
+/// A named benchmark id (`BenchmarkId::new("function", parameter)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&self.name, &id.into_benchmark_id());
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        b.report(&self.name, &id.into_benchmark_id());
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs and times the benchmarked routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up iteration, then `sample_size` timed iterations.
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples");
+            return;
+        }
+        self.samples.sort_unstable();
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{group}/{id}: min {min:?}  median {median:?}  mean {mean:?}  ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -10,9 +10,12 @@
 //! * [`query`] — SPJ+aggregation queries, selectivity, interesting orders;
 //! * [`optimizer`] — bottom-up System-R dynamic-programming optimizer with
 //!   the PINUM instrumentation hooks;
-//! * [`core`] — the INUM plan cache, its cost model, and the classic
-//!   (per-IOC) and PINUM (one-call) cache builders;
-//! * [`advisor`] — greedy index-selection tool with a space budget;
+//! * [`core`] — the INUM plan cache, its cost model, the classic
+//!   (per-IOC) and PINUM (one-call) cache builders, and the workload-scale
+//!   incremental pricing engine (`WorkloadModel`);
+//! * [`advisor`] — greedy index-selection tool with a space budget, driven
+//!   by incremental delta pricing (probe a candidate → re-price only the
+//!   queries it can affect);
 //! * [`workload`] — the paper's synthetic star-schema workload and TPC-H
 //!   statistics;
 //! * [`engine`] — a mini in-memory executor for small-scale validation.

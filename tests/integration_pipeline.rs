@@ -154,7 +154,11 @@ fn advisor_budget_and_improvement() {
     );
     assert!(pinum.greedy.total_bytes <= budget);
     for o in &pinum.per_query {
-        assert!(o.final_cost <= o.original_cost * (1.0 + 1e-9), "{} worsened", o.name);
+        assert!(
+            o.final_cost <= o.original_cost * (1.0 + 1e-9),
+            "{} worsened",
+            o.name
+        );
     }
     assert!(pinum.average_improvement() > 0.0);
 

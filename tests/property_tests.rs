@@ -1,9 +1,9 @@
 //! Property-based tests over the core invariants (proptest).
 
 use pinum::catalog::{Catalog, Column, ColumnStats, ColumnType, Index, Table};
-use pinum::core::builder::{build_cache_pinum, BuilderOptions};
 use pinum::core::access_costs::collect_pinum;
-use pinum::core::{CacheCostModel, CandidatePool, Selection};
+use pinum::core::builder::{build_cache_pinum, BuilderOptions};
+use pinum::core::{CacheCostModel, CandidatePool, Selection, WorkloadModel};
 use pinum::optimizer::{Optimizer, OptimizerOptions};
 use pinum::query::{InterestingOrders, Ioc, QueryBuilder};
 use proptest::prelude::*;
@@ -168,5 +168,101 @@ proptest! {
             .total;
         prop_assert!((est - direct).abs() / direct < 0.10,
             "est {} vs direct {}", est, direct);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The workload model's incremental pricing is exact: on random
+    /// two-table workloads, for every base selection and every candidate,
+    /// `price_delta` equals a full re-pricing under the extended
+    /// selection, and both agree with the per-query `CacheCostModel`.
+    #[test]
+    fn workload_model_delta_pricing_is_exact(
+        fact_rows in 50_000u64..400_000,
+        dim_rows in 500u64..20_000,
+        sel_pct in 1u32..20,
+        sel_masks in prop::collection::vec(0u64..64, 6),
+    ) {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "f",
+            fact_rows,
+            vec![
+                Column::new("fk", ColumnType::Int8).with_ndv(dim_rows),
+                Column::new("v", ColumnType::Int4).with_ndv(1_000),
+                Column::new("s", ColumnType::Int4).with_ndv(100),
+            ],
+        ));
+        cat.add_table(Table::new(
+            "d",
+            dim_rows,
+            vec![
+                Column::new("k", ColumnType::Int8).with_ndv(dim_rows).with_correlation(1.0),
+                Column::new("w", ColumnType::Int4).with_ndv(50),
+            ],
+        ));
+        let q1 = QueryBuilder::new("q1", &cat)
+            .table("f")
+            .table("d")
+            .join(("f", "fk"), ("d", "k"))
+            .filter_range(("f", "v"), 0.0, 10.0 * sel_pct as f64)
+            .select(("f", "s"))
+            .order_by(("d", "w"))
+            .build();
+        let q2 = QueryBuilder::new("q2", &cat)
+            .table("f")
+            .filter_range(("f", "v"), 0.0, 10.0 * sel_pct as f64)
+            .select(("f", "s"))
+            .order_by(("f", "s"))
+            .build();
+        let f = cat.table(cat.table_id("f").unwrap()).clone();
+        let d = cat.table(cat.table_id("d").unwrap()).clone();
+        let pool = CandidatePool::from_indexes(vec![
+            Index::hypothetical(&f, vec![0], false),
+            Index::hypothetical(&f, vec![1, 0, 2], false),
+            Index::hypothetical(&f, vec![2], false),
+            Index::hypothetical(&d, vec![0], false),
+            Index::hypothetical(&d, vec![1], false),
+            Index::hypothetical(&d, vec![1, 0], false),
+        ]);
+        let opt = Optimizer::new(&cat);
+        let models: Vec<_> = [&q1, &q2]
+            .iter()
+            .map(|q| {
+                let built = build_cache_pinum(&opt, q, &BuilderOptions::default());
+                let (access, _) = collect_pinum(&opt, q, &pool);
+                (built.cache, access)
+            })
+            .collect();
+        let wm = WorkloadModel::build(pool.len(), models.iter().map(|(c, a)| (c, a)));
+
+        for mask in sel_masks {
+            let ids: Vec<usize> = (0..pool.len()).filter(|i| mask & (1 << i) != 0).collect();
+            let sel = Selection::from_ids(pool.len(), &ids);
+
+            // Flattened pricing agrees with the reference model per query.
+            let state = wm.price_full(&sel);
+            for (q, (cache, access)) in models.iter().enumerate() {
+                let reference = CacheCostModel::new(cache, access)
+                    .estimate(&sel)
+                    .map(|e| e.cost)
+                    .unwrap_or(f64::INFINITY);
+                prop_assert_eq!(state.per_query[q], reference,
+                    "query {} selection {:?}", q, &ids);
+            }
+
+            // Delta pricing equals full re-pricing for every candidate.
+            for cand in 0..pool.len() {
+                if sel.contains(cand) {
+                    continue;
+                }
+                let delta = wm.price_delta(&state, &sel, cand);
+                let full = wm.price_full(&sel.with(cand));
+                prop_assert_eq!(delta, full.total,
+                    "selection {:?} + candidate {}", &ids, cand);
+            }
+        }
     }
 }
