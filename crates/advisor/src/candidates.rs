@@ -16,10 +16,16 @@
 //!    columns — these enable index-only plans, which is how the paper's
 //!    tool "reduces the cost of the most expensive queries by building
 //!    covering indexes".
+//!
+//! On top of per-query generation, [`merge_prefix_subsumed`] performs
+//! *workload-level* merging: candidates whose key columns are a strict
+//! prefix of a wider candidate on the same table are dropped, shrinking
+//! the pool before any optimizer call prices it.
 
-use pinum_catalog::{Catalog, Index};
+use pinum_catalog::{Catalog, Index, TableId};
 use pinum_core::CandidatePool;
 use pinum_query::{Query, RelIdx};
+use std::collections::HashMap;
 
 /// Generates the deduplicated candidate pool for a workload.
 pub fn generate_candidates(catalog: &Catalog, queries: &[Query]) -> CandidatePool {
@@ -30,6 +36,59 @@ pub fn generate_candidates(catalog: &Catalog, queries: &[Query]) -> CandidatePoo
         }
     }
     pool
+}
+
+/// [`generate_candidates`] followed by [`merge_prefix_subsumed`].
+pub fn generate_candidates_merged(catalog: &Catalog, queries: &[Query]) -> CandidatePool {
+    merge_prefix_subsumed(&generate_candidates(catalog, queries)).0
+}
+
+/// Workload-level candidate merging: drops every candidate whose key
+/// columns are a strict **prefix** of a wider candidate on the same table
+/// (same uniqueness). The wider index serves every plan shape the narrow
+/// one could — the same interesting orders (order prefixes), the same
+/// lookups, plus covering variants — at a somewhat higher per-scan cost,
+/// so this trades a little pricing fidelity for a smaller pool *before*
+/// any optimizer call or model construction happens. Returns the merged
+/// pool (survivors in original pool order, so runs are deterministic) and
+/// the number of candidates dropped.
+pub fn merge_prefix_subsumed(pool: &CandidatePool) -> (CandidatePool, usize) {
+    // Group candidate ids by (table, uniqueness); prefix subsumption never
+    // crosses either boundary.
+    let mut groups: HashMap<(TableId, bool), Vec<usize>> = HashMap::new();
+    for (id, ix) in pool.indexes().iter().enumerate() {
+        groups
+            .entry((ix.table(), ix.is_unique()))
+            .or_default()
+            .push(id);
+    }
+    let mut dropped = vec![false; pool.len()];
+    for ids in groups.values() {
+        // Lexicographic order on key columns puts every strict prefix
+        // immediately before one of its extensions: if A is a prefix of
+        // some C, every B with A ≤ B ≤ C also starts with A, so checking
+        // each adjacent pair suffices.
+        let mut sorted = ids.clone();
+        sorted.sort_by(|&a, &b| pool.index(a).key_columns().cmp(pool.index(b).key_columns()));
+        for w in sorted.windows(2) {
+            let (ka, kb) = (
+                pool.index(w[0]).key_columns(),
+                pool.index(w[1]).key_columns(),
+            );
+            if ka.len() < kb.len() && kb[..ka.len()] == *ka {
+                dropped[w[0]] = true;
+            }
+        }
+    }
+    let survivors: Vec<Index> = pool
+        .indexes()
+        .iter()
+        .enumerate()
+        .filter(|(id, _)| !dropped[*id])
+        .map(|(_, ix)| ix.clone())
+        .collect();
+    let n_dropped = pool.len() - survivors.len();
+    (CandidatePool::from_indexes(survivors), n_dropped)
 }
 
 fn generate_for_relation(catalog: &Catalog, q: &Query, rel: RelIdx, pool: &mut CandidatePool) {
@@ -140,6 +199,69 @@ mod tests {
         let once = generate_candidates(&cat, std::slice::from_ref(&q));
         let twice = generate_candidates(&cat, &[q.clone(), q]);
         assert_eq!(once.len(), twice.len());
+    }
+
+    #[test]
+    fn merge_drops_strict_prefixes_only() {
+        let (cat, _) = setup();
+        let f = cat.table(cat.table_id("f").unwrap()).clone();
+        let d = cat.table(cat.table_id("d").unwrap()).clone();
+        let pool = CandidatePool::from_indexes(vec![
+            Index::hypothetical(&f, vec![0], false), // prefix of [0,1] → dropped
+            Index::hypothetical(&f, vec![0, 1], false), // prefix of [0,1,2] → dropped
+            Index::hypothetical(&f, vec![0, 1, 2], false), // widest: kept
+            Index::hypothetical(&f, vec![1], false), // no extension: kept
+            Index::hypothetical(&f, vec![2, 0], false), // kept
+            Index::hypothetical(&d, vec![0], false), // other table: kept
+        ]);
+        let (merged, dropped) = merge_prefix_subsumed(&pool);
+        assert_eq!(dropped, 2);
+        assert_eq!(merged.len(), 4);
+        let keys: Vec<&[u16]> = merged
+            .indexes()
+            .iter()
+            .filter(|i| i.table() == f.id())
+            .map(|i| i.key_columns())
+            .collect();
+        assert!(keys.contains(&&[0u16, 1, 2][..]));
+        assert!(keys.contains(&&[1u16][..]));
+        assert!(keys.contains(&&[2u16, 0][..]));
+        assert!(!keys.contains(&&[0u16][..]));
+        assert!(!keys.contains(&&[0u16, 1][..]));
+        // d's single index survives (prefix relations never cross tables).
+        assert_eq!(merged.on_table(cat.table_id("d").unwrap()).len(), 1);
+    }
+
+    #[test]
+    fn merge_non_adjacent_prefix_is_still_found() {
+        // [0] < [0,1] < [0,2] lexicographically: [0] is adjacent only to
+        // [0,1], but it must still be dropped as a prefix of both.
+        let (cat, _) = setup();
+        let f = cat.table(cat.table_id("f").unwrap()).clone();
+        let pool = CandidatePool::from_indexes(vec![
+            Index::hypothetical(&f, vec![0, 2], false),
+            Index::hypothetical(&f, vec![0], false),
+            Index::hypothetical(&f, vec![0, 1], false),
+        ]);
+        let (merged, dropped) = merge_prefix_subsumed(&pool);
+        assert_eq!(dropped, 1);
+        assert!(merged.indexes().iter().all(|i| i.key_columns().len() == 2));
+    }
+
+    #[test]
+    fn merge_shrinks_generated_pools_and_is_idempotent() {
+        let (cat, q) = setup();
+        let pool = generate_candidates(&cat, std::slice::from_ref(&q));
+        let (merged, dropped) = merge_prefix_subsumed(&pool);
+        assert!(dropped > 0, "generated pool should contain prefixes");
+        assert_eq!(merged.len() + dropped, pool.len());
+        let (again, dropped_again) = merge_prefix_subsumed(&merged);
+        assert_eq!(dropped_again, 0, "merging must be idempotent");
+        assert_eq!(again.len(), merged.len());
+        assert_eq!(
+            generate_candidates_merged(&cat, std::slice::from_ref(&q)).len(),
+            merged.len()
+        );
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   happens once per *pick*, not per probe. Produces the identical pick
 //!   sequence and cost trajectory (bit for bit) as the naive engine over
 //!   the same cached models — verified by the `advisor_scale` experiment.
+//!
+//! The model-based search itself is pluggable: `greedy_select_model` is
+//! the reference [`crate::search::EagerGreedy`] strategy, and
+//! [`crate::search`] adds lazy greedy, swap hill climbing, and annealing
+//! on the same substrate.
 
 use pinum_core::{CandidatePool, Selection, WorkloadModel};
 
@@ -118,84 +123,22 @@ pub fn greedy_select(
 }
 
 /// The incremental greedy engine: identical search to [`greedy_select`],
-/// but candidate probes are priced with [`WorkloadModel::price_delta_into`]
+/// but candidate probes are priced with `WorkloadModel::price_delta_into`
 /// (re-pricing only affected queries, no allocation) and the workload is
 /// fully re-priced only when a candidate is actually picked. The pick
 /// sequence, cost trajectory, evaluation count, and final selection are
 /// exactly those of the naive engine over the same cached models.
+///
+/// The loop body now lives in [`crate::search::EagerGreedy`]; this is the
+/// stable function-style entry point, kept as the reference engine the
+/// equivalence tests and experiments compare against.
 pub fn greedy_select_model(
     pool: &CandidatePool,
     opts: &GreedyOptions,
     model: &WorkloadModel,
 ) -> GreedyResult {
-    assert_eq!(
-        pool.len(),
-        model.pool_size(),
-        "model built against a different candidate pool"
-    );
-    let mut selection = Selection::empty(pool.len());
-    let mut picked = Vec::new();
-    let mut evaluations = 0usize;
-    let mut queries_repriced = 0usize;
-    let mut state = model.price_full(&selection);
-    evaluations += 1;
-    queries_repriced += model.query_count();
-    let mut trajectory = vec![state.total];
-    let mut used_bytes = 0u64;
-    let mut scratch = Vec::new();
-
-    loop {
-        let mut best: Option<(usize, f64)> = None; // (candidate, score)
-        for cand in 0..pool.len() {
-            if selection.contains(cand) {
-                continue;
-            }
-            let size = pool.index(cand).size().total_bytes();
-            if used_bytes + size > opts.budget_bytes {
-                continue; // would violate the space constraint
-            }
-            let cost = model.price_delta_into(&state, &selection, cand, &mut scratch);
-            evaluations += 1;
-            queries_repriced += model.affected(cand).len();
-            // Same NaN-proof guard as the naive engine (the two must stay
-            // decision-identical): inf - inf probes are skipped, not picked.
-            let benefit = state.total - cost;
-            if benefit.is_nan() || benefit <= 0.0 {
-                continue;
-            }
-            let score = if opts.benefit_per_byte {
-                benefit / size.max(1) as f64
-            } else {
-                benefit
-            };
-            if best.is_none_or(|(_, s)| score > s) {
-                best = Some((cand, score));
-            }
-        }
-        match best {
-            Some((cand, _)) => {
-                selection.insert(cand);
-                picked.push(cand);
-                used_bytes += pool.index(cand).size().total_bytes();
-                // Full re-price once per pick; the delta totals are
-                // bit-identical to this, so the trajectory matches the
-                // naive engine's.
-                state = model.price_full(&selection);
-                queries_repriced += model.query_count();
-                trajectory.push(state.total);
-            }
-            None => break,
-        }
-    }
-
-    GreedyResult {
-        picked,
-        selection,
-        cost_trajectory: trajectory,
-        total_bytes: used_bytes,
-        evaluations,
-        queries_repriced,
-    }
+    use crate::search::{EagerGreedy, SearchStrategy};
+    EagerGreedy.search(pool, model, opts)
 }
 
 /// Exhaustive reference search over all selections within budget (tiny
@@ -215,7 +158,14 @@ pub fn exhaustive_select(
             continue;
         }
         let cost = workload_cost(&sel);
-        if cost < best_cost {
+        // Same NaN guard as the greedy engines: a workload that prices to
+        // NaN (inf - inf arithmetic in a caller's cost closure) must never
+        // win the argmin, and an infinite incumbent must still be beatable
+        // even if it turned NaN on re-evaluation upstream.
+        if cost.is_nan() {
+            continue;
+        }
+        if cost < best_cost || best_cost.is_nan() {
             best_cost = cost;
             best_sel = sel;
         }
@@ -310,6 +260,33 @@ mod tests {
         let r = greedy_select(&pool, &opts, |_| 500.0);
         assert!(r.picked.is_empty());
         assert_eq!(r.cost_trajectory, vec![500.0]);
+    }
+
+    #[test]
+    fn exhaustive_skips_nan_costs() {
+        // A workload whose cost closure yields NaN for every non-empty
+        // selection (inf - inf arithmetic upstream) must leave the empty
+        // selection as the winner rather than let NaN poison the argmin.
+        let (pool, _) = pool3();
+        let (sel, cost) = exhaustive_select(&pool, u64::MAX, |s: &Selection| {
+            if s.is_empty() {
+                f64::INFINITY
+            } else {
+                f64::NAN
+            }
+        });
+        assert!(sel.is_empty(), "picked {:?}", sel.ids().collect::<Vec<_>>());
+        assert!(cost.is_infinite());
+        // And a finite selection must still beat an infinite incumbent.
+        let (sel2, cost2) = exhaustive_select(&pool, u64::MAX, |s: &Selection| {
+            if s.is_empty() {
+                f64::INFINITY
+            } else {
+                s.len() as f64
+            }
+        });
+        assert_eq!(sel2.len(), 1);
+        assert_eq!(cost2, 1.0);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! maximum speed up to the workload."
 //!
 //! * [`candidates`] statically analyses the queries into a large candidate
-//!   set (the paper generates 1093 candidates for its ten-query workload);
+//!   set (the paper generates 1093 candidates for its ten-query workload),
+//!   with optional workload-level prefix-subsumption merging to shrink the
+//!   pool before pricing;
 //! * [`greedy`] implements the iterative benefit-greedy selection — simple,
 //!   but "it has been shown to perform better in terms of accuracy than
 //!   more complex algorithms used in the commercial designers, mainly
@@ -14,18 +16,26 @@
 //!   share the search: a naive full-repricing one and an incremental one
 //!   over [`pinum_core::WorkloadModel`] that re-prices only the queries a
 //!   probed candidate can affect;
+//! * [`search`] turns the model-driven search into a framework: a
+//!   [`search::SearchStrategy`] trait with eager greedy, **lazy greedy**
+//!   (max-heap of stale benefit upper bounds, identical picks at a
+//!   fraction of the probes), drop-one/add-one **swap hill climbing**, and
+//!   deterministic **simulated annealing** — the latter two built on the
+//!   workload model's removal deltas;
 //! * [`tool`] wires candidates + INUM/PINUM caches + the workload model +
-//!   greedy search into the end-to-end advisor, with a pluggable cost
-//!   oracle so the cache-based model can be compared against direct
-//!   optimizer calls.
+//!   the selected search strategy into the end-to-end advisor, with a
+//!   pluggable cost oracle so the cache-based model can be compared
+//!   against direct optimizer calls.
 //!
-//! With the `parallel` feature, the workload model prices queries across
-//! std threads during full re-pricings (see `pinum-core`).
+//! With the `parallel` feature, the workload model flattens queries and
+//! prices full re-pricings across std threads (see `pinum-core`).
 
 pub mod candidates;
 pub mod greedy;
+pub mod search;
 pub mod tool;
 
-pub use candidates::generate_candidates;
+pub use candidates::{generate_candidates, generate_candidates_merged, merge_prefix_subsumed};
 pub use greedy::{greedy_select, greedy_select_model, GreedyOptions, GreedyResult};
+pub use search::{Anneal, EagerGreedy, LazyGreedy, SearchStrategy, StrategyKind, SwapHillClimb};
 pub use tool::{advise, Advice, AdvisorOptions, CostOracle, QueryOutcome};

@@ -1,0 +1,260 @@
+//! Deterministic simulated annealing over the selection space, driven
+//! entirely by incremental deltas: add probes use `price_delta`, drop
+//! probes `price_delta_removed`, swap probes `price_delta_swapped`. The
+//! RNG is the in-tree `rand` shim seeded explicitly, so a run is a pure
+//! function of `(pool, model, options, seed)`.
+
+use super::{LazyGreedy, SearchStrategy};
+use crate::greedy::{GreedyOptions, GreedyResult};
+use pinum_core::{CandidatePool, WorkloadModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulated annealing seeded from [`LazyGreedy`]. Proposes random
+/// add/drop/swap moves, accepts improving moves always and worsening moves
+/// with probability `exp(-Δrel / T)` under a geometric cooling schedule,
+/// and returns the **best selection ever visited** — so the final cost is
+/// never above the greedy seed's.
+#[derive(Debug, Clone, Copy)]
+pub struct Anneal {
+    /// RNG seed; the whole run is determined by it.
+    pub seed: u64,
+    /// Number of proposed moves.
+    pub iterations: usize,
+    /// Initial temperature, in units of *relative* cost change (0.05 ⇒ a
+    /// 5 % cost increase is accepted with probability 1/e at the start).
+    pub initial_temp: f64,
+    /// Geometric cooling factor applied per iteration.
+    pub cooling: f64,
+}
+
+impl Anneal {
+    /// Default knobs with an explicit seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            iterations: 1_500,
+            initial_temp: 0.05,
+            cooling: 0.997,
+        }
+    }
+}
+
+impl Default for Anneal {
+    fn default() -> Self {
+        Self::with_seed(0x5EED)
+    }
+}
+
+impl SearchStrategy for Anneal {
+    fn name(&self) -> &'static str {
+        "anneal"
+    }
+
+    fn search(
+        &self,
+        pool: &CandidatePool,
+        model: &WorkloadModel,
+        opts: &GreedyOptions,
+    ) -> GreedyResult {
+        let seed_result = LazyGreedy.search(pool, model, opts);
+        let mut selection = seed_result.selection.clone();
+        let mut used_bytes = seed_result.total_bytes;
+        let mut evaluations = seed_result.evaluations;
+        let mut queries_repriced = seed_result.queries_repriced;
+        let mut trajectory = seed_result.cost_trajectory.clone();
+
+        let mut state = model.price_full(&selection);
+        queries_repriced += model.query_count();
+
+        let mut best_selection = selection.clone();
+        let mut best_cost = state.total;
+        let mut best_bytes = used_bytes;
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut temp = self.initial_temp;
+        let mut scratch = Vec::new();
+
+        if pool.is_empty() {
+            return seed_result;
+        }
+
+        for _ in 0..self.iterations {
+            temp *= self.cooling;
+            let members: Vec<usize> = selection.ids().collect();
+            // Propose a move; invalid proposals still consume RNG draws so
+            // the stream (and thus the run) stays deterministic.
+            let kind = rng.gen_range(0..3u32);
+            let proposal: Option<(Move, f64)> = match kind {
+                // Add a random unselected candidate that fits the budget.
+                0 => {
+                    let cand = rng.gen_range(0..pool.len());
+                    let bytes = pool.index(cand).size().total_bytes();
+                    (!selection.contains(cand) && used_bytes + bytes <= opts.budget_bytes).then(
+                        || {
+                            let cost =
+                                model.price_delta_into(&state, &selection, cand, &mut scratch);
+                            (Move::Add(cand), cost)
+                        },
+                    )
+                }
+                // Drop a random member.
+                1 => (!members.is_empty()).then(|| {
+                    let cand = members[rng.gen_range(0..members.len())];
+                    let cost =
+                        model.price_delta_removed_into(&state, &selection, cand, &mut scratch);
+                    (Move::Drop(cand), cost)
+                }),
+                // Swap a random member for a random non-member.
+                _ => {
+                    if members.is_empty() {
+                        None
+                    } else {
+                        let drop = members[rng.gen_range(0..members.len())];
+                        let add = rng.gen_range(0..pool.len());
+                        let fits = !selection.contains(add)
+                            && used_bytes - pool.index(drop).size().total_bytes()
+                                + pool.index(add).size().total_bytes()
+                                <= opts.budget_bytes;
+                        fits.then(|| {
+                            let cost = model.price_delta_swapped_into(
+                                &state,
+                                &selection,
+                                add,
+                                drop,
+                                &mut scratch,
+                            );
+                            (Move::Swap { add, drop }, cost)
+                        })
+                    }
+                }
+            };
+            let Some((mv, cost)) = proposal else { continue };
+            evaluations += 1;
+            queries_repriced += scratch.len();
+
+            if !accept(state.total, cost, temp, &mut rng) {
+                continue;
+            }
+            match mv {
+                Move::Add(c) => {
+                    selection.insert(c);
+                    used_bytes += pool.index(c).size().total_bytes();
+                }
+                Move::Drop(c) => {
+                    selection.remove(c);
+                    used_bytes -= pool.index(c).size().total_bytes();
+                }
+                Move::Swap { add, drop } => {
+                    selection.remove(drop);
+                    selection.insert(add);
+                    used_bytes = used_bytes - pool.index(drop).size().total_bytes()
+                        + pool.index(add).size().total_bytes();
+                }
+            }
+            state = model.price_full(&selection);
+            queries_repriced += model.query_count();
+            if state.total < best_cost {
+                best_cost = state.total;
+                best_selection = selection.clone();
+                best_bytes = used_bytes;
+                trajectory.push(best_cost);
+            }
+        }
+
+        GreedyResult {
+            // Pick order is meaningless after annealing; report the final
+            // set in ascending id order.
+            picked: best_selection.ids().collect(),
+            selection: best_selection,
+            cost_trajectory: trajectory,
+            total_bytes: best_bytes,
+            evaluations,
+            queries_repriced,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Move {
+    Add(usize),
+    Drop(usize),
+    Swap { add: usize, drop: usize },
+}
+
+/// Metropolis acceptance on *relative* cost change: always accept
+/// improvements (including inf → finite); accept a worsening with
+/// probability `exp(-Δrel / temp)`. NaN or newly infinite costs are
+/// rejected outright.
+fn accept(current: f64, proposed: f64, temp: f64, rng: &mut StdRng) -> bool {
+    if proposed.is_nan() {
+        return false;
+    }
+    if proposed <= current {
+        return true; // improvement or no-op (covers inf → finite)
+    }
+    if proposed.is_infinite() || current.is_infinite() || temp <= 0.0 {
+        return false;
+    }
+    let delta_rel = (proposed - current) / current.abs().max(f64::MIN_POSITIVE);
+    rng.gen_bool((-delta_rel / temp).exp().clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::fixture;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let (pool, model) = fixture();
+        let opts = GreedyOptions {
+            budget_bytes: 256 << 20,
+            benefit_per_byte: false,
+        };
+        let a = Anneal::with_seed(42).search(&pool, &model, &opts);
+        let b = Anneal::with_seed(42).search(&pool, &model, &opts);
+        assert_eq!(a.picked, b.picked);
+        assert_eq!(a.cost_trajectory, b.cost_trajectory);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn never_worse_than_greedy_seed() {
+        let (pool, model) = fixture();
+        for seed in [1u64, 7, 0xDEAD] {
+            for budget in [32u64 << 20, u64::MAX] {
+                let opts = GreedyOptions {
+                    budget_bytes: budget,
+                    benefit_per_byte: false,
+                };
+                let greedy = LazyGreedy.search(&pool, &model, &opts);
+                let anneal = Anneal::with_seed(seed).search(&pool, &model, &opts);
+                let g = *greedy.cost_trajectory.last().unwrap();
+                let a = *anneal.cost_trajectory.last().unwrap();
+                assert!(a <= g, "seed {seed}: anneal {a} worse than greedy {g}");
+                assert!(anneal.total_bytes <= opts.budget_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn acceptance_rule_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(accept(10.0, 5.0, 0.1, &mut rng), "improvement rejected");
+        assert!(accept(10.0, 10.0, 0.1, &mut rng), "equal-cost rejected");
+        assert!(
+            accept(f64::INFINITY, 5.0, 0.1, &mut rng),
+            "inf → finite rejected"
+        );
+        assert!(!accept(10.0, f64::NAN, 0.1, &mut rng), "NaN accepted");
+        assert!(
+            !accept(10.0, f64::INFINITY, 0.1, &mut rng),
+            "finite → inf accepted"
+        );
+        assert!(
+            !accept(10.0, 11.0, 0.0, &mut rng),
+            "worsening accepted at zero temperature"
+        );
+    }
+}

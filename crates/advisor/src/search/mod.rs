@@ -1,0 +1,194 @@
+//! # Pluggable index-selection search strategies
+//!
+//! PR 1 turned workload pricing into an incremental substrate
+//! ([`pinum_core::WorkloadModel`]): one flattening, then cheap deltas.
+//! This module turns the *search* that runs on top of it into a framework.
+//! The paper's single hard-coded greedy loop becomes one of several
+//! [`SearchStrategy`] implementations, all budget-aware through the same
+//! [`GreedyOptions`] and all reporting the same [`GreedyResult`]:
+//!
+//! * [`EagerGreedy`] — the reference §V-E greedy, loop body extracted from
+//!   the old `greedy_select_model`: every round probes every remaining
+//!   in-budget candidate with an add-delta and picks the best strictly
+//!   positive benefit.
+//! * [`LazyGreedy`] — the same search driven by a max-heap of **stale
+//!   benefit upper bounds** (Minoux's lazy evaluation). A candidate is
+//!   re-priced only when its stale bound tops the heap; a *fresh* top is
+//!   the exact argmax and is picked without touching the rest of the pool.
+//!
+//!   **Invariant this relies on:** a candidate's observed benefit never
+//!   increases as the selection grows (diminishing returns). The flattened
+//!   cost model makes that plausible — adding an index can only lower the
+//!   per-query minimum, shrinking what any *other* index can still save —
+//!   and the `search_strategies` experiment and equivalence tests verify
+//!   the consequence: lazy greedy reproduces [`EagerGreedy`]'s pick
+//!   sequence and cost trajectory **bit for bit** while probing a fraction
+//!   of the pool. Ties break toward the lowest candidate id, exactly like
+//!   the eager scan's strict `>` argmax.
+//! * [`SwapHillClimb`] — drop-one/add-one local search seeded from lazy
+//!   greedy, enabled by the removal deltas
+//!   ([`WorkloadModel::price_delta_swapped_into`]). Escapes the
+//!   one-directional greedy's local optima (e.g. a narrow index picked
+//!   early whose slot a later covering index serves better).
+//! * [`Anneal`] — deterministic seeded simulated annealing over
+//!   add/drop/swap moves, accepting uphill moves with a cooling
+//!   Metropolis rule. Seeded from lazy greedy and returning the best
+//!   selection ever visited, so it can never end worse than its seed.
+//!
+//! The naive closure-driven `greedy_select` stays in [`crate::greedy`] for
+//! the direct-optimizer oracle, which has no [`WorkloadModel`] to search
+//! over.
+
+mod anneal;
+mod greedy;
+mod swap;
+
+pub use anneal::Anneal;
+pub use greedy::{EagerGreedy, LazyGreedy};
+pub use swap::SwapHillClimb;
+
+use crate::greedy::{GreedyOptions, GreedyResult};
+use pinum_core::{CandidatePool, WorkloadModel};
+
+/// One search policy over the incremental pricing substrate.
+///
+/// Implementations must be deterministic: the same pool, model, and
+/// options yield the same [`GreedyResult`] on every run (randomized
+/// strategies carry their own seed).
+pub trait SearchStrategy {
+    /// Stable human-readable name (used in experiment tables and JSON).
+    fn name(&self) -> &'static str;
+
+    /// Runs the search, returning picks, final selection, cost
+    /// trajectory, and probe accounting.
+    fn search(
+        &self,
+        pool: &CandidatePool,
+        model: &WorkloadModel,
+        opts: &GreedyOptions,
+    ) -> GreedyResult;
+}
+
+/// Strategy selector for [`crate::tool::AdvisorOptions`] — a plain enum so
+/// advisor options stay `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Lazy greedy (the default): identical output to the reference
+    /// greedy, fraction of the probes.
+    LazyGreedy,
+    /// Reference eager greedy (probes every candidate every round).
+    EagerGreedy,
+    /// Greedy seed + drop-one/add-one hill climbing.
+    SwapHillClimb,
+    /// Greedy seed + deterministic simulated annealing.
+    Anneal {
+        /// RNG seed (the run is fully determined by it).
+        seed: u64,
+    },
+}
+
+impl StrategyKind {
+    /// Instantiates the strategy with its default knobs.
+    pub fn build(self) -> Box<dyn SearchStrategy> {
+        match self {
+            Self::LazyGreedy => Box::new(LazyGreedy),
+            Self::EagerGreedy => Box::new(EagerGreedy),
+            Self::SwapHillClimb => Box::new(SwapHillClimb::default()),
+            Self::Anneal { seed } => Box::new(Anneal::with_seed(seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinum_catalog::{Catalog, Column, ColumnType, Table};
+    use pinum_core::access_costs::collect_pinum;
+    use pinum_core::builder::{build_cache_pinum, BuilderOptions};
+    use pinum_optimizer::Optimizer;
+    use pinum_query::QueryBuilder;
+
+    /// Small two-query fixture shared by the strategy tests.
+    pub(crate) fn fixture() -> (CandidatePool, WorkloadModel) {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "f",
+            300_000,
+            vec![
+                Column::new("fk", ColumnType::Int8).with_ndv(3_000),
+                Column::new("v", ColumnType::Int4).with_ndv(1_000),
+                Column::new("s", ColumnType::Int4).with_ndv(100),
+            ],
+        ));
+        cat.add_table(Table::new(
+            "d",
+            3_000,
+            vec![
+                Column::new("k", ColumnType::Int8).with_ndv(3_000),
+                Column::new("w", ColumnType::Int4).with_ndv(50),
+            ],
+        ));
+        let q1 = QueryBuilder::new("q1", &cat)
+            .table("f")
+            .table("d")
+            .join(("f", "fk"), ("d", "k"))
+            .filter_range(("f", "v"), 0.0, 10.0)
+            .select(("f", "s"))
+            .order_by(("d", "w"))
+            .build();
+        let q2 = QueryBuilder::new("q2", &cat)
+            .table("f")
+            .filter_range(("f", "v"), 0.0, 10.0)
+            .select(("f", "s"))
+            .order_by(("f", "s"))
+            .build();
+        let pool = crate::candidates::generate_candidates(&cat, &[q1.clone(), q2.clone()]);
+        let opt = Optimizer::new(&cat);
+        let models: Vec<_> = [&q1, &q2]
+            .iter()
+            .map(|q| {
+                let built = build_cache_pinum(&opt, q, &BuilderOptions::default());
+                let (access, _) = collect_pinum(&opt, q, &pool);
+                (built.cache, access)
+            })
+            .collect();
+        let model = WorkloadModel::build(pool.len(), models.iter().map(|(c, a)| (c, a)));
+        (pool, model)
+    }
+
+    #[test]
+    fn every_kind_builds_and_runs() {
+        let (pool, model) = fixture();
+        let opts = GreedyOptions {
+            budget_bytes: 512 * 1024 * 1024,
+            benefit_per_byte: false,
+        };
+        for kind in [
+            StrategyKind::LazyGreedy,
+            StrategyKind::EagerGreedy,
+            StrategyKind::SwapHillClimb,
+            StrategyKind::Anneal { seed: 7 },
+        ] {
+            let strategy = kind.build();
+            let r = strategy.search(&pool, &model, &opts);
+            assert!(
+                r.total_bytes <= opts.budget_bytes,
+                "{} blew the budget",
+                strategy.name()
+            );
+            assert_eq!(
+                r.selection.len(),
+                r.picked.len(),
+                "{} picked/selection mismatch",
+                strategy.name()
+            );
+            let last = *r.cost_trajectory.last().unwrap();
+            let first = r.cost_trajectory[0];
+            assert!(
+                last <= first,
+                "{} ended worse than it started",
+                strategy.name()
+            );
+        }
+    }
+}

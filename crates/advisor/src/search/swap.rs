@@ -1,0 +1,150 @@
+//! Drop-one/add-one local search on top of a greedy seed — the first
+//! consumer of the bidirectional deltas. Greedy only ever *adds*, so it
+//! can strand capacity on a narrow index whose job a later, wider pick
+//! also covers; a swap probe prices "replace selected `s` with unselected
+//! `c`" in one [`WorkloadModel::price_delta_swapped_into`] call over the
+//! merged affected-query sets.
+
+use super::{LazyGreedy, SearchStrategy};
+use crate::greedy::{GreedyOptions, GreedyResult};
+use pinum_core::{CandidatePool, WorkloadModel};
+
+/// Steepest-descent swap hill climbing: seed with [`LazyGreedy`], then
+/// repeatedly apply the single most improving drop-one/add-one exchange
+/// until no swap lowers the workload cost (or `max_rounds` is hit). Every
+/// accepted swap strictly lowers the cost, so the result is never worse
+/// than the greedy seed.
+#[derive(Debug, Clone, Copy)]
+pub struct SwapHillClimb {
+    /// Upper bound on accepted swaps (each round scans |selection| × |pool|
+    /// swap candidates; the bound keeps worst-case cost predictable).
+    pub max_rounds: usize,
+}
+
+impl Default for SwapHillClimb {
+    fn default() -> Self {
+        Self { max_rounds: 32 }
+    }
+}
+
+impl SearchStrategy for SwapHillClimb {
+    fn name(&self) -> &'static str {
+        "swap-hill-climb"
+    }
+
+    fn search(
+        &self,
+        pool: &CandidatePool,
+        model: &WorkloadModel,
+        opts: &GreedyOptions,
+    ) -> GreedyResult {
+        let seed = LazyGreedy.search(pool, model, opts);
+        let mut selection = seed.selection;
+        let mut picked = seed.picked;
+        let mut trajectory = seed.cost_trajectory;
+        let mut used_bytes = seed.total_bytes;
+        let mut evaluations = seed.evaluations;
+        let mut queries_repriced = seed.queries_repriced;
+
+        let mut state = model.price_full(&selection);
+        queries_repriced += model.query_count();
+        let mut scratch = Vec::new();
+
+        for _ in 0..self.max_rounds {
+            // Steepest descent: scan all (drop, add) exchanges that fit the
+            // budget, keep the lowest resulting cost. Ties break toward the
+            // first exchange scanned (ascending drop id, then add id), so
+            // the climb is deterministic.
+            let mut best: Option<(usize, usize, f64)> = None; // (drop, add, cost)
+            let members: Vec<usize> = selection.ids().collect();
+            for &drop in &members {
+                let drop_bytes = pool.index(drop).size().total_bytes();
+                for add in 0..pool.len() {
+                    if selection.contains(add) {
+                        continue;
+                    }
+                    let add_bytes = pool.index(add).size().total_bytes();
+                    if used_bytes - drop_bytes + add_bytes > opts.budget_bytes {
+                        continue;
+                    }
+                    let cost =
+                        model.price_delta_swapped_into(&state, &selection, add, drop, &mut scratch);
+                    evaluations += 1;
+                    queries_repriced += scratch.len();
+                    // Same NaN-proof guard as the greedy engines: an
+                    // inf/NaN probe must never win the argmin.
+                    let gain = state.total - cost;
+                    if gain.is_nan() || gain <= 0.0 {
+                        continue;
+                    }
+                    if best.is_none_or(|(_, _, c)| cost < c) {
+                        best = Some((drop, add, cost));
+                    }
+                }
+            }
+            match best {
+                Some((drop, add, _)) => {
+                    selection.remove(drop);
+                    selection.insert(add);
+                    used_bytes = used_bytes - pool.index(drop).size().total_bytes()
+                        + pool.index(add).size().total_bytes();
+                    // `picked` tracks the surviving set in acquisition
+                    // order: the dropped index leaves, the added one joins
+                    // at the end.
+                    picked.retain(|&p| p != drop);
+                    picked.push(add);
+                    state = model.price_full(&selection);
+                    queries_repriced += model.query_count();
+                    trajectory.push(state.total);
+                }
+                None => break, // local optimum under the swap neighbourhood
+            }
+        }
+
+        GreedyResult {
+            picked,
+            selection,
+            cost_trajectory: trajectory,
+            total_bytes: used_bytes,
+            evaluations,
+            queries_repriced,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::fixture;
+    use super::*;
+
+    #[test]
+    fn never_worse_than_greedy_seed() {
+        let (pool, model) = fixture();
+        for budget in [32u64 << 20, 128 << 20, u64::MAX] {
+            let opts = GreedyOptions {
+                budget_bytes: budget,
+                benefit_per_byte: false,
+            };
+            let greedy = LazyGreedy.search(&pool, &model, &opts);
+            let swap = SwapHillClimb::default().search(&pool, &model, &opts);
+            let g = *greedy.cost_trajectory.last().unwrap();
+            let s = *swap.cost_trajectory.last().unwrap();
+            assert!(s <= g, "swap ended worse than greedy: {s} vs {g}");
+            assert!(swap.total_bytes <= opts.budget_bytes);
+            assert_eq!(swap.picked.len(), swap.selection.len());
+        }
+    }
+
+    #[test]
+    fn zero_rounds_reduces_to_greedy() {
+        let (pool, model) = fixture();
+        let opts = GreedyOptions {
+            budget_bytes: 256 << 20,
+            benefit_per_byte: false,
+        };
+        let greedy = LazyGreedy.search(&pool, &model, &opts);
+        let swap = SwapHillClimb { max_rounds: 0 }.search(&pool, &model, &opts);
+        assert_eq!(greedy.picked, swap.picked);
+        assert_eq!(greedy.cost_trajectory, swap.cost_trajectory);
+    }
+}

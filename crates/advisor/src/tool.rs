@@ -1,15 +1,18 @@
-//! The end-to-end index advisor: candidates → per-query INUM caches →
-//! workload pricing model → greedy search → per-query outcomes (paper
-//! §V-E / §VI-E).
+//! The end-to-end index advisor: candidates (optionally merged) →
+//! per-query INUM caches → workload pricing model → pluggable search
+//! strategy → per-query outcomes (paper §V-E / §VI-E).
 //!
-//! For the cache-backed oracles the greedy search runs on the incremental
-//! [`WorkloadModel`] engine: each candidate probe re-prices only the
-//! queries that candidate can affect, instead of the whole workload. The
-//! direct-optimizer oracle (ablations only) keeps the naive closure-driven
-//! engine, since every probe there is an optimizer call anyway.
+//! For the cache-backed oracles the search runs on the incremental
+//! [`WorkloadModel`] engine through a [`crate::search::SearchStrategy`]
+//! selected by [`AdvisorOptions::strategy`] (lazy greedy by default): each
+//! candidate probe re-prices only the queries that candidate can affect,
+//! instead of the whole workload. The direct-optimizer oracle (ablations
+//! only) keeps the naive closure-driven engine, since every probe there is
+//! an optimizer call anyway.
 
-use crate::candidates::generate_candidates;
-use crate::greedy::{greedy_select, greedy_select_model, GreedyOptions, GreedyResult};
+use crate::candidates::{generate_candidates, merge_prefix_subsumed};
+use crate::greedy::{greedy_select, GreedyOptions, GreedyResult};
+use crate::search::StrategyKind;
 use pinum_catalog::Catalog;
 use pinum_core::access_costs::{collect_inum, collect_pinum, AccessCostCatalog};
 use pinum_core::builder::{build_cache_inum, build_cache_pinum, BuilderOptions};
@@ -38,16 +41,38 @@ pub struct AdvisorOptions {
     pub builder: BuilderOptions,
     /// Rank by benefit per byte instead of raw benefit.
     pub benefit_per_byte: bool,
+    /// Search strategy over the workload model (ignored by the
+    /// direct-optimizer oracle, which has no model and keeps the naive
+    /// closure greedy).
+    pub strategy: StrategyKind,
+    /// Merge prefix-subsumed candidates before pricing (workload-level
+    /// pool shrinking; see
+    /// [`crate::candidates::merge_prefix_subsumed`]).
+    pub merge_candidates: bool,
 }
 
 impl AdvisorOptions {
-    /// The paper's experiment: 5 GB budget, PINUM caches.
+    /// The paper's experiment: 5 GB budget, PINUM caches, lazy greedy
+    /// (identical picks to the paper's greedy, fraction of the probes).
     pub fn paper_defaults() -> Self {
         Self {
             budget_bytes: 5 * 1024 * 1024 * 1024,
             oracle: CostOracle::PinumCache,
             builder: BuilderOptions::default(),
             benefit_per_byte: false,
+            strategy: StrategyKind::LazyGreedy,
+            merge_candidates: false,
+        }
+    }
+
+    /// `paper_defaults` plus the workload-level optimizations that depart
+    /// from the paper: prefix-subsumption candidate merging before
+    /// pricing, and swap hill climbing after the greedy seed.
+    pub fn optimized_defaults() -> Self {
+        Self {
+            strategy: StrategyKind::SwapHillClimb,
+            merge_candidates: true,
+            ..Self::paper_defaults()
         }
     }
 }
@@ -84,6 +109,9 @@ pub struct Advice {
     pub model_build_time: Duration,
     /// Optimizer calls spent building the model.
     pub model_build_calls: usize,
+    /// Candidates removed by workload-level prefix merging (0 when
+    /// `merge_candidates` is off).
+    pub candidates_merged: usize,
 }
 
 impl Advice {
@@ -113,7 +141,13 @@ impl Advice {
 /// Runs the whole tool on a workload.
 pub fn advise(catalog: &Catalog, queries: &[Query], options: &AdvisorOptions) -> Advice {
     let optimizer = Optimizer::new(catalog);
-    let pool = generate_candidates(catalog, queries);
+    let mut pool = generate_candidates(catalog, queries);
+    let mut candidates_merged = 0;
+    if options.merge_candidates {
+        let (merged, dropped) = merge_prefix_subsumed(&pool);
+        pool = merged;
+        candidates_merged = dropped;
+    }
 
     // --- Build the cost model (the part PINUM accelerates). ---
     let mut build_time = Duration::ZERO;
@@ -141,13 +175,13 @@ pub fn advise(catalog: &Catalog, queries: &[Query], options: &AdvisorOptions) ->
     let workload_model = (options.oracle != CostOracle::DirectOptimizer)
         .then(|| WorkloadModel::build(pool.len(), models.iter().map(|(c, a)| (c, a))));
 
-    // --- Greedy search over the pool. ---
+    // --- Search over the pool with the selected strategy. ---
     let gopts = GreedyOptions {
         budget_bytes: options.budget_bytes,
         benefit_per_byte: options.benefit_per_byte,
     };
     let greedy = match &workload_model {
-        Some(model) => greedy_select_model(&pool, &gopts, model),
+        Some(model) => options.strategy.build().search(&pool, model, &gopts),
         None => greedy_select(&pool, &gopts, |sel: &Selection| -> f64 {
             let (config, _) = pool.configuration(sel);
             queries
@@ -204,6 +238,7 @@ pub fn advise(catalog: &Catalog, queries: &[Query], options: &AdvisorOptions) ->
         per_query,
         model_build_time: build_time,
         model_build_calls: build_calls,
+        candidates_merged,
     }
 }
 
@@ -328,6 +363,74 @@ mod tests {
         assert_eq!(naive.total_bytes, incremental.total_bytes);
         assert_eq!(naive.evaluations, incremental.evaluations);
         assert!(incremental.queries_repriced > 0);
+    }
+
+    #[test]
+    fn optimized_defaults_merge_candidates_and_still_improve() {
+        let (cat, queries) = setup();
+        let paper = advise(
+            &cat,
+            &queries,
+            &AdvisorOptions {
+                budget_bytes: 512 * 1024 * 1024,
+                ..AdvisorOptions::paper_defaults()
+            },
+        );
+        let optimized = advise(
+            &cat,
+            &queries,
+            &AdvisorOptions {
+                budget_bytes: 512 * 1024 * 1024,
+                ..AdvisorOptions::optimized_defaults()
+            },
+        );
+        assert_eq!(paper.candidates_merged, 0);
+        assert!(optimized.candidates_merged > 0, "nothing merged");
+        assert!(optimized.pool.len() < paper.pool.len());
+        assert!(optimized.average_improvement() > 0.1);
+        assert!(optimized.greedy.total_bytes <= 512 * 1024 * 1024);
+    }
+
+    #[test]
+    fn every_strategy_improves_the_workload() {
+        use crate::search::StrategyKind;
+        let (cat, queries) = setup();
+        let budget = 512 * 1024 * 1024;
+        let greedy_final = {
+            let advice = advise(
+                &cat,
+                &queries,
+                &AdvisorOptions {
+                    budget_bytes: budget,
+                    ..AdvisorOptions::paper_defaults()
+                },
+            );
+            *advice.greedy.cost_trajectory.last().unwrap()
+        };
+        for kind in [
+            StrategyKind::EagerGreedy,
+            StrategyKind::SwapHillClimb,
+            StrategyKind::Anneal { seed: 3 },
+        ] {
+            let advice = advise(
+                &cat,
+                &queries,
+                &AdvisorOptions {
+                    budget_bytes: budget,
+                    strategy: kind,
+                    ..AdvisorOptions::paper_defaults()
+                },
+            );
+            let fin = *advice.greedy.cost_trajectory.last().unwrap();
+            assert!(
+                fin <= greedy_final * (1.0 + 1e-9),
+                "{kind:?} ended at {fin}, greedy at {greedy_final}"
+            );
+            assert!(
+                advice.average_improvement() > 0.1,
+                "{kind:?} no improvement"
+            );
+        }
     }
 
     #[test]

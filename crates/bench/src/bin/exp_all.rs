@@ -16,5 +16,6 @@ fn main() {
     e::greedy_quality::run(scale);
     e::engine_validation::run(scale);
     e::advisor_scale::run(scale);
+    e::search_strategies::run(scale);
     println!("==== done ====");
 }

@@ -1,0 +1,17 @@
+//! Pluggable search strategies over one shared workload model: eager vs
+//! lazy greedy (must be bit-identical at ≤50% of the probes), swap hill
+//! climbing, and deterministic annealing (never worse than greedy). See
+//! `experiments::search_strategies`.
+use pinum_bench::experiments::search_strategies;
+use pinum_bench::fixtures::scale_from_env;
+
+fn main() {
+    let outcome = search_strategies::run(scale_from_env());
+    // The strategy-equivalence acceptance gates are asserted inside
+    // `run`; re-state the headline numbers for the CI log.
+    println!(
+        "acceptance ok: lazy identical over {} queries × {} candidates at probe \
+         fraction {:.2}",
+        outcome.queries, outcome.candidates, outcome.probe_fraction
+    );
+}

@@ -12,6 +12,7 @@
 //! wall-clock speedup.
 
 use crate::fixtures::{SCHEMA_SEED, WORKLOAD_SEED};
+use crate::json::{emit, JsonObject};
 use crate::table::{fmt_duration, TextTable};
 use pinum_advisor::candidates::generate_candidates;
 use pinum_advisor::greedy::{greedy_select, greedy_select_model, GreedyOptions, GreedyResult};
@@ -158,6 +159,30 @@ pub fn run(scale: f64) -> ScaleOutcome {
     ]);
     println!("{}", table.render());
     println!("pick sequences identical: {identical}; speedup: {speedup:.1}x (acceptance: ≥5x)\n");
+    emit(
+        "advisor_scale",
+        &JsonObject::new()
+            .int("queries", models.len() as u64)
+            .int("candidates", pool.len() as u64)
+            .num("scale", scale)
+            .int("budget_bytes", budget)
+            .int("picks", incremental.picked.len() as u64)
+            .num("naive_wall_seconds", naive_wall.as_secs_f64())
+            .num("incremental_wall_seconds", incremental_wall.as_secs_f64())
+            .int("naive_probes", naive.evaluations as u64)
+            .int("incremental_probes", incremental.evaluations as u64)
+            .int(
+                "naive_queries_repriced",
+                (naive.evaluations * models.len()) as u64,
+            )
+            .int(
+                "incremental_queries_repriced",
+                incremental.queries_repriced as u64,
+            )
+            .num("final_cost", *incremental.cost_trajectory.last().unwrap())
+            .num("speedup", speedup)
+            .bool("identical", identical),
+    );
     assert!(identical, "engines diverged — delta pricing is broken");
 
     ScaleOutcome {

@@ -10,4 +10,5 @@ pub mod index_selection;
 pub mod nlj;
 pub mod pruning;
 pub mod redundancy;
+pub mod search_strategies;
 pub mod whatif;

@@ -1,0 +1,127 @@
+//! Minimal machine-readable JSON emission for experiments (no serde in
+//! the offline build environment).
+//!
+//! Every experiment that participates in CI acceptance prints one line
+//! `JSON <name>: {...}` to stdout — greppable by scripts — and, when the
+//! `PINUM_JSON_DIR` environment variable is set, also writes the object to
+//! `<dir>/<name>.json`.
+
+use std::fmt::Write as _;
+
+/// An append-only JSON object builder. Keys are emitted in insertion
+/// order; values are pre-rendered JSON fragments.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A string field (escapes quotes and backslashes; experiment names
+    /// and labels need nothing fancier).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+        self.fields
+            .push((key.to_string(), format!("\"{escaped}\"")));
+        self
+    }
+
+    /// An integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// A float field; non-finite values become `null` (JSON has no
+    /// Infinity/NaN).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// A nested pre-rendered JSON value (object or array).
+    pub fn raw(mut self, key: &str, json: String) -> Self {
+        self.fields.push((key.to_string(), json));
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a JSON array from pre-rendered element fragments.
+pub fn json_array(elements: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, e) in elements.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&e);
+    }
+    out.push(']');
+    out
+}
+
+/// Prints the `JSON <name>: {...}` line and mirrors it to
+/// `$PINUM_JSON_DIR/<name>.json` when that variable is set.
+pub fn emit(name: &str, object: &JsonObject) {
+    let rendered = object.render();
+    println!("JSON {name}: {rendered}");
+    if let Ok(dir) = std::env::var("PINUM_JSON_DIR") {
+        if !dir.is_empty() {
+            let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+            if let Err(e) = std::fs::write(&path, &rendered) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_shapes() {
+        let obj = JsonObject::new()
+            .str("name", "a \"quoted\" label")
+            .int("count", 42)
+            .num("cost", 1.5)
+            .num("inf", f64::INFINITY)
+            .bool("ok", true)
+            .raw("nested", json_array(vec!["1".into(), "2".into()]));
+        assert_eq!(
+            obj.render(),
+            "{\"name\":\"a \\\"quoted\\\" label\",\"count\":42,\"cost\":1.5,\
+             \"inf\":null,\"ok\":true,\"nested\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObject::new().render(), "{}");
+        assert_eq!(json_array(Vec::<String>::new()), "[]");
+    }
+}

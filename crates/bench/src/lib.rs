@@ -16,10 +16,16 @@
 //! | `exp_greedy_quality` | §V-E greedy vs exhaustive ablation |
 //! | `exp_engine_validation` | cost-model validation against the mini engine |
 //! | `exp_advisor_scale` | workload-scale advisor: incremental `WorkloadModel` greedy vs naive full repricing (200 queries) |
+//! | `exp_search_strategies` | pluggable search strategies (eager/lazy greedy, swap hill climb, anneal) over one shared model |
 //! | `exp_all` | runs everything in sequence |
+//!
+//! Experiments that participate in CI acceptance also print a machine-
+//! readable `JSON <name>: {...}` line (see [`json`]) and mirror it to
+//! `$PINUM_JSON_DIR/<name>.json` when that variable is set.
 
 pub mod experiments;
 pub mod fixtures;
+pub mod json;
 pub mod table;
 
 pub use fixtures::{paper_workload, PaperWorkload};

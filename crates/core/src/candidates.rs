@@ -187,6 +187,13 @@ impl Selection {
         s.insert(id);
         s
     }
+
+    /// A copy with one candidate removed.
+    pub fn without(&self, id: usize) -> Self {
+        let mut s = self.clone();
+        s.remove(id);
+        s
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +244,10 @@ mod tests {
         let s2 = s.with(64);
         assert_eq!(s2.len(), 3);
         assert_eq!(s.len(), 2, "with() must not mutate");
+        let s3 = s2.without(64);
+        assert_eq!(s3.len(), 2);
+        assert_eq!(s2.len(), 3, "without() must not mutate");
+        assert!(!s3.contains(64));
     }
 
     #[test]

@@ -31,9 +31,13 @@
 //! On top of the per-query caches, [`workload_model::WorkloadModel`]
 //! flattens a whole workload's plans and access costs into a dense,
 //! incrementally-evaluable pricing engine: `price_full` for a selection,
-//! `price_delta` to re-price only the queries a probed candidate can
-//! affect — the structure the index advisor's greedy loop runs on. With
-//! the `parallel` feature, full re-pricings fan out across std threads.
+//! then **bidirectional** deltas — `price_delta` (add),
+//! `price_delta_removed` (drop), and `price_delta_swapped` (drop-one/
+//! add-one) — each re-pricing only the queries the touched candidates can
+//! affect. This is the substrate the advisor's pluggable search strategies
+//! run on. With the `parallel` feature, both model *construction*
+//! (per-query flattening) and full re-pricings fan out across std threads,
+//! with output identical to the serial paths.
 
 pub mod access_costs;
 pub mod builder;

@@ -30,7 +30,7 @@
 //! *query* set: adding candidate `c` to a selection can only change the
 //! price of queries whose arms mention `c`.
 //!
-//! ## Incremental pricing
+//! ## Incremental pricing — bidirectional
 //!
 //! [`WorkloadModel::price_full`] prices every query and records the
 //! per-query costs in a [`PricedWorkload`]. A greedy probe then calls
@@ -41,6 +41,26 @@
 //! query order — so the returned total is **bit-for-bit identical** to a
 //! full re-pricing under the extended selection. A `debug_assert` path
 //! proves exactly that on every delta in debug builds.
+//!
+//! Deltas run in **both directions**:
+//! [`WorkloadModel::price_delta_removed`] prices the workload with a
+//! selected candidate *masked out* (no clone, same affected-query set —
+//! removal can only change queries whose arms mention the candidate), and
+//! [`WorkloadModel::price_delta_swapped`] overlays an add and a drop in a
+//! single pass over the merged affected sets. Removal deltas are what make
+//! drop-one/add-one local search and annealing affordable: a swap probe
+//! costs `O(affected(add) ∪ affected(drop))` query re-pricings instead of
+//! a workload re-pricing. All three delta flavours share the same
+//! `debug_assert` full-reprice equivalence path.
+//!
+//! ## Construction
+//!
+//! Per-query flattening is embarrassingly parallel: with the `parallel`
+//! feature, [`WorkloadModel::build`] fans `flatten_query` across std
+//! threads and then assembles the inverted index serially in query order,
+//! so the resulting model is **identical** to the serial build
+//! ([`WorkloadModel::build_serial`] keeps the serial path available for
+//! equivalence tests).
 //!
 //! The arithmetic deliberately mirrors `CacheCostModel::estimate` term for
 //! term (same entry order, same addition order, same tie-breaking), so the
@@ -60,14 +80,14 @@ const ALWAYS: u32 = u32::MAX;
 
 /// One pre-resolved access path: its (pre-priced) cost and the pool
 /// candidate that must be selected for it to apply.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct AccessArm {
     cost: f64,
     candidate: u32,
 }
 
 /// One contributing relation slot of a flattened plan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Slot {
     /// Coefficient on the standalone access cost (0 ⇒ applicability-only).
     coef: f64,
@@ -84,14 +104,14 @@ struct Slot {
 
 /// One flattened cached plan: internal cost plus contributing slots in
 /// relation order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct FlatPlan {
     internal: f64,
     slots: Vec<Slot>,
 }
 
 /// One flattened query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct QueryModel {
     plans: Vec<FlatPlan>,
 }
@@ -105,7 +125,7 @@ pub struct PricedWorkload {
 }
 
 /// The precomputed workload pricing engine. See the module docs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadModel {
     queries: Vec<QueryModel>,
     /// Inverted index: candidate id → sorted query ids whose price can
@@ -118,14 +138,39 @@ impl WorkloadModel {
     /// Flattens per-query `(plan cache, access-cost catalog)` models into
     /// the dense pricing structure. `pool_size` is the candidate pool
     /// cardinality the access catalogs were collected against.
+    ///
+    /// With the `parallel` feature the per-query flattening fans out over
+    /// std threads (each query is independent); the inverted index is
+    /// always assembled serially in query order, so the built model is
+    /// identical to [`Self::build_serial`]'s.
     pub fn build<'a, I>(pool_size: usize, models: I) -> Self
     where
         I: IntoIterator<Item = (&'a PlanCache, &'a AccessCostCatalog)>,
     {
-        let mut queries = Vec::new();
+        let models: Vec<_> = models.into_iter().collect();
+        Self::assemble(
+            pool_size,
+            flatten_models(&models, cfg!(feature = "parallel")),
+        )
+    }
+
+    /// [`Self::build`] forced onto the single-threaded flattening path,
+    /// regardless of the `parallel` feature. The result is `==` to
+    /// `build`'s — kept public so the determinism claim stays testable in
+    /// feature-enabled builds.
+    pub fn build_serial<'a, I>(pool_size: usize, models: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a PlanCache, &'a AccessCostCatalog)>,
+    {
+        let models: Vec<_> = models.into_iter().collect();
+        Self::assemble(pool_size, flatten_models(&models, false))
+    }
+
+    /// Builds the inverted candidate→query index over flattened queries
+    /// (serial, query order — the deterministic part of construction).
+    fn assemble(pool_size: usize, queries: Vec<QueryModel>) -> Self {
         let mut affected: Vec<Vec<u32>> = vec![Vec::new(); pool_size];
-        for (qid, (cache, access)) in models.into_iter().enumerate() {
-            let qm = flatten_query(cache, access);
+        for (qid, qm) in queries.iter().enumerate() {
             let mut touched: Vec<u32> = qm
                 .plans
                 .iter()
@@ -139,7 +184,6 @@ impl WorkloadModel {
             for c in touched {
                 affected[c as usize].push(qid as u32);
             }
-            queries.push(qm);
         }
         Self {
             queries,
@@ -167,9 +211,23 @@ impl WorkloadModel {
     /// cached plan is applicable (e.g. an empty cache) — matching the
     /// advisor's treatment of `CacheCostModel::estimate == None`.
     pub fn price_query(&self, query: usize, selection: &Selection, extra: Option<usize>) -> f64 {
+        self.price_query_view(query, selection, extra, None)
+    }
+
+    /// [`Self::price_query`] over a *virtual* selection view: `extra` is
+    /// overlaid as a member, `without` is masked out — both without
+    /// cloning the selection. This is the primitive behind all three delta
+    /// directions (add, drop, swap).
+    pub fn price_query_view(
+        &self,
+        query: usize,
+        selection: &Selection,
+        extra: Option<usize>,
+        without: Option<usize>,
+    ) -> f64 {
         let mut best = f64::INFINITY;
         for plan in &self.queries[query].plans {
-            if let Some(cost) = price_plan(plan, selection, extra) {
+            if let Some(cost) = price_plan(plan, selection, extra, without) {
                 if cost < best {
                     best = cost;
                 }
@@ -245,19 +303,12 @@ impl WorkloadModel {
         debug_assert_eq!(state.per_query.len(), self.queries.len(), "stale state");
         changed.clear();
         for &q in &self.affected[added] {
-            changed.push((q, self.price_query(q as usize, selection, Some(added))));
+            changed.push((
+                q,
+                self.price_query_view(q as usize, selection, Some(added), None),
+            ));
         }
-        let mut total = 0.0;
-        let mut next = changed.iter().copied().peekable();
-        for (q, &cost) in state.per_query.iter().enumerate() {
-            total += match next.peek() {
-                Some(&(cq, new_cost)) if cq as usize == q => {
-                    next.next();
-                    new_cost
-                }
-                _ => cost,
-            };
-        }
+        let total = overlay_total(state, changed);
         #[cfg(debug_assertions)]
         {
             // The whole point: delta pricing must equal full re-pricing.
@@ -270,21 +321,172 @@ impl WorkloadModel {
         }
         total
     }
+
+    /// The workload total if `dropped` *left* `selection` — the removal
+    /// mirror of [`Self::price_delta`]. `state` must be the
+    /// [`PricedWorkload`] of `selection` itself, and `dropped` must be a
+    /// member. Only the queries whose arms mention `dropped` can change
+    /// price, so the affected set is the same inverted-index entry as for
+    /// adds.
+    pub fn price_delta_removed(
+        &self,
+        state: &PricedWorkload,
+        selection: &Selection,
+        dropped: usize,
+    ) -> f64 {
+        let mut scratch = Vec::new();
+        self.price_delta_removed_into(state, selection, dropped, &mut scratch)
+    }
+
+    /// [`Self::price_delta_removed`] with a caller-owned scratch buffer.
+    /// The returned total is bit-identical to
+    /// `price_full(selection ∖ {dropped})` (debug-asserted).
+    pub fn price_delta_removed_into(
+        &self,
+        state: &PricedWorkload,
+        selection: &Selection,
+        dropped: usize,
+        changed: &mut Vec<(u32, f64)>,
+    ) -> f64 {
+        debug_assert_eq!(state.per_query.len(), self.queries.len(), "stale state");
+        debug_assert!(
+            selection.contains(dropped),
+            "removing candidate {dropped} that is not selected"
+        );
+        changed.clear();
+        for &q in &self.affected[dropped] {
+            changed.push((
+                q,
+                self.price_query_view(q as usize, selection, None, Some(dropped)),
+            ));
+        }
+        let total = overlay_total(state, changed);
+        #[cfg(debug_assertions)]
+        {
+            let full = self.price_full(&selection.without(dropped));
+            debug_assert!(
+                total == full.total || (total.is_infinite() && full.total.is_infinite()),
+                "price_delta_removed diverged from price_full: {total} vs {} (candidate {dropped})",
+                full.total
+            );
+        }
+        total
+    }
+
+    /// The workload total if `added` replaced `dropped` in `selection` —
+    /// one drop-one/add-one swap priced as a single delta over the merged
+    /// affected sets. `state` must be the [`PricedWorkload`] of
+    /// `selection`; `dropped` must be a member and `added` must not be.
+    pub fn price_delta_swapped(
+        &self,
+        state: &PricedWorkload,
+        selection: &Selection,
+        added: usize,
+        dropped: usize,
+    ) -> f64 {
+        let mut scratch = Vec::new();
+        self.price_delta_swapped_into(state, selection, added, dropped, &mut scratch)
+    }
+
+    /// [`Self::price_delta_swapped`] with a caller-owned scratch buffer.
+    /// The returned total is bit-identical to
+    /// `price_full((selection ∖ {dropped}) ∪ {added})` (debug-asserted).
+    pub fn price_delta_swapped_into(
+        &self,
+        state: &PricedWorkload,
+        selection: &Selection,
+        added: usize,
+        dropped: usize,
+        changed: &mut Vec<(u32, f64)>,
+    ) -> f64 {
+        debug_assert_eq!(state.per_query.len(), self.queries.len(), "stale state");
+        debug_assert!(selection.contains(dropped), "swap drops a non-member");
+        debug_assert!(!selection.contains(added), "swap adds a member");
+        changed.clear();
+        // Merge the two sorted affected lists (ascending, deduplicated):
+        // a query is re-priced once even when both candidates mention it.
+        let (a, d) = (&self.affected[added], &self.affected[dropped]);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < d.len() {
+            let q = match (a.get(i), d.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    i += 1;
+                    j += 1;
+                    x
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    i += 1;
+                    x
+                }
+                (Some(_) | None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, None) => unreachable!(),
+            };
+            changed.push((
+                q,
+                self.price_query_view(q as usize, selection, Some(added), Some(dropped)),
+            ));
+        }
+        let total = overlay_total(state, changed);
+        #[cfg(debug_assertions)]
+        {
+            let full = self.price_full(&selection.without(dropped).with(added));
+            debug_assert!(
+                total == full.total || (total.is_infinite() && full.total.is_infinite()),
+                "price_delta_swapped diverged from price_full: {total} vs {} \
+                 (+{added} -{dropped})",
+                full.total
+            );
+        }
+        total
+    }
+}
+
+/// Re-sums the workload total with `changed` overlaid onto `state`,
+/// accumulating in query order (the bit-for-bit determinism contract of
+/// every delta flavour). `changed` must be ascending by query id.
+fn overlay_total(state: &PricedWorkload, changed: &[(u32, f64)]) -> f64 {
+    let mut total = 0.0;
+    let mut next = changed.iter().copied().peekable();
+    for (q, &cost) in state.per_query.iter().enumerate() {
+        total += match next.peek() {
+            Some(&(cq, new_cost)) if cq as usize == q => {
+                next.next();
+                new_cost
+            }
+            _ => cost,
+        };
+    }
+    total
 }
 
 /// Prices one flattened plan; `None` when inapplicable under the
-/// selection. Mirrors `CacheCostModel::estimate_filtered` term for term.
-fn price_plan(plan: &FlatPlan, selection: &Selection, extra: Option<usize>) -> Option<f64> {
+/// selection view. Mirrors `CacheCostModel::estimate_filtered` term for
+/// term.
+fn price_plan(
+    plan: &FlatPlan,
+    selection: &Selection,
+    extra: Option<usize>,
+    without: Option<usize>,
+) -> Option<f64> {
     let mut cost = plan.internal;
     for slot in &plan.slots {
         if slot.coef != 0.0 {
-            let access = first_applicable(&slot.standalone, selection, extra)?;
+            let access = first_applicable(&slot.standalone, selection, extra, without)?;
             cost += slot.coef * access;
-        } else if slot.required && first_applicable(&slot.standalone, selection, extra).is_none() {
+        } else if slot.required
+            && first_applicable(&slot.standalone, selection, extra, without).is_none()
+        {
             return None;
         }
         if slot.pcoef != 0.0 {
-            let probe = first_applicable(&slot.probes, selection, extra)?;
+            let probe = first_applicable(&slot.probes, selection, extra, without)?;
             cost += slot.pcoef * probe;
         }
     }
@@ -293,16 +495,23 @@ fn price_plan(plan: &FlatPlan, selection: &Selection, extra: Option<usize>) -> O
 
 /// Cheapest live arm: arms are ascending by cost, so the first applicable
 /// one wins (same tie-breaking as the sorted `AccessCostCatalog` walk).
+/// `extra` is a virtual member, `without` a virtual removal.
 fn first_applicable(
     arms: &[AccessArm],
     selection: &Selection,
     extra: Option<usize>,
+    without: Option<usize>,
 ) -> Option<f64> {
     arms.iter()
         .find(|a| {
-            a.candidate == ALWAYS
-                || extra == Some(a.candidate as usize)
-                || selection.contains(a.candidate as usize)
+            if a.candidate == ALWAYS {
+                return true;
+            }
+            let c = a.candidate as usize;
+            if without == Some(c) {
+                return false;
+            }
+            extra == Some(c) || selection.contains(c)
         })
         .map(|a| a.cost)
 }
@@ -325,6 +534,38 @@ fn prune_arms(arms: &mut Vec<AccessArm>) {
         }
     }
     arms.truncate(keep);
+}
+
+/// Flattens every `(cache, access)` pair, optionally fanning the per-query
+/// work across std threads. Each query's flattening is independent and the
+/// output order is the input order, so both paths yield identical vectors.
+fn flatten_models(models: &[(&PlanCache, &AccessCostCatalog)], parallel: bool) -> Vec<QueryModel> {
+    let n = models.len();
+    let threads = if parallel {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.div_ceil(8).max(1))
+    } else {
+        1
+    };
+    if threads <= 1 {
+        return models.iter().map(|(c, a)| flatten_query(c, a)).collect();
+    }
+    let mut out: Vec<Option<QueryModel>> = vec![None; n];
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, slots) in out.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            scope.spawn(move || {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    let (cache, access) = models[start + i];
+                    *slot = Some(flatten_query(cache, access));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|q| q.expect("flattened")).collect()
 }
 
 fn flatten_query(cache: &PlanCache, access: &AccessCostCatalog) -> QueryModel {
@@ -572,6 +813,72 @@ mod tests {
             assert_eq!(c, wm.price_query(q, &sel, None));
             assert!(c.is_finite());
         }
+    }
+
+    #[test]
+    fn removal_delta_equals_full_for_every_member() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let wm = model_of(&models, &pool);
+        for mask in 0u32..(1 << pool.len()) {
+            let ids: Vec<usize> = (0..pool.len()).filter(|i| mask & (1 << i) != 0).collect();
+            let sel = Selection::from_ids(pool.len(), &ids);
+            let state = wm.price_full(&sel);
+            for &cand in &ids {
+                let delta = wm.price_delta_removed(&state, &sel, cand);
+                let full = wm.price_full(&sel.without(cand));
+                assert_eq!(delta, full.total, "selection {ids:?} - candidate {cand}");
+            }
+        }
+    }
+
+    #[test]
+    fn swap_delta_equals_full_for_every_pair() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let wm = model_of(&models, &pool);
+        for mask in 0u32..(1 << pool.len()) {
+            let ids: Vec<usize> = (0..pool.len()).filter(|i| mask & (1 << i) != 0).collect();
+            let sel = Selection::from_ids(pool.len(), &ids);
+            let state = wm.price_full(&sel);
+            for &dropped in &ids {
+                for added in 0..pool.len() {
+                    if sel.contains(added) {
+                        continue;
+                    }
+                    let delta = wm.price_delta_swapped(&state, &sel, added, dropped);
+                    let full = wm.price_full(&sel.without(dropped).with(added));
+                    assert_eq!(delta, full.total, "selection {ids:?} +{added} -{dropped}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_then_remove_roundtrips_to_base_cost() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let wm = model_of(&models, &pool);
+        let base = Selection::from_ids(pool.len(), &[1]);
+        let base_state = wm.price_full(&base);
+        for cand in 0..pool.len() {
+            if base.contains(cand) {
+                continue;
+            }
+            let extended = base.with(cand);
+            let ext_state = wm.price_full(&extended);
+            let back = wm.price_delta_removed(&ext_state, &extended, cand);
+            assert_eq!(back, base_state.total, "remove({cand}) did not round-trip");
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_builds_are_identical() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let built = WorkloadModel::build(pool.len(), models.iter().map(|(c, a)| (c, a)));
+        let serial = WorkloadModel::build_serial(pool.len(), models.iter().map(|(c, a)| (c, a)));
+        assert_eq!(built, serial, "build and build_serial diverged");
     }
 
     #[test]

@@ -133,6 +133,12 @@ fn model_engine_skips_nan_benefits_from_unpriceable_queries() {
     );
     assert_eq!(naive.cost_trajectory, vec![f64::INFINITY]);
     assert_eq!(incremental.cost_trajectory, vec![f64::INFINITY]);
+    // Lazy greedy parks NaN probes at score 0 and must likewise terminate
+    // with no picks (all parked entries drained, none picked).
+    use pinum::advisor::search::{LazyGreedy, SearchStrategy};
+    let lazy = LazyGreedy.search(&pool, &model, &gopts);
+    assert!(lazy.picked.is_empty(), "lazy picked {:?}", lazy.picked);
+    assert_eq!(lazy.cost_trajectory, vec![f64::INFINITY]);
 }
 
 #[test]

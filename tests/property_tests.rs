@@ -263,6 +263,30 @@ proptest! {
                 prop_assert_eq!(delta, full.total,
                     "selection {:?} + candidate {}", &ids, cand);
             }
+
+            // Removal deltas are exact too: for every selected candidate,
+            // `price_delta_removed` equals a full re-pricing of the
+            // shrunken selection.
+            for &cand in &ids {
+                let delta = wm.price_delta_removed(&state, &sel, cand);
+                let full = wm.price_full(&sel.without(cand));
+                prop_assert_eq!(delta, full.total,
+                    "selection {:?} - candidate {}", &ids, cand);
+            }
+
+            // And swaps (drop one member, add one non-member) match the
+            // two-step full re-pricing in a single delta.
+            for &dropped in &ids {
+                for added in 0..pool.len() {
+                    if sel.contains(added) {
+                        continue;
+                    }
+                    let delta = wm.price_delta_swapped(&state, &sel, added, dropped);
+                    let full = wm.price_full(&sel.without(dropped).with(added));
+                    prop_assert_eq!(delta, full.total,
+                        "selection {:?} + {} - {}", &ids, added, dropped);
+                }
+            }
         }
     }
 }
