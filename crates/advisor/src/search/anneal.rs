@@ -4,9 +4,9 @@
 //! RNG is the in-tree `rand` shim seeded explicitly, so a run is a pure
 //! function of `(pool, model, options, seed)`.
 
-use super::{LazyGreedy, SearchStrategy};
+use super::{apply_changed, LazyGreedy, SearchStrategy};
 use crate::greedy::{GreedyOptions, GreedyResult};
-use pinum_core::{CandidatePool, WorkloadModel};
+use pinum_core::{CandidatePool, Selection, WorkloadModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -51,13 +51,14 @@ impl SearchStrategy for Anneal {
         "anneal"
     }
 
-    fn search(
+    fn search_warm(
         &self,
         pool: &CandidatePool,
         model: &WorkloadModel,
         opts: &GreedyOptions,
+        warm: &Selection,
     ) -> GreedyResult {
-        let seed_result = LazyGreedy.search(pool, model, opts);
+        let seed_result = LazyGreedy.search_warm(pool, model, opts, warm);
         let mut selection = seed_result.selection.clone();
         let mut used_bytes = seed_result.total_bytes;
         let mut evaluations = seed_result.evaluations;
@@ -152,8 +153,15 @@ impl SearchStrategy for Anneal {
                         + pool.index(add).size().total_bytes();
                 }
             }
-            state = model.price_full(&selection);
-            queries_repriced += model.query_count();
+            // The accepted proposal's delta (still in `scratch` — nothing
+            // priced between proposal and acceptance) becomes the new
+            // state: O(affected) instead of an O(workload) full reprice.
+            apply_changed(&mut state, &scratch, cost);
+            debug_assert_eq!(
+                state,
+                model.price_full(&selection),
+                "incremental accepted-move state diverged from a full re-pricing"
+            );
             if state.total < best_cost {
                 best_cost = state.total;
                 best_selection = selection.clone();

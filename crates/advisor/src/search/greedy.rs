@@ -4,7 +4,7 @@
 //! improves or fits — and both produce the **same** [`GreedyResult`];
 //! lazy greedy just prices far fewer probes to get there.
 
-use super::SearchStrategy;
+use super::{seed_within_budget, SearchStrategy};
 use crate::greedy::{GreedyOptions, GreedyResult};
 use pinum_core::{CandidatePool, Selection, WorkloadModel};
 use std::cmp::Ordering;
@@ -23,26 +23,25 @@ impl SearchStrategy for EagerGreedy {
         "eager-greedy"
     }
 
-    fn search(
+    fn search_warm(
         &self,
         pool: &CandidatePool,
         model: &WorkloadModel,
         opts: &GreedyOptions,
+        warm: &Selection,
     ) -> GreedyResult {
         assert_eq!(
             pool.len(),
             model.pool_size(),
             "model built against a different candidate pool"
         );
-        let mut selection = Selection::empty(pool.len());
-        let mut picked = Vec::new();
+        let (mut selection, mut picked, mut used_bytes) = seed_within_budget(pool, opts, warm);
         let mut evaluations = 0usize;
         let mut queries_repriced = 0usize;
         let mut state = model.price_full(&selection);
         evaluations += 1;
         queries_repriced += model.query_count();
         let mut trajectory = vec![state.total];
-        let mut used_bytes = 0u64;
         let mut scratch = Vec::new();
 
         loop {
@@ -175,32 +174,33 @@ impl SearchStrategy for LazyGreedy {
         "lazy-greedy"
     }
 
-    fn search(
+    fn search_warm(
         &self,
         pool: &CandidatePool,
         model: &WorkloadModel,
         opts: &GreedyOptions,
+        warm: &Selection,
     ) -> GreedyResult {
         assert_eq!(
             pool.len(),
             model.pool_size(),
             "model built against a different candidate pool"
         );
-        let mut selection = Selection::empty(pool.len());
-        let mut picked = Vec::new();
+        let (mut selection, mut picked, mut used_bytes) = seed_within_budget(pool, opts, warm);
         let mut evaluations = 0usize;
         let mut queries_repriced = 0usize;
         let mut state = model.price_full(&selection);
         evaluations += 1;
         queries_repriced += model.query_count();
         let mut trajectory = vec![state.total];
-        let mut used_bytes = 0u64;
         let mut scratch = Vec::new();
 
-        // Every candidate starts with an infinite bound and a round tag
-        // that can never equal a real round, i.e. "never priced".
+        // Every unselected candidate starts with an infinite bound and a
+        // round tag that can never equal a real round, i.e. "never priced"
+        // (warm members are already in the selection, not contenders).
         let mut round: u32 = 0;
         let mut heap: BinaryHeap<Entry> = (0..pool.len() as u32)
+            .filter(|&cand| !selection.contains(cand as usize))
             .map(|cand| Entry {
                 score: f64::INFINITY,
                 cand,

@@ -48,7 +48,7 @@ pub use greedy::{EagerGreedy, LazyGreedy};
 pub use swap::SwapHillClimb;
 
 use crate::greedy::{GreedyOptions, GreedyResult};
-use pinum_core::{CandidatePool, WorkloadModel};
+use pinum_core::{CandidatePool, PricedWorkload, Selection, WorkloadModel};
 
 /// One search policy over the incremental pricing substrate.
 ///
@@ -59,14 +59,66 @@ pub trait SearchStrategy {
     /// Stable human-readable name (used in experiment tables and JSON).
     fn name(&self) -> &'static str;
 
-    /// Runs the search, returning picks, final selection, cost
-    /// trajectory, and probe accounting.
+    /// Runs the search from scratch (an empty warm set), returning picks,
+    /// final selection, cost trajectory, and probe accounting.
     fn search(
         &self,
         pool: &CandidatePool,
         model: &WorkloadModel,
         opts: &GreedyOptions,
+    ) -> GreedyResult {
+        self.search_warm(pool, model, opts, &Selection::empty(pool.len()))
+    }
+
+    /// Runs the search **warm-started** from a previous selection instead
+    /// of from empty — the online re-advising entry point. `warm` members
+    /// are adopted in ascending id order while they fit the budget
+    /// (deterministic truncation when the budget shrank), then the
+    /// strategy continues from there: the greedy family keeps adding,
+    /// swap/anneal can also drop or exchange stale warm picks. A search
+    /// warm-started from an empty selection is exactly [`Self::search`].
+    fn search_warm(
+        &self,
+        pool: &CandidatePool,
+        model: &WorkloadModel,
+        opts: &GreedyOptions,
+        warm: &Selection,
     ) -> GreedyResult;
+}
+
+/// Adopts `warm` members in ascending id order while they fit the budget.
+/// Returns the seeded selection, its members in adoption order, and its
+/// total size — the shared warm-start preamble of every strategy.
+pub(crate) fn seed_within_budget(
+    pool: &CandidatePool,
+    opts: &GreedyOptions,
+    warm: &Selection,
+) -> (Selection, Vec<usize>, u64) {
+    let mut selection = Selection::empty(pool.len());
+    let mut picked = Vec::new();
+    let mut used_bytes = 0u64;
+    for id in warm.ids() {
+        let size = pool.index(id).size().total_bytes();
+        if used_bytes + size > opts.budget_bytes {
+            continue;
+        }
+        selection.insert(id);
+        picked.push(id);
+        used_bytes += size;
+    }
+    (selection, picked, used_bytes)
+}
+
+/// Splices a delta's `changed` list (and its bit-identical total) into a
+/// [`PricedWorkload`], turning an accepted move into an O(affected)
+/// state update instead of an O(workload) full re-pricing. The delta
+/// flavours already `debug_assert` total equivalence; callers re-assert
+/// the whole state against `price_full` in debug builds.
+pub(crate) fn apply_changed(state: &mut PricedWorkload, changed: &[(u32, f64)], total: f64) {
+    for &(q, cost) in changed {
+        state.per_query[q as usize] = cost;
+    }
+    state.total = total;
 }
 
 /// Strategy selector for [`crate::tool::AdvisorOptions`] — a plain enum so
@@ -154,6 +206,88 @@ mod tests {
             .collect();
         let model = WorkloadModel::build(pool.len(), models.iter().map(|(c, a)| (c, a)));
         (pool, model)
+    }
+
+    const ALL_KINDS: [StrategyKind; 4] = [
+        StrategyKind::LazyGreedy,
+        StrategyKind::EagerGreedy,
+        StrategyKind::SwapHillClimb,
+        StrategyKind::Anneal { seed: 7 },
+    ];
+
+    #[test]
+    fn warm_start_from_empty_equals_cold_search() {
+        let (pool, model) = fixture();
+        let opts = GreedyOptions {
+            budget_bytes: 256 << 20,
+            benefit_per_byte: false,
+        };
+        for kind in ALL_KINDS {
+            let strategy = kind.build();
+            let cold = strategy.search(&pool, &model, &opts);
+            let warm = strategy.search_warm(&pool, &model, &opts, &Selection::empty(pool.len()));
+            assert_eq!(cold.picked, warm.picked, "{}", strategy.name());
+            assert_eq!(
+                cold.cost_trajectory,
+                warm.cost_trajectory,
+                "{}",
+                strategy.name()
+            );
+            assert_eq!(cold.evaluations, warm.evaluations, "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn warm_start_from_own_result_never_regresses() {
+        let (pool, model) = fixture();
+        let opts = GreedyOptions {
+            budget_bytes: 256 << 20,
+            benefit_per_byte: false,
+        };
+        for kind in ALL_KINDS {
+            let strategy = kind.build();
+            let cold = strategy.search(&pool, &model, &opts);
+            let warm = strategy.search_warm(&pool, &model, &opts, &cold.selection);
+            let c = *cold.cost_trajectory.last().unwrap();
+            let w = *warm.cost_trajectory.last().unwrap();
+            assert!(
+                w <= c * (1.0 + 1e-12),
+                "{}: warm restart regressed {w} vs {c}",
+                strategy.name()
+            );
+            assert!(warm.total_bytes <= opts.budget_bytes);
+            // Warm restarts get going from the seed, not from scratch: the
+            // greedy family re-prices once and finds nothing new to add.
+            if matches!(kind, StrategyKind::LazyGreedy | StrategyKind::EagerGreedy) {
+                assert_eq!(warm.selection, cold.selection, "{}", strategy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn warm_seed_is_truncated_to_a_shrunken_budget() {
+        let (pool, model) = fixture();
+        let generous = GreedyOptions {
+            budget_bytes: u64::MAX,
+            benefit_per_byte: false,
+        };
+        let cold = LazyGreedy.search(&pool, &model, &generous);
+        assert!(cold.total_bytes > 0);
+        // Re-advise under a budget smaller than the warm set itself.
+        let tight = GreedyOptions {
+            budget_bytes: cold.total_bytes / 2,
+            benefit_per_byte: false,
+        };
+        for kind in ALL_KINDS {
+            let strategy = kind.build();
+            let warm = strategy.search_warm(&pool, &model, &tight, &cold.selection);
+            assert!(
+                warm.total_bytes <= tight.budget_bytes,
+                "{} blew the shrunken budget",
+                strategy.name()
+            );
+            assert_eq!(warm.selection.len(), warm.picked.len());
+        }
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! `c`" in one [`WorkloadModel::price_delta_swapped_into`] call over the
 //! merged affected-query sets.
 
-use super::{LazyGreedy, SearchStrategy};
+use super::{apply_changed, LazyGreedy, SearchStrategy};
 use crate::greedy::{GreedyOptions, GreedyResult};
-use pinum_core::{CandidatePool, WorkloadModel};
+use pinum_core::{CandidatePool, Selection, WorkloadModel};
 
 /// Steepest-descent swap hill climbing: seed with [`LazyGreedy`], then
 /// repeatedly apply the single most improving drop-one/add-one exchange
@@ -32,13 +32,14 @@ impl SearchStrategy for SwapHillClimb {
         "swap-hill-climb"
     }
 
-    fn search(
+    fn search_warm(
         &self,
         pool: &CandidatePool,
         model: &WorkloadModel,
         opts: &GreedyOptions,
+        warm: &Selection,
     ) -> GreedyResult {
-        let seed = LazyGreedy.search(pool, model, opts);
+        let seed = LazyGreedy.search_warm(pool, model, opts, warm);
         let mut selection = seed.selection;
         let mut picked = seed.picked;
         let mut trajectory = seed.cost_trajectory;
@@ -84,8 +85,24 @@ impl SearchStrategy for SwapHillClimb {
             }
             match best {
                 Some((drop, add, _)) => {
+                    // Re-run the winning probe (its scratch was overwritten
+                    // by later probes) and splice the changed queries into
+                    // the priced state: the accepted move costs
+                    // O(affected), not an O(workload) full re-pricing. The
+                    // delta total is bit-identical to a full reprice
+                    // (debug-asserted inside the delta itself).
+                    let total =
+                        model.price_delta_swapped_into(&state, &selection, add, drop, &mut scratch);
+                    evaluations += 1;
+                    queries_repriced += scratch.len();
+                    apply_changed(&mut state, &scratch, total);
                     selection.remove(drop);
                     selection.insert(add);
+                    debug_assert_eq!(
+                        state,
+                        model.price_full(&selection),
+                        "incremental accepted-swap state diverged from a full re-pricing"
+                    );
                     used_bytes = used_bytes - pool.index(drop).size().total_bytes()
                         + pool.index(add).size().total_bytes();
                     // `picked` tracks the surviving set in acquisition
@@ -93,8 +110,6 @@ impl SearchStrategy for SwapHillClimb {
                     // at the end.
                     picked.retain(|&p| p != drop);
                     picked.push(add);
-                    state = model.price_full(&selection);
-                    queries_repriced += model.query_count();
                     trajectory.push(state.total);
                 }
                 None => break, // local optimum under the swap neighbourhood

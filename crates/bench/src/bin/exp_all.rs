@@ -17,5 +17,6 @@ fn main() {
     e::engine_validation::run(scale);
     e::advisor_scale::run(scale);
     e::search_strategies::run(scale);
+    e::online_drift::run(scale);
     println!("==== done ====");
 }

@@ -1,0 +1,59 @@
+//! Cross-commit trend gate: diffs the current run's `PINUM_JSON_DIR`
+//! experiment JSON against the committed baseline
+//! (`crates/bench/baselines/trend.json`) and exits non-zero on any
+//! probe-count/speedup/quality regression. See `pinum_bench::trend`.
+//!
+//! Environment:
+//! * `PINUM_JSON_DIR` — directory holding the current `<name>.json`
+//!   files (default `artifacts`);
+//! * `PINUM_TREND_BASELINE` — baseline file override (default
+//!   `crates/bench/baselines/trend.json`, resolved against the crate
+//!   when not run from the repo root).
+
+use pinum_bench::trend;
+use std::path::PathBuf;
+
+fn main() {
+    let dir = PathBuf::from(std::env::var("PINUM_JSON_DIR").unwrap_or_else(|_| "artifacts".into()));
+    let baseline = std::env::var("PINUM_TREND_BASELINE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            let committed = PathBuf::from("crates/bench/baselines/trend.json");
+            if committed.exists() {
+                committed
+            } else {
+                PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("baselines/trend.json")
+            }
+        });
+    println!(
+        "trend gate: {} vs baseline {}\n",
+        dir.display(),
+        baseline.display()
+    );
+    let specs = match trend::load_baseline(&baseline) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let outcomes = trend::evaluate(&dir, &specs);
+    let (table, all_ok) = trend::report(&outcomes);
+    println!("{table}");
+    if all_ok {
+        println!("trend ok: {} metrics within tolerance", outcomes.len());
+    } else {
+        let failed: Vec<String> = outcomes
+            .iter()
+            .filter(|o| !o.ok)
+            .map(|o| format!("{}:{}", o.spec.file, o.spec.key))
+            .collect();
+        eprintln!(
+            "trend REGRESSION in {} of {} metrics: {}",
+            failed.len(),
+            outcomes.len(),
+            failed.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

@@ -8,6 +8,7 @@ pub mod engine_validation;
 pub mod greedy_quality;
 pub mod index_selection;
 pub mod nlj;
+pub mod online_drift;
 pub mod pruning;
 pub mod redundancy;
 pub mod search_strategies;

@@ -17,6 +17,8 @@
 //! | `exp_engine_validation` | cost-model validation against the mini engine |
 //! | `exp_advisor_scale` | workload-scale advisor: incremental `WorkloadModel` greedy vs naive full repricing (200 queries) |
 //! | `exp_search_strategies` | pluggable search strategies (eager/lazy greedy, swap hill climb, anneal) over one shared model |
+//! | `exp_online_drift` | online tuning under workload drift: the `pinum_online` daemon vs periodic full rebuild-and-reselect |
+//! | `exp_trend` | cross-commit trend gate: diffs `PINUM_JSON_DIR` output against the committed baseline (`baselines/trend.json`) |
 //! | `exp_all` | runs everything in sequence |
 //!
 //! Experiments that participate in CI acceptance also print a machine-
@@ -27,6 +29,7 @@ pub mod experiments;
 pub mod fixtures;
 pub mod json;
 pub mod table;
+pub mod trend;
 
 pub use fixtures::{paper_workload, PaperWorkload};
 pub use table::TextTable;

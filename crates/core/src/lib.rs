@@ -38,6 +38,15 @@
 //! run on. With the `parallel` feature, both model *construction*
 //! (per-query flattening) and full re-pricings fan out across std threads,
 //! with output identical to the serial paths.
+//!
+//! The model is also **streaming**: `admit_query` / `evict_query` /
+//! `reweight_query` splice queries in and out of the dense arrays and
+//! the inverted candidate→query index in O(that query's access arms),
+//! with the same debug-assert "equals a from-scratch rebuild"
+//! equivalence discipline as the deltas (plus `compact` for tombstone
+//! hygiene). The `pinum-online` crate's epoch/drift `OnlineAdvisor`
+//! daemon is built on exactly this surface — the workload becomes a
+//! sliding window over a query stream instead of a frozen batch.
 
 pub mod access_costs;
 pub mod builder;

@@ -62,6 +62,28 @@
 //! ([`WorkloadModel::build_serial`] keeps the serial path available for
 //! equivalence tests).
 //!
+//! ## Streaming — the workload as a mutable object
+//!
+//! A built model is not frozen: the workload can be treated as a *stream*.
+//! [`WorkloadModel::admit_query`] flattens one more `(plan cache, access
+//! catalog)` pair and splices it into the dense arrays and the inverted
+//! index in **O(that query's access arms)** — never O(workload).
+//! [`WorkloadModel::evict_query`] retracts a query the same way (its
+//! inverted-index entries are removed eagerly, so delta pricing never
+//! iterates dead queries), leaving a tombstone slot so query ids stay
+//! stable; [`WorkloadModel::compact`] drops the tombstones and renumbers
+//! when the caller wants memory back. [`WorkloadModel::reweight_query`]
+//! scales one query's contribution to every total (all queries start at
+//! weight 1.0, and multiplying by 1.0 is exact, so an unweighted model
+//! prices bit-identically to the pre-streaming engine).
+//!
+//! The same equivalence discipline as the deltas applies: every mutation
+//! `debug_assert`s that the maintained inverted index equals a
+//! from-scratch recomputation, and the unit/property tests check that
+//! admit-then-evict round-trips to bit-identical pricing and that
+//! incremental admission reproduces [`WorkloadModel::build`] exactly.
+//! This is the substrate `pinum_online::OnlineAdvisor` runs on.
+//!
 //! The arithmetic deliberately mirrors `CacheCostModel::estimate` term for
 //! term (same entry order, same addition order, same tie-breaking), so the
 //! incremental advisor reproduces the naive advisor's pick sequence and
@@ -128,8 +150,17 @@ pub struct PricedWorkload {
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadModel {
     queries: Vec<QueryModel>,
+    /// Per-query workload weight (1.0 at build/admit time; 0.0 for
+    /// tombstones). A query contributes `weight × price` to every total.
+    weights: Vec<f64>,
+    /// Liveness per query slot: evicted queries leave a tombstone so ids
+    /// stay stable for callers holding them.
+    live: Vec<bool>,
+    /// Number of live (non-evicted) query slots.
+    live_count: usize,
     /// Inverted index: candidate id → sorted query ids whose price can
-    /// change when the candidate joins the selection.
+    /// change when the candidate joins the selection. Only live queries
+    /// appear (eviction retracts its entries eagerly).
     affected: Vec<Vec<u32>>,
     pool_size: usize,
 }
@@ -171,29 +202,181 @@ impl WorkloadModel {
     fn assemble(pool_size: usize, queries: Vec<QueryModel>) -> Self {
         let mut affected: Vec<Vec<u32>> = vec![Vec::new(); pool_size];
         for (qid, qm) in queries.iter().enumerate() {
-            let mut touched: Vec<u32> = qm
-                .plans
-                .iter()
-                .flat_map(|p| &p.slots)
-                .flat_map(|s| s.standalone.iter().chain(&s.probes))
-                .filter(|a| a.candidate != ALWAYS)
-                .map(|a| a.candidate)
-                .collect();
-            touched.sort_unstable();
-            touched.dedup();
-            for c in touched {
+            for c in touched_candidates(qm) {
+                validate_candidate(c, pool_size);
                 affected[c as usize].push(qid as u32);
             }
         }
+        let n = queries.len();
         Self {
             queries,
+            weights: vec![1.0; n],
+            live: vec![true; n],
+            live_count: n,
             affected,
             pool_size,
         }
     }
 
+    /// Flattens one more `(plan cache, access catalog)` pair and splices
+    /// it into the model at weight 1.0, returning its stable query id.
+    /// The work is O(this query's plans and access arms) — the rest of the
+    /// workload is never touched (the new id is the largest ever issued,
+    /// so every inverted-index insertion is an O(1) push that keeps the
+    /// lists sorted).
+    pub fn admit_query(&mut self, cache: &PlanCache, access: &AccessCostCatalog) -> usize {
+        self.admit_query_weighted(cache, access, 1.0)
+    }
+
+    /// [`Self::admit_query`] with an explicit workload weight (e.g. an
+    /// observed execution frequency). `weight` must be finite and > 0.
+    pub fn admit_query_weighted(
+        &mut self,
+        cache: &PlanCache,
+        access: &AccessCostCatalog,
+        weight: f64,
+    ) -> usize {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "query weight must be finite and positive, got {weight}"
+        );
+        let qm = flatten_query(cache, access);
+        let qid = self.queries.len();
+        assert!(qid < u32::MAX as usize, "query id space exhausted");
+        for c in touched_candidates(&qm) {
+            validate_candidate(c, self.pool_size);
+            self.affected[c as usize].push(qid as u32);
+        }
+        self.queries.push(qm);
+        self.weights.push(weight);
+        self.live.push(true);
+        self.live_count += 1;
+        self.debug_assert_index_matches_rebuild();
+        qid
+    }
+
+    /// Retracts a live query: its inverted-index entries are removed
+    /// (binary search per touched candidate — delta pricing never has to
+    /// skip dead entries) and its flattened plans are freed. The slot
+    /// itself stays as a tombstone so other query ids remain stable; a
+    /// tombstone contributes exactly 0.0 to every total, which keeps
+    /// query-order accumulation bit-identical to a model that never held
+    /// the query. Use [`Self::compact`] to drop tombstones.
+    pub fn evict_query(&mut self, qid: usize) {
+        assert!(
+            self.live.get(qid).copied().unwrap_or(false),
+            "evicting unknown or already-evicted query {qid}"
+        );
+        for c in touched_candidates(&self.queries[qid]) {
+            let list = &mut self.affected[c as usize];
+            let pos = list
+                .binary_search(&(qid as u32))
+                .unwrap_or_else(|_| panic!("inverted index lost query {qid} under candidate {c}"));
+            list.remove(pos);
+        }
+        self.queries[qid] = QueryModel { plans: Vec::new() };
+        self.weights[qid] = 0.0;
+        self.live[qid] = false;
+        self.live_count -= 1;
+        self.debug_assert_index_matches_rebuild();
+    }
+
+    /// Changes a live query's workload weight (finite, > 0). O(1): weights
+    /// scale prices at evaluation time, so no stored cost goes stale.
+    pub fn reweight_query(&mut self, qid: usize, weight: f64) {
+        assert!(
+            self.live.get(qid).copied().unwrap_or(false),
+            "reweighting unknown or evicted query {qid}"
+        );
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "query weight must be finite and positive, got {weight}"
+        );
+        self.weights[qid] = weight;
+    }
+
+    /// Drops every tombstone slot, renumbering live queries in ascending
+    /// id order and rebuilding the inverted index over the survivors.
+    /// Returns the old→new id mapping (`u32::MAX` for evicted slots) so
+    /// callers holding query ids can remap. Weights are preserved. The
+    /// compacted model is exactly what [`Self::build`] over the surviving
+    /// queries (then reweighted) would produce.
+    pub fn compact(&mut self) -> Vec<u32> {
+        let mut remap = vec![u32::MAX; self.queries.len()];
+        let mut queries = Vec::with_capacity(self.live_count);
+        let mut weights = Vec::with_capacity(self.live_count);
+        for (qid, slot) in self.queries.iter_mut().enumerate() {
+            if self.live[qid] {
+                remap[qid] = queries.len() as u32;
+                queries.push(QueryModel {
+                    plans: std::mem::take(&mut slot.plans),
+                });
+                weights.push(self.weights[qid]);
+            }
+        }
+        let mut rebuilt = Self::assemble(self.pool_size, queries);
+        rebuilt.weights = weights;
+        *self = rebuilt;
+        self.debug_assert_index_matches_rebuild();
+        remap
+    }
+
+    /// Recomputes the inverted index from scratch and compares — the
+    /// mutation-path analogue of the deltas' full-reprice `debug_assert`.
+    /// Compiled away in release builds.
+    fn debug_assert_index_matches_rebuild(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let mut expect: Vec<Vec<u32>> = vec![Vec::new(); self.pool_size];
+            for (qid, qm) in self.queries.iter().enumerate() {
+                if !self.live[qid] {
+                    debug_assert!(qm.plans.is_empty(), "tombstone {qid} retains plans");
+                    continue;
+                }
+                for c in touched_candidates(qm) {
+                    expect[c as usize].push(qid as u32);
+                }
+            }
+            debug_assert!(
+                self.affected == expect,
+                "incrementally maintained inverted index diverged from a from-scratch rebuild"
+            );
+            debug_assert_eq!(self.live_count, self.live.iter().filter(|l| **l).count());
+        }
+    }
+
+    /// Total query *slots*, including tombstones — the length every
+    /// [`PricedWorkload::per_query`] vector must have.
     pub fn query_count(&self) -> usize {
         self.queries.len()
+    }
+
+    /// Live (non-evicted) queries currently priced into totals.
+    pub fn live_query_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether `qid` is a live query slot.
+    pub fn is_live(&self, qid: usize) -> bool {
+        self.live.get(qid).copied().unwrap_or(false)
+    }
+
+    /// The query's current workload weight (0.0 for tombstones).
+    pub fn weight(&self, qid: usize) -> f64 {
+        self.weights[qid]
+    }
+
+    /// Number of flattened access arms (standalone + probe) in one query's
+    /// model. [`Self::admit_query`]'s work is proportional to this — a
+    /// measurable witness that admission is O(the query), not
+    /// O(the workload).
+    pub fn query_arm_count(&self, qid: usize) -> usize {
+        self.queries[qid]
+            .plans
+            .iter()
+            .flat_map(|p| &p.slots)
+            .map(|s| s.standalone.len() + s.probes.len())
+            .sum()
     }
 
     pub fn pool_size(&self) -> usize {
@@ -236,10 +419,28 @@ impl WorkloadModel {
         best
     }
 
+    /// One query's *weighted* contribution to a workload total: 0.0 for
+    /// tombstones, `weight × price` otherwise. Weight 1.0 multiplication
+    /// is exact in IEEE 754, so an unweighted model prices bit-identically
+    /// to the pre-streaming engine.
+    fn contribution(
+        &self,
+        query: usize,
+        selection: &Selection,
+        extra: Option<usize>,
+        without: Option<usize>,
+    ) -> f64 {
+        if !self.live[query] {
+            return 0.0;
+        }
+        self.weights[query] * self.price_query_view(query, selection, extra, without)
+    }
+
     /// Prices the entire workload under `selection`. With the `parallel`
     /// feature, per-query pricing fans out over std threads; the total is
     /// always accumulated serially in query order, so the result is
-    /// deterministic and identical across both code paths.
+    /// deterministic and identical across both code paths. Entries are
+    /// weighted contributions (tombstones contribute exactly 0.0).
     pub fn price_full(&self, selection: &Selection) -> PricedWorkload {
         let per_query = self.per_query_costs(selection);
         let total = per_query.iter().sum();
@@ -249,7 +450,7 @@ impl WorkloadModel {
     #[cfg(not(feature = "parallel"))]
     fn per_query_costs(&self, selection: &Selection) -> Vec<f64> {
         (0..self.queries.len())
-            .map(|q| self.price_query(q, selection, None))
+            .map(|q| self.contribution(q, selection, None, None))
             .collect()
     }
 
@@ -262,7 +463,7 @@ impl WorkloadModel {
             .min(n.div_ceil(16).max(1));
         if threads <= 1 {
             return (0..n)
-                .map(|q| self.price_query(q, selection, None))
+                .map(|q| self.contribution(q, selection, None, None))
                 .collect();
         }
         let mut per_query = vec![0.0f64; n];
@@ -272,7 +473,7 @@ impl WorkloadModel {
                 let start = t * chunk;
                 scope.spawn(move || {
                     for (i, slot) in out.iter_mut().enumerate() {
-                        *slot = self.price_query(start + i, selection, None);
+                        *slot = self.contribution(start + i, selection, None, None);
                     }
                 });
             }
@@ -303,9 +504,10 @@ impl WorkloadModel {
         debug_assert_eq!(state.per_query.len(), self.queries.len(), "stale state");
         changed.clear();
         for &q in &self.affected[added] {
+            debug_assert!(self.live[q as usize], "inverted index holds a tombstone");
             changed.push((
                 q,
-                self.price_query_view(q as usize, selection, Some(added), None),
+                self.contribution(q as usize, selection, Some(added), None),
             ));
         }
         let total = overlay_total(state, changed);
@@ -355,9 +557,10 @@ impl WorkloadModel {
         );
         changed.clear();
         for &q in &self.affected[dropped] {
+            debug_assert!(self.live[q as usize], "inverted index holds a tombstone");
             changed.push((
                 q,
-                self.price_query_view(q as usize, selection, None, Some(dropped)),
+                self.contribution(q as usize, selection, None, Some(dropped)),
             ));
         }
         let total = overlay_total(state, changed);
@@ -428,9 +631,10 @@ impl WorkloadModel {
                 }
                 (None, None) => unreachable!(),
             };
+            debug_assert!(self.live[q as usize], "inverted index holds a tombstone");
             changed.push((
                 q,
-                self.price_query_view(q as usize, selection, Some(added), Some(dropped)),
+                self.contribution(q as usize, selection, Some(added), Some(dropped)),
             ));
         }
         let total = overlay_total(state, changed);
@@ -446,6 +650,34 @@ impl WorkloadModel {
         }
         total
     }
+}
+
+/// Distinct pool candidates referenced by a query's access arms,
+/// ascending — its inverted-index footprint. O(this query's arms).
+fn touched_candidates(qm: &QueryModel) -> Vec<u32> {
+    let mut touched: Vec<u32> = qm
+        .plans
+        .iter()
+        .flat_map(|p| &p.slots)
+        .flat_map(|s| s.standalone.iter().chain(&s.probes))
+        .filter(|a| a.candidate != ALWAYS)
+        .map(|a| a.candidate)
+        .collect();
+    touched.sort_unstable();
+    touched.dedup();
+    touched
+}
+
+/// Constructor-level validation that a flattened access path stays inside
+/// the candidate pool it was collected against — a mis-sized `pool_size`
+/// fails loudly here instead of silently mispricing (or panicking with an
+/// opaque index-out-of-bounds deep in delta pricing).
+fn validate_candidate(candidate: u32, pool_size: usize) {
+    assert!(
+        (candidate as usize) < pool_size,
+        "access path references candidate {candidate} but the pool holds only {pool_size} \
+         candidates — the model was built/admitted against a mis-sized pool"
+    );
 }
 
 /// Re-sums the workload total with `changed` overlaid onto `state`,
@@ -879,6 +1111,160 @@ mod tests {
         let built = WorkloadModel::build(pool.len(), models.iter().map(|(c, a)| (c, a)));
         let serial = WorkloadModel::build_serial(pool.len(), models.iter().map(|(c, a)| (c, a)));
         assert_eq!(built, serial, "build and build_serial diverged");
+    }
+
+    /// Every selection of the 5-candidate pool (the fixtures are tiny
+    /// enough to enumerate).
+    fn all_selections(pool: &CandidatePool) -> impl Iterator<Item = Selection> + '_ {
+        (0u32..(1 << pool.len())).map(|mask| {
+            let ids: Vec<usize> = (0..pool.len()).filter(|i| mask & (1 << i) != 0).collect();
+            Selection::from_ids(pool.len(), &ids)
+        })
+    }
+
+    #[test]
+    fn incremental_admission_reproduces_batch_build() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let batch = model_of(&models, &pool);
+        let mut streamed = WorkloadModel::build(pool.len(), std::iter::empty());
+        for (i, (c, a)) in models.iter().enumerate() {
+            let qid = streamed.admit_query(c, a);
+            assert_eq!(qid, i);
+        }
+        assert_eq!(streamed, batch, "admit-by-admit diverged from batch build");
+    }
+
+    #[test]
+    fn admit_then_evict_is_bit_identical_to_never_admitted() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let base = model_of(&models, &pool);
+        let mut mutated = model_of(&models, &pool);
+        let qid = mutated.admit_query(&models[1].0, &models[1].1);
+        assert_eq!(mutated.live_query_count(), 3);
+        mutated.evict_query(qid);
+        assert_eq!(mutated.live_query_count(), base.live_query_count());
+        for sel in all_selections(&pool) {
+            let b = base.price_full(&sel);
+            let m = mutated.price_full(&sel);
+            assert!(
+                b.total == m.total || (b.total.is_infinite() && m.total.is_infinite()),
+                "totals diverged: {} vs {}",
+                b.total,
+                m.total
+            );
+            // Live prefix identical; the tombstone contributes exactly 0.
+            assert_eq!(&m.per_query[..b.per_query.len()], &b.per_query[..]);
+            assert_eq!(m.per_query[qid], 0.0);
+        }
+    }
+
+    #[test]
+    fn eviction_matches_fresh_build_over_survivors() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let mut mutated = model_of(&models, &pool);
+        mutated.evict_query(0);
+        let survivor = WorkloadModel::build(pool.len(), models[1..].iter().map(|(c, a)| (c, a)));
+        for sel in all_selections(&pool) {
+            let m = mutated.price_full(&sel);
+            let s = survivor.price_full(&sel);
+            assert!(
+                m.total == s.total || (m.total.is_infinite() && s.total.is_infinite()),
+                "evicted model diverged from fresh build: {} vs {}",
+                m.total,
+                s.total
+            );
+        }
+    }
+
+    #[test]
+    fn compact_equals_fresh_build_over_survivors() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let mut mutated = model_of(&models, &pool);
+        mutated.evict_query(0);
+        let remap = mutated.compact();
+        assert_eq!(remap, vec![u32::MAX, 0]);
+        let survivor = WorkloadModel::build(pool.len(), models[1..].iter().map(|(c, a)| (c, a)));
+        assert_eq!(mutated, survivor, "compact diverged from a fresh build");
+    }
+
+    #[test]
+    fn reweight_scales_contributions_exactly() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let mut wm = model_of(&models, &pool);
+        let sel = Selection::from_ids(pool.len(), &[0, 3]);
+        let p0 = wm.price_query(0, &sel, None);
+        let p1 = wm.price_query(1, &sel, None);
+        wm.reweight_query(0, 2.5);
+        assert_eq!(wm.weight(0), 2.5);
+        let state = wm.price_full(&sel);
+        assert_eq!(state.per_query[0], 2.5 * p0);
+        assert_eq!(state.per_query[1], p1);
+        assert_eq!(state.total, 2.5 * p0 + p1);
+    }
+
+    #[test]
+    fn deltas_stay_exact_after_mutations_and_reweights() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let mut wm = model_of(&models, &pool);
+        let extra = wm.admit_query(&models[0].0, &models[0].1);
+        wm.evict_query(0);
+        wm.reweight_query(extra, 3.0);
+        wm.reweight_query(1, 0.25);
+        for sel in all_selections(&pool) {
+            let state = wm.price_full(&sel);
+            for cand in 0..pool.len() {
+                if sel.contains(cand) {
+                    let delta = wm.price_delta_removed(&state, &sel, cand);
+                    let full = wm.price_full(&sel.without(cand));
+                    assert_eq!(delta, full.total);
+                } else {
+                    let delta = wm.price_delta(&state, &sel, cand);
+                    let full = wm.price_full(&sel.with(cand));
+                    assert_eq!(delta, full.total);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mis-sized pool")]
+    fn mis_sized_pool_fails_loudly() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        // The access catalogs were collected against 5 candidates; claiming
+        // a pool of 1 must fail at construction, not misprice silently.
+        let _ = WorkloadModel::build(1, models.iter().map(|(c, a)| (c, a)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already-evicted")]
+    fn double_evict_panics() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let mut wm = model_of(&models, &pool);
+        wm.evict_query(1);
+        wm.evict_query(1);
+    }
+
+    #[test]
+    fn admit_work_is_bounded_by_query_arms() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let mut wm = WorkloadModel::build(pool.len(), std::iter::empty());
+        for (c, a) in &models {
+            let qid = wm.admit_query(c, a);
+            assert!(
+                wm.query_arm_count(qid) > 0,
+                "query {qid} flattened to nothing"
+            );
+        }
+        assert_eq!(wm.query_count(), models.len());
     }
 
     #[test]

@@ -1,0 +1,688 @@
+//! # pinum-online — the workload as a stream
+//!
+//! The paper makes what-if pricing cheap enough to run *continuously*;
+//! this crate is the serving layer that actually does so. Instead of
+//! building a [`WorkloadModel`] once per batch and re-selecting from
+//! scratch whenever the workload moves, [`OnlineAdvisor`] runs as a
+//! long-lived daemon over the streaming model:
+//!
+//! * **admission** — every arriving query's `(plan cache, access
+//!   catalog)` pair (the one-optimizer-call artifacts) is spliced into
+//!   the live model with [`WorkloadModel::admit_query`] in O(that
+//!   query's access arms); the advisor never rebuilds the model
+//!   ([`OnlineStats::full_rebuilds`] stays 0 by construction, and the
+//!   `exp_online_drift` acceptance gate checks exactly that);
+//! * **sliding window** — the model holds the most recent
+//!   `window_capacity` queries (count eviction), optionally *weight
+//!   decayed*: each advising round multiplies every resident query's
+//!   weight by `decay`, so older residents fade before they fall out;
+//! * **drift detection** — the advisor tracks the mean priced cost of
+//!   the *current* selection over the live window (maintained
+//!   incrementally, O(new query) per admission) against the mean
+//!   captured right after the last re-advise; when it regresses beyond
+//!   `drift_threshold`, re-selection fires early;
+//! * **epoch-based re-advising** — otherwise re-selection runs every
+//!   `epoch_length` admissions, **warm-started** from the previous
+//!   selection through
+//!   [`pinum_advisor::search::SearchStrategy::search_warm`] instead of
+//!   searching from empty, so steady-state re-advises converge in a few
+//!   probes instead of re-deriving the whole selection.
+//!
+//! The daemon is deterministic: the same pool, option set, and admission
+//! sequence produce bit-identical selections, costs, and trigger
+//! sequences — which is how the drift experiment can hold it against a
+//! periodic full-rebuild baseline on the same history.
+
+use pinum_advisor::greedy::GreedyOptions;
+use pinum_advisor::search::StrategyKind;
+use pinum_core::access_costs::AccessCostCatalog;
+use pinum_core::cache::PlanCache;
+use pinum_core::{CandidatePool, Selection, WorkloadModel};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Knobs of the online tuning daemon.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineAdvisorOptions {
+    /// Maximum live queries in the sliding window (count eviction).
+    pub window_capacity: usize,
+    /// Admissions per epoch; every epoch boundary re-advises.
+    pub epoch_length: usize,
+    /// Relative regression of the window's mean priced cost (vs the mean
+    /// right after the last re-advise) that fires an early re-advise.
+    pub drift_threshold: f64,
+    /// Per-advising-round weight decay applied to every resident query
+    /// (1.0 = pure count window, no decay).
+    pub decay: f64,
+    /// Search strategy used at re-advise time.
+    pub strategy: StrategyKind,
+    /// Index disk budget handed to the strategy.
+    pub budget_bytes: u64,
+    /// Rank candidates by benefit per byte inside the strategy.
+    pub benefit_per_byte: bool,
+    /// Warm-start re-advises from the previous selection (the whole
+    /// point; `false` keeps a cold-search mode for ablations).
+    pub warm_start: bool,
+}
+
+impl OnlineAdvisorOptions {
+    /// Sensible daemon defaults for a given budget: 256-query window,
+    /// epoch of 64, 20 % drift threshold, warm-started lazy greedy.
+    pub fn defaults(budget_bytes: u64) -> Self {
+        Self {
+            window_capacity: 256,
+            epoch_length: 64,
+            drift_threshold: 0.2,
+            decay: 1.0,
+            strategy: StrategyKind::LazyGreedy,
+            budget_bytes,
+            benefit_per_byte: false,
+            warm_start: true,
+        }
+    }
+}
+
+/// What caused a re-advise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadviseTrigger {
+    /// Epoch boundary (`epoch_length` admissions since the last one).
+    Epoch,
+    /// Drift detector fired early.
+    Drift,
+    /// Caller asked explicitly via [`OnlineAdvisor::readvise`].
+    Forced,
+}
+
+/// Outcome of one re-advising round.
+#[derive(Debug, Clone)]
+pub struct ReadviseReport {
+    pub trigger: ReadviseTrigger,
+    pub wall: Duration,
+    /// Exact priced cost of the *old* selection over the current window.
+    pub cost_before: f64,
+    /// Exact priced cost of the new selection over the current window.
+    pub cost_after: f64,
+    /// Indexes in the new selection.
+    pub picks: usize,
+    /// Workload-cost evaluations the search spent.
+    pub evaluations: usize,
+    /// Individual query re-pricings the search spent.
+    pub queries_repriced: usize,
+}
+
+/// Outcome of one admission.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    /// Stable query id inside the streaming model.
+    pub qid: usize,
+    /// Query evicted by the window, if it overflowed.
+    pub evicted: Option<usize>,
+    /// Wall time of the model splice alone ([`WorkloadModel::admit_query`]).
+    pub model_wall: Duration,
+    /// Flattened access arms of the admitted query — the unit the splice
+    /// work is proportional to (never the workload size).
+    pub model_arms: usize,
+    /// The re-advise this admission triggered, if any.
+    pub readvise: Option<ReadviseReport>,
+}
+
+/// Counters proving what the daemon did (and did not) do.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    pub admits: usize,
+    pub evictions: usize,
+    pub readvises: usize,
+    pub epoch_readvises: usize,
+    pub drift_readvises: usize,
+    pub forced_readvises: usize,
+    /// From-scratch [`WorkloadModel`] builds performed after start-up.
+    /// Never incremented by this implementation — the counter exists so
+    /// the acceptance experiment can *assert* the online path stayed
+    /// incremental.
+    pub full_rebuilds: usize,
+    /// Tombstone compactions (O(window) renumbering, not rebuilds —
+    /// pricing is bit-identical across them).
+    pub compactions: usize,
+    /// Total / max flattened arms over all admissions (the O(query) work
+    /// witness: these are stream properties, independent of window size).
+    pub admit_arms_total: usize,
+    pub admit_arms_max: usize,
+    /// Summed wall time of the model splices alone.
+    pub model_admit_wall: Duration,
+    /// Summed wall time of re-advising rounds.
+    pub readvise_wall: Duration,
+}
+
+/// The epoch-based online tuning daemon. See the crate docs.
+pub struct OnlineAdvisor {
+    pool: CandidatePool,
+    opts: OnlineAdvisorOptions,
+    model: WorkloadModel,
+    /// Live query ids, admission order (front = oldest).
+    window: VecDeque<usize>,
+    selection: Selection,
+    /// Monitoring state: per-slot weighted contribution of the current
+    /// selection (0.0 for tombstones) and its running sum. Maintained
+    /// incrementally for drift detection; reset from an exact
+    /// `price_full` at every re-advise.
+    monitor_per_query: Vec<f64>,
+    monitor_total: f64,
+    /// Mean priced cost per live query right after the last re-advise
+    /// (infinite before the first one, which disarms the drift detector
+    /// until an epoch fires).
+    baseline_mean: f64,
+    admits_since_advise: usize,
+    stats: OnlineStats,
+}
+
+impl OnlineAdvisor {
+    /// Starts the daemon over a fixed candidate pool with an empty
+    /// window and an empty selection.
+    pub fn new(pool: CandidatePool, opts: OnlineAdvisorOptions) -> Self {
+        assert!(opts.window_capacity >= 1, "window must hold a query");
+        assert!(opts.epoch_length >= 1, "epoch must span an admission");
+        assert!(
+            opts.drift_threshold >= 0.0 && opts.drift_threshold.is_finite(),
+            "drift threshold must be a finite non-negative ratio"
+        );
+        assert!(
+            opts.decay > 0.0 && opts.decay <= 1.0,
+            "decay must be in (0, 1]"
+        );
+        let model = WorkloadModel::build(pool.len(), std::iter::empty());
+        let selection = Selection::empty(pool.len());
+        Self {
+            pool,
+            opts,
+            model,
+            window: VecDeque::new(),
+            selection,
+            monitor_per_query: Vec::new(),
+            monitor_total: 0.0,
+            baseline_mean: f64::INFINITY,
+            admits_since_advise: 0,
+            stats: OnlineStats::default(),
+        }
+    }
+
+    /// Admits one arriving query (weight 1.0). The `(cache, access)`
+    /// pair is the per-query artifact of the paper's one optimizer call —
+    /// built by the caller, spliced here.
+    pub fn admit(&mut self, cache: &PlanCache, access: &AccessCostCatalog) -> Admission {
+        self.admit_weighted(cache, access, 1.0)
+    }
+
+    /// [`Self::admit`] with an explicit workload weight (e.g. from the
+    /// drift generator's table-growth events).
+    pub fn admit_weighted(
+        &mut self,
+        cache: &PlanCache,
+        access: &AccessCostCatalog,
+        weight: f64,
+    ) -> Admission {
+        // --- Model splice: O(this query's arms), never O(window). ---
+        let splice = Instant::now();
+        let qid = self.model.admit_query_weighted(cache, access, weight);
+        let model_wall = splice.elapsed();
+        let model_arms = self.model.query_arm_count(qid);
+        self.stats.admits += 1;
+        self.stats.model_admit_wall += model_wall;
+        self.stats.admit_arms_total += model_arms;
+        self.stats.admit_arms_max = self.stats.admit_arms_max.max(model_arms);
+        self.window.push_back(qid);
+
+        // --- Monitor: price the newcomer under the current selection. ---
+        let contribution = weight * self.model.price_query(qid, &self.selection, None);
+        debug_assert_eq!(self.monitor_per_query.len(), qid);
+        self.monitor_per_query.push(contribution);
+        self.monitor_total += contribution;
+
+        // --- Window overflow: retract the oldest resident. ---
+        let evicted = if self.window.len() > self.opts.window_capacity {
+            let oldest = self.window.pop_front().expect("window non-empty");
+            self.monitor_total -= self.monitor_per_query[oldest];
+            self.monitor_per_query[oldest] = 0.0;
+            self.model.evict_query(oldest);
+            self.stats.evictions += 1;
+            Some(oldest)
+        } else {
+            None
+        };
+
+        self.admits_since_advise += 1;
+        let readvise = self.maybe_readvise();
+        Admission {
+            qid,
+            evicted,
+            model_wall,
+            model_arms,
+            readvise,
+        }
+    }
+
+    /// Whether the window's mean priced cost has regressed past the
+    /// threshold (written so a NaN monitor — inf−inf arithmetic after an
+    /// unpriceable admission — also fires and self-heals on the exact
+    /// re-pricing the re-advise performs).
+    fn drift_fired(&self) -> bool {
+        if self.window.is_empty() || !self.baseline_mean.is_finite() {
+            return false;
+        }
+        let mean_now = self.monitor_total / self.window.len() as f64;
+        let bound = self.baseline_mean * (1.0 + self.opts.drift_threshold);
+        // Fires on Greater *and* on NaN (incomparable) — a NaN monitor
+        // must trigger the exact re-pricing that heals it.
+        !matches!(
+            mean_now.partial_cmp(&bound),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        )
+    }
+
+    fn maybe_readvise(&mut self) -> Option<ReadviseReport> {
+        let trigger = if self.admits_since_advise >= self.opts.epoch_length {
+            ReadviseTrigger::Epoch
+        } else if self.drift_fired() {
+            ReadviseTrigger::Drift
+        } else {
+            return None;
+        };
+        Some(self.readvise_with(trigger))
+    }
+
+    /// Forces a re-advising round right now (callers use this to flush a
+    /// warm-up batch; the daemon itself re-advises on epochs and drift).
+    pub fn readvise(&mut self) -> ReadviseReport {
+        self.readvise_with(ReadviseTrigger::Forced)
+    }
+
+    fn readvise_with(&mut self, trigger: ReadviseTrigger) -> ReadviseReport {
+        let start = Instant::now();
+        // Tombstone hygiene: once dead slots outnumber live ones, compact
+        // so re-advise pricing (and the monitor vector) stays O(window)
+        // over the daemon's whole lifetime instead of O(admissions ever).
+        // Totals are bit-identical across compaction (tombstones price to
+        // exactly 0.0), so this changes nothing observable but memory.
+        if self.model.query_count() - self.model.live_query_count() > self.model.live_query_count()
+        {
+            self.compact();
+        }
+        // Weight decay: every resident fades one round before re-selection
+        // sees the window (no-op at decay = 1.0).
+        if self.opts.decay < 1.0 {
+            for &qid in &self.window {
+                let faded = (self.model.weight(qid) * self.opts.decay).max(f64::MIN_POSITIVE);
+                self.model.reweight_query(qid, faded);
+            }
+        }
+        let cost_before = self.model.price_full(&self.selection).total;
+        let gopts = GreedyOptions {
+            budget_bytes: self.opts.budget_bytes,
+            benefit_per_byte: self.opts.benefit_per_byte,
+        };
+        let strategy = self.opts.strategy.build();
+        let result = if self.opts.warm_start {
+            strategy.search_warm(&self.pool, &self.model, &gopts, &self.selection)
+        } else {
+            strategy.search(&self.pool, &self.model, &gopts)
+        };
+        self.selection = result.selection;
+
+        // Reset the monitor from an exact pricing of the new selection —
+        // incremental drift from the running sums ends here.
+        let state = self.model.price_full(&self.selection);
+        self.baseline_mean = if self.window.is_empty() {
+            f64::INFINITY
+        } else {
+            state.total / self.window.len() as f64
+        };
+        let cost_after = state.total;
+        self.monitor_total = state.total;
+        self.monitor_per_query = state.per_query;
+        self.admits_since_advise = 0;
+
+        let wall = start.elapsed();
+        self.stats.readvises += 1;
+        self.stats.readvise_wall += wall;
+        match trigger {
+            ReadviseTrigger::Epoch => self.stats.epoch_readvises += 1,
+            ReadviseTrigger::Drift => self.stats.drift_readvises += 1,
+            ReadviseTrigger::Forced => self.stats.forced_readvises += 1,
+        }
+        ReadviseReport {
+            trigger,
+            wall,
+            cost_before,
+            cost_after,
+            picks: result.picked.len(),
+            evaluations: result.evaluations,
+            queries_repriced: result.queries_repriced,
+        }
+    }
+
+    /// Drops eviction tombstones from the underlying model; window ids
+    /// and the monitoring state are remapped, so behaviour is unchanged.
+    /// Runs automatically at re-advise time whenever tombstones outnumber
+    /// live queries (which renumbers query ids — treat an [`Admission`]'s
+    /// `qid` as valid only until the next re-advise), and stays public
+    /// for callers who want memory back sooner.
+    pub fn compact(&mut self) {
+        self.stats.compactions += 1;
+        let remap = self.model.compact();
+        let mut monitor = vec![0.0; self.model.query_count()];
+        for (old, &new) in remap.iter().enumerate() {
+            if new != u32::MAX {
+                monitor[new as usize] = self.monitor_per_query[old];
+            }
+        }
+        self.monitor_per_query = monitor;
+        for qid in self.window.iter_mut() {
+            let new = remap[*qid];
+            debug_assert_ne!(new, u32::MAX, "window held an evicted query");
+            *qid = new as usize;
+        }
+    }
+
+    /// Exact priced cost of the current selection over the live window.
+    pub fn current_cost(&self) -> f64 {
+        self.model.price_full(&self.selection).total
+    }
+
+    /// The monitor's running (incrementally maintained) total — what the
+    /// drift detector sees between re-advises.
+    pub fn monitored_cost(&self) -> f64 {
+        self.monitor_total
+    }
+
+    pub fn selection(&self) -> &Selection {
+        &self.selection
+    }
+
+    pub fn model(&self) -> &WorkloadModel {
+        &self.model
+    }
+
+    pub fn pool(&self) -> &CandidatePool {
+        &self.pool
+    }
+
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinum_advisor::candidates::generate_candidates;
+    use pinum_core::access_costs::collect_pinum;
+    use pinum_core::builder::{build_cache_pinum, BuilderOptions};
+    use pinum_optimizer::Optimizer;
+    use pinum_query::Query;
+    use pinum_workload::drift::{DriftProfile, DriftStream};
+    use pinum_workload::star::StarSchema;
+
+    const BUDGET: u64 = 1 << 30;
+
+    /// Small drifting stream plus the pool/caches both tests and the
+    /// bench experiment style of consumption need.
+    #[allow(clippy::type_complexity)]
+    fn fixture(
+        phases: usize,
+        phase_length: usize,
+    ) -> (
+        StarSchema,
+        Vec<(Query, f64)>,
+        CandidatePool,
+        Vec<(PlanCache, AccessCostCatalog)>,
+    ) {
+        let schema = StarSchema::generate(42, 0.001);
+        let profile = DriftProfile {
+            phases,
+            phase_length,
+            edge_window: 3,
+            churn: 0.05,
+            growth_per_phase: 1.0,
+        };
+        let stream: Vec<_> = DriftStream::new(&schema, 9, profile).collect();
+        let queries: Vec<(Query, f64)> = stream.into_iter().map(|d| (d.query, d.weight)).collect();
+        let only: Vec<Query> = queries.iter().map(|(q, _)| q.clone()).collect();
+        let pool = generate_candidates(&schema.catalog, &only);
+        let optimizer = Optimizer::new(&schema.catalog);
+        let models = only
+            .iter()
+            .map(|q| {
+                let built = build_cache_pinum(&optimizer, q, &BuilderOptions::default());
+                let (access, _) = collect_pinum(&optimizer, q, &pool);
+                (built.cache, access)
+            })
+            .collect();
+        (schema, queries, pool, models)
+    }
+
+    fn opts(window: usize, epoch: usize) -> OnlineAdvisorOptions {
+        OnlineAdvisorOptions {
+            window_capacity: window,
+            epoch_length: epoch,
+            ..OnlineAdvisorOptions::defaults(BUDGET)
+        }
+    }
+
+    #[test]
+    fn window_capacity_is_enforced() {
+        let (_s, queries, pool, models) = fixture(2, 10);
+        let mut advisor = OnlineAdvisor::new(pool, opts(8, 5));
+        for (i, (c, a)) in models.iter().enumerate() {
+            let adm = advisor.admit_weighted(c, a, queries[i].1);
+            assert_eq!(adm.evicted.is_some(), i >= 8);
+            assert!(advisor.window_len() <= 8);
+        }
+        assert_eq!(advisor.window_len(), 8);
+        assert_eq!(advisor.model().live_query_count(), 8);
+        assert_eq!(advisor.stats().admits, 20);
+        assert_eq!(advisor.stats().evictions, 12);
+    }
+
+    #[test]
+    fn epochs_readvise_on_schedule() {
+        let (_s, _q, pool, models) = fixture(2, 10);
+        // Disarm the drift detector so the epoch schedule is exact.
+        let mut advisor = OnlineAdvisor::new(
+            pool,
+            OnlineAdvisorOptions {
+                drift_threshold: 1e18,
+                ..opts(16, 5)
+            },
+        );
+        let mut at = Vec::new();
+        for (i, (c, a)) in models.iter().enumerate() {
+            if let Some(r) = advisor.admit(c, a).readvise {
+                assert_eq!(r.trigger, ReadviseTrigger::Epoch);
+                at.push(i);
+            }
+        }
+        assert_eq!(at, vec![4, 9, 14, 19], "epoch boundaries off schedule");
+        assert_eq!(advisor.stats().epoch_readvises, 4);
+        assert_eq!(advisor.stats().readvises, 4);
+    }
+
+    #[test]
+    fn readvise_never_leaves_a_worse_selection() {
+        let (_s, _q, pool, models) = fixture(3, 8);
+        let mut advisor = OnlineAdvisor::new(pool, opts(12, 6));
+        for (c, a) in &models {
+            if let Some(r) = advisor.admit(c, a).readvise {
+                assert!(
+                    r.cost_after <= r.cost_before * (1.0 + 1e-12)
+                        || (r.cost_after.is_finite() && r.cost_before.is_infinite()),
+                    "re-advise regressed: {} -> {}",
+                    r.cost_before,
+                    r.cost_after
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn daemon_never_rebuilds_the_model() {
+        let (_s, _q, pool, models) = fixture(2, 12);
+        let mut advisor = OnlineAdvisor::new(pool, opts(10, 4));
+        for (c, a) in &models {
+            advisor.admit(c, a);
+        }
+        assert_eq!(advisor.stats().full_rebuilds, 0);
+        assert!(advisor.stats().admit_arms_max > 0);
+        assert!(advisor.stats().readvises > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let (_s, queries, pool, models) = fixture(2, 10);
+        let run = || {
+            let mut advisor = OnlineAdvisor::new(pool.clone(), opts(8, 4));
+            for (i, (c, a)) in models.iter().enumerate() {
+                advisor.admit_weighted(c, a, queries[i].1);
+            }
+            (
+                advisor.current_cost(),
+                advisor.selection().ids().collect::<Vec<_>>(),
+                advisor.stats().readvises,
+                advisor.stats().drift_readvises,
+            )
+        };
+        let (c1, s1, r1, d1) = run();
+        let (c2, s2, r2, d2) = run();
+        assert_eq!(c1.to_bits(), c2.to_bits());
+        assert_eq!(s1, s2);
+        assert_eq!((r1, d1), (r2, d2));
+    }
+
+    #[test]
+    fn warm_and_cold_readvising_land_within_a_percent() {
+        let (_s, _q, pool, models) = fixture(3, 10);
+        let run = |warm: bool| {
+            let mut advisor = OnlineAdvisor::new(
+                pool.clone(),
+                OnlineAdvisorOptions {
+                    warm_start: warm,
+                    ..opts(15, 6)
+                },
+            );
+            for (c, a) in &models {
+                advisor.admit(c, a);
+            }
+            advisor.readvise();
+            advisor.current_cost()
+        };
+        let (w, c) = (run(true), run(false));
+        assert!(w.is_finite() && c.is_finite());
+        assert!(
+            w <= c * 1.01,
+            "warm-started steady state {w} more than 1% above cold {c}"
+        );
+    }
+
+    #[test]
+    fn compact_mid_stream_changes_nothing_observable() {
+        let (_s, _q, pool, models) = fixture(2, 10);
+        let run = |compact_at: Option<usize>| {
+            let mut advisor = OnlineAdvisor::new(pool.clone(), opts(7, 5));
+            for (i, (c, a)) in models.iter().enumerate() {
+                advisor.admit(c, a);
+                if compact_at == Some(i) {
+                    advisor.compact();
+                }
+            }
+            (
+                advisor.current_cost(),
+                advisor.selection().ids().collect::<Vec<_>>(),
+                advisor.monitored_cost(),
+            )
+        };
+        let (c_base, s_base, m_base) = run(None);
+        let (c_cmp, s_cmp, m_cmp) = run(Some(12));
+        assert_eq!(c_base.to_bits(), c_cmp.to_bits());
+        assert_eq!(s_base, s_cmp);
+        assert_eq!(m_base.to_bits(), m_cmp.to_bits());
+    }
+
+    #[test]
+    fn long_streams_auto_compact_and_stay_window_sized() {
+        let (_s, _q, pool, models) = fixture(3, 10);
+        let window = 4;
+        let mut advisor = OnlineAdvisor::new(pool, opts(window, 3));
+        for (c, a) in &models {
+            advisor.admit(c, a);
+            // Slot count must track the window, not lifetime admissions:
+            // compaction fires at re-advise once tombstones outnumber
+            // live queries, and an epoch is never more than 3 admits away.
+            assert!(
+                advisor.model().query_count() <= 2 * window + 3,
+                "model grew to {} slots on a {}-query window",
+                advisor.model().query_count(),
+                window
+            );
+        }
+        assert!(
+            advisor.stats().compactions > 0,
+            "a 30-admission stream over a 4-query window never compacted"
+        );
+        assert_eq!(advisor.stats().full_rebuilds, 0);
+        assert_eq!(advisor.window_len(), window);
+    }
+
+    #[test]
+    fn decay_fades_resident_weights() {
+        let (_s, _q, pool, models) = fixture(2, 10);
+        let mut advisor = OnlineAdvisor::new(
+            pool,
+            OnlineAdvisorOptions {
+                decay: 0.5,
+                ..opts(20, 5)
+            },
+        );
+        for (c, a) in &models[..10] {
+            advisor.admit(c, a);
+        }
+        // Two epochs passed (admissions 5 and 10): the first resident
+        // decayed twice, the most recent admission only once (it was in
+        // the window when its own epoch boundary fired).
+        let model = advisor.model();
+        assert!(model.weight(0) <= 0.25 + 1e-12);
+        assert!(model.weight(9) <= 0.5 + 1e-12);
+        assert!(model.weight(0) < model.weight(9));
+    }
+
+    #[test]
+    fn drift_detector_fires_on_a_template_shift() {
+        // Build two deliberately different phases with a long epoch so
+        // only the drift detector can trigger between boundaries.
+        let (_s, _q, pool, models) = fixture(3, 12);
+        let mut advisor = OnlineAdvisor::new(
+            pool,
+            OnlineAdvisorOptions {
+                drift_threshold: 0.05,
+                ..opts(36, 1_000_000)
+            },
+        );
+        // Warm up on phase 0 and pin a baseline.
+        for (c, a) in &models[..12] {
+            advisor.admit(c, a);
+        }
+        advisor.readvise();
+        // Stream the later phases; the mix shift should regress the old
+        // selection enough to fire Drift before any epoch boundary.
+        let mut drifted = false;
+        for (c, a) in &models[12..] {
+            if let Some(r) = advisor.admit(c, a).readvise {
+                assert_eq!(r.trigger, ReadviseTrigger::Drift);
+                drifted = true;
+                break;
+            }
+        }
+        assert!(drifted, "template shift never fired the drift detector");
+    }
+}

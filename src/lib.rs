@@ -16,6 +16,10 @@
 //! * [`advisor`] — greedy index-selection tool with a space budget, driven
 //!   by incremental delta pricing (probe a candidate → re-price only the
 //!   queries it can affect);
+//! * [`online`] — the online tuning subsystem: a sliding-window
+//!   `OnlineAdvisor` daemon that admits/evicts queries into the streaming
+//!   `WorkloadModel` and re-advises on epochs and detected drift,
+//!   warm-starting the search from the previous selection;
 //! * [`workload`] — the paper's synthetic star-schema workload and TPC-H
 //!   statistics;
 //! * [`engine`] — a mini in-memory executor for small-scale validation.
@@ -44,6 +48,7 @@ pub use pinum_catalog as catalog;
 pub use pinum_core as core;
 pub use pinum_cost as cost;
 pub use pinum_engine as engine;
+pub use pinum_online as online;
 pub use pinum_optimizer as optimizer;
 pub use pinum_query as query;
 pub use pinum_workload as workload;

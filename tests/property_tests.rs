@@ -290,3 +290,119 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Streaming mutations are exact: admitting a query and then evicting
+    /// that same query leaves `price_full` **bit-identical** (total and
+    /// every live per-query entry) to the model that never saw it, on
+    /// random selections — and admitting the whole workload query by
+    /// query reproduces the batch `build` exactly.
+    #[test]
+    fn admit_then_evict_is_bit_identical_to_never_admitted(
+        fact_rows in 50_000u64..400_000,
+        dim_rows in 500u64..20_000,
+        sel_pct in 1u32..20,
+        sel_masks in prop::collection::vec(0u64..64, 8),
+    ) {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "f",
+            fact_rows,
+            vec![
+                Column::new("fk", ColumnType::Int8).with_ndv(dim_rows),
+                Column::new("v", ColumnType::Int4).with_ndv(1_000),
+                Column::new("s", ColumnType::Int4).with_ndv(100),
+            ],
+        ));
+        cat.add_table(Table::new(
+            "d",
+            dim_rows,
+            vec![
+                Column::new("k", ColumnType::Int8).with_ndv(dim_rows).with_correlation(1.0),
+                Column::new("w", ColumnType::Int4).with_ndv(50),
+            ],
+        ));
+        let q1 = QueryBuilder::new("q1", &cat)
+            .table("f")
+            .table("d")
+            .join(("f", "fk"), ("d", "k"))
+            .filter_range(("f", "v"), 0.0, 10.0 * sel_pct as f64)
+            .select(("f", "s"))
+            .order_by(("d", "w"))
+            .build();
+        let q2 = QueryBuilder::new("q2", &cat)
+            .table("f")
+            .filter_range(("f", "v"), 0.0, 10.0 * sel_pct as f64)
+            .select(("f", "s"))
+            .order_by(("f", "s"))
+            .build();
+        // The query that will be admitted and then evicted again.
+        let q3 = QueryBuilder::new("q3", &cat)
+            .table("f")
+            .table("d")
+            .join(("f", "fk"), ("d", "k"))
+            .filter_range(("d", "w"), 0.0, 5.0)
+            .select(("d", "w"))
+            .order_by(("f", "v"))
+            .build();
+        let f = cat.table(cat.table_id("f").unwrap()).clone();
+        let d = cat.table(cat.table_id("d").unwrap()).clone();
+        let pool = CandidatePool::from_indexes(vec![
+            Index::hypothetical(&f, vec![0], false),
+            Index::hypothetical(&f, vec![1, 0, 2], false),
+            Index::hypothetical(&f, vec![2], false),
+            Index::hypothetical(&d, vec![0], false),
+            Index::hypothetical(&d, vec![1], false),
+            Index::hypothetical(&d, vec![1, 0], false),
+        ]);
+        let opt = Optimizer::new(&cat);
+        let build_inputs = |q: &pinum::query::Query| {
+            let built = build_cache_pinum(&opt, q, &BuilderOptions::default());
+            let (access, _) = collect_pinum(&opt, q, &pool);
+            (built.cache, access)
+        };
+        let base_models: Vec<_> = [&q1, &q2].iter().map(|q| build_inputs(q)).collect();
+        let (extra_cache, extra_access) = build_inputs(&q3);
+
+        // Incremental admission reproduces the batch build bit for bit.
+        let batch = WorkloadModel::build(pool.len(), base_models.iter().map(|(c, a)| (c, a)));
+        let mut streamed = WorkloadModel::build(pool.len(), std::iter::empty());
+        for (c, a) in &base_models {
+            streamed.admit_query(c, a);
+        }
+        prop_assert_eq!(&streamed, &batch, "admit-by-admit diverged from batch build");
+
+        // Admit q3, then evict it again.
+        let mut mutated = batch.clone();
+        let qid = mutated.admit_query(&extra_cache, &extra_access);
+        mutated.evict_query(qid);
+
+        for mask in sel_masks {
+            let ids: Vec<usize> = (0..pool.len()).filter(|i| mask & (1 << i) != 0).collect();
+            let sel = Selection::from_ids(pool.len(), &ids);
+            let b = batch.price_full(&sel);
+            let m = mutated.price_full(&sel);
+            prop_assert!(
+                b.total == m.total || (b.total.is_infinite() && m.total.is_infinite()),
+                "selection {:?}: totals diverged {} vs {}", &ids, b.total, m.total
+            );
+            // Live entries bit-identical; the tombstone contributes 0.0.
+            prop_assert_eq!(&m.per_query[..b.per_query.len()], &b.per_query[..]);
+            prop_assert_eq!(m.per_query[qid], 0.0);
+
+            // Deltas stay exact on the mutated model too.
+            let state = mutated.price_full(&sel);
+            for cand in 0..pool.len() {
+                if sel.contains(cand) {
+                    continue;
+                }
+                let delta = mutated.price_delta(&state, &sel, cand);
+                let full = mutated.price_full(&sel.with(cand));
+                prop_assert_eq!(delta, full.total,
+                    "mutated model: selection {:?} + {}", &ids, cand);
+            }
+        }
+    }
+}
