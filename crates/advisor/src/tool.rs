@@ -14,8 +14,9 @@ use crate::candidates::{generate_candidates, merge_prefix_subsumed};
 use crate::greedy::{greedy_select, GreedyOptions, GreedyResult};
 use crate::search::StrategyKind;
 use pinum_catalog::Catalog;
-use pinum_core::access_costs::{collect_inum, collect_pinum, AccessCostCatalog};
-use pinum_core::builder::{build_cache_inum, build_cache_pinum, BuilderOptions};
+use pinum_core::access_costs::{collect_inum, AccessCostCatalog};
+use pinum_core::builder::{build_cache_inum, BuilderOptions};
+use pinum_core::collector::build_workload_models;
 use pinum_core::{CandidatePool, PlanCache, Selection, WorkloadModel};
 use pinum_optimizer::{Optimizer, OptimizerOptions};
 use pinum_query::Query;
@@ -153,22 +154,26 @@ pub fn advise(catalog: &Catalog, queries: &[Query], options: &AdvisorOptions) ->
     let mut build_time = Duration::ZERO;
     let mut build_calls = 0usize;
     let mut models: Vec<(PlanCache, AccessCostCatalog)> = Vec::new();
-    if options.oracle != CostOracle::DirectOptimizer {
-        for q in queries {
-            let built = match options.oracle {
-                CostOracle::PinumCache => build_cache_pinum(&optimizer, q, &options.builder),
-                CostOracle::InumCache => build_cache_inum(&optimizer, q, &options.builder),
-                CostOracle::DirectOptimizer => unreachable!(),
-            };
-            let (access, astats) = match options.oracle {
-                CostOracle::PinumCache => collect_pinum(&optimizer, q, &pool),
-                CostOracle::InumCache => collect_inum(&optimizer, q, &pool),
-                CostOracle::DirectOptimizer => unreachable!(),
-            };
-            build_time += built.stats.wall + astats.wall;
-            build_calls += built.stats.optimizer_calls + astats.optimizer_calls;
-            models.push((built.cache, access));
+    match options.oracle {
+        CostOracle::PinumCache => {
+            // Workload-level batched collection: plan caches stay two
+            // calls per query, access costs cost one call per distinct
+            // template shape instead of one per query.
+            let built = build_workload_models(&optimizer, queries, &pool, &options.builder);
+            build_time += built.wall;
+            build_calls += built.cache_calls + built.collect_calls;
+            models = built.models;
         }
+        CostOracle::InumCache => {
+            for q in queries {
+                let built = build_cache_inum(&optimizer, q, &options.builder);
+                let (access, astats) = collect_inum(&optimizer, q, &pool);
+                build_time += built.stats.wall + astats.wall;
+                build_calls += built.stats.optimizer_calls + astats.optimizer_calls;
+                models.push((built.cache, access));
+            }
+        }
+        CostOracle::DirectOptimizer => {}
     }
 
     // --- Flatten into the workload pricing model (cache oracles). ---
@@ -323,6 +328,8 @@ mod tests {
     #[test]
     fn model_engine_matches_naive_engine_exactly() {
         use crate::greedy::{greedy_select, greedy_select_model, GreedyOptions};
+        use pinum_core::access_costs::collect_pinum;
+        use pinum_core::builder::build_cache_pinum;
         use pinum_core::{CacheCostModel, WorkloadModel};
         use pinum_optimizer::Optimizer;
 

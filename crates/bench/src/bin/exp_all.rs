@@ -16,6 +16,7 @@ fn main() {
     e::greedy_quality::run(scale);
     e::engine_validation::run(scale);
     e::advisor_scale::run(scale);
+    e::batched_collection::run(scale);
     e::search_strategies::run(scale);
     e::online_drift::run(scale);
     println!("==== done ====");

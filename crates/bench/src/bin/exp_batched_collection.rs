@@ -1,0 +1,14 @@
+//! CI acceptance: workload-level batched collection prices the 200-query
+//! scale workload with ≥3× fewer optimizer calls than per-query
+//! `collect_pinum`, bit-identically (catalogs and advisor picks). See
+//! `pinum_bench::experiments::batched_collection`.
+
+use pinum_bench::experiments::batched_collection;
+use pinum_bench::fixtures::scale_from_env;
+
+fn main() {
+    let outcome = batched_collection::run(scale_from_env());
+    assert!(outcome.catalogs_identical);
+    assert!(outcome.picks_identical);
+    assert!(outcome.call_reduction >= 3.0);
+}

@@ -3,6 +3,13 @@
 //! (`crates/bench/baselines/trend.json`) and exits non-zero on any
 //! probe-count/speedup/quality regression. See `pinum_bench::trend`.
 //!
+//! With `--write-baseline`, instead of gating, the baseline file is
+//! rewritten with every tracked metric's current value (kinds,
+//! tolerances and the comment are preserved) — the supported workflow
+//! for moving the baseline when a change shifts a metric intentionally:
+//! run the experiments into `PINUM_JSON_DIR`, run `exp_trend
+//! --write-baseline`, and commit the diff in the same PR.
+//!
 //! Environment:
 //! * `PINUM_JSON_DIR` — directory holding the current `<name>.json`
 //!   files (default `artifacts`);
@@ -14,6 +21,7 @@ use pinum_bench::trend;
 use std::path::PathBuf;
 
 fn main() {
+    let write_baseline = std::env::args().skip(1).any(|a| a == "--write-baseline");
     let dir = PathBuf::from(std::env::var("PINUM_JSON_DIR").unwrap_or_else(|_| "artifacts".into()));
     let baseline = std::env::var("PINUM_TREND_BASELINE")
         .map(PathBuf::from)
@@ -25,6 +33,19 @@ fn main() {
                 PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("baselines/trend.json")
             }
         });
+    if write_baseline {
+        match trend::write_baseline(&dir, &baseline) {
+            Ok(summary) => {
+                println!("baseline refresh: {summary}");
+                println!("commit the diff of {} in the same PR", baseline.display());
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     println!(
         "trend gate: {} vs baseline {}\n",
         dir.display(),

@@ -2,6 +2,7 @@
 //! binaries under `src/bin/` call these, and `exp_all` chains them.
 
 pub mod advisor_scale;
+pub mod batched_collection;
 pub mod cache_construction;
 pub mod cost_accuracy;
 pub mod engine_validation;

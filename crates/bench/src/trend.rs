@@ -181,6 +181,89 @@ pub fn report(outcomes: &[MetricOutcome]) -> (String, bool) {
     (table.render(), all_ok)
 }
 
+/// Rewrites the baseline file with every metric's *current* value from
+/// the experiment JSON in `dir`, preserving each metric's kind and
+/// tolerance and the file-level comment. This is `exp_trend
+/// --write-baseline` — the supported way to move the baseline when a
+/// change shifts a metric intentionally, replacing hand-editing.
+///
+/// Fails (without touching the file) when any tracked metric is missing
+/// from `dir`: a partial experiment run must not silently shrink the
+/// baseline's coverage.
+pub fn write_baseline(dir: &Path, path: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let doc = JsonValue::parse(&text)
+        .map_err(|e| format!("baseline {} is not valid JSON: {e}", path.display()))?;
+    let comment = doc
+        .get("comment")
+        .and_then(JsonValue::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let specs = load_baseline(path)?;
+    let outcomes = evaluate(dir, &specs);
+    let missing: Vec<String> = outcomes
+        .iter()
+        .filter(|o| o.current.is_none())
+        .map(|o| format!("{}:{}", o.spec.file, o.spec.key))
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "refusing to write baseline: {} tracked metric(s) missing from {}: {}",
+            missing.len(),
+            dir.display(),
+            missing.join(", ")
+        ));
+    }
+
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::from("{\n");
+    if !comment.is_empty() {
+        out.push_str(&format!("  \"comment\": \"{}\",\n", escape(&comment)));
+    }
+    out.push_str("  \"metrics\": [\n");
+    let mut moved = 0usize;
+    for (i, o) in outcomes.iter().enumerate() {
+        let kind = match o.spec.kind {
+            TrendKind::Max => "max",
+            TrendKind::Min => "min",
+            TrendKind::Near => "near",
+        };
+        let current = o.current.expect("missing metrics rejected above");
+        if current != o.spec.baseline {
+            moved += 1;
+        }
+        out.push_str(&format!(
+            "    {{ \"file\": \"{}\", \"key\": \"{}\", \"kind\": \"{kind}\", \
+             \"baseline\": {}, \"tolerance_pct\": {} }}{}\n",
+            escape(&o.spec.file),
+            escape(&o.spec.key),
+            render_number(current),
+            render_number(o.spec.tolerance_pct),
+            if i + 1 < outcomes.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, &out)
+        .map_err(|e| format!("cannot write baseline {}: {e}", path.display()))?;
+    Ok(format!(
+        "wrote {} metrics ({moved} moved) to {}",
+        outcomes.len(),
+        path.display()
+    ))
+}
+
+/// Integers stay integers; everything else is rounded to four decimals
+/// (matching the report's precision) with trailing zeros trimmed.
+fn render_number(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +341,53 @@ mod tests {
         assert!(!outcomes[2].ok, "missing keys must fail, not pass silently");
         let (_, all_ok) = report(&outcomes);
         assert!(!all_ok);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_baseline_refreshes_values_and_preserves_shape() {
+        let dir = std::env::temp_dir().join(format!("pinum_trend_wb_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("exp.json"),
+            r#"{"probes": 120, "speedup": 9.12341}"#,
+        )
+        .unwrap();
+        let baseline = dir.join("trend.json");
+        std::fs::write(
+            &baseline,
+            r#"{ "comment": "keep me",
+                 "metrics": [
+                   { "file": "exp", "key": "probes", "kind": "max", "baseline": 100, "tolerance_pct": 10 },
+                   { "file": "exp", "key": "speedup", "kind": "min", "baseline": 7.5, "tolerance_pct": 50 } ] }"#,
+        )
+        .unwrap();
+
+        let summary = write_baseline(&dir, &baseline).expect("write must succeed");
+        assert!(summary.contains("2 metrics"), "{summary}");
+
+        // The rewritten file parses, keeps kinds/tolerances/comment, and
+        // carries the current values as the new baselines.
+        let text = std::fs::read_to_string(&baseline).unwrap();
+        assert!(text.contains("keep me"));
+        let specs = load_baseline(&baseline).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].baseline, 120.0);
+        assert_eq!(specs[0].kind, TrendKind::Max);
+        assert_eq!(specs[0].tolerance_pct, 10.0);
+        assert_eq!(specs[1].baseline, 9.1234, "rounded to report precision");
+        assert_eq!(specs[1].kind, TrendKind::Min);
+
+        // A missing metric refuses to write (and leaves the file alone).
+        std::fs::write(
+            &baseline,
+            r#"{ "metrics": [
+                   { "file": "exp", "key": "absent", "kind": "max", "baseline": 1, "tolerance_pct": 0 } ] }"#,
+        )
+        .unwrap();
+        let before = std::fs::read_to_string(&baseline).unwrap();
+        assert!(write_baseline(&dir, &baseline).is_err());
+        assert_eq!(std::fs::read_to_string(&baseline).unwrap(), before);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -26,7 +26,12 @@
 //! Access costs are collected analogously: [`access_costs::collect_pinum`]
 //! prices the entire candidate pool with **one** keep-all call (§V-C),
 //! [`access_costs::collect_inum`] needs one call per atomic batch of
-//! candidates.
+//! candidates. At workload scale, [`collector::WorkloadCollector`] takes
+//! the per-query call apart further: relations are grouped by
+//! `(table, filter shape)` template and each template's arms are priced
+//! **once** for the whole workload — one optimizer call per
+//! template-shape instead of per query, bit-identical to the per-query
+//! reference.
 //!
 //! On top of the per-query caches, [`workload_model::WorkloadModel`]
 //! flattens a whole workload's plans and access costs into a dense,
@@ -52,6 +57,7 @@ pub mod access_costs;
 pub mod builder;
 pub mod cache;
 pub mod candidates;
+pub mod collector;
 pub mod costing;
 pub mod workload_model;
 
@@ -64,5 +70,6 @@ pub use builder::{
 };
 pub use cache::{CachedPlan, PlanCache};
 pub use candidates::{CandidatePool, Selection};
+pub use collector::{build_workload_models, WorkloadCollector, WorkloadModels};
 pub use costing::{CacheCostModel, Estimate};
 pub use workload_model::{PricedWorkload, WorkloadModel};

@@ -12,7 +12,7 @@
 //! ## Design
 //!
 //! [`WorkloadModel::build`] flattens, per query and per cached plan, each
-//! `(plan, relation, order-slot)` into a dense [`Slot`]:
+//! `(plan, relation, order-slot)` into a dense `Slot`:
 //!
 //! * the applicable access paths are resolved **once** into arrays of
 //!   `(cost, candidate)` arms, ascending by cost, so pricing a slot under a

@@ -36,8 +36,11 @@
 use pinum_advisor::greedy::GreedyOptions;
 use pinum_advisor::search::StrategyKind;
 use pinum_core::access_costs::AccessCostCatalog;
+use pinum_core::builder::{build_cache_pinum, BuilderOptions};
 use pinum_core::cache::PlanCache;
-use pinum_core::{CandidatePool, Selection, WorkloadModel};
+use pinum_core::{CandidatePool, Selection, WorkloadCollector, WorkloadModel};
+use pinum_optimizer::Optimizer;
+use pinum_query::Query;
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -147,6 +150,13 @@ pub struct OnlineStats {
     /// witness: these are stream properties, independent of window size).
     pub admit_arms_total: usize,
     pub admit_arms_max: usize,
+    /// Optimizer calls spent on access collection by
+    /// [`OnlineAdvisor::admit_collected`] — one per *new* template shape,
+    /// zero for admissions whose relations all hit the shared cache.
+    pub collect_calls: usize,
+    /// Relation collections `admit_collected` served straight from the
+    /// shared template cache.
+    pub collect_template_hits: usize,
     /// Summed wall time of the model splices alone.
     pub model_admit_wall: Duration,
     /// Summed wall time of re-advising rounds.
@@ -158,6 +168,9 @@ pub struct OnlineAdvisor {
     pool: CandidatePool,
     opts: OnlineAdvisorOptions,
     model: WorkloadModel,
+    /// Shared template cache for [`Self::admit_collected`]: admissions of
+    /// template-sharing queries skip access-collection optimizer calls.
+    collector: WorkloadCollector,
     /// Live query ids, admission order (front = oldest).
     window: VecDeque<usize>,
     selection: Selection,
@@ -195,6 +208,7 @@ impl OnlineAdvisor {
             pool,
             opts,
             model,
+            collector: WorkloadCollector::new(),
             window: VecDeque::new(),
             selection,
             monitor_per_query: Vec::new(),
@@ -210,6 +224,31 @@ impl OnlineAdvisor {
     /// built by the caller, spliced here.
     pub fn admit(&mut self, cache: &PlanCache, access: &AccessCostCatalog) -> Admission {
         self.admit_weighted(cache, access, 1.0)
+    }
+
+    /// Admits an arriving query *from scratch*: builds its PINUM plan
+    /// cache (two optimizer calls) and collects its access costs through
+    /// the daemon's shared template cache, then splices the pair in.
+    ///
+    /// The collection side is where streaming admission meets batched
+    /// collection: an admission whose relations all match templates seen
+    /// earlier in the stream pays **zero** collection calls
+    /// ([`OnlineStats::collect_calls`] counts the exceptions), and the
+    /// spliced model is bit-identical to one built from a dedicated
+    /// per-query `collect_pinum` call — the collector debug-asserts that
+    /// on every admission.
+    pub fn admit_collected(
+        &mut self,
+        optimizer: &Optimizer<'_>,
+        query: &Query,
+        builder: &BuilderOptions,
+        weight: f64,
+    ) -> Admission {
+        let built = build_cache_pinum(optimizer, query, builder);
+        let (access, cstats) = self.collector.collect(optimizer, query, &self.pool);
+        self.stats.collect_calls += cstats.optimizer_calls;
+        self.stats.collect_template_hits += query.relation_count() - cstats.optimizer_calls;
+        self.admit_weighted(&built.cache, &access, weight)
     }
 
     /// [`Self::admit`] with an explicit workload weight (e.g. from the
@@ -412,6 +451,11 @@ impl OnlineAdvisor {
     pub fn stats(&self) -> &OnlineStats {
         &self.stats
     }
+
+    /// The shared template cache behind [`Self::admit_collected`].
+    pub fn collector(&self) -> &WorkloadCollector {
+        &self.collector
+    }
 }
 
 #[cfg(test)]
@@ -536,6 +580,59 @@ mod tests {
         assert_eq!(advisor.stats().full_rebuilds, 0);
         assert!(advisor.stats().admit_arms_max > 0);
         assert!(advisor.stats().readvises > 0);
+    }
+
+    #[test]
+    fn admit_collected_is_bit_identical_to_cold_collection() {
+        let (schema, queries, pool, models) = fixture(2, 12);
+        let optimizer = Optimizer::new(&schema.catalog);
+        let builder = BuilderOptions::default();
+
+        // Reference daemon: cold per-query collect_pinum artifacts.
+        let mut cold = OnlineAdvisor::new(pool.clone(), opts(10, 4));
+        // Streaming daemon: collection through the shared template cache.
+        let mut shared = OnlineAdvisor::new(pool.clone(), opts(10, 4));
+        let mut rels_total = 0usize;
+        for (i, (c, a)) in models.iter().enumerate() {
+            let (query, weight) = &queries[i];
+            rels_total += query.relation_count();
+            let adm_cold = cold.admit_weighted(c, a, *weight);
+            let adm_shared = shared.admit_collected(&optimizer, query, &builder, *weight);
+            assert_eq!(adm_cold.qid, adm_shared.qid);
+            assert_eq!(adm_cold.evicted, adm_shared.evicted);
+            assert_eq!(
+                adm_cold.model_arms, adm_shared.model_arms,
+                "admission {i}: spliced arms diverged"
+            );
+            assert_eq!(
+                adm_cold.readvise.is_some(),
+                adm_shared.readvise.is_some(),
+                "admission {i}: trigger sequences diverged"
+            );
+            if let (Some(rc), Some(rs)) = (&adm_cold.readvise, &adm_shared.readvise) {
+                assert_eq!(rc.trigger, rs.trigger);
+                assert_eq!(rc.cost_before.to_bits(), rs.cost_before.to_bits());
+                assert_eq!(rc.cost_after.to_bits(), rs.cost_after.to_bits());
+                assert_eq!(rc.picks, rs.picks);
+            }
+        }
+        assert_eq!(cold.selection(), shared.selection());
+        assert_eq!(
+            cold.current_cost().to_bits(),
+            shared.current_cost().to_bits()
+        );
+        // The stream actually shared templates: far fewer collection calls
+        // than relation instances, and the counters reconcile.
+        let s = shared.stats();
+        assert!(
+            s.collect_calls < rels_total,
+            "no template sharing: {} calls over {rels_total} relations",
+            s.collect_calls
+        );
+        assert_eq!(s.collect_calls + s.collect_template_hits, rels_total);
+        assert_eq!(shared.collector().optimizer_calls(), s.collect_calls);
+        assert_eq!(shared.collector().group_count(), s.collect_calls);
+        assert_eq!(cold.stats().collect_calls, 0, "cold path never collects");
     }
 
     #[test]

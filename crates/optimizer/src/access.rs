@@ -11,11 +11,11 @@
 use crate::path::{LinearCost, Path, PathKind};
 use crate::preprocess::{EcId, PlannerInfo};
 use crate::relset::RelSet;
-use pinum_catalog::Index;
+use pinum_catalog::{Catalog, Configuration, Index, Table, TableId};
 use pinum_cost::scan::{cost_bitmap_heap_scan, cost_index_scan, cost_seqscan, IndexScanInput};
 use pinum_cost::{Cost, CostParams};
 
-use pinum_query::{FilterOp, Ioc, RelIdx};
+use pinum_query::{FilterOp, Ioc, RelIdx, RelTemplate};
 
 pub use crate::path::IndexRef;
 
@@ -62,21 +62,28 @@ struct IndexMatch {
     residual_filter_ops: u32,
 }
 
-fn match_index_conditions(info: &PlannerInfo<'_>, rel: RelIdx, index: &Index) -> IndexMatch {
-    let query = info.query;
-    let catalog = info.catalog;
+/// Matches an index's key prefix against a relation's filter shape. This
+/// is the single arithmetic path both per-query collection and the
+/// template batch hook price through — sharing it is what makes batched
+/// collection bit-identical to the per-query reference.
+fn match_template_conditions(
+    catalog: &Catalog,
+    table: TableId,
+    filters: &[(u16, FilterOp)],
+    index: &Index,
+) -> IndexMatch {
     let mut sel = 1.0;
     let mut matched = 0u32;
     'prefix: for &key_col in index.key_columns() {
         let mut advanced = false;
-        for f in query.filters_on(rel) {
-            if f.column != key_col {
+        for &(column, op) in filters {
+            if column != key_col {
                 continue;
             }
-            let s = pinum_query::selectivity::filter_selectivity(catalog, query, f);
+            let s = pinum_query::selectivity::column_filter_selectivity(catalog, table, column, op);
             sel *= s;
             matched += 1;
-            match f.op {
+            match op {
                 // Equality pins the column; the scan can keep matching the
                 // next key column.
                 FilterOp::Eq { .. } => advanced = true,
@@ -88,10 +95,55 @@ fn match_index_conditions(info: &PlannerInfo<'_>, rel: RelIdx, index: &Index) ->
             break;
         }
     }
-    let total = query.filters_on(rel).count() as u32;
+    let total = filters.len() as u32;
     IndexMatch {
         index_selectivity: sel,
         residual_filter_ops: total - matched.min(total),
+    }
+}
+
+/// Pricing inputs of a standalone scan through `index` (loop count 1).
+/// Shared by the per-query collector and the template batch hook.
+fn standalone_input(
+    table: &Table,
+    index: &Index,
+    m: &IndexMatch,
+    index_only: bool,
+) -> IndexScanInput {
+    IndexScanInput {
+        // PostgreSQL prices scans against the index's full relpages;
+        // hypothetical indexes report zero internal pages (§V-A), which
+        // is the what-if accuracy gap of §VI-B.
+        index_leaf_pages: index.size().leaf_pages + index.size().internal_pages,
+        index_height: index.size().height,
+        index_rows: index.rows() as f64,
+        heap_pages: table.heap_pages(),
+        heap_rows: table.rows() as f64,
+        index_selectivity: m.index_selectivity,
+        correlation: index.correlation(),
+        filter_ops: m.residual_filter_ops,
+        index_only,
+        loop_count: 1.0,
+    }
+}
+
+/// Pricing inputs of an equality probe on `index`'s leading key
+/// (`loop_count` stays 1; consumers re-price at the plan's actual loop
+/// count). Shared by both collection paths.
+fn probe_input(table: &Table, index: &Index, filter_ops: u32, index_only: bool) -> IndexScanInput {
+    let leading = index.leading_column();
+    let ndv = table.column(leading).stats().n_distinct.max(1.0);
+    IndexScanInput {
+        index_leaf_pages: index.size().leaf_pages + index.size().internal_pages,
+        index_height: index.size().height,
+        index_rows: index.rows() as f64,
+        heap_pages: table.heap_pages(),
+        heap_rows: table.rows() as f64,
+        index_selectivity: 1.0 / ndv,
+        correlation: index.correlation(),
+        filter_ops,
+        index_only,
+        loop_count: 1.0,
     }
 }
 
@@ -130,21 +182,8 @@ fn index_leaf_ioc(info: &PlannerInfo<'_>, rel: RelIdx, index: &Index) -> Ioc {
 fn probe_spec(info: &PlannerInfo<'_>, rel: RelIdx, index: &Index) -> IndexScanInput {
     let base = &info.base[rel as usize];
     let table = info.catalog.table(base.table);
-    let leading = index.leading_column();
-    let ndv = table.column(leading).stats().n_distinct.max(1.0);
     let index_only = index.covers_columns(&base.referenced_columns);
-    IndexScanInput {
-        index_leaf_pages: index.size().leaf_pages + index.size().internal_pages,
-        index_height: index.size().height,
-        index_rows: index.rows() as f64,
-        heap_pages: table.heap_pages(),
-        heap_rows: base.raw_rows,
-        index_selectivity: 1.0 / ndv,
-        correlation: index.correlation(),
-        filter_ops: base.filter_ops,
-        index_only,
-        loop_count: 1.0,
-    }
+    probe_input(table, index, base.filter_ops, index_only)
 }
 
 /// Generates every access path of `rel`.
@@ -160,6 +199,14 @@ pub fn collect_access_paths(
     let n_rels = info.relation_count();
     let base = &info.base[rel as usize];
     let table = info.catalog.table(base.table);
+    // The relation's filter shape, materialized once: index-condition
+    // matching runs through the same template arithmetic as the batched
+    // collector (`collect_template_arms`), so both stay bit-identical.
+    let filters: Vec<(u16, FilterOp)> = info
+        .query
+        .filters_on(rel)
+        .map(|f| (f.column, f.op))
+        .collect();
     let mut paths = Vec::new();
     let mut entries = Vec::new();
 
@@ -202,23 +249,9 @@ pub fn collect_access_paths(
         .map(|(i, ix)| (IndexRef::Config(i), ix));
 
     for (ixref, index) in catalog_ixs.chain(config_ixs) {
-        let m = match_index_conditions(info, rel, index);
+        let m = match_template_conditions(info.catalog, base.table, &filters, index);
         let index_only = index.covers_columns(&base.referenced_columns);
-        let input = IndexScanInput {
-            // PostgreSQL prices scans against the index's full relpages;
-            // hypothetical indexes report zero internal pages (§V-A), which
-            // is the what-if accuracy gap of §VI-B.
-            index_leaf_pages: index.size().leaf_pages + index.size().internal_pages,
-            index_height: index.size().height,
-            index_rows: index.rows() as f64,
-            heap_pages: table.heap_pages(),
-            heap_rows: base.raw_rows,
-            index_selectivity: m.index_selectivity,
-            correlation: index.correlation(),
-            filter_ops: m.residual_filter_ops,
-            index_only,
-            loop_count: 1.0,
-        };
+        let input = standalone_input(table, index, &m, index_only);
         let cost = cost_index_scan(params, &input);
         let leaf_ioc = index_leaf_ioc(info, rel, index);
         let order = info.orders.column_of(leaf_ioc, rel);
@@ -282,6 +315,106 @@ pub fn collect_access_paths(
         entries.clear();
     }
     RelAccessPaths { paths, entries }
+}
+
+/// One access arm of a relation *template*, priced in **both** covering
+/// variants — the payload of the workload-level batch hook
+/// ([`collect_template_arms`] / `Optimizer::price_template`).
+///
+/// Whether an index runs index-only depends on the member query's
+/// referenced columns, which are *not* part of the template; pricing both
+/// variants up front lets one template call serve every member, whichever
+/// side of the covering test its projection lands on. All other pricing
+/// inputs (selectivities, residual quals, page counts) are functions of
+/// the template alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateArm {
+    /// Sequential scan, catalog index, or configuration index (positions
+    /// refer to the configuration handed to the template call).
+    pub source: AccessSource,
+    /// The index's leading key column (`None` for the sequential scan) —
+    /// member queries map it onto their own interesting orders.
+    pub leading: Option<u16>,
+    /// Standalone scan cost when the heap must be visited.
+    pub cost_heap: Cost,
+    /// Standalone scan cost when the index covers every referenced column
+    /// of the member (index-only). Equals `cost_heap` for the seq arm.
+    pub cost_cover: Cost,
+    /// Bitmap heap scan cost, present when the index conditions narrow the
+    /// scan (`index_selectivity < 1`). Applies only to members that visit
+    /// the heap — an index-only member never takes the bitmap arm.
+    pub bitmap: Option<Cost>,
+    /// Probe pricing inputs per covering variant (equality lookup on the
+    /// leading key, `loop_count` 1; `None` for the seq arm). Members
+    /// re-price at their plans' actual loop counts.
+    pub probe_heap: Option<IndexScanInput>,
+    /// See [`Self::probe_heap`]; the index-only variant.
+    pub probe_cover: Option<IndexScanInput>,
+}
+
+/// Workload-level §V-C batch hook: prices every access arm of one
+/// relation template against `config` in a single call.
+///
+/// Where [`collect_access_paths`] (keep-all mode) reports each arm under
+/// one query's covering/ordering interpretation, this hook reports the
+/// *uninterpreted* arms — both covering variants, keyed by leading column
+/// — so a workload collector can fan them out to every query sharing the
+/// template. Arm order matches the per-query collector exactly
+/// (sequential scan, then catalog indexes, then configuration indexes),
+/// and all arithmetic runs through the same shared helpers, so a member's
+/// reconstructed catalog is bit-identical to a dedicated per-query call.
+pub fn collect_template_arms(
+    catalog: &Catalog,
+    params: &CostParams,
+    template: &RelTemplate,
+    config: &Configuration,
+) -> Vec<TemplateArm> {
+    let table = catalog.table(template.table);
+    let filter_ops = template.filter_count();
+    let mut arms = Vec::new();
+
+    // --- Sequential scan: covering-agnostic. ---
+    let seq_cost = cost_seqscan(params, table.heap_pages(), table.rows() as f64, filter_ops);
+    arms.push(TemplateArm {
+        source: AccessSource::SeqScan,
+        leading: None,
+        cost_heap: seq_cost,
+        cost_cover: seq_cost,
+        bitmap: None,
+        probe_heap: None,
+        probe_cover: None,
+    });
+
+    // --- Index arms: catalog indexes then configuration indexes, the
+    // per-query collector's order. ---
+    let catalog_ixs = catalog
+        .table_indexes(template.table)
+        .iter()
+        .map(|id| (IndexRef::Catalog(*id), catalog.index(*id)));
+    let config_ixs = config
+        .indexes()
+        .iter()
+        .enumerate()
+        .filter(|(_, ix)| ix.table() == template.table)
+        .map(|(i, ix)| (IndexRef::Config(i), ix));
+    for (ixref, index) in catalog_ixs.chain(config_ixs) {
+        let m = match_template_conditions(catalog, template.table, &template.filters, index);
+        let heap_input = standalone_input(table, index, &m, false);
+        let cover_input = IndexScanInput {
+            index_only: true,
+            ..heap_input
+        };
+        arms.push(TemplateArm {
+            source: AccessSource::Index(ixref),
+            leading: Some(index.leading_column()),
+            cost_heap: cost_index_scan(params, &heap_input),
+            cost_cover: cost_index_scan(params, &cover_input),
+            bitmap: (m.index_selectivity < 1.0).then(|| cost_bitmap_heap_scan(params, &heap_input)),
+            probe_heap: Some(probe_input(table, index, filter_ops, false)),
+            probe_cover: Some(probe_input(table, index, filter_ops, true)),
+        });
+    }
+    arms
 }
 
 /// Builds a *parameterized* inner index scan for a nested-loop join: the
@@ -512,6 +645,93 @@ mod tests {
             10.0
         )
         .is_none());
+    }
+
+    #[test]
+    fn template_arms_reproduce_per_query_entries_bit_identically() {
+        let (cat, q) = setup();
+        let t = cat.table_id("t").unwrap();
+        let cfg = ConfigurationBuilder::new()
+            .whatif_index(&cat, t, vec![1]) // join order b
+            .whatif_index(&cat, t, vec![2]) // filter column c
+            .whatif_index(&cat, t, vec![0, 1, 2]) // covering
+            .build();
+        let info = PlannerInfo::new(&cat, &q, &cfg);
+        let params = CostParams::default();
+        let per_query = collect_access_paths(&info, &params, 0, true);
+
+        let template = RelTemplate::of(&q, 0);
+        let arms = collect_template_arms(&cat, &params, &template, &cfg);
+        // One seq arm plus one arm per index, in the same order.
+        assert!(matches!(arms[0].source, AccessSource::SeqScan));
+        assert_eq!(arms.len(), 1 + cfg.len());
+
+        // Fan the arms out under this query's covering/ordering
+        // interpretation and compare against the per-query entries.
+        let refs = &info.base[0].referenced_columns;
+        let orders = info.orders.orders_of(0);
+        let mut reconstructed: Vec<AccessCostEntry> = Vec::new();
+        for arm in &arms {
+            match arm.source {
+                AccessSource::SeqScan => reconstructed.push(AccessCostEntry {
+                    rel: 0,
+                    source: AccessSource::SeqScan,
+                    order: None,
+                    cost: arm.cost_heap,
+                    index_only: false,
+                    rows: info.base[0].rows,
+                    probe_spec: None,
+                }),
+                AccessSource::Index(IndexRef::Config(i)) => {
+                    let index = &cfg.indexes()[i];
+                    let index_only = index.covers_columns(refs);
+                    let leading = arm.leading.expect("index arm has a leading column");
+                    let order = orders.contains(&leading).then_some(leading);
+                    reconstructed.push(AccessCostEntry {
+                        rel: 0,
+                        source: arm.source.clone(),
+                        order,
+                        cost: if index_only {
+                            arm.cost_cover
+                        } else {
+                            arm.cost_heap
+                        },
+                        index_only,
+                        rows: info.base[0].rows,
+                        probe_spec: order.and(if index_only {
+                            arm.probe_cover
+                        } else {
+                            arm.probe_heap
+                        }),
+                    });
+                    if let Some(bitmap) = arm.bitmap.filter(|_| !index_only) {
+                        reconstructed.push(AccessCostEntry {
+                            rel: 0,
+                            source: arm.source.clone(),
+                            order: None,
+                            cost: bitmap,
+                            index_only: false,
+                            rows: info.base[0].rows,
+                            probe_spec: None,
+                        });
+                    }
+                }
+                AccessSource::Index(IndexRef::Catalog(_)) => unreachable!("no catalog indexes"),
+            }
+        }
+        assert_eq!(reconstructed.len(), per_query.entries.len());
+        for (a, b) in reconstructed.iter().zip(&per_query.entries) {
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.order, b.order, "{:?}", a.source);
+            assert_eq!(
+                a.cost.total.to_bits(),
+                b.cost.total.to_bits(),
+                "{:?}",
+                a.source
+            );
+            assert_eq!(a.index_only, b.index_only);
+            assert_eq!(a.probe_spec, b.probe_spec, "{:?}", a.source);
+        }
     }
 
     #[test]

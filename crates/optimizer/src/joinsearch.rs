@@ -24,7 +24,7 @@ use std::collections::HashMap;
 /// Options consumed by the join search.
 #[derive(Debug, Clone, Copy)]
 pub struct JoinSearchOptions {
-    /// PostgreSQL's `enable_nestloop`; PINUM "tweak[s] the join planner to
+    /// PostgreSQL's `enable_nestloop`; PINUM "tweak\[s\] the join planner to
     /// remove nested loop operations if this flag is set" (§V-B).
     pub enable_nestloop: bool,
     /// Allow bushy join trees (both sides composite).

@@ -15,6 +15,12 @@
 //!    interesting-order combination on the result — the titular "caching
 //!    all plans with just one optimizer call".
 //!
+//! A fourth, workload-level hook extends §V-C across queries:
+//! [`Optimizer::price_template`] prices every access arm of one relation
+//! *template* (`pinum_query::RelTemplate`: table + filter shape) in both
+//! covering variants with a single call, so a workload collector spends
+//! one call per distinct template instead of one keep-all call per query.
+//!
 //! The component layout follows the paper's Figure 2: query preprocessor
 //! ([`preprocess`]), sub-query planner ([`subquery`]), grouping planner
 //! ([`grouping`]), access path collector ([`access`]) and join planner
@@ -31,7 +37,7 @@ pub mod preprocess;
 pub mod relset;
 pub mod subquery;
 
-pub use access::{AccessCostEntry, AccessSource};
+pub use access::{collect_template_arms, AccessCostEntry, AccessSource, TemplateArm};
 pub use addpath::PruneMode;
 pub use path::{AggKind, IndexRef, LinearCost};
 pub use plan::PlanNode;

@@ -175,6 +175,25 @@ impl<'a> Optimizer<'a> {
         &self.params
     }
 
+    /// Workload-level batch hook (§V-C taken one level up): prices every
+    /// access arm of one relation *template* — a `(table, filter shape)`
+    /// signature shared by all queries whose relations match it — against
+    /// `config`, in a single optimizer call.
+    ///
+    /// Each arm carries both covering variants and its leading key column,
+    /// so the caller can fan the shared arms out to every member query
+    /// (applying that member's covering test and interesting-order
+    /// mapping) without further calls. `pinum_core`'s `WorkloadCollector`
+    /// is the consumer: one `price_template` call per distinct template
+    /// shape replaces one keep-all [`Self::optimize`] call per query.
+    pub fn price_template(
+        &self,
+        template: &pinum_query::RelTemplate,
+        config: &Configuration,
+    ) -> Vec<crate::access::TemplateArm> {
+        crate::access::collect_template_arms(self.catalog, &self.params, template, config)
+    }
+
     /// Optimizes `query` under `config`.
     pub fn optimize(
         &self,

@@ -17,9 +17,11 @@
 pub mod builder;
 pub mod ioc;
 pub mod selectivity;
+pub mod template;
 
 pub use builder::QueryBuilder;
 pub use ioc::{InterestingOrders, Ioc, IocIter};
+pub use template::{RelTemplate, TemplateKey};
 
 use pinum_catalog::{Catalog, TableId};
 

@@ -2,16 +2,27 @@
 //! `eqsel`, `scalarltsel`, `eqjoinsel`).
 
 use crate::{FilterOp, FilterPredicate, JoinPredicate, Query, RelIdx};
-use pinum_catalog::Catalog;
+use pinum_catalog::{Catalog, TableId};
 
-/// Selectivity of one filter predicate.
-pub fn filter_selectivity(catalog: &Catalog, query: &Query, f: &FilterPredicate) -> f64 {
-    let table = catalog.table(query.table_of(f.rel));
-    let stats = table.column(f.column).stats();
-    match f.op {
+/// Selectivity of one predicate on a table column — the query-independent
+/// primitive both the per-query path and template-batched collection
+/// price through (one arithmetic path keeps them bit-identical).
+pub fn column_filter_selectivity(
+    catalog: &Catalog,
+    table: TableId,
+    column: u16,
+    op: FilterOp,
+) -> f64 {
+    let stats = catalog.table(table).column(column).stats();
+    match op {
         FilterOp::Eq { .. } => stats.eq_selectivity(),
         FilterOp::Range { lo, hi } => stats.range_selectivity(lo, hi),
     }
+}
+
+/// Selectivity of one filter predicate.
+pub fn filter_selectivity(catalog: &Catalog, query: &Query, f: &FilterPredicate) -> f64 {
+    column_filter_selectivity(catalog, query.table_of(f.rel), f.column, f.op)
 }
 
 /// Combined selectivity of all filters on `rel`, assuming independence

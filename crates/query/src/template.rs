@@ -1,0 +1,162 @@
+//! Per-relation **collection templates**: the shape access-path pricing
+//! actually depends on.
+//!
+//! The cost of scanning one relation of a query — sequentially, through an
+//! index, or via a bitmap — is a function of the *table* and of the
+//! *filter predicates on that relation* alone (they determine index
+//! condition selectivities and residual qual charges). Everything else a
+//! query brings along — its join graph, projection list, interesting
+//! orders — only changes how priced access arms are *interpreted* (which
+//! arm covers an interesting order, which index runs index-only), never
+//! what an arm costs.
+//!
+//! [`RelTemplate`] captures exactly that shape, and [`TemplateKey`] is its
+//! bit-exact hashable identity, so a workload-level collector can group
+//! hundreds of queries into a handful of template-shapes and price each
+//! shape's access arms once (`pinum_core::WorkloadCollector`).
+
+use crate::{FilterOp, Query, RelIdx};
+use pinum_catalog::TableId;
+
+/// The per-relation shape access-arm pricing depends on: the table plus
+/// the ordered filter predicates on it.
+///
+/// Filter *order* is part of the shape: index-condition matching walks the
+/// relation's filters in query order, so two queries only share a template
+/// when their filter sequences agree exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelTemplate {
+    /// The catalog table backing the relation.
+    pub table: TableId,
+    /// `(column, predicate)` filters on the relation, in query order.
+    pub filters: Vec<(u16, FilterOp)>,
+}
+
+impl RelTemplate {
+    /// The template of relation `rel` of `query`.
+    pub fn of(query: &Query, rel: RelIdx) -> Self {
+        Self {
+            table: query.table_of(rel),
+            filters: query.filters_on(rel).map(|f| (f.column, f.op)).collect(),
+        }
+    }
+
+    /// Number of filter predicates (the optimizer's per-tuple operator
+    /// charge for this relation).
+    pub fn filter_count(&self) -> u32 {
+        self.filters.len() as u32
+    }
+
+    /// The template's hashable identity. Two templates share a key iff
+    /// they price bit-identically: same table, same filter sequence with
+    /// bit-equal predicate constants.
+    pub fn key(&self) -> TemplateKey {
+        TemplateKey {
+            table: self.table,
+            filters: self
+                .filters
+                .iter()
+                .map(|&(col, op)| filter_key(col, op))
+                .collect(),
+        }
+    }
+}
+
+/// Bit-exact identity of one filter predicate: the column, an operator
+/// tag, and the constants' IEEE 754 bit patterns (so `-0.0` and `0.0`
+/// templates stay distinct — they are distinct inputs to selectivity
+/// arithmetic even when they price equally).
+type FilterKey = (u16, u8, u64, u64);
+
+fn filter_key(column: u16, op: FilterOp) -> FilterKey {
+    match op {
+        FilterOp::Eq { value } => (column, 0, value.to_bits(), 0),
+        FilterOp::Range { lo, hi } => (column, 1, lo.to_bits(), hi.to_bits()),
+    }
+}
+
+/// Hashable identity of a [`RelTemplate`] — the grouping key of
+/// workload-level batched collection.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TemplateKey {
+    table: TableId,
+    filters: Vec<FilterKey>,
+}
+
+impl TemplateKey {
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryBuilder;
+    use pinum_catalog::{Catalog, Column, ColumnType, Table};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        for name in ["a", "b"] {
+            cat.add_table(Table::new(
+                name,
+                10_000,
+                vec![
+                    Column::new("k", ColumnType::Int8).with_ndv(10_000),
+                    Column::new("v", ColumnType::Int4).with_ndv(100),
+                ],
+            ));
+        }
+        cat
+    }
+
+    #[test]
+    fn same_table_and_filters_share_a_key_across_queries() {
+        let cat = catalog();
+        let q1 = QueryBuilder::new("q1", &cat)
+            .table("a")
+            .table("b")
+            .join(("a", "k"), ("b", "k"))
+            .filter_range(("a", "v"), 0.0, 10.0)
+            .select(("b", "v"))
+            .order_by(("a", "v"))
+            .build();
+        let q2 = QueryBuilder::new("q2", &cat)
+            .table("a")
+            .filter_range(("a", "v"), 0.0, 10.0)
+            .select(("a", "k"))
+            .build();
+        // Different join graphs, projections and interesting orders — the
+        // `a` relation still collapses to one template.
+        assert_eq!(RelTemplate::of(&q1, 0).key(), RelTemplate::of(&q2, 0).key());
+        // Different tables never share.
+        assert_ne!(RelTemplate::of(&q1, 0).key(), RelTemplate::of(&q1, 1).key());
+    }
+
+    #[test]
+    fn filter_constants_are_bit_exact() {
+        let cat = catalog();
+        let build = |hi: f64| {
+            QueryBuilder::new("q", &cat)
+                .table("a")
+                .filter_range(("a", "v"), 0.0, hi)
+                .select(("a", "k"))
+                .build()
+        };
+        let (q1, q2, q3) = (build(10.0), build(10.0), build(10.5));
+        assert_eq!(RelTemplate::of(&q1, 0).key(), RelTemplate::of(&q2, 0).key());
+        assert_ne!(RelTemplate::of(&q1, 0).key(), RelTemplate::of(&q3, 0).key());
+    }
+
+    #[test]
+    fn unfiltered_relation_has_the_bare_table_template() {
+        let cat = catalog();
+        let q = QueryBuilder::new("q", &cat)
+            .table("a")
+            .select(("a", "k"))
+            .build();
+        let t = RelTemplate::of(&q, 0);
+        assert!(t.filters.is_empty());
+        assert_eq!(t.filter_count(), 0);
+    }
+}

@@ -12,7 +12,11 @@
 //!   648 interesting-order combinations);
 //! * [`drift`] — deterministic *drifting* query streams over the star
 //!   schema (phased template-mix shifts, table-growth reweighting, query
-//!   churn) for exercising the online tuning subsystem.
+//!   churn) for exercising the online tuning subsystem;
+//! * [`templates`] — collection-template statistics: how many distinct
+//!   `(table, filter shape)` signatures a workload's relations collapse
+//!   onto, i.e. the optimizer-call count of workload-level batched
+//!   collection (`pinum_core::WorkloadCollector`).
 //!
 //! Only statistics are generated — the optimizer, the INUM cache and the
 //! index advisor all work off statistics, exactly like what-if calls
@@ -21,8 +25,10 @@
 
 pub mod drift;
 pub mod star;
+pub mod templates;
 pub mod tpch;
 
 pub use drift::{DriftProfile, DriftStream, DriftedQuery};
 pub use star::{StarSchema, StarWorkload};
+pub use templates::{summarize_templates, TemplateSummary};
 pub use tpch::{tpch_catalog, tpch_q10, tpch_q3, tpch_q5};

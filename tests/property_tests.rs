@@ -3,7 +3,7 @@
 use pinum::catalog::{Catalog, Column, ColumnStats, ColumnType, Index, Table};
 use pinum::core::access_costs::collect_pinum;
 use pinum::core::builder::{build_cache_pinum, BuilderOptions};
-use pinum::core::{CacheCostModel, CandidatePool, Selection, WorkloadModel};
+use pinum::core::{CacheCostModel, CandidatePool, Selection, WorkloadCollector, WorkloadModel};
 use pinum::optimizer::{Optimizer, OptimizerOptions};
 use pinum::query::{InterestingOrders, Ioc, QueryBuilder};
 use proptest::prelude::*;
@@ -287,6 +287,120 @@ proptest! {
                         "selection {:?} + {} - {}", &ids, added, dropped);
                 }
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Workload-level batched collection is exact: on random two-table
+    /// workloads whose queries overlap on some templates and diverge on
+    /// others, every catalog the grouped `WorkloadCollector` produces is
+    /// **bit-identical** to a dedicated per-query `collect_pinum` call,
+    /// and the collector spends exactly one optimizer call per distinct
+    /// template.
+    #[test]
+    fn batched_collection_equals_per_query_collection(
+        fact_rows in 50_000u64..400_000,
+        dim_rows in 500u64..20_000,
+        sel_a in 1u32..20,
+        sel_b in 1u32..20,
+        dim_filter in 0u32..2,
+    ) {
+        let dim_filtered = dim_filter == 1;
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "f",
+            fact_rows,
+            vec![
+                Column::new("fk", ColumnType::Int8).with_ndv(dim_rows),
+                Column::new("v", ColumnType::Int4).with_ndv(1_000),
+                Column::new("s", ColumnType::Int4).with_ndv(100),
+            ],
+        ));
+        cat.add_table(Table::new(
+            "d",
+            dim_rows,
+            vec![
+                Column::new("k", ColumnType::Int8).with_ndv(dim_rows).with_correlation(1.0),
+                Column::new("w", ColumnType::Int4).with_ndv(50),
+            ],
+        ));
+        // q1/q2 share the `f` template iff sel_a == sel_b; q3 reuses q1's
+        // filter under a different join/projection/order shape; q4 brings
+        // an optionally-filtered `d` template.
+        let q1 = QueryBuilder::new("q1", &cat)
+            .table("f")
+            .table("d")
+            .join(("f", "fk"), ("d", "k"))
+            .filter_range(("f", "v"), 0.0, 10.0 * sel_a as f64)
+            .select(("f", "s"))
+            .order_by(("d", "w"))
+            .build();
+        let q2 = QueryBuilder::new("q2", &cat)
+            .table("f")
+            .filter_range(("f", "v"), 0.0, 10.0 * sel_b as f64)
+            .select(("f", "s"))
+            .order_by(("f", "s"))
+            .build();
+        let q3 = QueryBuilder::new("q3", &cat)
+            .table("f")
+            .table("d")
+            .join(("f", "fk"), ("d", "k"))
+            .filter_range(("f", "v"), 0.0, 10.0 * sel_a as f64)
+            .select(("d", "w"))
+            .order_by(("f", "v"))
+            .build();
+        let mut q4b = QueryBuilder::new("q4", &cat)
+            .table("d")
+            .select(("d", "w"))
+            .order_by(("d", "k"));
+        if dim_filtered {
+            q4b = q4b.filter_range(("d", "w"), 0.0, 5.0);
+        }
+        let q4 = q4b.build();
+        let queries = [q1, q2, q3, q4];
+
+        let f = cat.table(cat.table_id("f").unwrap()).clone();
+        let d = cat.table(cat.table_id("d").unwrap()).clone();
+        let pool = CandidatePool::from_indexes(vec![
+            Index::hypothetical(&f, vec![0], false),
+            Index::hypothetical(&f, vec![1, 0, 2], false),
+            Index::hypothetical(&f, vec![2], false),
+            Index::hypothetical(&d, vec![0], false),
+            Index::hypothetical(&d, vec![1], false),
+            Index::hypothetical(&d, vec![1, 0], false),
+        ]);
+        let opt = Optimizer::new(&cat);
+        let mut collector = WorkloadCollector::new();
+        let mut batched_calls = 0usize;
+        for q in &queries {
+            let (batched, stats) = collector.collect(&opt, q, &pool);
+            batched_calls += stats.optimizer_calls;
+            let (reference, _) = collect_pinum(&opt, q, &pool);
+            prop_assert_eq!(&batched, &reference, "{} diverged", &q.name);
+        }
+        // Exactly one call per distinct template: q3 always hits q1's two
+        // templates; q2 shares f iff the filter bounds agree; q4's d
+        // template is fresh iff it is filtered.
+        let mut expected = 2; // q1: f-filtered + d-bare
+        if sel_a != sel_b {
+            expected += 1; // q2's distinct f filter
+        }
+        if dim_filtered {
+            expected += 1; // q4's filtered d
+        }
+        prop_assert_eq!(batched_calls, expected);
+        prop_assert_eq!(collector.optimizer_calls(), expected);
+
+        // A primed re-collection of the whole workload is free and still
+        // exact.
+        let (again, again_stats) = collector.collect_workload(&opt, &queries, &pool);
+        prop_assert_eq!(again_stats.optimizer_calls, 0);
+        for (q, batched) in queries.iter().zip(&again) {
+            let (reference, _) = collect_pinum(&opt, q, &pool);
+            prop_assert_eq!(batched, &reference, "{} diverged on re-collection", &q.name);
         }
     }
 }
