@@ -24,7 +24,7 @@
 //! [`crate::search`] adds lazy greedy, swap hill climbing, and annealing
 //! on the same substrate.
 
-use pinum_core::{CandidatePool, Selection, WorkloadModel};
+use pinum_core::{CandidatePool, PricedWorkload, Selection, WorkloadModel};
 
 /// Greedy knobs.
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +53,18 @@ pub struct GreedyResult {
     /// (only tracked by [`greedy_select_model`]; the naive engine cannot
     /// see inside its cost closure and reports 0).
     pub queries_repriced: usize,
+    /// Number of **full** workload re-pricings the search performed. The
+    /// model-driven strategies price every probe *and every accepted
+    /// move* as a delta splice, so this stays 0 whenever the search was
+    /// seeded with an exact warm state; the naive closure engine
+    /// re-prices fully on every evaluation and reports that count.
+    pub full_repricings: usize,
+    /// The exact priced state of `selection` (bit-identical to
+    /// `model.price_full(&selection)`), carried out of the search so
+    /// callers like `pinum_core::PricingSession` can adopt it without
+    /// re-pricing. `None` for the naive closure engine, which has no
+    /// per-query state to track.
+    pub final_state: Option<PricedWorkload>,
 }
 
 /// Runs the greedy selection against an arbitrary workload-cost function
@@ -119,6 +131,9 @@ pub fn greedy_select(
         total_bytes: used_bytes,
         evaluations,
         queries_repriced: 0,
+        // Every closure evaluation re-prices the whole workload.
+        full_repricings: evaluations,
+        final_state: None,
     }
 }
 

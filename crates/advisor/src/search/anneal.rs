@@ -4,7 +4,7 @@
 //! RNG is the in-tree `rand` shim seeded explicitly, so a run is a pure
 //! function of `(pool, model, options, seed)`.
 
-use super::{apply_changed, LazyGreedy, SearchStrategy};
+use super::{apply_changed, debug_assert_state_matches, LazyGreedy, SearchScope, SearchStrategy};
 use crate::greedy::{GreedyOptions, GreedyResult};
 use pinum_core::{CandidatePool, Selection, WorkloadModel};
 use rand::rngs::StdRng;
@@ -51,24 +51,31 @@ impl SearchStrategy for Anneal {
         "anneal"
     }
 
-    fn search_warm(
+    fn search_scoped(
         &self,
         pool: &CandidatePool,
         model: &WorkloadModel,
         opts: &GreedyOptions,
         warm: &Selection,
+        scope: &SearchScope<'_>,
     ) -> GreedyResult {
-        let seed_result = LazyGreedy.search_warm(pool, model, opts, warm);
+        let seed_result = LazyGreedy.search_scoped(pool, model, opts, warm, scope);
         let mut selection = seed_result.selection.clone();
         let mut used_bytes = seed_result.total_bytes;
         let mut evaluations = seed_result.evaluations;
         let mut queries_repriced = seed_result.queries_repriced;
+        let full_repricings = seed_result.full_repricings;
         let mut trajectory = seed_result.cost_trajectory.clone();
 
-        let mut state = model.price_full(&selection);
-        queries_repriced += model.query_count();
+        // The greedy seed's exact final state carries straight into the
+        // annealing walk — no re-pricing between seed and walk.
+        let mut state = seed_result
+            .final_state
+            .clone()
+            .expect("lazy greedy tracks state");
 
         let mut best_selection = selection.clone();
+        let mut best_state = state.clone();
         let mut best_cost = state.total;
         let mut best_bytes = used_bytes;
 
@@ -87,17 +94,20 @@ impl SearchStrategy for Anneal {
             // the stream (and thus the run) stays deterministic.
             let kind = rng.gen_range(0..3u32);
             let proposal: Option<(Move, f64)> = match kind {
-                // Add a random unselected candidate that fits the budget.
+                // Add a random unselected in-scope candidate that fits the
+                // budget (out-of-scope draws are invalid proposals, so the
+                // RNG stream — and thus an unmasked run — is unchanged).
                 0 => {
                     let cand = rng.gen_range(0..pool.len());
                     let bytes = pool.index(cand).size().total_bytes();
-                    (!selection.contains(cand) && used_bytes + bytes <= opts.budget_bytes).then(
-                        || {
+                    (!selection.contains(cand)
+                        && scope.allows(cand)
+                        && used_bytes + bytes <= opts.budget_bytes)
+                        .then(|| {
                             let cost =
                                 model.price_delta_into(&state, &selection, cand, &mut scratch);
                             (Move::Add(cand), cost)
-                        },
-                    )
+                        })
                 }
                 // Drop a random member.
                 1 => (!members.is_empty()).then(|| {
@@ -114,6 +124,7 @@ impl SearchStrategy for Anneal {
                         let drop = members[rng.gen_range(0..members.len())];
                         let add = rng.gen_range(0..pool.len());
                         let fits = !selection.contains(add)
+                            && scope.allows(add)
                             && used_bytes - pool.index(drop).size().total_bytes()
                                 + pool.index(add).size().total_bytes()
                                 <= opts.budget_bytes;
@@ -157,14 +168,11 @@ impl SearchStrategy for Anneal {
             // priced between proposal and acceptance) becomes the new
             // state: O(affected) instead of an O(workload) full reprice.
             apply_changed(&mut state, &scratch, cost);
-            debug_assert_eq!(
-                state,
-                model.price_full(&selection),
-                "incremental accepted-move state diverged from a full re-pricing"
-            );
+            debug_assert_state_matches(model, &selection, &state);
             if state.total < best_cost {
                 best_cost = state.total;
                 best_selection = selection.clone();
+                best_state = state.clone();
                 best_bytes = used_bytes;
                 trajectory.push(best_cost);
             }
@@ -179,6 +187,8 @@ impl SearchStrategy for Anneal {
             total_bytes: best_bytes,
             evaluations,
             queries_repriced,
+            full_repricings,
+            final_state: Some(best_state),
         }
     }
 }

@@ -3,8 +3,18 @@
 //! candidate with the largest strictly positive benefit until nothing
 //! improves or fits — and both produce the **same** [`GreedyResult`];
 //! lazy greedy just prices far fewer probes to get there.
+//!
+//! Accepted picks are applied as **delta splices**: the winning probe is
+//! re-priced with [`WorkloadModel::price_delta_into`] (its total is
+//! debug-asserted bit-identical to a full re-pricing) and its changed
+//! queries are overlaid onto the running [`PricedWorkload`] state. A
+//! search seeded from a carried warm state therefore performs **zero**
+//! full workload re-pricings — the property persistent pricing sessions
+//! and their steady-state re-advises are built on.
 
-use super::{seed_within_budget, SearchStrategy};
+use super::{
+    debug_assert_state_matches, seed_state, seed_within_budget, SearchScope, SearchStrategy,
+};
 use crate::greedy::{GreedyOptions, GreedyResult};
 use pinum_core::{CandidatePool, Selection, WorkloadModel};
 use std::cmp::Ordering;
@@ -23,12 +33,13 @@ impl SearchStrategy for EagerGreedy {
         "eager-greedy"
     }
 
-    fn search_warm(
+    fn search_scoped(
         &self,
         pool: &CandidatePool,
         model: &WorkloadModel,
         opts: &GreedyOptions,
         warm: &Selection,
+        scope: &SearchScope<'_>,
     ) -> GreedyResult {
         assert_eq!(
             pool.len(),
@@ -38,16 +49,23 @@ impl SearchStrategy for EagerGreedy {
         let (mut selection, mut picked, mut used_bytes) = seed_within_budget(pool, opts, warm);
         let mut evaluations = 0usize;
         let mut queries_repriced = 0usize;
-        let mut state = model.price_full(&selection);
-        evaluations += 1;
-        queries_repriced += model.query_count();
+        let mut full_repricings = 0usize;
+        let mut state = seed_state(
+            model,
+            warm,
+            &selection,
+            scope,
+            &mut evaluations,
+            &mut queries_repriced,
+            &mut full_repricings,
+        );
         let mut trajectory = vec![state.total];
         let mut scratch = Vec::new();
 
         loop {
             let mut best: Option<(usize, f64)> = None; // (candidate, score)
             for cand in 0..pool.len() {
-                if selection.contains(cand) {
+                if selection.contains(cand) || !scope.allows(cand) {
                     continue;
                 }
                 let size = pool.index(cand).size().total_bytes();
@@ -75,14 +93,21 @@ impl SearchStrategy for EagerGreedy {
             }
             match best {
                 Some((cand, _)) => {
+                    // Re-run the winning probe (its scratch was overwritten
+                    // by later probes) and splice the changed queries into
+                    // the running state: the accepted pick costs
+                    // O(affected), never a full re-pricing, and the delta
+                    // total is bit-identical to `price_full` (asserted
+                    // inside the delta itself) — so the trajectory matches
+                    // the naive engine's exactly.
+                    let total = model.price_delta_into(&state, &selection, cand, &mut scratch);
+                    evaluations += 1;
+                    queries_repriced += scratch.len();
+                    super::apply_changed(&mut state, &scratch, total);
                     selection.insert(cand);
                     picked.push(cand);
                     used_bytes += pool.index(cand).size().total_bytes();
-                    // Full re-price once per pick; the delta totals are
-                    // bit-identical to this, so the trajectory matches the
-                    // naive engine's.
-                    state = model.price_full(&selection);
-                    queries_repriced += model.query_count();
+                    debug_assert_state_matches(model, &selection, &state);
                     trajectory.push(state.total);
                 }
                 None => break,
@@ -96,6 +121,8 @@ impl SearchStrategy for EagerGreedy {
             total_bytes: used_bytes,
             evaluations,
             queries_repriced,
+            full_repricings,
+            final_state: Some(state),
         }
     }
 }
@@ -174,12 +201,13 @@ impl SearchStrategy for LazyGreedy {
         "lazy-greedy"
     }
 
-    fn search_warm(
+    fn search_scoped(
         &self,
         pool: &CandidatePool,
         model: &WorkloadModel,
         opts: &GreedyOptions,
         warm: &Selection,
+        scope: &SearchScope<'_>,
     ) -> GreedyResult {
         assert_eq!(
             pool.len(),
@@ -189,18 +217,26 @@ impl SearchStrategy for LazyGreedy {
         let (mut selection, mut picked, mut used_bytes) = seed_within_budget(pool, opts, warm);
         let mut evaluations = 0usize;
         let mut queries_repriced = 0usize;
-        let mut state = model.price_full(&selection);
-        evaluations += 1;
-        queries_repriced += model.query_count();
+        let mut full_repricings = 0usize;
+        let mut state = seed_state(
+            model,
+            warm,
+            &selection,
+            scope,
+            &mut evaluations,
+            &mut queries_repriced,
+            &mut full_repricings,
+        );
         let mut trajectory = vec![state.total];
         let mut scratch = Vec::new();
 
-        // Every unselected candidate starts with an infinite bound and a
-        // round tag that can never equal a real round, i.e. "never priced"
-        // (warm members are already in the selection, not contenders).
+        // Every unselected in-scope candidate starts with an infinite
+        // bound and a round tag that can never equal a real round, i.e.
+        // "never priced" (warm members are already in the selection, not
+        // contenders; out-of-scope candidates never enter the heap).
         let mut round: u32 = 0;
         let mut heap: BinaryHeap<Entry> = (0..pool.len() as u32)
-            .filter(|&cand| !selection.contains(cand as usize))
+            .filter(|&cand| !selection.contains(cand as usize) && scope.allows(cand as usize))
             .map(|cand| Entry {
                 score: f64::INFINITY,
                 cand,
@@ -232,12 +268,18 @@ impl SearchStrategy for LazyGreedy {
                 }
                 // Fresh top: its score is exact, every other entry's bound
                 // is an overestimate of its true score, and the heap says
-                // they are all ≤ this one. This is greedy's pick.
+                // they are all ≤ this one. This is greedy's pick. Apply it
+                // as a delta splice (the probe that scored it has been
+                // overwritten in `scratch`, so re-price once): O(affected)
+                // instead of a full re-pricing, bit-identical total.
+                let total = model.price_delta_into(&state, &selection, cand, &mut scratch);
+                evaluations += 1;
+                queries_repriced += scratch.len();
+                super::apply_changed(&mut state, &scratch, total);
                 selection.insert(cand);
                 picked.push(cand);
                 used_bytes += size;
-                state = model.price_full(&selection);
-                queries_repriced += model.query_count();
+                debug_assert_state_matches(model, &selection, &state);
                 trajectory.push(state.total);
                 round += 1;
                 // Parked entries are stale again relative to the new
@@ -275,6 +317,8 @@ impl SearchStrategy for LazyGreedy {
             total_bytes: used_bytes,
             evaluations,
             queries_repriced,
+            full_repricings,
+            final_state: Some(state),
         }
     }
 }
@@ -327,6 +371,81 @@ mod tests {
             lazy.evaluations,
             eager.evaluations
         );
+    }
+
+    #[test]
+    fn final_state_is_the_full_repricing_of_the_final_selection() {
+        let (pool, model) = fixture();
+        let opts = GreedyOptions {
+            budget_bytes: u64::MAX,
+            benefit_per_byte: false,
+        };
+        for result in [
+            EagerGreedy.search(&pool, &model, &opts),
+            LazyGreedy.search(&pool, &model, &opts),
+        ] {
+            let state = result.final_state.expect("model engines track state");
+            let full = model.price_full(&result.selection);
+            assert_eq!(state.total.to_bits(), full.total.to_bits());
+            assert_eq!(state.per_query, full.per_query);
+            assert_eq!(result.full_repricings, 1, "only the seed pricing is full");
+        }
+    }
+
+    #[test]
+    fn warm_state_seeding_spends_zero_full_repricings() {
+        let (pool, model) = fixture();
+        let opts = GreedyOptions {
+            budget_bytes: u64::MAX,
+            benefit_per_byte: false,
+        };
+        let cold = LazyGreedy.search(&pool, &model, &opts);
+        let warm_state = cold.final_state.clone().unwrap();
+        let scope = SearchScope::all().with_warm_state(&warm_state);
+        for strategy in [&LazyGreedy as &dyn SearchStrategy, &EagerGreedy] {
+            let warm = strategy.search_scoped(&pool, &model, &opts, &cold.selection, &scope);
+            assert_eq!(
+                warm.full_repricings,
+                0,
+                "{}: a carried warm state must not be re-priced",
+                strategy.name()
+            );
+            assert_eq!(warm.selection, cold.selection, "{}", strategy.name());
+            assert_eq!(
+                warm.cost_trajectory[0].to_bits(),
+                warm_state.total.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn mask_restricts_the_picks() {
+        let (pool, model) = fixture();
+        let opts = GreedyOptions {
+            budget_bytes: u64::MAX,
+            benefit_per_byte: false,
+        };
+        let unscoped = LazyGreedy.search(&pool, &model, &opts);
+        assert!(unscoped.picked.len() >= 2);
+        // Allow only the first unscoped pick: the scoped search must pick
+        // exactly within the mask.
+        let only = Selection::from_ids(pool.len(), &unscoped.picked[..1]);
+        let empty = Selection::empty(pool.len());
+        for strategy in [&LazyGreedy as &dyn SearchStrategy, &EagerGreedy] {
+            let scoped =
+                strategy.search_scoped(&pool, &model, &opts, &empty, &SearchScope::masked(&only));
+            assert_eq!(
+                scoped.picked,
+                unscoped.picked[..1].to_vec(),
+                "{}",
+                strategy.name()
+            );
+            assert!(
+                scoped.evaluations < unscoped.evaluations,
+                "{}: masking must cut probes",
+                strategy.name()
+            );
+        }
     }
 
     #[test]

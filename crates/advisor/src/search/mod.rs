@@ -50,6 +50,56 @@ pub use swap::SwapHillClimb;
 use crate::greedy::{GreedyOptions, GreedyResult};
 use pinum_core::{CandidatePool, PricedWorkload, Selection, WorkloadModel};
 
+/// Restrictions and carried-over state for one search run — the scoping
+/// layer of template-attributed online re-advising.
+///
+/// * `mask` limits which **non-member** candidates the strategy may probe
+///   for addition (or swap in). Warm-seed members are always adopted and
+///   may still be dropped or swapped out; an absent mask (or a mask
+///   containing every candidate) makes the search **bit-identical** to
+///   the unscoped one.
+/// * `warm_state` is the exact priced state of the warm selection
+///   (bit-identical to `model.price_full(warm)`, e.g. from a
+///   [`pinum_core::PricingSession`]). When the warm seed is adopted
+///   untruncated, the strategy starts from this state instead of paying
+///   its seeding full re-pricing — the totals are bit-identical either
+///   way, only [`GreedyResult::full_repricings`] (and the probe
+///   accounting for the skipped seed pricing) differ.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchScope<'a> {
+    /// Candidates the search may add (None = every candidate).
+    pub mask: Option<&'a Selection>,
+    /// Exact priced state of the warm selection, if the caller carries
+    /// one across re-advises.
+    pub warm_state: Option<&'a PricedWorkload>,
+}
+
+impl<'a> SearchScope<'a> {
+    /// No mask, no carried state — exactly today's unscoped search.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Restrict addition probes to `mask`'s members.
+    pub fn masked(mask: &'a Selection) -> Self {
+        Self {
+            mask: Some(mask),
+            warm_state: None,
+        }
+    }
+
+    /// Attach the warm selection's exact priced state.
+    pub fn with_warm_state(mut self, state: &'a PricedWorkload) -> Self {
+        self.warm_state = Some(state);
+        self
+    }
+
+    /// Whether the scope lets the search add `candidate`.
+    pub fn allows(&self, candidate: usize) -> bool {
+        self.mask.is_none_or(|m| m.contains(candidate))
+    }
+}
+
 /// One search policy over the incremental pricing substrate.
 ///
 /// Implementations must be deterministic: the same pool, model, and
@@ -83,6 +133,22 @@ pub trait SearchStrategy {
         model: &WorkloadModel,
         opts: &GreedyOptions,
         warm: &Selection,
+    ) -> GreedyResult {
+        self.search_scoped(pool, model, opts, warm, &SearchScope::all())
+    }
+
+    /// [`Self::search_warm`] under a [`SearchScope`]: addition probes are
+    /// restricted to the scope's mask and the seed pricing reuses the
+    /// scope's carried warm state when valid. With [`SearchScope::all`]
+    /// this **is** `search_warm`, bit for bit — scoping only ever removes
+    /// probes. The required method every strategy implements.
+    fn search_scoped(
+        &self,
+        pool: &CandidatePool,
+        model: &WorkloadModel,
+        opts: &GreedyOptions,
+        warm: &Selection,
+        scope: &SearchScope<'_>,
     ) -> GreedyResult;
 }
 
@@ -119,6 +185,47 @@ pub(crate) fn apply_changed(state: &mut PricedWorkload, changed: &[(u32, f64)], 
         state.per_query[q as usize] = cost;
     }
     state.total = total;
+}
+
+/// The seed pricing every strategy starts from. When the scope carries
+/// the warm selection's exact priced state *and* the budget adopted the
+/// warm set untruncated, the carried state is cloned — zero re-pricing —
+/// and nothing is added to the probe accounting. Otherwise the seeded
+/// selection is fully priced, with the classic accounting (one
+/// evaluation, `query_count` re-pricings, one full re-pricing).
+pub(crate) fn seed_state(
+    model: &WorkloadModel,
+    warm: &Selection,
+    seeded: &Selection,
+    scope: &SearchScope<'_>,
+    evaluations: &mut usize,
+    queries_repriced: &mut usize,
+    full_repricings: &mut usize,
+) -> PricedWorkload {
+    match scope.warm_state {
+        Some(state) if seeded.ids().eq(warm.ids()) => {
+            debug_assert_state_matches(model, seeded, state);
+            state.clone()
+        }
+        _ => {
+            *evaluations += 1;
+            *queries_repriced += model.query_count();
+            *full_repricings += 1;
+            model.price_full(seeded)
+        }
+    }
+}
+
+/// Sampled (`PINUM_ASSERT_SAMPLE`) debug re-check that an incrementally
+/// maintained [`PricedWorkload`] still equals a fresh full re-pricing —
+/// the strategy-side leg of the session's bit-identity discipline
+/// (shared rule: [`PricedWorkload::debug_assert_bit_identical_to_full`]).
+pub(crate) fn debug_assert_state_matches(
+    model: &WorkloadModel,
+    selection: &Selection,
+    state: &PricedWorkload,
+) {
+    state.debug_assert_bit_identical_to_full(model, selection);
 }
 
 /// Strategy selector for [`crate::tool::AdvisorOptions`] — a plain enum so

@@ -5,7 +5,7 @@
 //! `c`" in one [`WorkloadModel::price_delta_swapped_into`] call over the
 //! merged affected-query sets.
 
-use super::{apply_changed, LazyGreedy, SearchStrategy};
+use super::{apply_changed, debug_assert_state_matches, LazyGreedy, SearchScope, SearchStrategy};
 use crate::greedy::{GreedyOptions, GreedyResult};
 use pinum_core::{CandidatePool, Selection, WorkloadModel};
 
@@ -32,36 +32,40 @@ impl SearchStrategy for SwapHillClimb {
         "swap-hill-climb"
     }
 
-    fn search_warm(
+    fn search_scoped(
         &self,
         pool: &CandidatePool,
         model: &WorkloadModel,
         opts: &GreedyOptions,
         warm: &Selection,
+        scope: &SearchScope<'_>,
     ) -> GreedyResult {
-        let seed = LazyGreedy.search_warm(pool, model, opts, warm);
+        let seed = LazyGreedy.search_scoped(pool, model, opts, warm, scope);
         let mut selection = seed.selection;
         let mut picked = seed.picked;
         let mut trajectory = seed.cost_trajectory;
         let mut used_bytes = seed.total_bytes;
         let mut evaluations = seed.evaluations;
         let mut queries_repriced = seed.queries_repriced;
+        let full_repricings = seed.full_repricings;
 
-        let mut state = model.price_full(&selection);
-        queries_repriced += model.query_count();
+        // The greedy seed hands over its exact final state — no
+        // re-pricing between seed and climb.
+        let mut state = seed.final_state.expect("lazy greedy tracks state");
         let mut scratch = Vec::new();
 
         for _ in 0..self.max_rounds {
             // Steepest descent: scan all (drop, add) exchanges that fit the
             // budget, keep the lowest resulting cost. Ties break toward the
             // first exchange scanned (ascending drop id, then add id), so
-            // the climb is deterministic.
+            // the climb is deterministic. Drops may touch any member; adds
+            // are restricted to the scope.
             let mut best: Option<(usize, usize, f64)> = None; // (drop, add, cost)
             let members: Vec<usize> = selection.ids().collect();
             for &drop in &members {
                 let drop_bytes = pool.index(drop).size().total_bytes();
                 for add in 0..pool.len() {
-                    if selection.contains(add) {
+                    if selection.contains(add) || !scope.allows(add) {
                         continue;
                     }
                     let add_bytes = pool.index(add).size().total_bytes();
@@ -98,11 +102,7 @@ impl SearchStrategy for SwapHillClimb {
                     apply_changed(&mut state, &scratch, total);
                     selection.remove(drop);
                     selection.insert(add);
-                    debug_assert_eq!(
-                        state,
-                        model.price_full(&selection),
-                        "incremental accepted-swap state diverged from a full re-pricing"
-                    );
+                    debug_assert_state_matches(model, &selection, &state);
                     used_bytes = used_bytes - pool.index(drop).size().total_bytes()
                         + pool.index(add).size().total_bytes();
                     // `picked` tracks the surviving set in acquisition
@@ -123,6 +123,8 @@ impl SearchStrategy for SwapHillClimb {
             total_bytes: used_bytes,
             evaluations,
             queries_repriced,
+            full_repricings,
+            final_state: Some(state),
         }
     }
 }

@@ -19,5 +19,6 @@ fn main() {
     e::batched_collection::run(scale);
     e::search_strategies::run(scale);
     e::online_drift::run(scale);
+    e::scoped_readvise::run(scale);
     println!("==== done ====");
 }

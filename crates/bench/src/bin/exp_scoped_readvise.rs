@@ -1,0 +1,21 @@
+//! Persistent pricing sessions + template-scoped re-advising on a
+//! reweight-heavy drift stream: zero steady-state full re-pricings,
+//! quality within 1 % of full-scope re-advising, measured probe
+//! reduction. See `experiments::scoped_readvise`.
+use pinum_bench::experiments::scoped_readvise;
+use pinum_bench::fixtures::scale_from_env;
+
+fn main() {
+    let outcome = scoped_readvise::run(scale_from_env());
+    // The gates are asserted inside `run`; re-state the headline for CI.
+    println!(
+        "acceptance ok: {} steady-state full re-pricings, quality ratio {:.4}, \
+         probe fraction {:.4} over {} re-advises ({} scoped), {} reweight events applied",
+        outcome.scoped.steady_full_repricings(),
+        outcome.quality_ratio,
+        outcome.scoped_probe_fraction,
+        outcome.scoped.reports.len() + 1,
+        outcome.scoped.stats.scoped_readvises,
+        outcome.scoped.stats.reweights,
+    );
+}

@@ -12,5 +12,6 @@ pub mod nlj;
 pub mod online_drift;
 pub mod pruning;
 pub mod redundancy;
+pub mod scoped_readvise;
 pub mod search_strategies;
 pub mod whatif;

@@ -118,6 +118,11 @@ fn run_online(
             budget_bytes: budget,
             benefit_per_byte: false,
             warm_start: true,
+            // This experiment's admissions carry no templates, so scoping
+            // could never kick in anyway; keep it off explicitly so the
+            // baseline comparison stays the unscoped reference.
+            scoped_readvise: false,
+            attribution_threshold: 0.1,
         },
     );
     let mut readvises = Vec::new();
@@ -286,6 +291,11 @@ pub fn run(scale: f64) -> OnlineDriftOutcome {
             .int("admit_arms_max", stats.admit_arms_max as u64)
             .num("mean_admit_micros", mean_admit_micros)
             .num("admit_wall_ratio", admit_wall_ratio)
+            .num("readvise_wall_seconds", stats.readvise_wall.as_secs_f64())
+            .num(
+                "last_readvise_wall_seconds",
+                stats.last_readvise_wall.as_secs_f64(),
+            )
             .num("steady_max_ratio", steady_max_ratio)
             .int("steady_points", steady_points as u64)
             .raw(

@@ -29,7 +29,9 @@
 //! scan, then catalog indexes, then candidates ascending by pool id;
 //! plain before bitmap), so after the same stable sort the reconstructed
 //! [`AccessCostCatalog`] is **bit-identical** to what `collect_pinum`
-//! returns. Debug builds assert exactly that on every `collect` call;
+//! returns. Debug builds assert exactly that on every `collect` call
+//! (sampled to every k-th query via `PINUM_ASSERT_SAMPLE` — see
+//! [`crate::sampling`] — so debug acceptance runs stay bounded);
 //! `exp_batched_collection` re-checks it in release mode and gates the
 //! call reduction (≥3× on the 200q×400c workload) plus an identical
 //! advisor pick sequence.
@@ -185,9 +187,10 @@ impl WorkloadCollector {
         self.optimizer_calls += calls;
 
         #[cfg(debug_assertions)]
-        {
+        if crate::sampling::should_assert() {
             // The whole point: batched collection must reproduce the
-            // per-query reference path bit for bit.
+            // per-query reference path bit for bit (sampled — every k-th
+            // collected query — via `PINUM_ASSERT_SAMPLE`).
             let (reference, _) = crate::access_costs::collect_pinum(optimizer, query, pool);
             debug_assert!(
                 catalog == reference,

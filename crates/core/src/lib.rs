@@ -49,9 +49,17 @@
 //! the inverted candidate→query index in O(that query's access arms),
 //! with the same debug-assert "equals a from-scratch rebuild"
 //! equivalence discipline as the deltas (plus `compact` for tombstone
-//! hygiene). The `pinum-online` crate's epoch/drift `OnlineAdvisor`
-//! daemon is built on exactly this surface — the workload becomes a
-//! sliding window over a query stream instead of a frozen batch.
+//! hygiene). [`session::PricingSession`] bundles the streaming model
+//! with a [`Selection`] and a *live* [`PricedWorkload`] that is spliced
+//! — never rebuilt — across mutations, so long-lived consumers carry
+//! exact priced state from one re-selection to the next. The
+//! `pinum-online` crate's epoch/drift `OnlineAdvisor` daemon is built
+//! on exactly this surface — the workload becomes a sliding window over
+//! a query stream instead of a frozen batch.
+//!
+//! All of the incremental paths `debug_assert` equality with their
+//! from-scratch references; [`sampling`] bounds the cost of those
+//! checks on large workloads via `PINUM_ASSERT_SAMPLE`.
 
 pub mod access_costs;
 pub mod builder;
@@ -59,6 +67,8 @@ pub mod cache;
 pub mod candidates;
 pub mod collector;
 pub mod costing;
+pub mod sampling;
+pub mod session;
 pub mod workload_model;
 
 pub use access_costs::{
@@ -72,4 +82,5 @@ pub use cache::{CachedPlan, PlanCache};
 pub use candidates::{CandidatePool, Selection};
 pub use collector::{build_workload_models, WorkloadCollector, WorkloadModels};
 pub use costing::{CacheCostModel, Estimate};
+pub use session::PricingSession;
 pub use workload_model::{PricedWorkload, WorkloadModel};

@@ -146,6 +146,37 @@ pub struct PricedWorkload {
     pub total: f64,
 }
 
+impl PricedWorkload {
+    /// Sampled (`PINUM_ASSERT_SAMPLE`) debug re-check that this state is
+    /// **bit-identical** to `model.price_full(selection)` — the one
+    /// equivalence rule behind every spliced-state consumer (the pricing
+    /// session and the search strategies' accepted-move splices).
+    /// Compiled away in release builds.
+    pub fn debug_assert_bit_identical_to_full(&self, model: &WorkloadModel, selection: &Selection) {
+        #[cfg(debug_assertions)]
+        if crate::sampling::should_assert() {
+            let full = model.price_full(selection);
+            debug_assert!(
+                self.total.to_bits() == full.total.to_bits()
+                    && self.per_query.len() == full.per_query.len()
+                    && self
+                        .per_query
+                        .iter()
+                        .zip(&full.per_query)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "incrementally maintained priced state diverged from a full re-pricing: \
+                 {} vs {}",
+                self.total,
+                full.total
+            );
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = (model, selection);
+        }
+    }
+}
+
 /// The precomputed workload pricing engine. See the module docs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadModel {
@@ -323,10 +354,14 @@ impl WorkloadModel {
 
     /// Recomputes the inverted index from scratch and compares — the
     /// mutation-path analogue of the deltas' full-reprice `debug_assert`.
-    /// Compiled away in release builds.
+    /// Compiled away in release builds; sampled (every k-th mutation) via
+    /// `PINUM_ASSERT_SAMPLE` so long streams keep a bounded debug cost.
     fn debug_assert_index_matches_rebuild(&self) {
         #[cfg(debug_assertions)]
         {
+            if !crate::sampling::should_assert() {
+                return;
+            }
             let mut expect: Vec<Vec<u32>> = vec![Vec::new(); self.pool_size];
             for (qid, qm) in self.queries.iter().enumerate() {
                 if !self.live[qid] {
@@ -512,7 +547,7 @@ impl WorkloadModel {
         }
         let total = overlay_total(state, changed);
         #[cfg(debug_assertions)]
-        {
+        if crate::sampling::should_assert() {
             // The whole point: delta pricing must equal full re-pricing.
             let full = self.price_full(&selection.with(added));
             debug_assert!(
@@ -565,7 +600,7 @@ impl WorkloadModel {
         }
         let total = overlay_total(state, changed);
         #[cfg(debug_assertions)]
-        {
+        if crate::sampling::should_assert() {
             let full = self.price_full(&selection.without(dropped));
             debug_assert!(
                 total == full.total || (total.is_infinite() && full.total.is_infinite()),
@@ -639,7 +674,7 @@ impl WorkloadModel {
         }
         let total = overlay_total(state, changed);
         #[cfg(debug_assertions)]
-        {
+        if crate::sampling::should_assert() {
             let full = self.price_full(&selection.without(dropped).with(added));
             debug_assert!(
                 total == full.total || (total.is_infinite() && full.total.is_infinite()),

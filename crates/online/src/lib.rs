@@ -1,46 +1,59 @@
 //! # pinum-online — the workload as a stream
 //!
 //! The paper makes what-if pricing cheap enough to run *continuously*;
-//! this crate is the serving layer that actually does so. Instead of
-//! building a [`WorkloadModel`] once per batch and re-selecting from
-//! scratch whenever the workload moves, [`OnlineAdvisor`] runs as a
-//! long-lived daemon over the streaming model:
+//! this crate is the serving layer that actually does so. [`OnlineAdvisor`]
+//! runs as a long-lived daemon over a persistent
+//! [`pinum_core::PricingSession`] — the streaming `WorkloadModel`, the
+//! current [`Selection`], and a **live
+//! [`PricedWorkload`](pinum_core::PricedWorkload)** owned together,
+//! spliced (never rebuilt) through the session lifecycle:
 //!
-//! * **admission** — every arriving query's `(plan cache, access
-//!   catalog)` pair (the one-optimizer-call artifacts) is spliced into
-//!   the live model with [`WorkloadModel::admit_query`] in O(that
-//!   query's access arms); the advisor never rebuilds the model
-//!   ([`OnlineStats::full_rebuilds`] stays 0 by construction, and the
-//!   `exp_online_drift` acceptance gate checks exactly that);
-//! * **sliding window** — the model holds the most recent
-//!   `window_capacity` queries (count eviction), optionally *weight
-//!   decayed*: each advising round multiplies every resident query's
-//!   weight by `decay`, so older residents fade before they fall out;
-//! * **drift detection** — the advisor tracks the mean priced cost of
-//!   the *current* selection over the live window (maintained
-//!   incrementally, O(new query) per admission) against the mean
-//!   captured right after the last re-advise; when it regresses beyond
-//!   `drift_threshold`, re-selection fires early;
-//! * **epoch-based re-advising** — otherwise re-selection runs every
-//!   `epoch_length` admissions, **warm-started** from the previous
-//!   selection through
-//!   [`pinum_advisor::search::SearchStrategy::search_warm`] instead of
-//!   searching from empty, so steady-state re-advises converge in a few
-//!   probes instead of re-deriving the whole selection.
+//! * **admit** — every arriving query's `(plan cache, access catalog)`
+//!   pair (the one-optimizer-call artifacts) is spliced into the session
+//!   in O(that query's access arms) plus one single-query pricing; the
+//!   priced state stays bit-identical to a fresh `price_full` at every
+//!   step (debug-asserted, sampled via `PINUM_ASSERT_SAMPLE`). Admissions
+//!   may carry the query's [`TemplateKey`]s for drift attribution; the
+//!   window slides by count, with optional per-round weight decay.
+//!   In-place [`OnlineAdvisor::reweight_admission`] events (the same
+//!   query getting hotter) re-price exactly one query.
+//! * **attribute** — [`DriftAttribution`] tracks each template's share of
+//!   the live priced cost since the last re-advise. The mean-based drift
+//!   detector says *whether* the selection regressed; attribution says
+//!   *which templates* did.
+//! * **scoped re-advise** — re-selection fires on epoch boundaries, on
+//!   drift, or on demand, **warm-started** from the previous selection
+//!   *with its exact priced state handed intact* to
+//!   [`SearchStrategy::search_scoped`] — so a steady-state re-advise
+//!   performs **zero** full workload re-pricings (accepted picks are
+//!   delta splices too; [`OnlineStats::full_repricings`] counts the
+//!   exceptions and the `exp_scoped_readvise` gate holds it at 0). When
+//!   drift fired and attribution localized it, the search is additionally
+//!   **scoped**: only candidates whose inverted-index entry intersects
+//!   the regressed queries are probed.
+//! * **compact** — once tombstones outnumber live queries the session
+//!   compacts (bit-identical pricing, O(window) renumbering), keeping
+//!   lifetime memory O(window).
 //!
 //! The daemon is deterministic: the same pool, option set, and admission
 //! sequence produce bit-identical selections, costs, and trigger
-//! sequences — which is how the drift experiment can hold it against a
-//! periodic full-rebuild baseline on the same history.
+//! sequences — which is how the drift experiments can hold it against
+//! full-rebuild and full-scope baselines on the same history.
+//!
+//! [`SearchStrategy::search_scoped`]: pinum_advisor::search::SearchStrategy::search_scoped
+
+pub mod attribution;
+
+pub use attribution::DriftAttribution;
 
 use pinum_advisor::greedy::GreedyOptions;
-use pinum_advisor::search::StrategyKind;
+use pinum_advisor::search::{SearchScope, StrategyKind};
 use pinum_core::access_costs::AccessCostCatalog;
 use pinum_core::builder::{build_cache_pinum, BuilderOptions};
 use pinum_core::cache::PlanCache;
-use pinum_core::{CandidatePool, Selection, WorkloadCollector, WorkloadModel};
+use pinum_core::{CandidatePool, PricingSession, Selection, WorkloadCollector};
 use pinum_optimizer::Optimizer;
-use pinum_query::Query;
+use pinum_query::{Query, RelIdx, RelTemplate, TemplateKey};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -63,14 +76,24 @@ pub struct OnlineAdvisorOptions {
     pub budget_bytes: u64,
     /// Rank candidates by benefit per byte inside the strategy.
     pub benefit_per_byte: bool,
-    /// Warm-start re-advises from the previous selection (the whole
-    /// point; `false` keeps a cold-search mode for ablations).
+    /// Warm-start re-advises from the previous selection and its carried
+    /// priced state (the whole point; `false` keeps a cold-search mode
+    /// for ablations).
     pub warm_start: bool,
+    /// Scope drift-triggered re-advises to the candidates that can affect
+    /// the regressed templates (needs template-attributed admissions;
+    /// falls back to the full-scope search — bit-identical to the
+    /// unscoped daemon — whenever attribution cannot localize the drift).
+    pub scoped_readvise: bool,
+    /// Relative per-template cost regression that marks a template
+    /// regressed for scoping.
+    pub attribution_threshold: f64,
 }
 
 impl OnlineAdvisorOptions {
     /// Sensible daemon defaults for a given budget: 256-query window,
-    /// epoch of 64, 20 % drift threshold, warm-started lazy greedy.
+    /// epoch of 64, 20 % drift threshold, warm-started lazy greedy,
+    /// template-scoped drift re-advising at a 10 % per-template bar.
     pub fn defaults(budget_bytes: u64) -> Self {
         Self {
             window_capacity: 256,
@@ -81,6 +104,8 @@ impl OnlineAdvisorOptions {
             budget_bytes,
             benefit_per_byte: false,
             warm_start: true,
+            scoped_readvise: true,
+            attribution_threshold: 0.1,
         }
     }
 }
@@ -111,16 +136,30 @@ pub struct ReadviseReport {
     pub evaluations: usize,
     /// Individual query re-pricings the search spent.
     pub queries_repriced: usize,
+    /// Full workload re-pricings this round performed (search seed +
+    /// session refreshes). 0 whenever the warm state was carried intact —
+    /// the steady-state gate of `exp_scoped_readvise`.
+    pub full_repricings: usize,
+    /// Whether the search ran under a template-derived candidate mask.
+    pub scoped: bool,
+    /// Candidates the search was allowed to add (pool size when
+    /// unscoped).
+    pub scope_candidates: usize,
 }
 
 /// Outcome of one admission.
 #[derive(Debug, Clone)]
 pub struct Admission {
-    /// Stable query id inside the streaming model.
+    /// Stable query id inside the streaming model (valid until the next
+    /// re-advise, which may compact and renumber).
     pub qid: usize,
+    /// 0-based admission ordinal — stable forever; the handle
+    /// [`OnlineAdvisor::reweight_admission`] takes.
+    pub ordinal: usize,
     /// Query evicted by the window, if it overflowed.
     pub evicted: Option<usize>,
-    /// Wall time of the model splice alone ([`WorkloadModel::admit_query`]).
+    /// Wall time of the session splice (model splice + pricing the one
+    /// newcomer under the current selection).
     pub model_wall: Duration,
     /// Flattened access arms of the admitted query — the unit the splice
     /// work is proportional to (never the workload size).
@@ -134,15 +173,25 @@ pub struct Admission {
 pub struct OnlineStats {
     pub admits: usize,
     pub evictions: usize,
+    /// In-place reweight events applied ([`OnlineAdvisor::reweight_admission`]).
+    pub reweights: usize,
+    /// Reweight events targeting an admission that had already left the
+    /// window (dropped as no-ops).
+    pub reweight_misses: usize,
     pub readvises: usize,
     pub epoch_readvises: usize,
     pub drift_readvises: usize,
     pub forced_readvises: usize,
-    /// From-scratch [`WorkloadModel`] builds performed after start-up.
-    /// Never incremented by this implementation — the counter exists so
-    /// the acceptance experiment can *assert* the online path stayed
-    /// incremental.
+    /// Re-advises that ran under a template-derived candidate mask.
+    pub scoped_readvises: usize,
+    /// From-scratch [`pinum_core::WorkloadModel`] builds performed after
+    /// start-up. Never incremented by this implementation — the counter
+    /// exists so the acceptance experiment can *assert* the online path
+    /// stayed incremental.
     pub full_rebuilds: usize,
+    /// Full workload re-pricings the session performed or adopted from
+    /// searches. Stays 0 while warm states carry across re-advises.
+    pub full_repricings: usize,
     /// Tombstone compactions (O(window) renumbering, not rebuilds —
     /// pricing is bit-identical across them).
     pub compactions: usize,
@@ -157,29 +206,40 @@ pub struct OnlineStats {
     /// Relation collections `admit_collected` served straight from the
     /// shared template cache.
     pub collect_template_hits: usize,
-    /// Summed wall time of the model splices alone.
+    /// Summed wall time of the session splices alone.
     pub model_admit_wall: Duration,
     /// Summed wall time of re-advising rounds.
     pub readvise_wall: Duration,
+    /// Wall time of the most recent re-advising round — the steady-state
+    /// latency figure `readvise_wall` (a lifetime sum) cannot express.
+    pub last_readvise_wall: Duration,
 }
 
 /// The epoch-based online tuning daemon. See the crate docs.
 pub struct OnlineAdvisor {
     pool: CandidatePool,
     opts: OnlineAdvisorOptions,
-    model: WorkloadModel,
+    /// The persistent pricing session: streaming model + current
+    /// selection + live priced state, spliced across the whole lifecycle.
+    session: PricingSession,
     /// Shared template cache for [`Self::admit_collected`]: admissions of
     /// template-sharing queries skip access-collection optimizer calls.
     collector: WorkloadCollector,
+    /// Per-template priced-cost attribution for scoped re-advising.
+    attribution: DriftAttribution,
     /// Live query ids, admission order (front = oldest).
     window: VecDeque<usize>,
-    selection: Selection,
-    /// Monitoring state: per-slot weighted contribution of the current
-    /// selection (0.0 for tombstones) and its running sum. Maintained
-    /// incrementally for drift detection; reset from an exact
-    /// `price_full` at every re-advise.
-    monitor_per_query: Vec<f64>,
-    monitor_total: f64,
+    /// Ordinal of the oldest admission the book below still holds;
+    /// compaction retires the dead prefix so the books stay O(window)
+    /// over the daemon's lifetime. Ordinals below the base are evicted
+    /// by definition (they predate every live resident).
+    admission_base: usize,
+    /// Admission ordinal − `admission_base` → current qid (`u32::MAX`
+    /// once evicted). The stable handle behind
+    /// [`Self::reweight_admission`].
+    admission_qid: Vec<u32>,
+    /// Query slot → admission ordinal (for eviction/compaction upkeep).
+    qid_ordinal: Vec<u32>,
     /// Mean priced cost per live query right after the last re-advise
     /// (infinite before the first one, which disarms the drift detector
     /// until an epoch fires).
@@ -199,36 +259,53 @@ impl OnlineAdvisor {
             "drift threshold must be a finite non-negative ratio"
         );
         assert!(
+            opts.attribution_threshold >= 0.0 && opts.attribution_threshold.is_finite(),
+            "attribution threshold must be a finite non-negative ratio"
+        );
+        assert!(
             opts.decay > 0.0 && opts.decay <= 1.0,
             "decay must be in (0, 1]"
         );
-        let model = WorkloadModel::build(pool.len(), std::iter::empty());
-        let selection = Selection::empty(pool.len());
+        let session = PricingSession::new(pool.len());
         Self {
             pool,
             opts,
-            model,
+            session,
             collector: WorkloadCollector::new(),
+            attribution: DriftAttribution::new(),
             window: VecDeque::new(),
-            selection,
-            monitor_per_query: Vec::new(),
-            monitor_total: 0.0,
+            admission_base: 0,
+            admission_qid: Vec::new(),
+            qid_ordinal: Vec::new(),
             baseline_mean: f64::INFINITY,
             admits_since_advise: 0,
             stats: OnlineStats::default(),
         }
     }
 
-    /// Admits one arriving query (weight 1.0). The `(cache, access)`
-    /// pair is the per-query artifact of the paper's one optimizer call —
-    /// built by the caller, spliced here.
+    /// Admits one arriving query (weight 1.0, no template attribution).
+    /// The `(cache, access)` pair is the per-query artifact of the
+    /// paper's one optimizer call — built by the caller, spliced here.
     pub fn admit(&mut self, cache: &PlanCache, access: &AccessCostCatalog) -> Admission {
-        self.admit_weighted(cache, access, 1.0)
+        self.admit_attributed(cache, access, 1.0, &[])
+    }
+
+    /// [`Self::admit`] with an explicit workload weight (e.g. from the
+    /// drift generator's table-growth events). No template attribution:
+    /// the query counts as conservatively regressed whenever drift fires.
+    pub fn admit_weighted(
+        &mut self,
+        cache: &PlanCache,
+        access: &AccessCostCatalog,
+        weight: f64,
+    ) -> Admission {
+        self.admit_attributed(cache, access, weight, &[])
     }
 
     /// Admits an arriving query *from scratch*: builds its PINUM plan
     /// cache (two optimizer calls) and collects its access costs through
-    /// the daemon's shared template cache, then splices the pair in.
+    /// the daemon's shared template cache, then splices the pair in —
+    /// with the query's templates attached for drift attribution.
     ///
     /// The collection side is where streaming admission meets batched
     /// collection: an admission whose relations all match templates seen
@@ -248,40 +325,47 @@ impl OnlineAdvisor {
         let (access, cstats) = self.collector.collect(optimizer, query, &self.pool);
         self.stats.collect_calls += cstats.optimizer_calls;
         self.stats.collect_template_hits += query.relation_count() - cstats.optimizer_calls;
-        self.admit_weighted(&built.cache, &access, weight)
+        let templates = query_templates(query);
+        self.admit_attributed(&built.cache, &access, weight, &templates)
     }
 
-    /// [`Self::admit`] with an explicit workload weight (e.g. from the
-    /// drift generator's table-growth events).
-    pub fn admit_weighted(
+    /// The full admission entry point: weight plus the query's
+    /// [`TemplateKey`]s (as produced by [`query_templates`]) for
+    /// template-scoped drift attribution. An empty template list is
+    /// valid — the query is then conservatively treated as regressed
+    /// whenever drift fires.
+    pub fn admit_attributed(
         &mut self,
         cache: &PlanCache,
         access: &AccessCostCatalog,
         weight: f64,
+        templates: &[TemplateKey],
     ) -> Admission {
-        // --- Model splice: O(this query's arms), never O(window). ---
+        // --- Session splice: O(this query's arms) + pricing the one
+        // newcomer under the current selection — never an O(window)
+        // *re-pricing* (an overflow eviction below re-sums the priced
+        // state, which is O(window) float additions, nothing priced). ---
         let splice = Instant::now();
-        let qid = self.model.admit_query_weighted(cache, access, weight);
+        let qid = self.session.admit_query_weighted(cache, access, weight);
         let model_wall = splice.elapsed();
-        let model_arms = self.model.query_arm_count(qid);
+        let model_arms = self.session.model().query_arm_count(qid);
+        let ordinal = self.admission_base + self.admission_qid.len();
         self.stats.admits += 1;
         self.stats.model_admit_wall += model_wall;
         self.stats.admit_arms_total += model_arms;
         self.stats.admit_arms_max = self.stats.admit_arms_max.max(model_arms);
         self.window.push_back(qid);
-
-        // --- Monitor: price the newcomer under the current selection. ---
-        let contribution = weight * self.model.price_query(qid, &self.selection, None);
-        debug_assert_eq!(self.monitor_per_query.len(), qid);
-        self.monitor_per_query.push(contribution);
-        self.monitor_total += contribution;
+        debug_assert_eq!(self.qid_ordinal.len(), qid);
+        self.admission_qid.push(qid as u32);
+        self.qid_ordinal.push(ordinal as u32);
+        self.attribution.admit(qid, templates);
 
         // --- Window overflow: retract the oldest resident. ---
         let evicted = if self.window.len() > self.opts.window_capacity {
             let oldest = self.window.pop_front().expect("window non-empty");
-            self.monitor_total -= self.monitor_per_query[oldest];
-            self.monitor_per_query[oldest] = 0.0;
-            self.model.evict_query(oldest);
+            self.session.evict_query(oldest);
+            self.attribution.evict(oldest);
+            self.admission_qid[self.qid_ordinal[oldest] as usize - self.admission_base] = u32::MAX;
             self.stats.evictions += 1;
             Some(oldest)
         } else {
@@ -292,6 +376,7 @@ impl OnlineAdvisor {
         let readvise = self.maybe_readvise();
         Admission {
             qid,
+            ordinal,
             evicted,
             model_wall,
             model_arms,
@@ -299,18 +384,51 @@ impl OnlineAdvisor {
         }
     }
 
+    /// Applies an in-place reweight event — "the query admitted as
+    /// ordinal `admission` now runs at `weight`" — re-pricing exactly
+    /// that query. Returns the re-advise it triggered, if the hotter
+    /// query pushed the monitor past the drift threshold (reweights do
+    /// not advance the epoch clock). An event whose target has already
+    /// slid out of the window is dropped as a counted no-op
+    /// ([`OnlineStats::reweight_misses`]); an ordinal that was **never
+    /// issued** is a caller bug and panics with a descriptive message.
+    pub fn reweight_admission(&mut self, admission: usize, weight: f64) -> Option<ReadviseReport> {
+        if admission < self.admission_base {
+            // Retired by compaction: the target predates every live
+            // resident, so it is evicted by definition.
+            self.stats.reweight_misses += 1;
+            return None;
+        }
+        let issued = self.admission_base + self.admission_qid.len();
+        let qid = *self
+            .admission_qid
+            .get(admission - self.admission_base)
+            .unwrap_or_else(|| {
+                panic!("reweighting unknown admission ordinal {admission} (only {issued} issued)")
+            });
+        if qid == u32::MAX {
+            self.stats.reweight_misses += 1;
+            return None;
+        }
+        self.session.reweight_query(qid as usize, weight);
+        self.stats.reweights += 1;
+        if self.drift_fired() {
+            return Some(self.readvise_with(ReadviseTrigger::Drift));
+        }
+        None
+    }
+
     /// Whether the window's mean priced cost has regressed past the
-    /// threshold (written so a NaN monitor — inf−inf arithmetic after an
-    /// unpriceable admission — also fires and self-heals on the exact
-    /// re-pricing the re-advise performs).
+    /// threshold (written so a NaN mean — possible only if the state
+    /// were corrupted — also fires and self-heals on the re-advise).
     fn drift_fired(&self) -> bool {
         if self.window.is_empty() || !self.baseline_mean.is_finite() {
             return false;
         }
-        let mean_now = self.monitor_total / self.window.len() as f64;
+        let mean_now = self.session.total() / self.window.len() as f64;
         let bound = self.baseline_mean * (1.0 + self.opts.drift_threshold);
-        // Fires on Greater *and* on NaN (incomparable) — a NaN monitor
-        // must trigger the exact re-pricing that heals it.
+        // Fires on Greater *and* on NaN (incomparable) — an unpriceable
+        // window must trigger the re-advise that can heal it.
         !matches!(
             mean_now.partial_cmp(&bound),
             Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
@@ -336,52 +454,94 @@ impl OnlineAdvisor {
 
     fn readvise_with(&mut self, trigger: ReadviseTrigger) -> ReadviseReport {
         let start = Instant::now();
+        let fulls_before = self.session.full_repricings();
         // Tombstone hygiene: once dead slots outnumber live ones, compact
-        // so re-advise pricing (and the monitor vector) stays O(window)
-        // over the daemon's whole lifetime instead of O(admissions ever).
-        // Totals are bit-identical across compaction (tombstones price to
-        // exactly 0.0), so this changes nothing observable but memory.
-        if self.model.query_count() - self.model.live_query_count() > self.model.live_query_count()
-        {
+        // so pricing state stays O(window) over the daemon's whole
+        // lifetime instead of O(admissions ever). Totals are bit-identical
+        // across compaction (tombstones price to exactly 0.0), so this
+        // changes nothing observable but memory.
+        let model = self.session.model();
+        if model.query_count() - model.live_query_count() > model.live_query_count() {
             self.compact();
         }
         // Weight decay: every resident fades one round before re-selection
-        // sees the window (no-op at decay = 1.0).
+        // sees the window (no-op at decay = 1.0; each fade re-prices only
+        // its own query).
         if self.opts.decay < 1.0 {
-            for &qid in &self.window {
-                let faded = (self.model.weight(qid) * self.opts.decay).max(f64::MIN_POSITIVE);
-                self.model.reweight_query(qid, faded);
-            }
+            // Batched: every resident re-priced once, the total re-summed
+            // once — O(window), not O(window²).
+            let decay = self.opts.decay;
+            let model = self.session.model();
+            let updates: Vec<(usize, f64)> = self
+                .window
+                .iter()
+                .map(|&qid| (qid, (model.weight(qid) * decay).max(f64::MIN_POSITIVE)))
+                .collect();
+            self.session.reweight_queries(updates);
         }
-        let cost_before = self.model.price_full(&self.selection).total;
+        let cost_before = self.session.total();
+
+        // Scope: when drift fired and attribution can pin it on specific
+        // templates, restrict the search to candidates that can affect
+        // the regressed queries (inverted index ∩ regressed set).
+        let mask: Option<Selection> = if trigger == ReadviseTrigger::Drift
+            && self.opts.scoped_readvise
+            && self.opts.warm_start
+        {
+            self.attribution
+                .regressed_queries(self.session.state(), self.opts.attribution_threshold)
+                .map(|regressed| self.scope_mask(&regressed))
+        } else {
+            None
+        };
+
         let gopts = GreedyOptions {
             budget_bytes: self.opts.budget_bytes,
             benefit_per_byte: self.opts.benefit_per_byte,
         };
         let strategy = self.opts.strategy.build();
         let result = if self.opts.warm_start {
-            strategy.search_warm(&self.pool, &self.model, &gopts, &self.selection)
+            // The tentpole handoff: the session's exact priced state
+            // rides into the search, so a steady-state re-advise prices
+            // nothing it does not have to.
+            let mut scope = SearchScope::all().with_warm_state(self.session.state());
+            if let Some(mask) = &mask {
+                scope.mask = Some(mask);
+            }
+            strategy.search_scoped(
+                &self.pool,
+                self.session.model(),
+                &gopts,
+                self.session.selection(),
+                &scope,
+            )
         } else {
-            strategy.search(&self.pool, &self.model, &gopts)
+            strategy.search(&self.pool, self.session.model(), &gopts)
         };
-        self.selection = result.selection;
+        let scoped = mask.is_some();
+        let scope_candidates = mask.as_ref().map_or(self.pool.len(), Selection::len);
 
-        // Reset the monitor from an exact pricing of the new selection —
-        // incremental drift from the running sums ends here.
-        let state = self.model.price_full(&self.selection);
+        // Adopt the search outcome — selection and exact priced state —
+        // without re-pricing; the monitor baseline resets from it.
+        self.session
+            .install(result.selection, result.final_state, result.full_repricings);
+        let cost_after = self.session.total();
         self.baseline_mean = if self.window.is_empty() {
             f64::INFINITY
         } else {
-            state.total / self.window.len() as f64
+            cost_after / self.window.len() as f64
         };
-        let cost_after = state.total;
-        self.monitor_total = state.total;
-        self.monitor_per_query = state.per_query;
+        self.attribution.capture_baseline(self.session.state());
         self.admits_since_advise = 0;
 
         let wall = start.elapsed();
         self.stats.readvises += 1;
         self.stats.readvise_wall += wall;
+        self.stats.last_readvise_wall = wall;
+        self.stats.full_repricings = self.session.full_repricings();
+        if scoped {
+            self.stats.scoped_readvises += 1;
+        }
         match trigger {
             ReadviseTrigger::Epoch => self.stats.epoch_readvises += 1,
             ReadviseTrigger::Drift => self.stats.drift_readvises += 1,
@@ -395,49 +555,98 @@ impl OnlineAdvisor {
             picks: result.picked.len(),
             evaluations: result.evaluations,
             queries_repriced: result.queries_repriced,
+            full_repricings: self.session.full_repricings() - fulls_before,
+            scoped,
+            scope_candidates,
         }
     }
 
-    /// Drops eviction tombstones from the underlying model; window ids
-    /// and the monitoring state are remapped, so behaviour is unchanged.
-    /// Runs automatically at re-advise time whenever tombstones outnumber
-    /// live queries (which renumbers query ids — treat an [`Admission`]'s
-    /// `qid` as valid only until the next re-advise), and stays public
-    /// for callers who want memory back sooner.
-    pub fn compact(&mut self) {
-        self.stats.compactions += 1;
-        let remap = self.model.compact();
-        let mut monitor = vec![0.0; self.model.query_count()];
-        for (old, &new) in remap.iter().enumerate() {
-            if new != u32::MAX {
-                monitor[new as usize] = self.monitor_per_query[old];
+    /// The candidate mask for a regressed query set: every candidate
+    /// whose inverted-index entry intersects the set (it can change a
+    /// regressed query's price), plus the current selection's members
+    /// (so drops and swap-backs stay in play).
+    fn scope_mask(&self, regressed: &[u32]) -> Selection {
+        let model = self.session.model();
+        let mut mask = Selection::empty(self.pool.len());
+        for cand in 0..self.pool.len() {
+            if sorted_intersects(model.affected(cand), regressed) {
+                mask.insert(cand);
             }
         }
-        self.monitor_per_query = monitor;
+        for id in self.session.selection().ids() {
+            mask.insert(id);
+        }
+        mask
+    }
+
+    /// Drops eviction tombstones from the session; window ids, the
+    /// attribution books, and the ordinal maps are remapped, so behaviour
+    /// is unchanged. Runs automatically at re-advise time whenever
+    /// tombstones outnumber live queries (which renumbers query ids —
+    /// treat an [`Admission`]'s `qid` as valid only until the next
+    /// re-advise; `ordinal` is the stable handle), and stays public for
+    /// callers who want memory back sooner.
+    pub fn compact(&mut self) {
+        self.stats.compactions += 1;
+        let remap = self.session.compact();
+        self.attribution.remap(&remap);
         for qid in self.window.iter_mut() {
             let new = remap[*qid];
             debug_assert_ne!(new, u32::MAX, "window held an evicted query");
             *qid = new as usize;
         }
+        let mut qid_ordinal = vec![u32::MAX; self.session.model().query_count()];
+        for (old, &new) in remap.iter().enumerate() {
+            let ordinal = self.qid_ordinal[old];
+            if new != u32::MAX {
+                qid_ordinal[new as usize] = ordinal;
+                self.admission_qid[ordinal as usize - self.admission_base] = new;
+            }
+        }
+        self.qid_ordinal = qid_ordinal;
+        // Retire the admission book's dead prefix: every ordinal below
+        // the oldest live resident's is evicted by definition, so the
+        // base moves up and the books stay O(window) for the daemon's
+        // whole lifetime (retired ordinals keep reporting misses).
+        let new_base = self
+            .window
+            .front()
+            .map_or(self.admission_base + self.admission_qid.len(), |&q| {
+                self.qid_ordinal[q] as usize
+            });
+        self.admission_qid.drain(..new_base - self.admission_base);
+        self.admission_base = new_base;
     }
 
-    /// Exact priced cost of the current selection over the live window.
+    /// Exact priced cost of the current selection over the live window —
+    /// read from the session's spliced state (no re-pricing).
     pub fn current_cost(&self) -> f64 {
-        self.model.price_full(&self.selection).total
+        self.session.total()
     }
 
-    /// The monitor's running (incrementally maintained) total — what the
-    /// drift detector sees between re-advises.
+    /// Alias of [`Self::current_cost`] kept for the monitor-centric
+    /// callers: with the persistent session, what the drift detector
+    /// sees *is* the exact priced state.
     pub fn monitored_cost(&self) -> f64 {
-        self.monitor_total
+        self.session.total()
     }
 
     pub fn selection(&self) -> &Selection {
-        &self.selection
+        self.session.selection()
     }
 
-    pub fn model(&self) -> &WorkloadModel {
-        &self.model
+    pub fn model(&self) -> &pinum_core::WorkloadModel {
+        self.session.model()
+    }
+
+    /// The persistent pricing session the daemon runs on.
+    pub fn session(&self) -> &PricingSession {
+        &self.session
+    }
+
+    /// The drift-attribution books behind scoped re-advising.
+    pub fn attribution(&self) -> &DriftAttribution {
+        &self.attribution
     }
 
     pub fn pool(&self) -> &CandidatePool {
@@ -448,6 +657,23 @@ impl OnlineAdvisor {
         self.window.len()
     }
 
+    /// Live query ids in admission order (front = oldest). Ids are valid
+    /// until the next re-advise (compaction renumbers).
+    pub fn window_ids(&self) -> Vec<usize> {
+        self.window.iter().copied().collect()
+    }
+
+    /// The admission-ordinal book's live span `(base, next)`: ordinals
+    /// below `base` were retired by compaction (reweights targeting them
+    /// report misses), `next` is the ordinal the next admission gets.
+    /// `next - base` stays O(window) over the daemon's lifetime.
+    pub fn admission_book_span(&self) -> (usize, usize) {
+        (
+            self.admission_base,
+            self.admission_base + self.admission_qid.len(),
+        )
+    }
+
     pub fn stats(&self) -> &OnlineStats {
         &self.stats
     }
@@ -456,6 +682,27 @@ impl OnlineAdvisor {
     pub fn collector(&self) -> &WorkloadCollector {
         &self.collector
     }
+}
+
+/// The [`TemplateKey`]s of every relation of `query` — the attribution
+/// payload for [`OnlineAdvisor::admit_attributed`].
+pub fn query_templates(query: &Query) -> Vec<TemplateKey> {
+    (0..query.relation_count() as RelIdx)
+        .map(|rel| RelTemplate::of(query, rel).key())
+        .collect()
+}
+
+/// Whether two ascending id lists share an element (two-pointer walk).
+fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -522,6 +769,7 @@ mod tests {
         for (i, (c, a)) in models.iter().enumerate() {
             let adm = advisor.admit_weighted(c, a, queries[i].1);
             assert_eq!(adm.evicted.is_some(), i >= 8);
+            assert_eq!(adm.ordinal, i);
             assert!(advisor.window_len() <= 8);
         }
         assert_eq!(advisor.window_len(), 8);
@@ -583,15 +831,46 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_readvises_never_fully_reprice() {
+        let (_s, _q, pool, models) = fixture(2, 12);
+        let mut advisor = OnlineAdvisor::new(pool, opts(10, 4));
+        let mut total_fulls = 0usize;
+        let mut steady = 0usize;
+        for (c, a) in &models {
+            if let Some(r) = advisor.admit(c, a).readvise {
+                total_fulls += r.full_repricings;
+                // A round that kept the selection (picks unchanged is not
+                // directly visible here, but zero full re-pricings must
+                // hold for *every* warm-started round of this daemon).
+                assert_eq!(
+                    r.full_repricings, 0,
+                    "warm-started re-advise performed a full re-pricing"
+                );
+                steady += 1;
+            }
+        }
+        assert!(steady > 0, "no re-advise fired");
+        assert_eq!(total_fulls, 0);
+        assert_eq!(advisor.stats().full_repricings, 0);
+        assert_eq!(advisor.session().full_repricings(), 0);
+    }
+
+    #[test]
     fn admit_collected_is_bit_identical_to_cold_collection() {
         let (schema, queries, pool, models) = fixture(2, 12);
         let optimizer = Optimizer::new(&schema.catalog);
         let builder = BuilderOptions::default();
 
+        // Scoping off for both daemons: this test is about *collection*
+        // bit-identity, and only the shared daemon carries templates.
+        let o = OnlineAdvisorOptions {
+            scoped_readvise: false,
+            ..opts(10, 4)
+        };
         // Reference daemon: cold per-query collect_pinum artifacts.
-        let mut cold = OnlineAdvisor::new(pool.clone(), opts(10, 4));
+        let mut cold = OnlineAdvisor::new(pool.clone(), o);
         // Streaming daemon: collection through the shared template cache.
-        let mut shared = OnlineAdvisor::new(pool.clone(), opts(10, 4));
+        let mut shared = OnlineAdvisor::new(pool.clone(), o);
         let mut rels_total = 0usize;
         for (i, (c, a)) in models.iter().enumerate() {
             let (query, weight) = &queries[i];
@@ -633,6 +912,9 @@ mod tests {
         assert_eq!(shared.collector().optimizer_calls(), s.collect_calls);
         assert_eq!(shared.collector().group_count(), s.collect_calls);
         assert_eq!(cold.stats().collect_calls, 0, "cold path never collects");
+        // Only the shared daemon has attribution books.
+        assert!(shared.attribution().template_count() > 0);
+        assert_eq!(cold.attribution().template_count(), 0);
     }
 
     #[test]
@@ -655,6 +937,39 @@ mod tests {
         assert_eq!(c1.to_bits(), c2.to_bits());
         assert_eq!(s1, s2);
         assert_eq!((r1, d1), (r2, d2));
+    }
+
+    #[test]
+    fn scoping_without_templates_is_bit_identical_to_unscoped() {
+        let (_s, queries, pool, models) = fixture(3, 10);
+        let run = |scoped: bool| {
+            let mut advisor = OnlineAdvisor::new(
+                pool.clone(),
+                OnlineAdvisorOptions {
+                    scoped_readvise: scoped,
+                    drift_threshold: 0.05,
+                    ..opts(12, 8)
+                },
+            );
+            for (i, (c, a)) in models.iter().enumerate() {
+                advisor.admit_weighted(c, a, queries[i].1);
+            }
+            (
+                advisor.current_cost(),
+                advisor.selection().ids().collect::<Vec<_>>(),
+                advisor.stats().readvises,
+                advisor.stats().scoped_readvises,
+            )
+        };
+        let (c_on, s_on, r_on, scoped_on) = run(true);
+        let (c_off, s_off, r_off, scoped_off) = run(false);
+        // No admission carried templates, so attribution must fall back
+        // to the full scope — bit-identical runs, zero scoped rounds.
+        assert_eq!(c_on.to_bits(), c_off.to_bits());
+        assert_eq!(s_on, s_off);
+        assert_eq!(r_on, r_off);
+        assert_eq!(scoped_on, 0);
+        assert_eq!(scoped_off, 0);
     }
 
     #[test]
@@ -729,6 +1044,20 @@ mod tests {
         );
         assert_eq!(advisor.stats().full_rebuilds, 0);
         assert_eq!(advisor.window_len(), window);
+        // The admission-ordinal book retires its dead prefix at each
+        // compaction, so its live span tracks the window, not lifetime
+        // admissions — and retired ordinals degrade to counted misses.
+        let (base, next) = advisor.admission_book_span();
+        assert_eq!(next, advisor.stats().admits);
+        assert!(
+            next - base <= 2 * window + 3,
+            "admission book grew to {} entries on a {}-query window",
+            next - base,
+            window
+        );
+        assert!(base > 0, "compaction never retired a dead prefix");
+        assert!(advisor.reweight_admission(0, 9.9).is_none());
+        assert_eq!(advisor.stats().reweight_misses, 1);
     }
 
     #[test]
@@ -781,5 +1110,124 @@ mod tests {
             }
         }
         assert!(drifted, "template shift never fired the drift detector");
+    }
+
+    #[test]
+    fn reweights_reprice_one_query_and_can_fire_drift() {
+        let (_s, _q, pool, models) = fixture(2, 12);
+        let mut advisor = OnlineAdvisor::new(
+            pool,
+            OnlineAdvisorOptions {
+                drift_threshold: 0.05,
+                ..opts(24, 1_000_000)
+            },
+        );
+        for (c, a) in &models[..12] {
+            advisor.admit(c, a);
+        }
+        advisor.readvise();
+        let before = advisor.current_cost();
+        assert!(before.is_finite());
+        // Heat one resident in place until the monitor trips.
+        let mut fired = None;
+        let mut weight = 1.0;
+        for _ in 0..24 {
+            weight *= 2.0;
+            if let Some(r) = advisor.reweight_admission(3, weight) {
+                fired = Some(r);
+                break;
+            }
+        }
+        let report = fired.expect("a hot query must eventually fire drift");
+        assert_eq!(report.trigger, ReadviseTrigger::Drift);
+        assert!(advisor.stats().reweights > 0);
+        assert_eq!(advisor.stats().reweight_misses, 0);
+        assert_eq!(
+            advisor.model().weight(3),
+            weight,
+            "reweight landed on the wrong query"
+        );
+        // Epoch clock untouched by reweights: no epoch re-advise fired.
+        assert_eq!(advisor.stats().epoch_readvises, 0);
+    }
+
+    #[test]
+    fn reweighting_an_evicted_admission_is_a_counted_noop() {
+        let (_s, _q, pool, models) = fixture(2, 10);
+        let mut advisor = OnlineAdvisor::new(pool, opts(4, 6));
+        for (c, a) in &models[..10] {
+            advisor.admit(c, a);
+        }
+        // Admission 0 slid out of the 4-query window long ago.
+        let before = advisor.current_cost();
+        assert!(advisor.reweight_admission(0, 100.0).is_none());
+        assert_eq!(advisor.stats().reweight_misses, 1);
+        assert_eq!(advisor.stats().reweights, 0);
+        assert_eq!(advisor.current_cost().to_bits(), before.to_bits());
+    }
+
+    #[test]
+    fn reweight_ordinals_survive_compaction() {
+        let (_s, _q, pool, models) = fixture(3, 10);
+        let mut advisor = OnlineAdvisor::new(pool, opts(5, 4));
+        let mut last_ordinal = 0;
+        for (c, a) in &models {
+            last_ordinal = advisor.admit(c, a).ordinal;
+        }
+        assert!(
+            advisor.stats().compactions > 0,
+            "stream must have compacted"
+        );
+        // The newest admission is certainly still resident; its ordinal
+        // handle must still resolve after however many compactions.
+        let _ = advisor.reweight_admission(last_ordinal, 3.5);
+        assert_eq!(advisor.stats().reweight_misses, 0);
+        let qid = *advisor
+            .window_ids()
+            .last()
+            .expect("window holds the newest admission");
+        assert_eq!(advisor.model().weight(qid), 3.5);
+    }
+
+    #[test]
+    fn attributed_stream_scopes_drift_readvises() {
+        let (_s, queries, pool, models) = fixture(3, 12);
+        let run = |scoped: bool| {
+            let mut advisor = OnlineAdvisor::new(
+                pool.clone(),
+                OnlineAdvisorOptions {
+                    drift_threshold: 0.05,
+                    scoped_readvise: scoped,
+                    ..opts(18, 1_000_000)
+                },
+            );
+            // Warm up on phase 0 and pin a baseline so the later phases'
+            // template shift can fire the drift detector.
+            for (i, (c, a)) in models.iter().enumerate() {
+                let templates = query_templates(&queries[i].0);
+                advisor.admit_attributed(c, a, queries[i].1, &templates);
+                if i == 11 {
+                    advisor.readvise();
+                }
+            }
+            advisor.readvise();
+            (advisor.current_cost(), advisor.stats().clone())
+        };
+        let (scoped_cost, scoped_stats) = run(true);
+        let (full_cost, full_stats) = run(false);
+        assert!(scoped_cost.is_finite() && full_cost.is_finite());
+        assert_eq!(full_stats.scoped_readvises, 0);
+        // Drift fired on this stream (the template shift), and with
+        // attribution the drift rounds ran scoped.
+        assert!(scoped_stats.drift_readvises > 0, "no drift on this stream");
+        assert!(
+            scoped_stats.scoped_readvises > 0,
+            "attributed drift never scoped a re-advise"
+        );
+        // Scoping costs at most a whisker of quality on this fixture.
+        assert!(
+            scoped_cost <= full_cost * 1.05,
+            "scoped quality fell off: {scoped_cost} vs {full_cost}"
+        );
     }
 }

@@ -23,6 +23,16 @@
 //! are bit-identical, which is what lets `exp_online_drift` compare an
 //! online advisor against a periodic-rebuild baseline on the exact same
 //! history.
+//!
+//! [`DriftEventStream`] layers a fourth mechanism on top: **in-place
+//! reweights**. Real workloads do not only shift by *new* queries
+//! arriving — a resident query gets hotter (its execution frequency
+//! climbs) without changing shape. The event stream interleaves
+//! [`DriftEvent::Reweight`] events (a recent admission's weight
+//! compounds by `ReweightProfile::factor`) with the base stream's
+//! admissions, addressed by **admission ordinal** so consumers like
+//! `pinum_online::OnlineAdvisor::reweight_admission` can apply them
+//! without tracking model query ids.
 
 use crate::star::{FkEdge, StarSchema};
 use pinum_query::{Query, QueryBuilder};
@@ -284,6 +294,108 @@ fn generate_phase_query(
     qb.build()
 }
 
+/// One element of a reweight-bearing drift stream.
+#[derive(Debug, Clone)]
+pub enum DriftEvent {
+    /// A fresh query arrives (an admission).
+    Admit(DriftedQuery),
+    /// The query admitted as ordinal `admission` (0-based count of
+    /// [`DriftEvent::Admit`] events so far) now runs at `weight` — the
+    /// same query getting hotter in place.
+    Reweight { admission: usize, weight: f64 },
+}
+
+/// Shape of the in-place reweight drift riding on a [`DriftStream`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReweightProfile {
+    /// Probability that the next event is a reweight instead of an
+    /// admission (given at least one admission happened; admissions
+    /// always resume once the coin lands tails, so the stream ends).
+    pub rate: f64,
+    /// Weight multiplier compounded per reweight event (> 1 = hotter).
+    pub factor: f64,
+    /// Reweights target one of the most recent `lookback` admissions
+    /// (uniformly), modelling heat on the working set.
+    pub lookback: usize,
+}
+
+impl Default for ReweightProfile {
+    fn default() -> Self {
+        Self {
+            rate: 0.2,
+            factor: 1.5,
+            lookback: 32,
+        }
+    }
+}
+
+/// [`DriftStream`] with interleaved in-place [`DriftEvent::Reweight`]
+/// events. Deterministic: a pure function of
+/// `(schema, seed, base profile, reweight profile)`.
+pub struct DriftEventStream<'a> {
+    inner: DriftStream<'a>,
+    profile: ReweightProfile,
+    rng: StdRng,
+    /// Current weight of each admission (reweights compound onto the
+    /// admitted weight).
+    weights: Vec<f64>,
+    admits_remaining: usize,
+}
+
+impl<'a> DriftEventStream<'a> {
+    pub fn new(
+        schema: &'a StarSchema,
+        seed: u64,
+        base: DriftProfile,
+        reweights: ReweightProfile,
+    ) -> Self {
+        assert!(
+            (0.0..1.0).contains(&reweights.rate),
+            "reweight rate must be in [0, 1)"
+        );
+        assert!(
+            reweights.factor >= 1.0 && reweights.factor.is_finite(),
+            "reweight factor must be finite and ≥ 1"
+        );
+        assert!(reweights.lookback >= 1, "lookback must cover an admission");
+        let inner = DriftStream::new(schema, seed, base);
+        let admits_remaining = inner.len();
+        Self {
+            inner,
+            profile: reweights,
+            rng: StdRng::seed_from_u64(seed ^ 0x0000_073B_3471_1EA7_u64),
+            weights: Vec::new(),
+            admits_remaining,
+        }
+    }
+
+    /// Admissions the stream will emit (reweight events ride on top).
+    pub fn admissions(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+impl Iterator for DriftEventStream<'_> {
+    type Item = DriftEvent;
+
+    fn next(&mut self) -> Option<DriftEvent> {
+        if self.admits_remaining > 0
+            && !self.weights.is_empty()
+            && self.rng.gen_bool(self.profile.rate)
+        {
+            let span = self.profile.lookback.min(self.weights.len());
+            let admission = self.weights.len() - 1 - self.rng.gen_range(0..span);
+            let weight = self.weights[admission] * self.profile.factor;
+            self.weights[admission] = weight;
+            return Some(DriftEvent::Reweight { admission, weight });
+        }
+        let dq = self.inner.next()?;
+        self.admits_remaining -= 1;
+        self.weights.push(dq.weight);
+        Some(DriftEvent::Admit(dq))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +486,106 @@ mod tests {
         let churned = all.iter().filter(|d| d.churned).count();
         assert!(churned > 5, "churn rate 0.5 produced only {churned} of 60");
         assert!(churned < 55);
+    }
+
+    fn reweights() -> ReweightProfile {
+        ReweightProfile {
+            rate: 0.3,
+            factor: 1.5,
+            lookback: 8,
+        }
+    }
+
+    #[test]
+    fn event_stream_is_deterministic_and_complete() {
+        let s = schema();
+        let collect = || -> Vec<DriftEvent> {
+            DriftEventStream::new(&s, 9, profile(), reweights()).collect()
+        };
+        let (a, b) = (collect(), collect());
+        assert_eq!(a.len(), b.len());
+        let admits = a
+            .iter()
+            .filter(|e| matches!(e, DriftEvent::Admit(_)))
+            .count();
+        assert_eq!(admits, 60, "every base admission must come through");
+        let rws = a.len() - admits;
+        assert!(rws > 5, "rate 0.3 produced only {rws} reweights");
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (DriftEvent::Admit(p), DriftEvent::Admit(q)) => {
+                    assert_eq!(p.query.relations, q.query.relations);
+                    assert_eq!(p.weight, q.weight);
+                }
+                (
+                    DriftEvent::Reweight {
+                        admission: pa,
+                        weight: pw,
+                    },
+                    DriftEvent::Reweight {
+                        admission: qa,
+                        weight: qw,
+                    },
+                ) => {
+                    assert_eq!(pa, qa);
+                    assert_eq!(pw, qw);
+                }
+                _ => panic!("event kinds diverged between replays"),
+            }
+        }
+    }
+
+    #[test]
+    fn reweights_target_recent_admissions_and_compound() {
+        let s = schema();
+        let mut admitted = 0usize;
+        let mut current: Vec<f64> = Vec::new();
+        for event in DriftEventStream::new(&s, 5, profile(), reweights()) {
+            match event {
+                DriftEvent::Admit(dq) => {
+                    admitted += 1;
+                    current.push(dq.weight);
+                }
+                DriftEvent::Reweight { admission, weight } => {
+                    assert!(admission < admitted, "reweight before its admission");
+                    assert!(
+                        admitted - admission <= 8,
+                        "reweight outside the lookback window"
+                    );
+                    let expect = current[admission] * 1.5;
+                    assert_eq!(weight, expect, "weights must compound by the factor");
+                    assert!(weight.is_finite() && weight > 0.0);
+                    current[admission] = weight;
+                }
+            }
+        }
+        assert_eq!(admitted, 60);
+    }
+
+    #[test]
+    fn zero_rate_reduces_to_the_base_stream() {
+        let s = schema();
+        let base: Vec<_> = DriftStream::new(&s, 9, profile()).collect();
+        let events: Vec<_> = DriftEventStream::new(
+            &s,
+            9,
+            profile(),
+            ReweightProfile {
+                rate: 0.0,
+                ..reweights()
+            },
+        )
+        .collect();
+        assert_eq!(events.len(), base.len());
+        for (e, d) in events.iter().zip(&base) {
+            match e {
+                DriftEvent::Admit(dq) => {
+                    assert_eq!(dq.query.relations, d.query.relations);
+                    assert_eq!(dq.weight, d.weight);
+                }
+                DriftEvent::Reweight { .. } => panic!("rate 0 emitted a reweight"),
+            }
+        }
     }
 
     #[test]

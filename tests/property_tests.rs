@@ -520,3 +520,253 @@ proptest! {
         }
     }
 }
+
+/// Shared two-query star fixture of the session / scoped-search
+/// proptests: random-sized f/d catalog, five hypothetical candidates,
+/// per-query PINUM `(plan cache, access catalog)` models.
+fn session_fixture(
+    fact_rows: u64,
+    dim_rows: u64,
+    sel_pct: u32,
+) -> (
+    CandidatePool,
+    Vec<(pinum::core::PlanCache, pinum::core::AccessCostCatalog)>,
+) {
+    let mut cat = Catalog::new();
+    cat.add_table(Table::new(
+        "f",
+        fact_rows,
+        vec![
+            Column::new("fk", ColumnType::Int8).with_ndv(dim_rows),
+            Column::new("v", ColumnType::Int4).with_ndv(1_000),
+            Column::new("s", ColumnType::Int4).with_ndv(100),
+        ],
+    ));
+    cat.add_table(Table::new(
+        "d",
+        dim_rows,
+        vec![
+            Column::new("k", ColumnType::Int8)
+                .with_ndv(dim_rows)
+                .with_correlation(1.0),
+            Column::new("w", ColumnType::Int4).with_ndv(50),
+        ],
+    ));
+    let q1 = QueryBuilder::new("q1", &cat)
+        .table("f")
+        .table("d")
+        .join(("f", "fk"), ("d", "k"))
+        .filter_range(("f", "v"), 0.0, 10.0 * sel_pct as f64)
+        .select(("f", "s"))
+        .order_by(("d", "w"))
+        .build();
+    let q2 = QueryBuilder::new("q2", &cat)
+        .table("f")
+        .filter_range(("f", "v"), 0.0, 10.0 * sel_pct as f64)
+        .select(("f", "s"))
+        .order_by(("f", "s"))
+        .build();
+    let f = cat.table(cat.table_id("f").unwrap()).clone();
+    let d = cat.table(cat.table_id("d").unwrap()).clone();
+    let pool = CandidatePool::from_indexes(vec![
+        Index::hypothetical(&f, vec![0], false),
+        Index::hypothetical(&f, vec![1, 0, 2], false),
+        Index::hypothetical(&f, vec![2], false),
+        Index::hypothetical(&d, vec![0], false),
+        Index::hypothetical(&d, vec![1], false),
+    ]);
+    let opt = Optimizer::new(&cat);
+    let models = [&q1, &q2]
+        .iter()
+        .map(|q| {
+            let built = build_cache_pinum(&opt, q, &BuilderOptions::default());
+            let (access, _) = collect_pinum(&opt, q, &pool);
+            (built.cache, access)
+        })
+        .collect();
+    (pool, models)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A `PricingSession` surviving a randomized admit / evict / reweight /
+    /// re-advise / compact sequence stays **bit-identical** to a fresh
+    /// `WorkloadModel::build` + `price_full` over the surviving queries at
+    /// every step — and, because re-advises carry the session state into
+    /// the search and picks are applied as delta splices, the whole
+    /// sequence performs **zero** full re-pricings.
+    #[test]
+    fn pricing_session_survives_randomized_mutation_sequences(
+        fact_rows in 50_000u64..400_000,
+        dim_rows in 500u64..20_000,
+        sel_pct in 1u32..20,
+        ops in prop::collection::vec(0u64..1000, 4..28),
+    ) {
+        use pinum::advisor::search::{LazyGreedy, SearchScope, SearchStrategy};
+        use pinum::advisor::greedy::GreedyOptions;
+        use pinum::core::PricingSession;
+
+        let (pool, models) = session_fixture(fact_rows, dim_rows, sel_pct);
+        let mut session = PricingSession::new(pool.len());
+        // Shadow bookkeeping: (model index, weight) of every *live*
+        // session slot, in slot order (tombstones = None).
+        let mut live: Vec<Option<(usize, f64)>> = Vec::new();
+        let gopts = GreedyOptions { budget_bytes: u64::MAX, benefit_per_byte: false };
+
+        for op in ops {
+            match op % 5 {
+                // Admit one of the two models at a derived weight.
+                0 | 1 => {
+                    let idx = (op as usize / 5) % models.len();
+                    let weight = 1.0 + (op % 7) as f64 * 0.5;
+                    let (c, a) = &models[idx];
+                    let qid = session.admit_query_weighted(c, a, weight);
+                    prop_assert_eq!(qid, live.len());
+                    live.push(Some((idx, weight)));
+                }
+                // Evict a live slot, if any.
+                2 => {
+                    let live_slots: Vec<usize> =
+                        (0..live.len()).filter(|&i| live[i].is_some()).collect();
+                    if let Some(&qid) = live_slots.get(op as usize % live_slots.len().max(1)) {
+                        session.evict_query(qid);
+                        live[qid] = None;
+                    }
+                }
+                // Reweight a live slot, if any.
+                3 => {
+                    let live_slots: Vec<usize> =
+                        (0..live.len()).filter(|&i| live[i].is_some()).collect();
+                    if let Some(&qid) = live_slots.get(op as usize % live_slots.len().max(1)) {
+                        let weight = 0.25 + (op % 11) as f64;
+                        session.reweight_query(qid, weight);
+                        live[qid].as_mut().unwrap().1 = weight;
+                    }
+                }
+                // Re-advise through the session: warm-started search with
+                // the carried state, result installed without re-pricing.
+                _ => {
+                    let scope = SearchScope::all().with_warm_state(session.state());
+                    let result = LazyGreedy.search_scoped(
+                        &pool,
+                        session.model(),
+                        &gopts,
+                        session.selection(),
+                        &scope,
+                    );
+                    prop_assert_eq!(result.full_repricings, 0,
+                        "warm-stated search fully re-priced");
+                    session.install(result.selection, result.final_state, result.full_repricings);
+                    // Occasionally compact after a re-advise, remapping
+                    // the shadow books the way online consumers do.
+                    if op % 2 == 0 {
+                        let remap = session.compact();
+                        let mut next = vec![None; remap.iter().filter(|&&n| n != u32::MAX).count()];
+                        for (old, &new) in remap.iter().enumerate() {
+                            if new != u32::MAX {
+                                next[new as usize] = live[old];
+                            }
+                        }
+                        live = next;
+                    }
+                }
+            }
+
+            // The invariant, every step: session state ≡ fresh build +
+            // price_full over the surviving queries at their weights.
+            let survivors: Vec<(usize, f64)> = live.iter().flatten().copied().collect();
+            let mut fresh = WorkloadModel::build(
+                pool.len(),
+                survivors.iter().map(|&(i, _)| (&models[i].0, &models[i].1)),
+            );
+            // Fresh slots are dense; session slots may hold tombstones in
+            // between, contributing exactly 0.0 to the in-order sum.
+            for (fresh_slot, (_, w)) in live.iter().flatten().enumerate() {
+                if *w != 1.0 {
+                    fresh.reweight_query(fresh_slot, *w);
+                }
+            }
+            let full = fresh.price_full(session.selection());
+            // `==` rather than bit comparison for the totals: a fresh
+            // *empty* build sums no terms (f64 sums seed at -0.0), while
+            // an all-tombstone session sums exact 0.0 entries to +0.0 —
+            // numerically identical, sign-of-zero apart. Every non-empty
+            // total is bit-identical (asserted per query below).
+            prop_assert!(
+                full.total == session.total()
+                    || (full.total.is_infinite() && session.total().is_infinite()),
+                "session total diverged from fresh build + price_full: {} vs {}",
+                session.total(), full.total);
+            let live_costs: Vec<u64> = session
+                .state()
+                .per_query
+                .iter()
+                .zip(&live)
+                .filter(|(_, l)| l.is_some())
+                .map(|(c, _)| c.to_bits())
+                .collect();
+            let fresh_costs: Vec<u64> =
+                full.per_query.iter().map(|c| c.to_bits()).collect();
+            prop_assert_eq!(live_costs, fresh_costs, "per-query states diverged");
+        }
+        prop_assert_eq!(session.full_repricings(), 0,
+            "the whole randomized session should never fully re-price");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `search_scoped` with a full mask is **bit-identical** to
+    /// `search_warm` on all four strategies, across random warm seeds and
+    /// budgets — scoping is pure restriction, a full scope restricts
+    /// nothing.
+    #[test]
+    fn full_mask_scoped_search_equals_warm_search(
+        fact_rows in 50_000u64..400_000,
+        dim_rows in 500u64..20_000,
+        warm_mask in 0u64..32,
+        budget_shift in 0u32..3,
+    ) {
+        use pinum::advisor::search::{SearchScope, StrategyKind};
+        use pinum::advisor::greedy::GreedyOptions;
+
+        let (pool, models) = session_fixture(fact_rows, dim_rows, 1);
+        let model = WorkloadModel::build(pool.len(), models.iter().map(|(c, a)| (c, a)));
+
+        let warm_ids: Vec<usize> =
+            (0..pool.len()).filter(|i| warm_mask & (1 << i) != 0).collect();
+        let warm = Selection::from_ids(pool.len(), &warm_ids);
+        let full_mask = Selection::full(pool.len());
+        let gopts = GreedyOptions {
+            budget_bytes: u64::MAX >> (budget_shift * 20),
+            benefit_per_byte: false,
+        };
+
+        for kind in [
+            StrategyKind::LazyGreedy,
+            StrategyKind::EagerGreedy,
+            StrategyKind::SwapHillClimb,
+            StrategyKind::Anneal { seed: 7 },
+        ] {
+            let strategy = kind.build();
+            let plain = strategy.search_warm(&pool, &model, &gopts, &warm);
+            let scoped = strategy.search_scoped(
+                &pool,
+                &model,
+                &gopts,
+                &warm,
+                &SearchScope::masked(&full_mask),
+            );
+            prop_assert_eq!(&plain.picked, &scoped.picked, "{} picks", strategy.name());
+            prop_assert_eq!(&plain.selection, &scoped.selection, "{}", strategy.name());
+            prop_assert_eq!(
+                &plain.cost_trajectory, &scoped.cost_trajectory,
+                "{} trajectory", strategy.name()
+            );
+            prop_assert_eq!(plain.evaluations, scoped.evaluations, "{}", strategy.name());
+            prop_assert_eq!(plain.total_bytes, scoped.total_bytes, "{}", strategy.name());
+        }
+    }
+}
