@@ -76,7 +76,7 @@ impl SearchStrategy for Anneal {
 
         let mut best_selection = selection.clone();
         let mut best_state = state.clone();
-        let mut best_cost = state.total;
+        let mut best_cost = state.total();
         let mut best_bytes = used_bytes;
 
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -145,7 +145,7 @@ impl SearchStrategy for Anneal {
             evaluations += 1;
             queries_repriced += scratch.len();
 
-            if !accept(state.total, cost, temp, &mut rng) {
+            if !accept(state.total(), cost, temp, &mut rng) {
                 continue;
             }
             match mv {
@@ -169,8 +169,8 @@ impl SearchStrategy for Anneal {
             // state: O(affected) instead of an O(workload) full reprice.
             apply_changed(&mut state, &scratch, cost);
             debug_assert_state_matches(model, &selection, &state);
-            if state.total < best_cost {
-                best_cost = state.total;
+            if state.total() < best_cost {
+                best_cost = state.total();
                 best_selection = selection.clone();
                 best_state = state.clone();
                 best_bytes = used_bytes;

@@ -59,7 +59,7 @@ impl SearchStrategy for EagerGreedy {
             &mut queries_repriced,
             &mut full_repricings,
         );
-        let mut trajectory = vec![state.total];
+        let mut trajectory = vec![state.total()];
         let mut scratch = Vec::new();
 
         loop {
@@ -78,7 +78,7 @@ impl SearchStrategy for EagerGreedy {
                 // NaN-proof benefit guard (inf - inf probes are skipped,
                 // not picked) — identical to the naive closure engine so
                 // the two stay decision-identical.
-                let benefit = state.total - cost;
+                let benefit = state.total() - cost;
                 if benefit.is_nan() || benefit <= 0.0 {
                     continue;
                 }
@@ -108,7 +108,7 @@ impl SearchStrategy for EagerGreedy {
                     picked.push(cand);
                     used_bytes += pool.index(cand).size().total_bytes();
                     debug_assert_state_matches(model, &selection, &state);
-                    trajectory.push(state.total);
+                    trajectory.push(state.total());
                 }
                 None => break,
             }
@@ -184,6 +184,14 @@ impl Ord for Entry {
 /// If exact equivalence matters on an untested workload, run
 /// [`EagerGreedy`] — same result type, every probe exact.
 ///
+/// **Summation jitter.** Benefits are differences of summed workload
+/// totals, so even a mathematically constant benefit can drift by a few
+/// ulps of the total between rounds — enough to make a stale bound
+/// *underestimate* and hide the true argmax. Before a fresh top is
+/// committed, any stale bound within a total-scaled epsilon of it is
+/// re-priced, so ulp-level drift costs a handful of extra probes instead
+/// of a divergent pick.
+///
 /// Within that contract the implementation mirrors the eager scan's edge
 /// behavior exactly: candidates whose benefit is ≤ 0 or NaN (workload
 /// still priced at infinity) are parked, re-admitted after every pick,
@@ -227,7 +235,7 @@ impl SearchStrategy for LazyGreedy {
             &mut queries_repriced,
             &mut full_repricings,
         );
-        let mut trajectory = vec![state.total];
+        let mut trajectory = vec![state.total()];
         let mut scratch = Vec::new();
 
         // Every unselected in-scope candidate starts with an infinite
@@ -266,6 +274,43 @@ impl SearchStrategy for LazyGreedy {
                     parked.push(top);
                     continue;
                 }
+                // Jitter guard: a benefit is a difference of two summed
+                // totals, so even a mathematically non-increasing benefit
+                // can *rise* by a few ulps of the workload total between
+                // rounds — and a stale bound recorded before that rise
+                // would underestimate, hiding the true argmax from the
+                // heap. Any stale bound within a total-scaled epsilon of
+                // the fresh top is therefore re-priced before the top is
+                // committed; ties among fresh entries then resolve exactly
+                // like the eager scan's.
+                let eps = state.total().abs() * 1e-12;
+                if let Some(next) = heap.peek() {
+                    if next.round != round && next.score >= top.score - eps {
+                        let next = heap.pop().expect("peeked entry vanished");
+                        heap.push(top);
+                        let nc = next.cand as usize;
+                        if used_bytes + pool.index(nc).size().total_bytes() > opts.budget_bytes {
+                            continue; // same permanent discard as the main pop
+                        }
+                        let cost = model.price_delta_into(&state, &selection, nc, &mut scratch);
+                        evaluations += 1;
+                        queries_repriced += model.affected(nc).len();
+                        let benefit = state.total() - cost;
+                        let score = if benefit.is_nan() {
+                            0.0
+                        } else if opts.benefit_per_byte {
+                            benefit / pool.index(nc).size().total_bytes().max(1) as f64
+                        } else {
+                            benefit
+                        };
+                        heap.push(Entry {
+                            score,
+                            cand: next.cand,
+                            round,
+                        });
+                        continue;
+                    }
+                }
                 // Fresh top: its score is exact, every other entry's bound
                 // is an overestimate of its true score, and the heap says
                 // they are all ≤ this one. This is greedy's pick. Apply it
@@ -280,7 +325,7 @@ impl SearchStrategy for LazyGreedy {
                 picked.push(cand);
                 used_bytes += size;
                 debug_assert_state_matches(model, &selection, &state);
-                trajectory.push(state.total);
+                trajectory.push(state.total());
                 round += 1;
                 // Parked entries are stale again relative to the new
                 // round; put them back in contention.
@@ -291,7 +336,7 @@ impl SearchStrategy for LazyGreedy {
             let cost = model.price_delta_into(&state, &selection, cand, &mut scratch);
             evaluations += 1;
             queries_repriced += model.affected(cand).len();
-            let benefit = state.total - cost;
+            let benefit = state.total() - cost;
             let score = if benefit.is_nan() {
                 // inf - inf: unusable *now*, but a later pick can make the
                 // workload priceable; park at 0 so it is retried before
@@ -386,8 +431,8 @@ mod tests {
         ] {
             let state = result.final_state.expect("model engines track state");
             let full = model.price_full(&result.selection);
-            assert_eq!(state.total.to_bits(), full.total.to_bits());
-            assert_eq!(state.per_query, full.per_query);
+            assert_eq!(state.total().to_bits(), full.total().to_bits());
+            assert_eq!(state.per_query(), full.per_query());
             assert_eq!(result.full_repricings, 1, "only the seed pricing is full");
         }
     }
@@ -413,7 +458,7 @@ mod tests {
             assert_eq!(warm.selection, cold.selection, "{}", strategy.name());
             assert_eq!(
                 warm.cost_trajectory[0].to_bits(),
-                warm_state.total.to_bits()
+                warm_state.total().to_bits()
             );
         }
     }

@@ -175,16 +175,19 @@ pub(crate) fn seed_within_budget(
     (selection, picked, used_bytes)
 }
 
-/// Splices a delta's `changed` list (and its bit-identical total) into a
-/// [`PricedWorkload`], turning an accepted move into an O(affected)
-/// state update instead of an O(workload) full re-pricing. The delta
-/// flavours already `debug_assert` total equivalence; callers re-assert
-/// the whole state against `price_full` in debug builds.
+/// Splices a delta's `changed` list into a [`PricedWorkload`] through its
+/// sum tree, turning an accepted move into an O(changed·log n) state
+/// update instead of an O(workload) full re-pricing. The spliced tree
+/// root lands bit-identical to the `total` the delta reported (same
+/// leaves, same fixed tree shape); callers re-assert the whole state
+/// against `price_full` in debug builds.
 pub(crate) fn apply_changed(state: &mut PricedWorkload, changed: &[(u32, f64)], total: f64) {
-    for &(q, cost) in changed {
-        state.per_query[q as usize] = cost;
-    }
-    state.total = total;
+    state.apply_changed(changed);
+    debug_assert_eq!(
+        state.total().to_bits(),
+        total.to_bits(),
+        "spliced sum-tree total diverged from the delta's overlaid total"
+    );
 }
 
 /// The seed pricing every strategy starts from. When the scope carries

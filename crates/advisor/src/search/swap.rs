@@ -78,7 +78,7 @@ impl SearchStrategy for SwapHillClimb {
                     queries_repriced += scratch.len();
                     // Same NaN-proof guard as the greedy engines: an
                     // inf/NaN probe must never win the argmin.
-                    let gain = state.total - cost;
+                    let gain = state.total() - cost;
                     if gain.is_nan() || gain <= 0.0 {
                         continue;
                     }
@@ -110,7 +110,7 @@ impl SearchStrategy for SwapHillClimb {
                     // at the end.
                     picked.retain(|&p| p != drop);
                     picked.push(add);
-                    trajectory.push(state.total);
+                    trajectory.push(state.total());
                 }
                 None => break, // local optimum under the swap neighbourhood
             }

@@ -10,12 +10,13 @@ fn main() {
     e::whatif::run(scale);
     e::cost_accuracy::run(scale);
     e::cache_construction::run(scale);
-    e::index_selection::run(scale);
+    e::index_selection::run(scale, false);
     e::pruning::run(scale);
     e::nlj::run(scale);
     e::greedy_quality::run(scale);
     e::engine_validation::run(scale);
     e::advisor_scale::run(scale);
+    e::price_kernel::run(scale);
     e::batched_collection::run(scale);
     e::search_strategies::run(scale);
     e::online_drift::run(scale);

@@ -1,4 +1,7 @@
 //! E5 — Figure 6/7 index-selection outcome. See `pinum_bench::experiments::index_selection`.
+//! Pass `--legacy-defaults` to rerun the paper's exact configuration
+//! instead of the tool's optimized defaults.
 fn main() {
-    pinum_bench::experiments::index_selection::run(pinum_bench::fixtures::scale_from_env());
+    let legacy = std::env::args().any(|a| a == "--legacy-defaults");
+    pinum_bench::experiments::index_selection::run(pinum_bench::fixtures::scale_from_env(), legacy);
 }

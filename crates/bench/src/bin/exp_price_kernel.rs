@@ -1,0 +1,14 @@
+//! Pricing-kernel microbench: SoA delta kernel vs the frozen nested
+//! reference engine on the 200×400 scale workload (see
+//! `experiments::price_kernel`).
+use pinum_bench::experiments::price_kernel;
+use pinum_bench::fixtures::scale_from_env;
+
+fn main() {
+    let outcome = price_kernel::run(scale_from_env());
+    assert!(
+        outcome.speedup >= 3.0,
+        "acceptance: SoA kernel must deliver ≥3x delta throughput (got {:.1}x)",
+        outcome.speedup
+    );
+}

@@ -18,7 +18,9 @@ use pinum_advisor::candidates::generate_candidates;
 use pinum_advisor::greedy::{greedy_select, greedy_select_model, GreedyOptions, GreedyResult};
 use pinum_core::access_costs::{collect_pinum, AccessCostCatalog};
 use pinum_core::builder::{build_cache_pinum, BuilderOptions};
-use pinum_core::{CacheCostModel, CandidatePool, PlanCache, Selection, WorkloadModel};
+use pinum_core::{
+    pairwise_total, CacheCostModel, CandidatePool, PlanCache, Selection, WorkloadModel,
+};
 use pinum_optimizer::Optimizer;
 use pinum_workload::star::{StarSchema, StarWorkload};
 use std::time::{Duration, Instant};
@@ -73,14 +75,17 @@ pub fn build_scale_fixture(
 }
 
 /// The naive engine exactly as the advisor ran before the workload model:
-/// every probe sums a fresh `CacheCostModel::estimate` over all queries.
+/// every probe re-prices every query through a fresh
+/// `CacheCostModel::estimate`. Totals go through the same canonical
+/// [`pairwise_total`] shape as the incremental engine's sum tree, so the
+/// two trajectories can be compared bit for bit.
 pub fn naive_greedy(
     pool: &CandidatePool,
     models: &[(PlanCache, AccessCostCatalog)],
     opts: &GreedyOptions,
 ) -> GreedyResult {
     greedy_select(pool, opts, |sel: &Selection| {
-        models
+        let costs: Vec<f64> = models
             .iter()
             .map(|(cache, access)| {
                 CacheCostModel::new(cache, access)
@@ -88,7 +93,8 @@ pub fn naive_greedy(
                     .map(|e| e.cost)
                     .unwrap_or(f64::INFINITY)
             })
-            .sum()
+            .collect();
+        pairwise_total(&costs)
     })
 }
 

@@ -20,18 +20,36 @@ pub struct SelectionOutcome {
     pub bytes: u64,
 }
 
-pub fn run(scale: f64) -> SelectionOutcome {
+/// `legacy_defaults` reruns the paper's exact configuration (plain lazy
+/// greedy, no candidate merging) instead of the tool's optimized defaults
+/// — the `--legacy-defaults` escape hatch on `exp_index_selection`.
+pub fn run(scale: f64, legacy_defaults: bool) -> SelectionOutcome {
     let budget = (5.0 * 1024.0 * 1024.0 * 1024.0 * scale) as u64; // 5 GB at full scale
     println!(
-        "E5: index selection (paper Fig. 6/7) — budget {:.2} GB\n",
-        budget as f64 / (1024.0 * 1024.0 * 1024.0)
+        "E5: index selection (paper Fig. 6/7) — budget {:.2} GB, {} defaults\n",
+        budget as f64 / (1024.0 * 1024.0 * 1024.0),
+        if legacy_defaults {
+            "paper"
+        } else {
+            "optimized"
+        }
     );
     let pw = paper_workload(scale);
     let opts = AdvisorOptions {
         budget_bytes: budget,
-        ..AdvisorOptions::paper_defaults()
+        ..if legacy_defaults {
+            AdvisorOptions::paper_defaults()
+        } else {
+            AdvisorOptions::default()
+        }
     };
     let advice = advise(&pw.schema.catalog, &pw.workload.queries, &opts);
+    if advice.candidates_merged > 0 {
+        println!(
+            "candidate merging dropped {} prefix-subsumed candidates",
+            advice.candidates_merged
+        );
+    }
 
     let mut table = TextTable::new(vec![
         "query",

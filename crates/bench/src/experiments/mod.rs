@@ -10,6 +10,7 @@ pub mod greedy_quality;
 pub mod index_selection;
 pub mod nlj;
 pub mod online_drift;
+pub mod price_kernel;
 pub mod pruning;
 pub mod redundancy;
 pub mod scoped_readvise;

@@ -205,7 +205,7 @@ pub fn run(scale: f64) -> OnlineDriftOutcome {
             .build()
             .search(&pool, &model, &gopts);
         let rebuild_wall = rebuild_start.elapsed();
-        let rebuild_cost = model.price_full(&cold.selection).total;
+        let rebuild_cost = model.price_full(&cold.selection).total();
         points.push(DriftPoint {
             index: *index,
             trigger: report.trigger,

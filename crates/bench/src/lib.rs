@@ -16,6 +16,7 @@
 //! | `exp_greedy_quality` | §V-E greedy vs exhaustive ablation |
 //! | `exp_engine_validation` | cost-model validation against the mini engine |
 //! | `exp_advisor_scale` | workload-scale advisor: incremental `WorkloadModel` greedy vs naive full repricing (200 queries) |
+//! | `exp_price_kernel` | pricing-kernel microbench: SoA delta kernel vs the frozen nested reference engine (200×400) |
 //! | `exp_search_strategies` | pluggable search strategies (eager/lazy greedy, swap hill climb, anneal) over one shared model |
 //! | `exp_online_drift` | online tuning under workload drift: the `pinum_online` daemon vs periodic full rebuild-and-reselect |
 //! | `exp_trend` | cross-commit trend gate: diffs `PINUM_JSON_DIR` output against the committed baseline (`baselines/trend.json`) |

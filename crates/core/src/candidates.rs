@@ -181,6 +181,13 @@ impl Selection {
         })
     }
 
+    /// Raw bitset words (little-endian bit order within a word). The
+    /// pricing kernel snapshots these into a fixed-width selection view so
+    /// its arm min-scan tests membership with one word load per arm.
+    pub(crate) fn word_slice(&self) -> &[u64] {
+        &self.words
+    }
+
     /// A copy with one more candidate.
     pub fn with(&self, id: usize) -> Self {
         let mut s = self.clone();

@@ -34,15 +34,26 @@
 //! reference.
 //!
 //! On top of the per-query caches, [`workload_model::WorkloadModel`]
-//! flattens a whole workload's plans and access costs into a dense,
-//! incrementally-evaluable pricing engine: `price_full` for a selection,
-//! then **bidirectional** deltas — `price_delta` (add),
-//! `price_delta_removed` (drop), and `price_delta_swapped` (drop-one/
-//! add-one) — each re-pricing only the queries the touched candidates can
-//! affect. This is the substrate the advisor's pluggable search strategies
-//! run on. With the `parallel` feature, both model *construction*
-//! (per-query flattening) and full re-pricings fan out across std threads,
-//! with output identical to the serial paths.
+//! packs a whole workload's plans and access costs into a CSR-style
+//! **struct-of-arrays** pricing kernel: one contiguous cost array, a
+//! parallel candidate-id array, and extent tables per slot/plan/query, so
+//! pricing a slot is a branchless min-scan against a bitset snapshot of
+//! the selection (the `simd` feature adds an explicitly lane-unrolled
+//! variant with identical bits). `price_full` prices a selection; the
+//! **bidirectional** deltas — `price_delta` (add), `price_delta_removed`
+//! (drop), and `price_delta_swapped` (drop-one/add-one) — re-price only
+//! the queries the touched candidates can affect (per-query bloom +
+//! footprint prefilters prove the rest untouched) and re-total in
+//! O(changed·log n) through the fixed-shape pairwise sum tree every
+//! [`workload_model::PricedWorkload`] carries. The tree shape — exposed
+//! as [`workload_model::pairwise_total`] — defines the bit pattern of
+//! every total, so spliced and from-scratch pricing agree bit for bit.
+//! This is the substrate the advisor's pluggable search strategies run
+//! on. With the `parallel` feature, both model *construction* (per-query
+//! flattening) and full re-pricings fan out across std threads, with
+//! output identical to the serial paths. The pre-SoA nested-layout
+//! engine is frozen in [`reference::ReferenceModel`] as the equivalence
+//! oracle and microbenchmark baseline.
 //!
 //! The model is also **streaming**: `admit_query` / `evict_query` /
 //! `reweight_query` splice queries in and out of the dense arrays and
@@ -67,6 +78,7 @@ pub mod cache;
 pub mod candidates;
 pub mod collector;
 pub mod costing;
+pub mod reference;
 pub mod sampling;
 pub mod session;
 pub mod workload_model;
@@ -82,5 +94,6 @@ pub use cache::{CachedPlan, PlanCache};
 pub use candidates::{CandidatePool, Selection};
 pub use collector::{build_workload_models, WorkloadCollector, WorkloadModels};
 pub use costing::{CacheCostModel, Estimate};
+pub use reference::ReferenceModel;
 pub use session::PricingSession;
-pub use workload_model::{PricedWorkload, WorkloadModel};
+pub use workload_model::{pairwise_total, PricedWorkload, WorkloadModel};

@@ -20,16 +20,17 @@
 //!
 //! * [`PricingSession::admit_query_weighted`] splices the newcomer into
 //!   the model (O(its access arms)), prices **only the newcomer** under
-//!   the current selection, and appends its contribution — appending a
-//!   term to an in-order IEEE 754 sum is exact, so the running total stays
-//!   bit-identical to a fresh in-order re-sum;
-//! * [`PricingSession::evict_query`] zeroes the tombstone's entry and
-//!   re-*sums* (float additions over the window — no re-pricing);
+//!   the current selection, and appends its contribution as a new leaf of
+//!   the state's pairwise sum tree — appending (and the occasional exact
+//!   zero-padded capacity doubling) never changes the bits of the total;
+//! * [`PricingSession::evict_query`] zeroes the tombstone's leaf, which
+//!   re-totals the O(log n) tree path above it — no re-pricing, no
+//!   O(window) re-sum;
 //! * [`PricingSession::reweight_query`] re-prices **one** query and
-//!   re-sums;
+//!   updates its leaf the same way;
 //! * [`PricingSession::compact`] drops tombstone entries alongside the
-//!   model's slots (live order is preserved, so the re-sum is the fresh
-//!   build's sum);
+//!   model's slots and rebuilds the tree over the survivors (live order
+//!   is preserved, so the total is the fresh build's total);
 //! * [`PricingSession::install`] adopts a search result's final selection
 //!   *and its final priced state* — produced move-by-move from the same
 //!   delta splices ([`WorkloadModel::price_delta_into`] and friends are
@@ -107,7 +108,7 @@ impl PricingSession {
     /// The exact priced cost of the current selection over the live
     /// workload — read straight from the spliced state, no re-pricing.
     pub fn total(&self) -> f64 {
-        self.state.total
+        self.state.total()
     }
 
     /// Full workload re-pricings since the session started.
@@ -122,13 +123,6 @@ impl PricingSession {
             return 0.0;
         }
         self.model.weight(qid) * self.model.price_query(qid, &self.selection, None)
-    }
-
-    /// Re-sums the total in query order. Bit-identical to
-    /// `price_full(..).total` because `per_query` entries are maintained
-    /// to equal the full re-pricing's entries and the sum order matches.
-    fn resum(&mut self) {
-        self.state.total = self.state.per_query.iter().sum();
     }
 
     /// Splices one arriving query in at weight 1.0. O(its access arms)
@@ -146,61 +140,59 @@ impl PricingSession {
     ) -> usize {
         let qid = self.model.admit_query_weighted(cache, access, weight);
         let contribution = self.contribution(qid);
-        debug_assert_eq!(self.state.per_query.len(), qid);
-        self.state.per_query.push(contribution);
-        // Appending one term to an in-order sum is exact: the new total
-        // is the in-order sum over the extended vector.
-        self.state.total += contribution;
+        debug_assert_eq!(self.state.per_query().len(), qid);
+        self.state.push_query_cost(contribution);
         self.debug_assert_state_matches_full();
         qid
     }
 
     /// Retracts a live query: its priced contribution drops to exactly
-    /// 0.0 (what a tombstone prices to) and the total is re-summed in
-    /// query order — float additions only, no re-pricing.
+    /// 0.0 (what a tombstone prices to), re-totaling only the tree path
+    /// above its leaf — O(log n) float additions, no re-pricing.
     pub fn evict_query(&mut self, qid: usize) {
         self.model.evict_query(qid);
-        self.state.per_query[qid] = 0.0;
-        self.resum();
+        self.state.set_query_cost(qid, 0.0);
         self.debug_assert_state_matches_full();
     }
 
     /// Changes one live query's weight, re-pricing only that query.
     pub fn reweight_query(&mut self, qid: usize, weight: f64) {
         self.model.reweight_query(qid, weight);
-        self.state.per_query[qid] = self.contribution(qid);
-        self.resum();
+        let contribution = self.contribution(qid);
+        self.state.set_query_cost(qid, contribution);
         self.debug_assert_state_matches_full();
     }
 
     /// Applies a batch of weight changes — each changed query is
-    /// re-priced once and the total is re-summed **once** at the end.
-    /// The batched mirror of [`Self::reweight_query`] for window-sized
-    /// updates (e.g. a decay round): O(batch) single-query pricings plus
-    /// one O(window) re-sum, instead of a re-sum per element.
+    /// re-priced once and spliced into the sum tree. The batched mirror
+    /// of [`Self::reweight_query`] for window-sized updates (e.g. a
+    /// decay round): O(batch) single-query pricings plus O(batch·log n)
+    /// tree updates. (The tree makes per-element maintenance cheap
+    /// enough that batching no longer changes the complexity; the entry
+    /// point stays for callers that hold a batch anyway.)
     pub fn reweight_queries(&mut self, updates: impl IntoIterator<Item = (usize, f64)>) {
         for (qid, weight) in updates {
             self.model.reweight_query(qid, weight);
-            self.state.per_query[qid] = self.contribution(qid);
+            let contribution = self.contribution(qid);
+            self.state.set_query_cost(qid, contribution);
         }
-        self.resum();
         self.debug_assert_state_matches_full();
     }
 
     /// Drops tombstone slots from the model *and* the priced state,
     /// returning the old→new id mapping (`u32::MAX` for dead slots).
-    /// Live entries keep their relative order, so pricing (and the
-    /// re-summed total) is bit-identical across compaction.
+    /// Live entries keep their relative order; the sum tree is rebuilt
+    /// over the survivors, so the total is bit-identical to the fresh
+    /// build's (tree shape is a function of the live count alone).
     pub fn compact(&mut self) -> Vec<u32> {
         let remap = self.model.compact();
         let mut per_query = vec![0.0; self.model.query_count()];
         for (old, &new) in remap.iter().enumerate() {
             if new != u32::MAX {
-                per_query[new as usize] = self.state.per_query[old];
+                per_query[new as usize] = self.state.per_query()[old];
             }
         }
-        self.state.per_query = per_query;
-        self.resum();
+        self.state = PricedWorkload::from_costs(per_query);
         self.debug_assert_state_matches_full();
         remap
     }
@@ -220,7 +212,7 @@ impl PricingSession {
         match state {
             Some(state) => {
                 debug_assert_eq!(
-                    state.per_query.len(),
+                    state.per_query().len(),
                     self.model.query_count(),
                     "installed state sized for a different model"
                 );
@@ -336,7 +328,7 @@ mod tests {
         }
         let full = fresh.price_full(session.selection());
         assert_eq!(
-            full.total.to_bits(),
+            full.total().to_bits(),
             session.total().to_bits(),
             "session total diverged from fresh build"
         );
@@ -382,7 +374,7 @@ mod tests {
         let exact = session.model().price_full(&selection);
         session.install(selection.clone(), Some(exact.clone()), 0);
         assert_eq!(session.full_repricings(), 0);
-        assert_eq!(session.total().to_bits(), exact.total.to_bits());
+        assert_eq!(session.total().to_bits(), exact.total().to_bits());
         assert_eq!(session.selection(), &selection);
     }
 
@@ -401,14 +393,14 @@ mod tests {
         one_by_one.reweight_query(1, 3.0);
         batched.reweight_queries([(0, 0.5), (1, 3.0)]);
         assert_eq!(one_by_one.total().to_bits(), batched.total().to_bits());
-        assert_eq!(one_by_one.state().per_query, batched.state().per_query);
+        assert_eq!(one_by_one.state().per_query(), batched.state().per_query());
     }
 
     #[test]
     fn empty_session_prices_to_zero() {
         let session = PricingSession::new(4);
         assert_eq!(session.total(), 0.0);
-        assert_eq!(session.state().per_query.len(), 0);
+        assert_eq!(session.state().per_query().len(), 0);
         assert!(session.selection().is_empty());
     }
 }

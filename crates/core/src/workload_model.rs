@@ -1,94 +1,118 @@
-//! # Workload-scale pricing engine
+//! # Workload-scale pricing engine — SoA kernel
 //!
 //! [`CacheCostModel`](crate::CacheCostModel) prices *one* query by walking
-//! every cached plan × relation × access-path entry on every call. That is
-//! fine for a handful of estimates, but the advisor's greedy loop prices
-//! the **whole workload once per candidate probe**: O(workload × pool ×
-//! picks) full re-pricings, each of which re-filters access-path entries
-//! and re-prices nested-loop probes from scratch. This module is the
-//! amortized replacement — the "simple numerical calculations" of §II
-//! precomputed once per workload and then evaluated incrementally.
+//! every cached plan × relation × access-path entry on every call. The
+//! advisor's greedy loop prices the **whole workload once per candidate
+//! probe**, so this module precomputes the "simple numerical calculations"
+//! of §II once per workload and evaluates them incrementally — and it lays
+//! the precomputed arithmetic out for the hardware, not for the type
+//! system.
 //!
-//! ## Design
+//! ## Data layout (struct-of-arrays)
 //!
-//! [`WorkloadModel::build`] flattens, per query and per cached plan, each
-//! `(plan, relation, order-slot)` into a dense `Slot`:
+//! Flattening no longer materializes nested `Vec`s per plan and slot.
+//! [`WorkloadModel::build`] packs every query into four flat, contiguous
+//! CSR-style arrays:
 //!
-//! * the applicable access paths are resolved **once** into arrays of
-//!   `(cost, candidate)` arms, ascending by cost, so pricing a slot under a
-//!   selection is "take the first arm whose candidate is selected (or
-//!   always available)" — no per-call filtering;
-//! * nested-loop **probe arms are pre-priced at the plan's loop count**
-//!   (the loop count is a property of the cached plan, so
-//!   `cost_index_scan` runs at build time, not on every estimate);
-//! * arms behind an always-available arm are unreachable and dropped, and
-//!   plans that can never become applicable (a required order no candidate
-//!   covers, a probe slot with no probe-able path) are dropped entirely.
+//! * `arm_costs: Vec<f64>` / `arm_cands: Vec<u32>` — all candidate-gated
+//!   access arms of the whole workload, ascending by cost within a slot.
+//!   The trailing **always-available** arm of a slot (sequential scan or a
+//!   materialized index) is split out into a scalar on the slot, so the
+//!   arrays contain only arms whose applicability depends on the
+//!   selection;
+//! * `slots: Vec<SlotMeta>` — per `(plan, relation)` slot: coefficients,
+//!   the always-arm costs, and `[start, end)` extents into the arm arrays
+//!   for the standalone and probe arm runs;
+//! * `plans: Vec<PlanMeta>` — internal cost plus a slot extent;
+//! * `qmeta: Vec<QueryMeta>` — a plan extent, the candidate-footprint
+//!   prefilters (below), and the query's arm count.
 //!
-//! On top of the flattened queries sits an **inverted index**
-//! `candidate → affected (query, plan) pairs`, reduced to the affected
-//! *query* set: adding candidate `c` to a selection can only change the
-//! price of queries whose arms mention `c`.
+//! Pricing a slot is then a **branchless min-scan**: seed the accumulator
+//! with the always-arm cost (`+∞` when the slot has none) and scan the
+//! arm run, substituting `+∞` for arms whose candidate bit is clear in the
+//! selection view. Because arms are ascending by cost and pruned below the
+//! always arm, the masked minimum is bit-identical to "first applicable
+//! arm wins" (ties share the same `f64` bits; arm costs are finite, so
+//! `+∞` means exactly "inapplicable"). The scan reads two flat arrays and
+//! one bitset word per arm — no pointer chasing, no `Option`, and the
+//! loop autovectorizes; the `simd` feature swaps in an explicitly
+//! 4-lane-unrolled variant with the same (reassociation-safe) min
+//! semantics.
+//!
+//! The selection itself is snapshotted per pricing call into a `SelView`
+//! — a fixed-width copy of the selection's bitset words with the delta's
+//! `extra`/`without` candidate baked in as a set/cleared bit — so the hot
+//! loop tests membership with one word load and no `Option` compares.
+//!
+//! ## Prefilters
+//!
+//! On top of the packed queries sit two per-query footprint structures,
+//! both maintained under streaming mutation:
+//!
+//! * the **inverted index** `candidate → sorted live query ids` (as
+//!   before): adding/dropping candidate `c` can only re-price queries
+//!   whose arms mention `c`;
+//! * a per-query **touched-candidate list** (sorted, in one CSR array)
+//!   plus a 64-bit **bloom filter** over `candidate mod 64`.
+//!   [`WorkloadModel::query_touches`] answers "can this candidate change
+//!   this query?" with one AND plus (on a bloom hit) a binary search —
+//!   zero pointer loads on the miss path. Scoped/online consumers use it
+//!   to skip untouched queries without consulting the inverted index.
+//!
+//! The invariant for both: a query not in `affected(c)` (equivalently,
+//! `query_touches(q, c) == false`) prices identically with and without
+//! `c` in the selection, under **every** base selection.
+//!
+//! ## Totals — fixed-shape pairwise sum tree
+//!
+//! A [`PricedWorkload`] no longer stores a scalar total next to the
+//! per-query costs: it maintains a **fixed-shape pairwise partial-sum
+//! tree** over them (power-of-two capacity, zero-padded). The workload
+//! total is the root; re-totaling after a delta that re-prices `k`
+//! queries is a read-only descent costing O(k·log n)
+//! ([`PricedWorkload::overlaid_total`]) instead of an O(n) re-sum, and
+//! splicing an accepted move updates O(k·log n) tree nodes
+//! ([`PricedWorkload::apply_changed`]).
+//!
+//! **Determinism contract:** the tree *shape* (not evaluation order)
+//! defines the bit pattern of every total. Padding with `+0.0` is exact,
+//! so totals are invariant under capacity growth, and a delta total is
+//! bit-identical to a full re-pricing under the modified selection —
+//! debug-asserted on a `PINUM_ASSERT_SAMPLE`d schedule, like every other
+//! equivalence in this crate. The free function [`pairwise_total`] is the
+//! canonical scalar form of the same shape: any code that sums per-query
+//! costs by hand (naive reference engines, tests) must use it to stay
+//! bit-comparable.
 //!
 //! ## Incremental pricing — bidirectional
 //!
-//! [`WorkloadModel::price_full`] prices every query and records the
-//! per-query costs in a [`PricedWorkload`]. A greedy probe then calls
-//! [`WorkloadModel::price_delta`], which re-prices **only the affected
-//! queries** with the probed candidate overlaid (no selection clone, no
-//! allocation on the hot path via
-//! [`WorkloadModel::price_delta_into`]) and re-sums the workload total in
-//! query order — so the returned total is **bit-for-bit identical** to a
-//! full re-pricing under the extended selection. A `debug_assert` path
-//! proves exactly that on every delta in debug builds.
-//!
-//! Deltas run in **both directions**:
-//! [`WorkloadModel::price_delta_removed`] prices the workload with a
-//! selected candidate *masked out* (no clone, same affected-query set —
-//! removal can only change queries whose arms mention the candidate), and
-//! [`WorkloadModel::price_delta_swapped`] overlays an add and a drop in a
-//! single pass over the merged affected sets. Removal deltas are what make
-//! drop-one/add-one local search and annealing affordable: a swap probe
-//! costs `O(affected(add) ∪ affected(drop))` query re-pricings instead of
-//! a workload re-pricing. All three delta flavours share the same
-//! `debug_assert` full-reprice equivalence path.
-//!
-//! ## Construction
-//!
-//! Per-query flattening is embarrassingly parallel: with the `parallel`
-//! feature, [`WorkloadModel::build`] fans `flatten_query` across std
-//! threads and then assembles the inverted index serially in query order,
-//! so the resulting model is **identical** to the serial build
-//! ([`WorkloadModel::build_serial`] keeps the serial path available for
-//! equivalence tests).
+//! [`WorkloadModel::price_full`] prices every query;
+//! [`WorkloadModel::price_delta`] / [`WorkloadModel::price_delta_removed`]
+//! / [`WorkloadModel::price_delta_swapped`] re-price only the affected
+//! queries under a virtual add/drop/swap and re-total through the sum
+//! tree. Queries whose re-priced cost is bit-identical to the stored cost
+//! are dropped from the `changed` list (exact, since the comparison is on
+//! bits) — so the splice a search strategy applies afterwards is
+//! proportional to what actually moved.
 //!
 //! ## Streaming — the workload as a mutable object
 //!
-//! A built model is not frozen: the workload can be treated as a *stream*.
 //! [`WorkloadModel::admit_query`] flattens one more `(plan cache, access
-//! catalog)` pair and splices it into the dense arrays and the inverted
-//! index in **O(that query's access arms)** — never O(workload).
-//! [`WorkloadModel::evict_query`] retracts a query the same way (its
-//! inverted-index entries are removed eagerly, so delta pricing never
-//! iterates dead queries), leaving a tombstone slot so query ids stay
-//! stable; [`WorkloadModel::compact`] drops the tombstones and renumbers
-//! when the caller wants memory back. [`WorkloadModel::reweight_query`]
-//! scales one query's contribution to every total (all queries start at
-//! weight 1.0, and multiplying by 1.0 is exact, so an unweighted model
-//! prices bit-identically to the pre-streaming engine).
+//! catalog)` pair and appends it to the packed arrays in O(that query's
+//! arms). [`WorkloadModel::evict_query`] retracts a query eagerly from
+//! the inverted index and tombstones its metadata (its packed arm data
+//! becomes unreachable and is reclaimed by [`WorkloadModel::compact`],
+//! which rebuilds the arrays over the survivors — bit-identical to a
+//! fresh build). [`WorkloadModel::reweight_query`] is O(1). Every
+//! mutation debug-asserts (sampled) that the maintained index, footprint
+//! lists, and blooms match a from-scratch recomputation.
 //!
-//! The same equivalence discipline as the deltas applies: every mutation
-//! `debug_assert`s that the maintained inverted index equals a
-//! from-scratch recomputation, and the unit/property tests check that
-//! admit-then-evict round-trips to bit-identical pricing and that
-//! incremental admission reproduces [`WorkloadModel::build`] exactly.
-//! This is the substrate `pinum_online::OnlineAdvisor` runs on.
-//!
-//! The arithmetic deliberately mirrors `CacheCostModel::estimate` term for
-//! term (same entry order, same addition order, same tie-breaking), so the
-//! incremental advisor reproduces the naive advisor's pick sequence and
-//! cost trajectory exactly — verified end-to-end by the `advisor_scale`
-//! experiment and the equivalence tests.
+//! The arithmetic deliberately mirrors `CacheCostModel::estimate` term
+//! for term (same entry order, same addition order, same tie-breaking),
+//! so the incremental advisor reproduces the naive advisor's pick
+//! sequence exactly; the frozen pre-SoA engine is kept in
+//! [`crate::reference`] as the equivalence oracle and microbenchmark
+//! baseline.
 
 use crate::access_costs::AccessCostCatalog;
 use crate::cache::PlanCache;
@@ -98,55 +122,189 @@ use pinum_query::RelIdx;
 
 /// Sentinel for "always available" access arms (sequential scans and
 /// materialized catalog indexes): applicable under every selection.
-const ALWAYS: u32 = u32::MAX;
+pub(crate) const ALWAYS: u32 = u32::MAX;
 
 /// One pre-resolved access path: its (pre-priced) cost and the pool
-/// candidate that must be selected for it to apply.
+/// candidate that must be selected for it to apply. This is the
+/// *flattening* representation — the packed kernel splits it into the
+/// parallel cost/candidate arrays.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct AccessArm {
-    cost: f64,
-    candidate: u32,
+pub(crate) struct AccessArm {
+    pub(crate) cost: f64,
+    pub(crate) candidate: u32,
 }
 
-/// One contributing relation slot of a flattened plan.
+/// One contributing relation slot of a flattened plan (flattening form).
 #[derive(Debug, Clone, PartialEq)]
-struct Slot {
+pub(crate) struct Slot {
     /// Coefficient on the standalone access cost (0 ⇒ applicability-only).
-    coef: f64,
+    pub(crate) coef: f64,
     /// Coefficient on the per-probe access cost (0 ⇒ no probe term).
-    pcoef: f64,
+    pub(crate) pcoef: f64,
     /// Whether the plan requires an interesting order on this relation
     /// (if so, the slot is inapplicable when no standalone arm is live).
-    required: bool,
+    pub(crate) required: bool,
     /// Standalone access arms, ascending by cost.
-    standalone: Vec<AccessArm>,
+    pub(crate) standalone: Vec<AccessArm>,
     /// Probe arms pre-priced at this plan's loop count, ascending by cost.
-    probes: Vec<AccessArm>,
+    pub(crate) probes: Vec<AccessArm>,
 }
 
 /// One flattened cached plan: internal cost plus contributing slots in
-/// relation order.
+/// relation order (flattening form).
 #[derive(Debug, Clone, PartialEq)]
-struct FlatPlan {
-    internal: f64,
-    slots: Vec<Slot>,
+pub(crate) struct FlatPlan {
+    pub(crate) internal: f64,
+    pub(crate) slots: Vec<Slot>,
 }
 
-/// One flattened query.
+/// One flattened query (flattening form; packed into the SoA arrays by
+/// [`WorkloadModel::push_query`], kept nested by the frozen
+/// [`crate::reference`] engine).
 #[derive(Debug, Clone, PartialEq)]
-struct QueryModel {
-    plans: Vec<FlatPlan>,
+pub(crate) struct QueryModel {
+    pub(crate) plans: Vec<FlatPlan>,
 }
 
-/// A priced workload snapshot: per-query costs under one selection and
-/// their sum (always accumulated in query order).
-#[derive(Debug, Clone, PartialEq)]
+/// Sums `costs` with the **fixed-shape pairwise tree** this crate uses
+/// for every workload total: conceptually a perfect binary tree over
+/// `len.next_power_of_two()` zero-padded leaves, reduced bottom-up. This
+/// is the canonical total — [`PricedWorkload::total`] is bit-identical to
+/// `pairwise_total(state.per_query())` — so any hand-rolled reference
+/// engine must sum through this function (not `Iterator::sum`) to stay
+/// bit-comparable with the kernel.
+pub fn pairwise_total(costs: &[f64]) -> f64 {
+    fn node(costs: &[f64], lo: usize, span: usize) -> f64 {
+        if lo >= costs.len() {
+            // A fully padded subtree sums to exactly +0.0 — skipping the
+            // zero additions cannot change any bit.
+            return 0.0;
+        }
+        if span == 1 {
+            return costs[lo];
+        }
+        let half = span / 2;
+        node(costs, lo, half) + node(costs, lo + half, half)
+    }
+    node(costs, 0, costs.len().next_power_of_two().max(1))
+}
+
+/// Tree capacity for `len` leaves: the padding power of two.
+fn tree_cap(len: usize) -> usize {
+    len.next_power_of_two().max(1)
+}
+
+/// A priced workload snapshot: per-query weighted costs under one
+/// selection, plus the fixed-shape pairwise sum tree over them. The tree
+/// is fully determined by the costs (equality compares costs only), and
+/// the root is the workload total — see the module docs for the
+/// determinism contract.
+#[derive(Debug, Clone)]
 pub struct PricedWorkload {
-    pub per_query: Vec<f64>,
-    pub total: f64,
+    per_query: Vec<f64>,
+    /// 1-based segment-tree array over `tree_cap(per_query.len())`
+    /// zero-padded leaves; `tree[1]` is the total, leaf `q` lives at
+    /// `tree[cap + q]`.
+    tree: Vec<f64>,
+}
+
+impl PartialEq for PricedWorkload {
+    fn eq(&self, other: &Self) -> bool {
+        // The tree is a pure function of the costs.
+        self.per_query == other.per_query
+    }
 }
 
 impl PricedWorkload {
+    /// Builds the snapshot (and its sum tree) from per-query costs.
+    pub fn from_costs(per_query: Vec<f64>) -> Self {
+        let cap = tree_cap(per_query.len());
+        let mut tree = vec![0.0; 2 * cap];
+        tree[cap..cap + per_query.len()].copy_from_slice(&per_query);
+        for i in (1..cap).rev() {
+            tree[i] = tree[2 * i] + tree[2 * i + 1];
+        }
+        Self { per_query, tree }
+    }
+
+    /// The workload total — the root of the sum tree.
+    pub fn total(&self) -> f64 {
+        self.tree[1]
+    }
+
+    /// Per-query weighted costs (tombstones hold exactly 0.0).
+    pub fn per_query(&self) -> &[f64] {
+        &self.per_query
+    }
+
+    /// Replaces one query's cost, updating the O(log n) tree path above
+    /// its leaf.
+    pub fn set_query_cost(&mut self, query: usize, cost: f64) {
+        self.per_query[query] = cost;
+        let cap = self.tree.len() / 2;
+        let mut i = cap + query;
+        self.tree[i] = cost;
+        while i > 1 {
+            i /= 2;
+            self.tree[i] = self.tree[2 * i] + self.tree[2 * i + 1];
+        }
+    }
+
+    /// Appends a newly admitted query's cost. Amortized O(log n): when
+    /// the leaf row is full the tree is rebuilt at doubled capacity,
+    /// which is exact (padding adds +0.0), so totals never change bits
+    /// across growth.
+    pub fn push_query_cost(&mut self, cost: f64) {
+        let cap = self.tree.len() / 2;
+        if self.per_query.len() == cap {
+            self.per_query.push(cost);
+            let costs = std::mem::take(&mut self.per_query);
+            *self = Self::from_costs(costs);
+        } else {
+            let q = self.per_query.len();
+            self.per_query.push(cost);
+            self.set_query_cost(q, cost);
+        }
+    }
+
+    /// Splices a delta's `(query, cost)` list (ascending by query) into
+    /// the snapshot — O(changed·log n). After this,
+    /// [`Self::total`] equals what [`Self::overlaid_total`] returned for
+    /// the same list, bit for bit.
+    pub fn apply_changed(&mut self, changed: &[(u32, f64)]) {
+        for &(q, cost) in changed {
+            self.set_query_cost(q as usize, cost);
+        }
+    }
+
+    /// The total the tree *would* have with `changed` (ascending by
+    /// query, at most one entry per query) overlaid — read-only,
+    /// O(changed·log n): subtrees containing no changed leaf are read
+    /// straight from the tree, so the additions performed are exactly the
+    /// tree-shape additions along the changed leaves' root paths.
+    pub fn overlaid_total(&self, changed: &[(u32, f64)]) -> f64 {
+        if changed.is_empty() {
+            return self.tree[1];
+        }
+        self.overlaid_node(1, 0, self.tree.len() / 2, changed)
+    }
+
+    fn overlaid_node(&self, node: usize, lo: usize, span: usize, changed: &[(u32, f64)]) -> f64 {
+        if changed.is_empty() {
+            return self.tree[node];
+        }
+        if span == 1 {
+            debug_assert_eq!(changed.len(), 1, "duplicate changed query {lo}");
+            return changed[0].1;
+        }
+        let half = span / 2;
+        let mid = lo + half;
+        let split = changed.partition_point(|&(q, _)| (q as usize) < mid);
+        let left = self.overlaid_node(2 * node, lo, half, &changed[..split]);
+        let right = self.overlaid_node(2 * node + 1, mid, half, &changed[split..]);
+        left + right
+    }
+
     /// Sampled (`PINUM_ASSERT_SAMPLE`) debug re-check that this state is
     /// **bit-identical** to `model.price_full(selection)` — the one
     /// equivalence rule behind every spliced-state consumer (the pricing
@@ -157,7 +315,7 @@ impl PricedWorkload {
         if crate::sampling::should_assert() {
             let full = model.price_full(selection);
             debug_assert!(
-                self.total.to_bits() == full.total.to_bits()
+                self.total().to_bits() == full.total().to_bits()
                     && self.per_query.len() == full.per_query.len()
                     && self
                         .per_query
@@ -166,8 +324,8 @@ impl PricedWorkload {
                         .all(|(a, b)| a.to_bits() == b.to_bits()),
                 "incrementally maintained priced state diverged from a full re-pricing: \
                  {} vs {}",
-                self.total,
-                full.total
+                self.total(),
+                full.total()
             );
         }
         #[cfg(not(debug_assertions))]
@@ -177,10 +335,184 @@ impl PricedWorkload {
     }
 }
 
-/// The precomputed workload pricing engine. See the module docs.
+/// One packed `(plan, relation)` slot: coefficients, the always-arm
+/// scalars, and `[start, end)` extents into the shared arm arrays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SlotMeta {
+    /// Coefficient on the standalone access cost (0 ⇒ applicability-only).
+    coef: f64,
+    /// Coefficient on the per-probe access cost (0 ⇒ no probe term).
+    pcoef: f64,
+    /// Cost of the slot's always-available standalone arm, or `+∞` when
+    /// every standalone arm is candidate-gated. Seeds the min-scan.
+    s_always: f64,
+    /// Same for the probe arms.
+    p_always: f64,
+    /// Candidate-gated standalone arm run in the arm arrays.
+    s_start: u32,
+    s_end: u32,
+    /// Candidate-gated probe arm run in the arm arrays.
+    p_start: u32,
+    p_end: u32,
+    /// Whether the plan requires an interesting order on this relation
+    /// (if so, the slot is inapplicable when no standalone arm is live).
+    required: bool,
+}
+
+/// One packed cached plan: internal cost plus a slot extent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PlanMeta {
+    internal: f64,
+    slot_start: u32,
+    slot_end: u32,
+}
+
+/// One packed query: a plan extent, the candidate-footprint prefilters,
+/// and the flattened arm count (tombstones zero everything).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QueryMeta {
+    plan_start: u32,
+    plan_end: u32,
+    /// Sorted distinct candidates this query's arms mention, as an extent
+    /// into the shared `touched` CSR array.
+    touched_start: u32,
+    touched_end: u32,
+    /// Bloom filter over the touched candidates (bit `c mod 64`): a clear
+    /// bit proves the candidate cannot re-price this query.
+    bloom: u64,
+    /// Flattened access arms (standalone + probe, always-arms included).
+    arm_count: u32,
+}
+
+/// Words a [`SelView`] keeps inline before spilling to the heap: 16×64 =
+/// 1024 candidates, far above every workload in the experiments.
+const INLINE_WORDS: usize = 16;
+
+/// A per-pricing-call snapshot of the selection as a fixed-width bitset,
+/// with a delta's virtual add (`extra`) baked in as a set bit and its
+/// virtual drop (`without`) as a cleared bit. The hot min-scan then tests
+/// arm applicability with a single word load — no `Option` compares, no
+/// bounds surprises (the view is always `pool_size` bits wide, zero
+/// padded past the selection's own word count).
+struct SelView {
+    nwords: usize,
+    inline: [u64; INLINE_WORDS],
+    spill: Vec<u64>,
+}
+
+impl SelView {
+    fn new(
+        pool_size: usize,
+        selection: &Selection,
+        extra: Option<usize>,
+        without: Option<usize>,
+    ) -> Self {
+        let nwords = pool_size.div_ceil(64).max(1);
+        let mut view = Self {
+            nwords,
+            inline: [0u64; INLINE_WORDS],
+            spill: if nwords > INLINE_WORDS {
+                vec![0u64; nwords]
+            } else {
+                Vec::new()
+            },
+        };
+        let src = selection.word_slice();
+        let dst = view.words_mut();
+        let n = src.len().min(nwords);
+        dst[..n].copy_from_slice(&src[..n]);
+        if let Some(e) = extra {
+            if e / 64 < nwords {
+                dst[e / 64] |= 1u64 << (e % 64);
+            }
+        }
+        if let Some(w) = without {
+            if w / 64 < nwords {
+                dst[w / 64] &= !(1u64 << (w % 64));
+            }
+        }
+        view
+    }
+
+    fn words(&self) -> &[u64] {
+        if self.spill.is_empty() {
+            &self.inline[..self.nwords]
+        } else {
+            &self.spill
+        }
+    }
+
+    fn words_mut(&mut self) -> &mut [u64] {
+        if self.spill.is_empty() {
+            &mut self.inline[..self.nwords]
+        } else {
+            &mut self.spill
+        }
+    }
+}
+
+/// The branchless core: minimum over `init` and every arm whose candidate
+/// bit is set in `words`. Arm costs are finite, so `+∞` encodes
+/// "inapplicable"; arms are ascending by cost below the always arm, so
+/// the masked min carries the exact bits of "first applicable arm wins".
+#[cfg(not(feature = "simd"))]
+#[inline]
+fn min_arm(costs: &[f64], cands: &[u32], words: &[u64], init: f64) -> f64 {
+    let mut m = init;
+    for (&cost, &cand) in costs.iter().zip(cands) {
+        let sel = (words[(cand >> 6) as usize] >> (cand & 63)) & 1;
+        let x = if sel != 0 { cost } else { f64::INFINITY };
+        m = if x < m { x } else { m };
+    }
+    m
+}
+
+/// [`min_arm`], hand-unrolled into four independent accumulator lanes so
+/// the selects vectorize even when the compiler won't reassociate on its
+/// own. `min` over non-NaN values is associative and commutative, so the
+/// lane fold is bit-identical to the scalar scan.
+#[cfg(feature = "simd")]
+#[inline]
+fn min_arm(costs: &[f64], cands: &[u32], words: &[u64], init: f64) -> f64 {
+    let mut lanes = [f64::INFINITY; 4];
+    let main = costs.len() & !3;
+    for (costs4, cands4) in costs[..main]
+        .chunks_exact(4)
+        .zip(cands[..main].chunks_exact(4))
+    {
+        for k in 0..4 {
+            let cand = cands4[k];
+            let sel = (words[(cand >> 6) as usize] >> (cand & 63)) & 1;
+            let x = if sel != 0 { costs4[k] } else { f64::INFINITY };
+            lanes[k] = if x < lanes[k] { x } else { lanes[k] };
+        }
+    }
+    let mut m = init;
+    for &x in &lanes {
+        m = if x < m { x } else { m };
+    }
+    for (&cost, &cand) in costs[main..].iter().zip(&cands[main..]) {
+        let sel = (words[(cand >> 6) as usize] >> (cand & 63)) & 1;
+        let x = if sel != 0 { cost } else { f64::INFINITY };
+        m = if x < m { x } else { m };
+    }
+    m
+}
+
+/// The precomputed workload pricing engine, packed as struct-of-arrays.
+/// See the module docs for the layout and invariants.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadModel {
-    queries: Vec<QueryModel>,
+    /// All candidate-gated arm costs, slot by slot (standalone run then
+    /// probe run), query by query, ascending by cost within a run.
+    arm_costs: Vec<f64>,
+    /// Parallel array: the pool candidate gating each arm.
+    arm_cands: Vec<u32>,
+    slots: Vec<SlotMeta>,
+    plans: Vec<PlanMeta>,
+    qmeta: Vec<QueryMeta>,
+    /// CSR array of per-query sorted distinct touched candidates.
+    touched: Vec<u32>,
     /// Per-query workload weight (1.0 at build/admit time; 0.0 for
     /// tombstones). A query contributes `weight × price` to every total.
     weights: Vec<f64>,
@@ -198,13 +530,13 @@ pub struct WorkloadModel {
 
 impl WorkloadModel {
     /// Flattens per-query `(plan cache, access-cost catalog)` models into
-    /// the dense pricing structure. `pool_size` is the candidate pool
+    /// the packed pricing structure. `pool_size` is the candidate pool
     /// cardinality the access catalogs were collected against.
     ///
     /// With the `parallel` feature the per-query flattening fans out over
-    /// std threads (each query is independent); the inverted index is
-    /// always assembled serially in query order, so the built model is
-    /// identical to [`Self::build_serial`]'s.
+    /// std threads (each query is independent); packing and the inverted
+    /// index are always assembled serially in query order, so the built
+    /// model is identical to [`Self::build_serial`]'s.
     pub fn build<'a, I>(pool_size: usize, models: I) -> Self
     where
         I: IntoIterator<Item = (&'a PlanCache, &'a AccessCostCatalog)>,
@@ -228,33 +560,127 @@ impl WorkloadModel {
         Self::assemble(pool_size, flatten_models(&models, false))
     }
 
-    /// Builds the inverted candidate→query index over flattened queries
-    /// (serial, query order — the deterministic part of construction).
-    fn assemble(pool_size: usize, queries: Vec<QueryModel>) -> Self {
-        let mut affected: Vec<Vec<u32>> = vec![Vec::new(); pool_size];
-        for (qid, qm) in queries.iter().enumerate() {
-            for c in touched_candidates(qm) {
-                validate_candidate(c, pool_size);
-                affected[c as usize].push(qid as u32);
-            }
-        }
-        let n = queries.len();
+    /// A model holding zero queries over a pool.
+    fn empty(pool_size: usize) -> Self {
         Self {
-            queries,
-            weights: vec![1.0; n],
-            live: vec![true; n],
-            live_count: n,
-            affected,
+            arm_costs: Vec::new(),
+            arm_cands: Vec::new(),
+            slots: Vec::new(),
+            plans: Vec::new(),
+            qmeta: Vec::new(),
+            touched: Vec::new(),
+            weights: Vec::new(),
+            live: Vec::new(),
+            live_count: 0,
+            affected: vec![Vec::new(); pool_size],
             pool_size,
         }
     }
 
+    /// Packs flattened queries in order and indexes them (serial — the
+    /// deterministic part of construction, shared by batch build,
+    /// streaming admission, and compaction).
+    fn assemble(pool_size: usize, queries: Vec<QueryModel>) -> Self {
+        let mut out = Self::empty(pool_size);
+        for qm in &queries {
+            out.push_query(qm);
+            out.finish_admit(1.0);
+        }
+        out
+    }
+
+    /// Appends one arm run to the packed arrays, splitting a trailing
+    /// always-available arm out into the returned scalar (`+∞` when the
+    /// run has none). Arm pruning guarantees at most one always arm, in
+    /// last position.
+    fn push_arms(&mut self, arms: &[AccessArm]) -> (u32, u32, f64) {
+        let start = self.arm_costs.len() as u32;
+        let mut always = f64::INFINITY;
+        for arm in arms {
+            debug_assert!(
+                arm.cost.is_finite(),
+                "access arm cost must be finite (∞ encodes inapplicability)"
+            );
+            if arm.candidate == ALWAYS {
+                debug_assert!(
+                    always.is_infinite(),
+                    "more than one always-available arm survived pruning"
+                );
+                always = arm.cost;
+            } else {
+                self.arm_costs.push(arm.cost);
+                self.arm_cands.push(arm.candidate);
+            }
+        }
+        (start, self.arm_costs.len() as u32, always)
+    }
+
+    /// Packs one flattened query onto the end of the SoA arrays and
+    /// pushes its [`QueryMeta`] (footprint list, bloom, arm count).
+    /// [`Self::finish_admit`] must follow to index and weight it.
+    fn push_query(&mut self, qm: &QueryModel) {
+        let plan_start = self.plans.len() as u32;
+        let arm_lo = self.arm_cands.len();
+        let mut arm_count = 0u32;
+        for plan in &qm.plans {
+            let slot_start = self.slots.len() as u32;
+            for slot in &plan.slots {
+                arm_count += (slot.standalone.len() + slot.probes.len()) as u32;
+                let (s_start, s_end, s_always) = self.push_arms(&slot.standalone);
+                let (p_start, p_end, p_always) = self.push_arms(&slot.probes);
+                self.slots.push(SlotMeta {
+                    coef: slot.coef,
+                    pcoef: slot.pcoef,
+                    s_always,
+                    p_always,
+                    s_start,
+                    s_end,
+                    p_start,
+                    p_end,
+                    required: slot.required,
+                });
+            }
+            self.plans.push(PlanMeta {
+                internal: plan.internal,
+                slot_start,
+                slot_end: self.slots.len() as u32,
+            });
+        }
+        let touched_start = self.touched.len() as u32;
+        collect_touched(&self.arm_cands[arm_lo..], &mut self.touched);
+        let mut bloom = 0u64;
+        for &c in &self.touched[touched_start as usize..] {
+            bloom |= 1u64 << (c & 63);
+        }
+        self.qmeta.push(QueryMeta {
+            plan_start,
+            plan_end: self.plans.len() as u32,
+            touched_start,
+            touched_end: self.touched.len() as u32,
+            bloom,
+            arm_count,
+        });
+    }
+
+    /// Indexes and weights the most recently packed query. The new id is
+    /// the largest ever issued, so every inverted-index insertion is an
+    /// O(1) push that keeps the lists sorted.
+    fn finish_admit(&mut self, weight: f64) {
+        let qid = (self.qmeta.len() - 1) as u32;
+        let qm = self.qmeta[qid as usize];
+        for &c in &self.touched[qm.touched_start as usize..qm.touched_end as usize] {
+            validate_candidate(c, self.pool_size);
+            self.affected[c as usize].push(qid);
+        }
+        self.weights.push(weight);
+        self.live.push(true);
+        self.live_count += 1;
+    }
+
     /// Flattens one more `(plan cache, access catalog)` pair and splices
     /// it into the model at weight 1.0, returning its stable query id.
-    /// The work is O(this query's plans and access arms) — the rest of the
-    /// workload is never touched (the new id is the largest ever issued,
-    /// so every inverted-index insertion is an O(1) push that keeps the
-    /// lists sorted).
+    /// The work is O(this query's plans and access arms) — the rest of
+    /// the workload is never touched.
     pub fn admit_query(&mut self, cache: &PlanCache, access: &AccessCostCatalog) -> usize {
         self.admit_query_weighted(cache, access, 1.0)
     }
@@ -271,41 +697,44 @@ impl WorkloadModel {
             weight.is_finite() && weight > 0.0,
             "query weight must be finite and positive, got {weight}"
         );
-        let qm = flatten_query(cache, access);
-        let qid = self.queries.len();
+        let qid = self.qmeta.len();
         assert!(qid < u32::MAX as usize, "query id space exhausted");
-        for c in touched_candidates(&qm) {
-            validate_candidate(c, self.pool_size);
-            self.affected[c as usize].push(qid as u32);
-        }
-        self.queries.push(qm);
-        self.weights.push(weight);
-        self.live.push(true);
-        self.live_count += 1;
+        let qm = flatten_query(cache, access);
+        self.push_query(&qm);
+        self.finish_admit(weight);
         self.debug_assert_index_matches_rebuild();
         qid
     }
 
     /// Retracts a live query: its inverted-index entries are removed
     /// (binary search per touched candidate — delta pricing never has to
-    /// skip dead entries) and its flattened plans are freed. The slot
-    /// itself stays as a tombstone so other query ids remain stable; a
-    /// tombstone contributes exactly 0.0 to every total, which keeps
-    /// query-order accumulation bit-identical to a model that never held
-    /// the query. Use [`Self::compact`] to drop tombstones.
+    /// skip dead entries) and its metadata is tombstoned, so its packed
+    /// arm data becomes unreachable (reclaimed by [`Self::compact`]).
+    /// The slot itself keeps other query ids stable; a tombstone
+    /// contributes exactly 0.0 to every total, which keeps the sum tree
+    /// bit-identical to a model that never held the query.
     pub fn evict_query(&mut self, qid: usize) {
         assert!(
             self.live.get(qid).copied().unwrap_or(false),
             "evicting unknown or already-evicted query {qid}"
         );
-        for c in touched_candidates(&self.queries[qid]) {
+        let qm = self.qmeta[qid];
+        for i in qm.touched_start..qm.touched_end {
+            let c = self.touched[i as usize];
             let list = &mut self.affected[c as usize];
             let pos = list
                 .binary_search(&(qid as u32))
                 .unwrap_or_else(|_| panic!("inverted index lost query {qid} under candidate {c}"));
             list.remove(pos);
         }
-        self.queries[qid] = QueryModel { plans: Vec::new() };
+        self.qmeta[qid] = QueryMeta {
+            plan_start: 0,
+            plan_end: 0,
+            touched_start: 0,
+            touched_end: 0,
+            bloom: 0,
+            arm_count: 0,
+        };
         self.weights[qid] = 0.0;
         self.live[qid] = false;
         self.live_count -= 1;
@@ -327,35 +756,80 @@ impl WorkloadModel {
     }
 
     /// Drops every tombstone slot, renumbering live queries in ascending
-    /// id order and rebuilding the inverted index over the survivors.
-    /// Returns the old→new id mapping (`u32::MAX` for evicted slots) so
-    /// callers holding query ids can remap. Weights are preserved. The
-    /// compacted model is exactly what [`Self::build`] over the surviving
-    /// queries (then reweighted) would produce.
+    /// id order and repacking the SoA arrays over the survivors (this is
+    /// also what reclaims evicted queries' arm data). Returns the
+    /// old→new id mapping (`u32::MAX` for evicted slots) so callers
+    /// holding query ids can remap. Weights are preserved. The compacted
+    /// model is exactly what [`Self::build`] over the surviving queries
+    /// (then reweighted) would produce.
     pub fn compact(&mut self) -> Vec<u32> {
-        let mut remap = vec![u32::MAX; self.queries.len()];
-        let mut queries = Vec::with_capacity(self.live_count);
-        let mut weights = Vec::with_capacity(self.live_count);
-        for (qid, slot) in self.queries.iter_mut().enumerate() {
-            if self.live[qid] {
-                remap[qid] = queries.len() as u32;
-                queries.push(QueryModel {
-                    plans: std::mem::take(&mut slot.plans),
-                });
-                weights.push(self.weights[qid]);
+        let mut remap = vec![u32::MAX; self.qmeta.len()];
+        let mut out = Self::empty(self.pool_size);
+        for (qid, slot) in remap.iter_mut().enumerate() {
+            if !self.live[qid] {
+                continue;
             }
+            *slot = out.qmeta.len() as u32;
+            out.copy_query_from(self, qid);
+            out.finish_admit(self.weights[qid]);
         }
-        let mut rebuilt = Self::assemble(self.pool_size, queries);
-        rebuilt.weights = weights;
-        *self = rebuilt;
+        *self = out;
         self.debug_assert_index_matches_rebuild();
         remap
     }
 
-    /// Recomputes the inverted index from scratch and compares — the
-    /// mutation-path analogue of the deltas' full-reprice `debug_assert`.
-    /// Compiled away in release builds; sampled (every k-th mutation) via
-    /// `PINUM_ASSERT_SAMPLE` so long streams keep a bounded debug cost.
+    /// Re-appends one of `src`'s live queries onto this model's packed
+    /// arrays, rebasing every extent. The appended bytes are identical to
+    /// what [`Self::push_query`] would produce for the same query, so
+    /// compaction stays bit-identical to a fresh build.
+    fn copy_query_from(&mut self, src: &Self, qid: usize) {
+        let qm = src.qmeta[qid];
+        let plan_start = self.plans.len() as u32;
+        for plan in &src.plans[qm.plan_start as usize..qm.plan_end as usize] {
+            let slot_start = self.slots.len() as u32;
+            for slot in &src.slots[plan.slot_start as usize..plan.slot_end as usize] {
+                let s_start = self.arm_costs.len() as u32;
+                self.arm_costs
+                    .extend_from_slice(&src.arm_costs[slot.s_start as usize..slot.s_end as usize]);
+                self.arm_cands
+                    .extend_from_slice(&src.arm_cands[slot.s_start as usize..slot.s_end as usize]);
+                let s_end = self.arm_costs.len() as u32;
+                self.arm_costs
+                    .extend_from_slice(&src.arm_costs[slot.p_start as usize..slot.p_end as usize]);
+                self.arm_cands
+                    .extend_from_slice(&src.arm_cands[slot.p_start as usize..slot.p_end as usize]);
+                self.slots.push(SlotMeta {
+                    s_start,
+                    s_end,
+                    p_start: s_end,
+                    p_end: self.arm_costs.len() as u32,
+                    ..*slot
+                });
+            }
+            self.plans.push(PlanMeta {
+                internal: plan.internal,
+                slot_start,
+                slot_end: self.slots.len() as u32,
+            });
+        }
+        let touched_start = self.touched.len() as u32;
+        self.touched
+            .extend_from_slice(&src.touched[qm.touched_start as usize..qm.touched_end as usize]);
+        self.qmeta.push(QueryMeta {
+            plan_start,
+            plan_end: self.plans.len() as u32,
+            touched_start,
+            touched_end: self.touched.len() as u32,
+            bloom: qm.bloom,
+            arm_count: qm.arm_count,
+        });
+    }
+
+    /// Recomputes the footprint lists, blooms, and inverted index from
+    /// the packed arm arrays and compares — the mutation-path analogue of
+    /// the deltas' full-reprice `debug_assert`. Compiled away in release
+    /// builds; sampled (every k-th mutation) via `PINUM_ASSERT_SAMPLE` so
+    /// long streams keep a bounded debug cost.
     fn debug_assert_index_matches_rebuild(&self) {
         #[cfg(debug_assertions)]
         {
@@ -363,12 +837,39 @@ impl WorkloadModel {
                 return;
             }
             let mut expect: Vec<Vec<u32>> = vec![Vec::new(); self.pool_size];
-            for (qid, qm) in self.queries.iter().enumerate() {
+            for (qid, qm) in self.qmeta.iter().enumerate() {
                 if !self.live[qid] {
-                    debug_assert!(qm.plans.is_empty(), "tombstone {qid} retains plans");
+                    debug_assert!(
+                        qm.plan_start == qm.plan_end && qm.arm_count == 0,
+                        "tombstone {qid} retains plans"
+                    );
+                    debug_assert!(
+                        qm.touched_start == qm.touched_end && qm.bloom == 0,
+                        "tombstone {qid} retains a candidate footprint"
+                    );
                     continue;
                 }
-                for c in touched_candidates(qm) {
+                let mut cands: Vec<u32> = Vec::new();
+                for plan in &self.plans[qm.plan_start as usize..qm.plan_end as usize] {
+                    for slot in &self.slots[plan.slot_start as usize..plan.slot_end as usize] {
+                        cands.extend_from_slice(
+                            &self.arm_cands[slot.s_start as usize..slot.s_end as usize],
+                        );
+                        cands.extend_from_slice(
+                            &self.arm_cands[slot.p_start as usize..slot.p_end as usize],
+                        );
+                    }
+                }
+                cands.sort_unstable();
+                cands.dedup();
+                let stored = &self.touched[qm.touched_start as usize..qm.touched_end as usize];
+                debug_assert!(
+                    stored == cands.as_slice(),
+                    "stored candidate footprint diverged for query {qid}"
+                );
+                let bloom = cands.iter().fold(0u64, |b, &c| b | 1u64 << (c & 63));
+                debug_assert_eq!(bloom, qm.bloom, "bloom prefilter diverged for query {qid}");
+                for c in cands {
                     expect[c as usize].push(qid as u32);
                 }
             }
@@ -383,7 +884,7 @@ impl WorkloadModel {
     /// Total query *slots*, including tombstones — the length every
     /// [`PricedWorkload::per_query`] vector must have.
     pub fn query_count(&self) -> usize {
-        self.queries.len()
+        self.qmeta.len()
     }
 
     /// Live (non-evicted) queries currently priced into totals.
@@ -401,17 +902,13 @@ impl WorkloadModel {
         self.weights[qid]
     }
 
-    /// Number of flattened access arms (standalone + probe) in one query's
-    /// model. [`Self::admit_query`]'s work is proportional to this — a
+    /// Number of flattened access arms (standalone + probe, including
+    /// always-available arms) in one query's model.
+    /// [`Self::admit_query`]'s work is proportional to this — a
     /// measurable witness that admission is O(the query), not
     /// O(the workload).
     pub fn query_arm_count(&self, qid: usize) -> usize {
-        self.queries[qid]
-            .plans
-            .iter()
-            .flat_map(|p| &p.slots)
-            .map(|s| s.standalone.len() + s.probes.len())
-            .sum()
+        self.qmeta[qid].arm_count as usize
     }
 
     pub fn pool_size(&self) -> usize {
@@ -422,6 +919,21 @@ impl WorkloadModel {
     /// (ascending).
     pub fn affected(&self, candidate: usize) -> &[u32] {
         &self.affected[candidate]
+    }
+
+    /// Whether `candidate` appears in `qid`'s access arms — i.e. whether
+    /// it can change the query's price at all. One AND against the
+    /// per-query bloom word; only a bloom hit (≤ 1/64 false-positive rate
+    /// per distinct residue) pays a binary search in the footprint list.
+    /// Tombstones touch nothing.
+    pub fn query_touches(&self, qid: usize, candidate: usize) -> bool {
+        let qm = &self.qmeta[qid];
+        if qm.bloom & (1u64 << (candidate as u64 & 63)) == 0 {
+            return false;
+        }
+        self.touched[qm.touched_start as usize..qm.touched_end as usize]
+            .binary_search(&(candidate as u32))
+            .is_ok()
     }
 
     /// Prices one query under `selection`, with `extra` overlaid as a
@@ -443,63 +955,114 @@ impl WorkloadModel {
         extra: Option<usize>,
         without: Option<usize>,
     ) -> f64 {
+        let view = SelView::new(self.pool_size, selection, extra, without);
+        self.price_query_in(query, view.words())
+    }
+
+    /// Min over the query's plans against a baked selection view. Every
+    /// slot contribution is non-negative, so a plan whose running cost
+    /// reaches the best seen so far can never win: the scan hands each
+    /// plan the current best as a bound and the plan bails out the moment
+    /// it crosses it. Only non-winning work is skipped — the minimum's
+    /// value (and bits) is exactly the unbounded scan's.
+    fn price_query_in(&self, query: usize, words: &[u64]) -> f64 {
+        let qm = &self.qmeta[query];
         let mut best = f64::INFINITY;
-        for plan in &self.queries[query].plans {
-            if let Some(cost) = price_plan(plan, selection, extra, without) {
-                if cost < best {
-                    best = cost;
-                }
+        for plan in &self.plans[qm.plan_start as usize..qm.plan_end as usize] {
+            if plan.internal >= best {
+                continue;
+            }
+            let cost = self.price_plan_in(plan, words, best);
+            if cost < best {
+                best = cost;
             }
         }
         best
     }
 
+    /// Prices one packed plan; `+∞` when inapplicable under the view or
+    /// once the running cost reaches `bound` (slot terms only ever add,
+    /// so such a plan cannot beat the bound's owner). Mirrors
+    /// `CacheCostModel::estimate_filtered` term for term (same slot
+    /// order, same addition order, same tie-breaking).
+    fn price_plan_in(&self, plan: &PlanMeta, words: &[u64], bound: f64) -> f64 {
+        let mut cost = plan.internal;
+        for slot in &self.slots[plan.slot_start as usize..plan.slot_end as usize] {
+            if cost >= bound {
+                return f64::INFINITY;
+            }
+            if slot.coef != 0.0 || slot.required {
+                let access = min_arm(
+                    &self.arm_costs[slot.s_start as usize..slot.s_end as usize],
+                    &self.arm_cands[slot.s_start as usize..slot.s_end as usize],
+                    words,
+                    slot.s_always,
+                );
+                if access == f64::INFINITY {
+                    // No standalone arm is live: a priced slot has no
+                    // access cost and a required order is uncovered —
+                    // either way the plan is inapplicable.
+                    return f64::INFINITY;
+                }
+                cost += slot.coef * access;
+            }
+            if slot.pcoef != 0.0 {
+                let probe = min_arm(
+                    &self.arm_costs[slot.p_start as usize..slot.p_end as usize],
+                    &self.arm_cands[slot.p_start as usize..slot.p_end as usize],
+                    words,
+                    slot.p_always,
+                );
+                if probe == f64::INFINITY {
+                    return f64::INFINITY;
+                }
+                cost += slot.pcoef * probe;
+            }
+        }
+        cost
+    }
+
     /// One query's *weighted* contribution to a workload total: 0.0 for
     /// tombstones, `weight × price` otherwise. Weight 1.0 multiplication
     /// is exact in IEEE 754, so an unweighted model prices bit-identically
-    /// to the pre-streaming engine.
-    fn contribution(
-        &self,
-        query: usize,
-        selection: &Selection,
-        extra: Option<usize>,
-        without: Option<usize>,
-    ) -> f64 {
+    /// to the unweighted engine.
+    fn contribution_in(&self, query: usize, words: &[u64]) -> f64 {
         if !self.live[query] {
             return 0.0;
         }
-        self.weights[query] * self.price_query_view(query, selection, extra, without)
+        self.weights[query] * self.price_query_in(query, words)
     }
 
     /// Prices the entire workload under `selection`. With the `parallel`
-    /// feature, per-query pricing fans out over std threads; the total is
-    /// always accumulated serially in query order, so the result is
-    /// deterministic and identical across both code paths. Entries are
-    /// weighted contributions (tombstones contribute exactly 0.0).
+    /// feature, per-query pricing fans out over std threads sharing one
+    /// baked selection view; the sum tree is always assembled serially in
+    /// query order, so the result is deterministic and identical across
+    /// both code paths. Entries are weighted contributions (tombstones
+    /// contribute exactly 0.0).
     pub fn price_full(&self, selection: &Selection) -> PricedWorkload {
-        let per_query = self.per_query_costs(selection);
-        let total = per_query.iter().sum();
-        PricedWorkload { per_query, total }
+        PricedWorkload::from_costs(self.per_query_costs(selection))
     }
 
     #[cfg(not(feature = "parallel"))]
     fn per_query_costs(&self, selection: &Selection) -> Vec<f64> {
-        (0..self.queries.len())
-            .map(|q| self.contribution(q, selection, None, None))
+        let view = SelView::new(self.pool_size, selection, None, None);
+        let words = view.words();
+        (0..self.qmeta.len())
+            .map(|q| self.contribution_in(q, words))
             .collect()
     }
 
     #[cfg(feature = "parallel")]
     fn per_query_costs(&self, selection: &Selection) -> Vec<f64> {
-        let n = self.queries.len();
+        let n = self.qmeta.len();
+        let view = SelView::new(self.pool_size, selection, None, None);
+        let words = view.words();
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
             .min(n.div_ceil(16).max(1));
         if threads <= 1 {
-            return (0..n)
-                .map(|q| self.contribution(q, selection, None, None))
-                .collect();
+            return (0..n).map(|q| self.contribution_in(q, words)).collect();
         }
         let mut per_query = vec![0.0f64; n];
         let chunk = n.div_ceil(threads);
@@ -508,7 +1071,7 @@ impl WorkloadModel {
                 let start = t * chunk;
                 scope.spawn(move || {
                     for (i, slot) in out.iter_mut().enumerate() {
-                        *slot = self.contribution(start + i, selection, None, None);
+                        *slot = self.contribution_in(start + i, words);
                     }
                 });
             }
@@ -526,9 +1089,11 @@ impl WorkloadModel {
     }
 
     /// [`Self::price_delta`] with a caller-owned scratch buffer; on return
-    /// `changed` holds the re-priced `(query, cost)` pairs (ascending by
-    /// query). The returned total re-sums all per-query costs in query
-    /// order, so it is bit-identical to `price_full(selection ∪ {added})`.
+    /// `changed` holds the `(query, cost)` pairs that actually moved
+    /// (ascending by query — re-priced queries whose cost is bit-identical
+    /// to `state`'s are filtered out, which is exact). The returned total
+    /// descends the sum tree with `changed` overlaid, so it is
+    /// bit-identical to `price_full(selection ∪ {added})`.
     pub fn price_delta_into(
         &self,
         state: &PricedWorkload,
@@ -536,24 +1101,26 @@ impl WorkloadModel {
         added: usize,
         changed: &mut Vec<(u32, f64)>,
     ) -> f64 {
-        debug_assert_eq!(state.per_query.len(), self.queries.len(), "stale state");
+        debug_assert_eq!(state.per_query.len(), self.qmeta.len(), "stale state");
         changed.clear();
+        let view = SelView::new(self.pool_size, selection, Some(added), None);
+        let words = view.words();
         for &q in &self.affected[added] {
             debug_assert!(self.live[q as usize], "inverted index holds a tombstone");
-            changed.push((
-                q,
-                self.contribution(q as usize, selection, Some(added), None),
-            ));
+            let cost = self.contribution_in(q as usize, words);
+            if cost.to_bits() != state.per_query[q as usize].to_bits() {
+                changed.push((q, cost));
+            }
         }
-        let total = overlay_total(state, changed);
+        let total = state.overlaid_total(changed);
         #[cfg(debug_assertions)]
         if crate::sampling::should_assert() {
             // The whole point: delta pricing must equal full re-pricing.
             let full = self.price_full(&selection.with(added));
             debug_assert!(
-                total == full.total || (total.is_infinite() && full.total.is_infinite()),
+                total == full.total() || (total.is_infinite() && full.total().is_infinite()),
                 "price_delta diverged from price_full: {total} vs {} (candidate {added})",
-                full.total
+                full.total()
             );
         }
         total
@@ -585,27 +1152,29 @@ impl WorkloadModel {
         dropped: usize,
         changed: &mut Vec<(u32, f64)>,
     ) -> f64 {
-        debug_assert_eq!(state.per_query.len(), self.queries.len(), "stale state");
+        debug_assert_eq!(state.per_query.len(), self.qmeta.len(), "stale state");
         debug_assert!(
             selection.contains(dropped),
             "removing candidate {dropped} that is not selected"
         );
         changed.clear();
+        let view = SelView::new(self.pool_size, selection, None, Some(dropped));
+        let words = view.words();
         for &q in &self.affected[dropped] {
             debug_assert!(self.live[q as usize], "inverted index holds a tombstone");
-            changed.push((
-                q,
-                self.contribution(q as usize, selection, None, Some(dropped)),
-            ));
+            let cost = self.contribution_in(q as usize, words);
+            if cost.to_bits() != state.per_query[q as usize].to_bits() {
+                changed.push((q, cost));
+            }
         }
-        let total = overlay_total(state, changed);
+        let total = state.overlaid_total(changed);
         #[cfg(debug_assertions)]
         if crate::sampling::should_assert() {
             let full = self.price_full(&selection.without(dropped));
             debug_assert!(
-                total == full.total || (total.is_infinite() && full.total.is_infinite()),
+                total == full.total() || (total.is_infinite() && full.total().is_infinite()),
                 "price_delta_removed diverged from price_full: {total} vs {} (candidate {dropped})",
-                full.total
+                full.total()
             );
         }
         total
@@ -637,10 +1206,12 @@ impl WorkloadModel {
         dropped: usize,
         changed: &mut Vec<(u32, f64)>,
     ) -> f64 {
-        debug_assert_eq!(state.per_query.len(), self.queries.len(), "stale state");
+        debug_assert_eq!(state.per_query.len(), self.qmeta.len(), "stale state");
         debug_assert!(selection.contains(dropped), "swap drops a non-member");
         debug_assert!(!selection.contains(added), "swap adds a member");
         changed.clear();
+        let view = SelView::new(self.pool_size, selection, Some(added), Some(dropped));
+        let words = view.words();
         // Merge the two sorted affected lists (ascending, deduplicated):
         // a query is re-priced once even when both candidates mention it.
         let (a, d) = (&self.affected[added], &self.affected[dropped]);
@@ -667,29 +1238,54 @@ impl WorkloadModel {
                 (None, None) => unreachable!(),
             };
             debug_assert!(self.live[q as usize], "inverted index holds a tombstone");
-            changed.push((
-                q,
-                self.contribution(q as usize, selection, Some(added), Some(dropped)),
-            ));
+            let cost = self.contribution_in(q as usize, words);
+            if cost.to_bits() != state.per_query[q as usize].to_bits() {
+                changed.push((q, cost));
+            }
         }
-        let total = overlay_total(state, changed);
+        let total = state.overlaid_total(changed);
         #[cfg(debug_assertions)]
         if crate::sampling::should_assert() {
             let full = self.price_full(&selection.without(dropped).with(added));
             debug_assert!(
-                total == full.total || (total.is_infinite() && full.total.is_infinite()),
+                total == full.total() || (total.is_infinite() && full.total().is_infinite()),
                 "price_delta_swapped diverged from price_full: {total} vs {} \
                  (+{added} -{dropped})",
-                full.total
+                full.total()
             );
         }
         total
     }
 }
 
+/// Appends the distinct candidates in `cands` (one query's packed arm
+/// candidates — always-arms are already split out) to `out`, sorted
+/// ascending. Small footprints (the overwhelmingly common case) dedup by
+/// insertion into the sorted tail of `out` with **no** intermediate
+/// allocation; large ones fall back to sort+dedup on a scratch copy.
+fn collect_touched(cands: &[u32], out: &mut Vec<u32>) {
+    const SMALL: usize = 32;
+    let start = out.len();
+    if cands.len() <= SMALL {
+        for &c in cands {
+            match out[start..].binary_search(&c) {
+                Ok(_) => {}
+                Err(pos) => out.insert(start + pos, c),
+            }
+        }
+    } else {
+        let mut tmp = cands.to_vec();
+        tmp.sort_unstable();
+        tmp.dedup();
+        out.extend_from_slice(&tmp);
+    }
+}
+
 /// Distinct pool candidates referenced by a query's access arms,
-/// ascending — its inverted-index footprint. O(this query's arms).
-fn touched_candidates(qm: &QueryModel) -> Vec<u32> {
+/// ascending — its inverted-index footprint. O(this query's arms). Used
+/// by the frozen [`crate::reference`] engine; the packed kernel keeps the
+/// same information in its `touched` CSR array.
+pub(crate) fn touched_candidates(qm: &QueryModel) -> Vec<u32> {
     let mut touched: Vec<u32> = qm
         .plans
         .iter()
@@ -707,7 +1303,7 @@ fn touched_candidates(qm: &QueryModel) -> Vec<u32> {
 /// the candidate pool it was collected against — a mis-sized `pool_size`
 /// fails loudly here instead of silently mispricing (or panicking with an
 /// opaque index-out-of-bounds deep in delta pricing).
-fn validate_candidate(candidate: u32, pool_size: usize) {
+pub(crate) fn validate_candidate(candidate: u32, pool_size: usize) {
     assert!(
         (candidate as usize) < pool_size,
         "access path references candidate {candidate} but the pool holds only {pool_size} \
@@ -715,84 +1311,21 @@ fn validate_candidate(candidate: u32, pool_size: usize) {
     );
 }
 
-/// Re-sums the workload total with `changed` overlaid onto `state`,
-/// accumulating in query order (the bit-for-bit determinism contract of
-/// every delta flavour). `changed` must be ascending by query id.
-fn overlay_total(state: &PricedWorkload, changed: &[(u32, f64)]) -> f64 {
-    let mut total = 0.0;
-    let mut next = changed.iter().copied().peekable();
-    for (q, &cost) in state.per_query.iter().enumerate() {
-        total += match next.peek() {
-            Some(&(cq, new_cost)) if cq as usize == q => {
-                next.next();
-                new_cost
-            }
-            _ => cost,
-        };
-    }
-    total
-}
-
-/// Prices one flattened plan; `None` when inapplicable under the
-/// selection view. Mirrors `CacheCostModel::estimate_filtered` term for
-/// term.
-fn price_plan(
-    plan: &FlatPlan,
-    selection: &Selection,
-    extra: Option<usize>,
-    without: Option<usize>,
-) -> Option<f64> {
-    let mut cost = plan.internal;
-    for slot in &plan.slots {
-        if slot.coef != 0.0 {
-            let access = first_applicable(&slot.standalone, selection, extra, without)?;
-            cost += slot.coef * access;
-        } else if slot.required
-            && first_applicable(&slot.standalone, selection, extra, without).is_none()
-        {
-            return None;
-        }
-        if slot.pcoef != 0.0 {
-            let probe = first_applicable(&slot.probes, selection, extra, without)?;
-            cost += slot.pcoef * probe;
-        }
-    }
-    Some(cost)
-}
-
-/// Cheapest live arm: arms are ascending by cost, so the first applicable
-/// one wins (same tie-breaking as the sorted `AccessCostCatalog` walk).
-/// `extra` is a virtual member, `without` a virtual removal.
-fn first_applicable(
-    arms: &[AccessArm],
-    selection: &Selection,
-    extra: Option<usize>,
-    without: Option<usize>,
-) -> Option<f64> {
-    arms.iter()
-        .find(|a| {
-            if a.candidate == ALWAYS {
-                return true;
-            }
-            let c = a.candidate as usize;
-            if without == Some(c) {
-                return false;
-            }
-            extra == Some(c) || selection.contains(c)
-        })
-        .map(|a| a.cost)
-}
-
 /// Arms after the first always-available arm can never win (the walk stops
 /// there at the latest); later duplicates of a candidate are dominated by
-/// their first (cheapest) occurrence.
-fn prune_arms(arms: &mut Vec<AccessArm>) {
-    let mut seen = std::collections::HashSet::with_capacity(arms.len());
+/// their first (cheapest) occurrence. Arm lists are tiny (a handful of
+/// access paths per slot), so dedup is a linear scan over the kept prefix
+/// — no hashing.
+pub(crate) fn prune_arms(arms: &mut Vec<AccessArm>) {
     let mut keep = 0;
-    for i in 0..arms.len() {
+    'arms: for i in 0..arms.len() {
         let arm = arms[i];
-        if arm.candidate != ALWAYS && !seen.insert(arm.candidate) {
-            continue;
+        if arm.candidate != ALWAYS {
+            for prev in &arms[..keep] {
+                if prev.candidate == arm.candidate {
+                    continue 'arms;
+                }
+            }
         }
         arms[keep] = arm;
         keep += 1;
@@ -806,7 +1339,10 @@ fn prune_arms(arms: &mut Vec<AccessArm>) {
 /// Flattens every `(cache, access)` pair, optionally fanning the per-query
 /// work across std threads. Each query's flattening is independent and the
 /// output order is the input order, so both paths yield identical vectors.
-fn flatten_models(models: &[(&PlanCache, &AccessCostCatalog)], parallel: bool) -> Vec<QueryModel> {
+pub(crate) fn flatten_models(
+    models: &[(&PlanCache, &AccessCostCatalog)],
+    parallel: bool,
+) -> Vec<QueryModel> {
     let n = models.len();
     let threads = if parallel {
         std::thread::available_parallelism()
@@ -835,7 +1371,7 @@ fn flatten_models(models: &[(&PlanCache, &AccessCostCatalog)], parallel: bool) -
     out.into_iter().map(|q| q.expect("flattened")).collect()
 }
 
-fn flatten_query(cache: &PlanCache, access: &AccessCostCatalog) -> QueryModel {
+pub(crate) fn flatten_query(cache: &PlanCache, access: &AccessCostCatalog) -> QueryModel {
     let params = access.params();
     let mut plans = Vec::with_capacity(cache.len());
     'plans: for plan in cache.plans() {
@@ -1030,7 +1566,7 @@ mod tests {
                 }
                 let delta = wm.price_delta(&state, &sel, cand);
                 let full = wm.price_full(&sel.with(cand));
-                assert_eq!(delta, full.total, "selection {ids:?} + candidate {cand}");
+                assert_eq!(delta, full.total(), "selection {ids:?} + candidate {cand}");
             }
         }
     }
@@ -1068,18 +1604,76 @@ mod tests {
     }
 
     #[test]
+    fn bloom_prefilter_agrees_with_inverted_index() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let mut wm = model_of(&models, &pool);
+        for cand in 0..pool.len() {
+            for q in 0..wm.query_count() {
+                assert_eq!(
+                    wm.query_touches(q, cand),
+                    wm.affected(cand).contains(&(q as u32)),
+                    "query_touches({q}, {cand}) disagrees with the inverted index"
+                );
+            }
+        }
+        wm.evict_query(1);
+        for cand in 0..pool.len() {
+            assert!(
+                !wm.query_touches(1, cand),
+                "tombstone touches candidate {cand}"
+            );
+        }
+    }
+
+    #[test]
     fn price_full_state_is_consistent() {
         let (cat, queries, pool) = setup();
         let models = build_models(&cat, &queries, &pool);
         let wm = model_of(&models, &pool);
         let sel = Selection::from_ids(pool.len(), &[0, 3]);
         let state = wm.price_full(&sel);
-        assert_eq!(state.per_query.len(), 2);
-        assert_eq!(state.total, state.per_query.iter().sum::<f64>());
-        for (q, &c) in state.per_query.iter().enumerate() {
+        assert_eq!(state.per_query().len(), 2);
+        // The canonical total is the pairwise tree shape, not a left fold.
+        assert_eq!(
+            state.total().to_bits(),
+            pairwise_total(state.per_query()).to_bits()
+        );
+        for (q, &c) in state.per_query().iter().enumerate() {
             assert_eq!(c, wm.price_query(q, &sel, None));
             assert!(c.is_finite());
         }
+    }
+
+    #[test]
+    fn sum_tree_splices_match_rebuilds() {
+        // Exercise the tree across sizes that straddle capacity doublings.
+        let costs: Vec<f64> = (0..13).map(|i| (i as f64) * 1.25 + 0.1).collect();
+        let mut pushed = PricedWorkload::from_costs(Vec::new());
+        for (i, &c) in costs.iter().enumerate() {
+            pushed.push_query_cost(c);
+            let rebuilt = PricedWorkload::from_costs(costs[..=i].to_vec());
+            assert_eq!(pushed.total().to_bits(), rebuilt.total().to_bits());
+            assert_eq!(
+                pushed.total().to_bits(),
+                pairwise_total(&costs[..=i]).to_bits()
+            );
+        }
+        // Point updates, overlaid reads, and splices all agree.
+        let changed = [(2u32, 7.5f64), (9, 0.0), (12, 3.25)];
+        let overlaid = pushed.overlaid_total(&changed);
+        pushed.apply_changed(&changed);
+        assert_eq!(overlaid.to_bits(), pushed.total().to_bits());
+        let mut expect = costs.clone();
+        for &(q, c) in &changed {
+            expect[q as usize] = c;
+        }
+        let rebuilt = PricedWorkload::from_costs(expect);
+        assert_eq!(pushed.total().to_bits(), rebuilt.total().to_bits());
+        assert_eq!(pushed, rebuilt);
+        // set_query_cost alone follows the same contract.
+        pushed.set_query_cost(0, 99.0);
+        assert!(pushed.total() > rebuilt.total());
     }
 
     #[test]
@@ -1094,7 +1688,7 @@ mod tests {
             for &cand in &ids {
                 let delta = wm.price_delta_removed(&state, &sel, cand);
                 let full = wm.price_full(&sel.without(cand));
-                assert_eq!(delta, full.total, "selection {ids:?} - candidate {cand}");
+                assert_eq!(delta, full.total(), "selection {ids:?} - candidate {cand}");
             }
         }
     }
@@ -1115,7 +1709,7 @@ mod tests {
                     }
                     let delta = wm.price_delta_swapped(&state, &sel, added, dropped);
                     let full = wm.price_full(&sel.without(dropped).with(added));
-                    assert_eq!(delta, full.total, "selection {ids:?} +{added} -{dropped}");
+                    assert_eq!(delta, full.total(), "selection {ids:?} +{added} -{dropped}");
                 }
             }
         }
@@ -1135,7 +1729,11 @@ mod tests {
             let extended = base.with(cand);
             let ext_state = wm.price_full(&extended);
             let back = wm.price_delta_removed(&ext_state, &extended, cand);
-            assert_eq!(back, base_state.total, "remove({cand}) did not round-trip");
+            assert_eq!(
+                back,
+                base_state.total(),
+                "remove({cand}) did not round-trip"
+            );
         }
     }
 
@@ -1184,14 +1782,14 @@ mod tests {
             let b = base.price_full(&sel);
             let m = mutated.price_full(&sel);
             assert!(
-                b.total == m.total || (b.total.is_infinite() && m.total.is_infinite()),
+                b.total() == m.total() || (b.total().is_infinite() && m.total().is_infinite()),
                 "totals diverged: {} vs {}",
-                b.total,
-                m.total
+                b.total(),
+                m.total()
             );
             // Live prefix identical; the tombstone contributes exactly 0.
-            assert_eq!(&m.per_query[..b.per_query.len()], &b.per_query[..]);
-            assert_eq!(m.per_query[qid], 0.0);
+            assert_eq!(&m.per_query()[..b.per_query().len()], b.per_query());
+            assert_eq!(m.per_query()[qid], 0.0);
         }
     }
 
@@ -1206,10 +1804,10 @@ mod tests {
             let m = mutated.price_full(&sel);
             let s = survivor.price_full(&sel);
             assert!(
-                m.total == s.total || (m.total.is_infinite() && s.total.is_infinite()),
+                m.total() == s.total() || (m.total().is_infinite() && s.total().is_infinite()),
                 "evicted model diverged from fresh build: {} vs {}",
-                m.total,
-                s.total
+                m.total(),
+                s.total()
             );
         }
     }
@@ -1237,9 +1835,9 @@ mod tests {
         wm.reweight_query(0, 2.5);
         assert_eq!(wm.weight(0), 2.5);
         let state = wm.price_full(&sel);
-        assert_eq!(state.per_query[0], 2.5 * p0);
-        assert_eq!(state.per_query[1], p1);
-        assert_eq!(state.total, 2.5 * p0 + p1);
+        assert_eq!(state.per_query()[0], 2.5 * p0);
+        assert_eq!(state.per_query()[1], p1);
+        assert_eq!(state.total(), 2.5 * p0 + p1);
     }
 
     #[test]
@@ -1257,11 +1855,11 @@ mod tests {
                 if sel.contains(cand) {
                     let delta = wm.price_delta_removed(&state, &sel, cand);
                     let full = wm.price_full(&sel.without(cand));
-                    assert_eq!(delta, full.total);
+                    assert_eq!(delta, full.total());
                 } else {
                     let delta = wm.price_delta(&state, &sel, cand);
                     let full = wm.price_full(&sel.with(cand));
-                    assert_eq!(delta, full.total);
+                    assert_eq!(delta, full.total());
                 }
             }
         }
@@ -1312,8 +1910,8 @@ mod tests {
         let wm = model_of(&models, &pool);
         let sel = Selection::empty(pool.len());
         let state = wm.price_full(&sel);
-        assert!(state.per_query[0].is_finite());
-        assert!(state.per_query[1].is_infinite());
-        assert!(state.total.is_infinite());
+        assert!(state.per_query()[0].is_finite());
+        assert!(state.per_query()[1].is_infinite());
+        assert!(state.total().is_infinite());
     }
 }

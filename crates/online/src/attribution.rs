@@ -154,7 +154,7 @@ impl DriftAttribution {
             if ids.is_empty() {
                 continue;
             }
-            let cost = state.per_query[qid];
+            let cost = state.per_query()[qid];
             for &t in ids {
                 sums[t as usize] += cost;
             }
@@ -250,10 +250,7 @@ mod tests {
     }
 
     fn state(costs: &[f64]) -> PricedWorkload {
-        PricedWorkload {
-            per_query: costs.to_vec(),
-            total: costs.iter().sum(),
-        }
+        PricedWorkload::from_costs(costs.to_vec())
     }
 
     #[test]

@@ -1016,9 +1016,19 @@ mod tests {
         };
         let (c_base, s_base, m_base) = run(None);
         let (c_cmp, s_cmp, m_cmp) = run(Some(12));
-        assert_eq!(c_base.to_bits(), c_cmp.to_bits());
+        // Compaction drops tombstone slots, which regroups the pairwise
+        // sum tree: totals may drift by an ulp even though every live
+        // per-query cost is unchanged. Decisions must match exactly.
         assert_eq!(s_base, s_cmp);
-        assert_eq!(m_base.to_bits(), m_cmp.to_bits());
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(1.0);
+        assert!(
+            close(c_base, c_cmp),
+            "current cost drifted: {c_base} vs {c_cmp}"
+        );
+        assert!(
+            close(m_base, m_cmp),
+            "monitored cost drifted: {m_base} vs {m_cmp}"
+        );
     }
 
     #[test]

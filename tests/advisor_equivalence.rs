@@ -43,14 +43,16 @@ fn star_models(
 
 /// The pre-WorkloadModel advisor baseline: every probe re-prices the whole
 /// workload through per-query `CacheCostModel`s — the single reference
-/// oracle every equivalence test compares against.
+/// oracle every equivalence test compares against. Totals go through the
+/// canonical `pairwise_total` shape, the same shape the model engine's
+/// sum tree produces, so trajectories compare bit for bit.
 fn naive_reference(
     pool: &CandidatePool,
     models: &[(PlanCache, AccessCostCatalog)],
     gopts: &GreedyOptions,
 ) -> pinum::advisor::GreedyResult {
     greedy_select(pool, gopts, |sel: &Selection| {
-        models
+        let costs: Vec<f64> = models
             .iter()
             .map(|(cache, access)| {
                 CacheCostModel::new(cache, access)
@@ -58,7 +60,8 @@ fn naive_reference(
                     .map(|e| e.cost)
                     .unwrap_or(f64::INFINITY)
             })
-            .sum()
+            .collect();
+        pinum::core::pairwise_total(&costs)
     })
 }
 
