@@ -1,14 +1,23 @@
 //! Deterministic simulated annealing over the selection space, driven
-//! entirely by incremental deltas: add probes use `price_delta`, drop
-//! probes `price_delta_removed`, swap probes `price_delta_swapped`. The
-//! RNG is the in-tree `rand` shim seeded explicitly, so a run is a pure
-//! function of `(pool, model, options, seed)`.
+//! entirely by incremental deltas: proposals are drawn in fixed-size
+//! blocks against the block-start state and priced as one
+//! [`WorkloadModel::price_delta_batch`] (add, drop, and swap probes in
+//! one batch). The RNG is the in-tree `rand` shim seeded explicitly and
+//! its consumption schedule is independent of the worker pool, so a run
+//! is a pure function of `(pool, model, options, seed)` — identical for
+//! every thread count.
 
 use super::{apply_changed, debug_assert_state_matches, LazyGreedy, SearchScope, SearchStrategy};
 use crate::greedy::{GreedyOptions, GreedyResult};
-use pinum_core::{CandidatePool, Selection, WorkloadModel};
+use pinum_core::{CandidatePool, Probe, Selection, WorkloadModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Proposals drawn (and batch-priced) per annealing block. A fixed
+/// constant — never derived from the thread count — so the proposal
+/// schedule, the RNG stream, and every metric are identical for every
+/// pool size.
+const BLOCK: usize = 16;
 
 /// Simulated annealing seeded from [`LazyGreedy`]. Proposes random
 /// add/drop/swap moves, accepts improving moves always and worsening moves
@@ -82,99 +91,132 @@ impl SearchStrategy for Anneal {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut temp = self.initial_temp;
         let mut scratch = Vec::new();
+        let exec = scope.pool();
 
         if pool.is_empty() {
             return seed_result;
         }
 
-        for _ in 0..self.iterations {
-            temp *= self.cooling;
+        // The walk runs in blocks: a block's proposals are all drawn (and
+        // batch-priced) against the block-start state, then walked
+        // serially through the Metropolis rule in draw order. The first
+        // acceptance applies its move and discards the block's remaining
+        // proposals — their deltas (and draw-time validity) are stale
+        // against the new state. RNG consumption is therefore: all of a
+        // block's proposal draws first, then one acceptance draw per
+        // walked finite-worsening proposal — a fixed schedule, identical
+        // for every thread count and chunk size.
+        let mut moves: Vec<Option<(Move, f64)>> = Vec::with_capacity(BLOCK);
+        let mut probes: Vec<Probe> = Vec::with_capacity(BLOCK);
+        let mut remaining = self.iterations;
+        while remaining > 0 {
+            let block_len = BLOCK.min(remaining);
+            remaining -= block_len;
             let members: Vec<usize> = selection.ids().collect();
-            // Propose a move; invalid proposals still consume RNG draws so
-            // the stream (and thus the run) stays deterministic.
-            let kind = rng.gen_range(0..3u32);
-            let proposal: Option<(Move, f64)> = match kind {
-                // Add a random unselected in-scope candidate that fits the
-                // budget (out-of-scope draws are invalid proposals, so the
-                // RNG stream — and thus an unmasked run — is unchanged).
-                0 => {
-                    let cand = rng.gen_range(0..pool.len());
-                    let bytes = pool.index(cand).size().total_bytes();
-                    (!selection.contains(cand)
-                        && scope.allows(cand)
-                        && used_bytes + bytes <= opts.budget_bytes)
-                        .then(|| {
-                            let cost =
-                                model.price_delta_into(&state, &selection, cand, &mut scratch);
-                            (Move::Add(cand), cost)
-                        })
+            moves.clear();
+            probes.clear();
+            for _ in 0..block_len {
+                temp *= self.cooling;
+                // Propose a move; invalid proposals still consume RNG
+                // draws so the stream (and thus the run) stays
+                // deterministic.
+                let kind = rng.gen_range(0..3u32);
+                let mv: Option<Move> = match kind {
+                    // Add a random unselected in-scope candidate that fits
+                    // the budget (out-of-scope draws are invalid
+                    // proposals, so the RNG stream — and thus an unmasked
+                    // run — is unchanged).
+                    0 => {
+                        let cand = rng.gen_range(0..pool.len());
+                        let bytes = pool.index(cand).size().total_bytes();
+                        (!selection.contains(cand)
+                            && scope.allows(cand)
+                            && used_bytes + bytes <= opts.budget_bytes)
+                            .then_some(Move::Add(cand))
+                    }
+                    // Drop a random member.
+                    1 => (!members.is_empty())
+                        .then(|| Move::Drop(members[rng.gen_range(0..members.len())])),
+                    // Swap a random member for a random non-member.
+                    _ => {
+                        if members.is_empty() {
+                            None
+                        } else {
+                            let drop = members[rng.gen_range(0..members.len())];
+                            let add = rng.gen_range(0..pool.len());
+                            let fits = !selection.contains(add)
+                                && scope.allows(add)
+                                && used_bytes - pool.index(drop).size().total_bytes()
+                                    + pool.index(add).size().total_bytes()
+                                    <= opts.budget_bytes;
+                            fits.then_some(Move::Swap { add, drop })
+                        }
+                    }
+                };
+                if let Some(mv) = mv {
+                    probes.push(match mv {
+                        Move::Add(cand) => Probe::Add { cand },
+                        Move::Drop(cand) => Probe::Drop { cand },
+                        Move::Swap { add, drop } => Probe::Swap { add, drop },
+                    });
                 }
-                // Drop a random member.
-                1 => (!members.is_empty()).then(|| {
-                    let cand = members[rng.gen_range(0..members.len())];
-                    let cost =
-                        model.price_delta_removed_into(&state, &selection, cand, &mut scratch);
-                    (Move::Drop(cand), cost)
-                }),
-                // Swap a random member for a random non-member.
-                _ => {
-                    if members.is_empty() {
-                        None
-                    } else {
-                        let drop = members[rng.gen_range(0..members.len())];
-                        let add = rng.gen_range(0..pool.len());
-                        let fits = !selection.contains(add)
-                            && scope.allows(add)
-                            && used_bytes - pool.index(drop).size().total_bytes()
-                                + pool.index(add).size().total_bytes()
-                                <= opts.budget_bytes;
-                        fits.then(|| {
-                            let cost = model.price_delta_swapped_into(
-                                &state,
-                                &selection,
-                                add,
-                                drop,
-                                &mut scratch,
-                            );
-                            (Move::Swap { add, drop }, cost)
-                        })
+                moves.push(mv.map(|m| (m, temp)));
+            }
+
+            let deltas =
+                model.price_delta_batch(&state, &selection, &probes, scope.query_mask, exec);
+            let mut pi = 0usize;
+            for entry in &moves {
+                let Some((mv, mv_temp)) = entry else { continue };
+                let delta = deltas[pi];
+                pi += 1;
+                evaluations += 1;
+                queries_repriced += delta.changed;
+
+                if !accept(state.total(), delta.total, *mv_temp, &mut rng) {
+                    continue;
+                }
+                // Accepted: re-derive the move's exact **unmasked** delta
+                // serially and splice it, so the maintained state stays
+                // bit-identical to `price_full` even when a query mask
+                // ranked the proposals. O(affected), never a full reprice.
+                let total = match *mv {
+                    Move::Add(c) => model.price_delta_into(&state, &selection, c, &mut scratch),
+                    Move::Drop(c) => {
+                        model.price_delta_removed_into(&state, &selection, c, &mut scratch)
+                    }
+                    Move::Swap { add, drop } => {
+                        model.price_delta_swapped_into(&state, &selection, add, drop, &mut scratch)
+                    }
+                };
+                evaluations += 1;
+                queries_repriced += scratch.len();
+                match *mv {
+                    Move::Add(c) => {
+                        selection.insert(c);
+                        used_bytes += pool.index(c).size().total_bytes();
+                    }
+                    Move::Drop(c) => {
+                        selection.remove(c);
+                        used_bytes -= pool.index(c).size().total_bytes();
+                    }
+                    Move::Swap { add, drop } => {
+                        selection.remove(drop);
+                        selection.insert(add);
+                        used_bytes = used_bytes - pool.index(drop).size().total_bytes()
+                            + pool.index(add).size().total_bytes();
                     }
                 }
-            };
-            let Some((mv, cost)) = proposal else { continue };
-            evaluations += 1;
-            queries_repriced += scratch.len();
-
-            if !accept(state.total(), cost, temp, &mut rng) {
-                continue;
-            }
-            match mv {
-                Move::Add(c) => {
-                    selection.insert(c);
-                    used_bytes += pool.index(c).size().total_bytes();
+                apply_changed(&mut state, &scratch, total);
+                debug_assert_state_matches(model, &selection, &state);
+                if state.total() < best_cost {
+                    best_cost = state.total();
+                    best_selection = selection.clone();
+                    best_state = state.clone();
+                    best_bytes = used_bytes;
+                    trajectory.push(best_cost);
                 }
-                Move::Drop(c) => {
-                    selection.remove(c);
-                    used_bytes -= pool.index(c).size().total_bytes();
-                }
-                Move::Swap { add, drop } => {
-                    selection.remove(drop);
-                    selection.insert(add);
-                    used_bytes = used_bytes - pool.index(drop).size().total_bytes()
-                        + pool.index(add).size().total_bytes();
-                }
-            }
-            // The accepted proposal's delta (still in `scratch` — nothing
-            // priced between proposal and acceptance) becomes the new
-            // state: O(affected) instead of an O(workload) full reprice.
-            apply_changed(&mut state, &scratch, cost);
-            debug_assert_state_matches(model, &selection, &state);
-            if state.total() < best_cost {
-                best_cost = state.total();
-                best_selection = selection.clone();
-                best_state = state.clone();
-                best_bytes = used_bytes;
-                trajectory.push(best_cost);
+                break; // discard the block's stale remainder
             }
         }
 

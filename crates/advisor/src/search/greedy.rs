@@ -16,9 +16,19 @@ use super::{
     debug_assert_state_matches, seed_state, seed_within_budget, SearchScope, SearchStrategy,
 };
 use crate::greedy::{GreedyOptions, GreedyResult};
-use pinum_core::{CandidatePool, Selection, WorkloadModel};
+use pinum_core::{CandidatePool, Probe, Selection, WorkloadModel};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Cap on how many stale heap entries lazy greedy re-prices per batched
+/// wave. Waves start at one entry (the serial lazy behavior: in the
+/// common case the re-priced top stays the top and is committed with no
+/// extra probes) and double on each consecutive stale encounter within a
+/// round, so heavy heap churn is re-priced in parallel batches. Both the
+/// cap and the doubling schedule are fixed constants — never derived from
+/// the thread count — so the probe accounting (and therefore every gated
+/// metric) is identical for every pool size.
+const LAZY_WAVE: usize = 32;
 
 /// The reference greedy: every round probes every remaining in-budget
 /// candidate with an add-delta ([`WorkloadModel::price_delta_into`]) and
@@ -61,9 +71,17 @@ impl SearchStrategy for EagerGreedy {
         );
         let mut trajectory = vec![state.total()];
         let mut scratch = Vec::new();
+        let exec = scope.pool();
+        let mut frontier: Vec<(usize, u64)> = Vec::new();
+        let mut probes: Vec<Probe> = Vec::new();
 
         loop {
-            let mut best: Option<(usize, f64)> = None; // (candidate, score)
+            // The round's frontier, in ascending candidate order; the
+            // batch prices every probe concurrently and writes each delta
+            // at its probe's index, so the serial argmax scan below sees
+            // exactly the serial loop's visit order and bits.
+            frontier.clear();
+            probes.clear();
             for cand in 0..pool.len() {
                 if selection.contains(cand) || !scope.allows(cand) {
                     continue;
@@ -72,13 +90,19 @@ impl SearchStrategy for EagerGreedy {
                 if used_bytes + size > opts.budget_bytes {
                     continue; // would violate the space constraint
                 }
-                let cost = model.price_delta_into(&state, &selection, cand, &mut scratch);
+                frontier.push((cand, size));
+                probes.push(Probe::Add { cand });
+            }
+            let deltas =
+                model.price_delta_batch(&state, &selection, &probes, scope.query_mask, exec);
+            let mut best: Option<(usize, f64)> = None; // (candidate, score)
+            for (&(cand, size), delta) in frontier.iter().zip(&deltas) {
                 evaluations += 1;
-                queries_repriced += model.affected(cand).len();
+                queries_repriced += delta.repriced;
                 // NaN-proof benefit guard (inf - inf probes are skipped,
                 // not picked) — identical to the naive closure engine so
                 // the two stay decision-identical.
-                let benefit = state.total() - cost;
+                let benefit = state.total() - delta.total;
                 if benefit.is_nan() || benefit <= 0.0 {
                     continue;
                 }
@@ -93,13 +117,13 @@ impl SearchStrategy for EagerGreedy {
             }
             match best {
                 Some((cand, _)) => {
-                    // Re-run the winning probe (its scratch was overwritten
-                    // by later probes) and splice the changed queries into
-                    // the running state: the accepted pick costs
-                    // O(affected), never a full re-pricing, and the delta
-                    // total is bit-identical to `price_full` (asserted
-                    // inside the delta itself) — so the trajectory matches
-                    // the naive engine's exactly.
+                    // Re-run the winning probe serially and **unmasked**
+                    // and splice the changed queries into the running
+                    // state: the accepted pick costs O(affected), never a
+                    // full re-pricing, and the exact delta total is
+                    // bit-identical to `price_full` (asserted inside the
+                    // delta itself) — so the maintained state stays exact
+                    // even when a query mask ranked the frontier.
                     let total = model.price_delta_into(&state, &selection, cand, &mut scratch);
                     evaluations += 1;
                     queries_repriced += scratch.len();
@@ -257,6 +281,53 @@ impl SearchStrategy for LazyGreedy {
         // (exactly the eager scan's skip-but-rescan treatment).
         let mut parked: Vec<Entry> = Vec::new();
 
+        let exec = scope.pool();
+        // One wave of stale entries, re-priced as a single batch. The
+        // wave is drained from the heap top, so every entry in it was a
+        // candidate for the current argmax; re-pricing replaces bounds
+        // with exact scores, which never changes which candidate greedy
+        // ultimately commits — it only front-loads probes the serial loop
+        // would have issued one pop at a time.
+        let mut wave: Vec<Entry> = Vec::new();
+        let mut wave_cap = 1usize;
+        let reprice_wave = |wave: &mut Vec<Entry>,
+                            heap: &mut BinaryHeap<Entry>,
+                            state: &pinum_core::PricedWorkload,
+                            selection: &Selection,
+                            round: u32,
+                            evaluations: &mut usize,
+                            queries_repriced: &mut usize| {
+            let probes: Vec<Probe> = wave
+                .iter()
+                .map(|e| Probe::Add {
+                    cand: e.cand as usize,
+                })
+                .collect();
+            let deltas = model.price_delta_batch(state, selection, &probes, scope.query_mask, exec);
+            for (e, delta) in wave.drain(..).zip(&deltas) {
+                *evaluations += 1;
+                *queries_repriced += delta.repriced;
+                let benefit = state.total() - delta.total;
+                let score = if benefit.is_nan() {
+                    // inf - inf: unusable *now*, but a later pick can make
+                    // the workload priceable; park at 0 so it is retried
+                    // before the search concludes (same semantics as the
+                    // eager scan, which skips-but-rescans NaN probes every
+                    // round).
+                    0.0
+                } else if opts.benefit_per_byte {
+                    benefit / pool.index(e.cand as usize).size().total_bytes().max(1) as f64
+                } else {
+                    benefit
+                };
+                heap.push(Entry {
+                    score,
+                    cand: e.cand,
+                    round,
+                });
+            }
+        };
+
         while let Some(top) = heap.pop() {
             let cand = top.cand as usize;
             let size = pool.index(cand).size().total_bytes();
@@ -279,44 +350,43 @@ impl SearchStrategy for LazyGreedy {
                 // can *rise* by a few ulps of the workload total between
                 // rounds — and a stale bound recorded before that rise
                 // would underestimate, hiding the true argmax from the
-                // heap. Any stale bound within a total-scaled epsilon of
-                // the fresh top is therefore re-priced before the top is
-                // committed; ties among fresh entries then resolve exactly
-                // like the eager scan's.
+                // heap. Every stale bound within a total-scaled epsilon of
+                // the fresh top is therefore re-priced (as one batch)
+                // before the top is committed; ties among fresh entries
+                // then resolve exactly like the eager scan's.
                 let eps = state.total().abs() * 1e-12;
-                if let Some(next) = heap.peek() {
-                    if next.round != round && next.score >= top.score - eps {
-                        let next = heap.pop().expect("peeked entry vanished");
-                        heap.push(top);
-                        let nc = next.cand as usize;
-                        if used_bytes + pool.index(nc).size().total_bytes() > opts.budget_bytes {
-                            continue; // same permanent discard as the main pop
-                        }
-                        let cost = model.price_delta_into(&state, &selection, nc, &mut scratch);
-                        evaluations += 1;
-                        queries_repriced += model.affected(nc).len();
-                        let benefit = state.total() - cost;
-                        let score = if benefit.is_nan() {
-                            0.0
-                        } else if opts.benefit_per_byte {
-                            benefit / pool.index(nc).size().total_bytes().max(1) as f64
-                        } else {
-                            benefit
-                        };
-                        heap.push(Entry {
-                            score,
-                            cand: next.cand,
-                            round,
-                        });
-                        continue;
+                while let Some(next) = heap.peek() {
+                    if next.round == round || next.score < top.score - eps {
+                        break;
                     }
+                    let next = heap.pop().expect("peeked entry vanished");
+                    if used_bytes + pool.index(next.cand as usize).size().total_bytes()
+                        > opts.budget_bytes
+                    {
+                        continue; // same permanent discard as the main pop
+                    }
+                    wave.push(next);
+                }
+                if !wave.is_empty() {
+                    heap.push(top);
+                    reprice_wave(
+                        &mut wave,
+                        &mut heap,
+                        &state,
+                        &selection,
+                        round,
+                        &mut evaluations,
+                        &mut queries_repriced,
+                    );
+                    continue;
                 }
                 // Fresh top: its score is exact, every other entry's bound
                 // is an overestimate of its true score, and the heap says
-                // they are all ≤ this one. This is greedy's pick. Apply it
-                // as a delta splice (the probe that scored it has been
-                // overwritten in `scratch`, so re-price once): O(affected)
-                // instead of a full re-pricing, bit-identical total.
+                // they are all ≤ this one. This is greedy's pick. Re-price
+                // it serially and **unmasked** and apply it as a delta
+                // splice: O(affected) instead of a full re-pricing, with
+                // the exact bit-identical total even when a query mask
+                // ranked the heap.
                 let total = model.price_delta_into(&state, &selection, cand, &mut scratch);
                 evaluations += 1;
                 queries_repriced += scratch.len();
@@ -327,32 +397,40 @@ impl SearchStrategy for LazyGreedy {
                 debug_assert_state_matches(model, &selection, &state);
                 trajectory.push(state.total());
                 round += 1;
+                wave_cap = 1;
                 // Parked entries are stale again relative to the new
                 // round; put them back in contention.
                 heap.extend(parked.drain(..));
                 continue;
             }
-            // Stale bound: re-price under the current selection.
-            let cost = model.price_delta_into(&state, &selection, cand, &mut scratch);
-            evaluations += 1;
-            queries_repriced += model.affected(cand).len();
-            let benefit = state.total() - cost;
-            let score = if benefit.is_nan() {
-                // inf - inf: unusable *now*, but a later pick can make the
-                // workload priceable; park at 0 so it is retried before
-                // the search concludes (same semantics as the eager scan,
-                // which skips-but-rescans NaN probes every round).
-                0.0
-            } else if opts.benefit_per_byte {
-                benefit / size.max(1) as f64
-            } else {
-                benefit
-            };
-            heap.push(Entry {
-                score,
-                cand: top.cand,
+            // Stale top: drain a wave of stale entries off the heap top
+            // (budget misfits are permanently discarded on the way, same
+            // as the main pop) and re-price the whole wave as one batch.
+            wave.push(top);
+            while wave.len() < wave_cap {
+                match heap.peek() {
+                    Some(next) if next.round != round => {
+                        let next = heap.pop().expect("peeked entry vanished");
+                        if used_bytes + pool.index(next.cand as usize).size().total_bytes()
+                            > opts.budget_bytes
+                        {
+                            continue;
+                        }
+                        wave.push(next);
+                    }
+                    _ => break,
+                }
+            }
+            wave_cap = (wave_cap * 2).min(LAZY_WAVE);
+            reprice_wave(
+                &mut wave,
+                &mut heap,
+                &state,
+                &selection,
                 round,
-            });
+                &mut evaluations,
+                &mut queries_repriced,
+            );
         }
 
         GreedyResult {

@@ -48,7 +48,7 @@ pub use greedy::{EagerGreedy, LazyGreedy};
 pub use swap::SwapHillClimb;
 
 use crate::greedy::{GreedyOptions, GreedyResult};
-use pinum_core::{CandidatePool, PricedWorkload, Selection, WorkloadModel};
+use pinum_core::{CandidatePool, PricedWorkload, ProbePool, Selection, WorkloadModel};
 
 /// Restrictions and carried-over state for one search run — the scoping
 /// layer of template-attributed online re-advising.
@@ -65,6 +65,15 @@ use pinum_core::{CandidatePool, PricedWorkload, Selection, WorkloadModel};
 ///   its seeding full re-pricing — the totals are bit-identical either
 ///   way, only [`GreedyResult::full_repricings`] (and the probe
 ///   accounting for the skipped seed pricing) differ.
+/// * `query_mask` (sorted ascending qids) scopes the *pricing* itself:
+///   batched probes re-price only the masked queries, ranking moves by
+///   their masked deltas. Accepted moves are always re-derived with the
+///   exact unmasked serial delta before being applied, so the maintained
+///   state stays bit-identical to `price_full` even when the mask
+///   changes which move wins.
+/// * `probe_pool` overrides the worker pool probes fan out over (None =
+///   the process-global [`ProbePool::global`]). Thread count never
+///   changes results — the batch reduction is deterministic.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SearchScope<'a> {
     /// Candidates the search may add (None = every candidate).
@@ -72,6 +81,10 @@ pub struct SearchScope<'a> {
     /// Exact priced state of the warm selection, if the caller carries
     /// one across re-advises.
     pub warm_state: Option<&'a PricedWorkload>,
+    /// Sorted query ids probes re-price (None = all queries, exact).
+    pub query_mask: Option<&'a [u32]>,
+    /// Worker pool for batched probes (None = the global pool).
+    pub probe_pool: Option<&'a ProbePool>,
 }
 
 impl<'a> SearchScope<'a> {
@@ -84,7 +97,7 @@ impl<'a> SearchScope<'a> {
     pub fn masked(mask: &'a Selection) -> Self {
         Self {
             mask: Some(mask),
-            warm_state: None,
+            ..Self::default()
         }
     }
 
@@ -94,9 +107,27 @@ impl<'a> SearchScope<'a> {
         self
     }
 
+    /// Scope probe pricing to `queries` (sorted ascending query ids).
+    pub fn with_query_mask(mut self, queries: &'a [u32]) -> Self {
+        debug_assert!(queries.is_sorted(), "query mask must be sorted");
+        self.query_mask = Some(queries);
+        self
+    }
+
+    /// Fan probes out over `pool` instead of the process-global one.
+    pub fn with_probe_pool(mut self, pool: &'a ProbePool) -> Self {
+        self.probe_pool = Some(pool);
+        self
+    }
+
     /// Whether the scope lets the search add `candidate`.
     pub fn allows(&self, candidate: usize) -> bool {
         self.mask.is_none_or(|m| m.contains(candidate))
+    }
+
+    /// The pool batched probes run on.
+    pub(crate) fn pool(&self) -> &'a ProbePool {
+        self.probe_pool.unwrap_or_else(|| ProbePool::global())
     }
 }
 

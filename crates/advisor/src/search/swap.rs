@@ -7,7 +7,7 @@
 
 use super::{apply_changed, debug_assert_state_matches, LazyGreedy, SearchScope, SearchStrategy};
 use crate::greedy::{GreedyOptions, GreedyResult};
-use pinum_core::{CandidatePool, Selection, WorkloadModel};
+use pinum_core::{CandidatePool, Probe, Selection, WorkloadModel};
 
 /// Steepest-descent swap hill climbing: seed with [`LazyGreedy`], then
 /// repeatedly apply the single most improving drop-one/add-one exchange
@@ -53,15 +53,20 @@ impl SearchStrategy for SwapHillClimb {
         // re-pricing between seed and climb.
         let mut state = seed.final_state.expect("lazy greedy tracks state");
         let mut scratch = Vec::new();
+        let exec = scope.pool();
+        let mut probes: Vec<Probe> = Vec::new();
 
         for _ in 0..self.max_rounds {
-            // Steepest descent: scan all (drop, add) exchanges that fit the
-            // budget, keep the lowest resulting cost. Ties break toward the
-            // first exchange scanned (ascending drop id, then add id), so
-            // the climb is deterministic. Drops may touch any member; adds
-            // are restricted to the scope.
+            // Steepest descent: batch-price all (drop, add) exchanges that
+            // fit the budget, keep the lowest resulting cost. The
+            // neighborhood is enumerated in ascending drop id, then add
+            // id; deltas land at their probe's index, so the serial
+            // argmin scan breaks ties toward the first exchange scanned —
+            // the climb is deterministic for every thread count. Drops
+            // may touch any member; adds are restricted to the scope.
             let mut best: Option<(usize, usize, f64)> = None; // (drop, add, cost)
             let members: Vec<usize> = selection.ids().collect();
+            probes.clear();
             for &drop in &members {
                 let drop_bytes = pool.index(drop).size().total_bytes();
                 for add in 0..pool.len() {
@@ -72,29 +77,36 @@ impl SearchStrategy for SwapHillClimb {
                     if used_bytes - drop_bytes + add_bytes > opts.budget_bytes {
                         continue;
                     }
-                    let cost =
-                        model.price_delta_swapped_into(&state, &selection, add, drop, &mut scratch);
-                    evaluations += 1;
-                    queries_repriced += scratch.len();
-                    // Same NaN-proof guard as the greedy engines: an
-                    // inf/NaN probe must never win the argmin.
-                    let gain = state.total() - cost;
-                    if gain.is_nan() || gain <= 0.0 {
-                        continue;
-                    }
-                    if best.is_none_or(|(_, _, c)| cost < c) {
-                        best = Some((drop, add, cost));
-                    }
+                    probes.push(Probe::Swap { add, drop });
+                }
+            }
+            let deltas =
+                model.price_delta_batch(&state, &selection, &probes, scope.query_mask, exec);
+            for (&probe, delta) in probes.iter().zip(&deltas) {
+                let Probe::Swap { add, drop } = probe else {
+                    unreachable!("swap neighborhood holds only swap probes");
+                };
+                evaluations += 1;
+                queries_repriced += delta.changed;
+                // Same NaN-proof guard as the greedy engines: an
+                // inf/NaN probe must never win the argmin.
+                let gain = state.total() - delta.total;
+                if gain.is_nan() || gain <= 0.0 {
+                    continue;
+                }
+                if best.is_none_or(|(_, _, c)| delta.total < c) {
+                    best = Some((drop, add, delta.total));
                 }
             }
             match best {
                 Some((drop, add, _)) => {
-                    // Re-run the winning probe (its scratch was overwritten
-                    // by later probes) and splice the changed queries into
-                    // the priced state: the accepted move costs
-                    // O(affected), not an O(workload) full re-pricing. The
-                    // delta total is bit-identical to a full reprice
-                    // (debug-asserted inside the delta itself).
+                    // Re-run the winning probe serially and **unmasked**
+                    // and splice the changed queries into the priced
+                    // state: the accepted move costs O(affected), not an
+                    // O(workload) full re-pricing, and the exact delta
+                    // total is bit-identical to a full reprice
+                    // (debug-asserted inside the delta itself) even when
+                    // a query mask ranked the neighborhood.
                     let total =
                         model.price_delta_swapped_into(&state, &selection, add, drop, &mut scratch);
                     evaluations += 1;

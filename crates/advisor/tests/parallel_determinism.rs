@@ -1,0 +1,282 @@
+//! Property tests for the parallel probe fan-out: randomized workloads
+//! put through randomized admit / evict / reweight mutation sequences,
+//! then searched by **all four strategies** — scoped and unscoped — on
+//! worker pools spanning threads {1, 2, 3, 8} and chunk sizes {1, 3, 16}.
+//! Every run must be bit-identical to the single-threaded reference:
+//! same picks, same cost trajectory bits, same probe accounting, same
+//! final [`PricedWorkload`] state. The batch reduction is deterministic
+//! by construction (deltas land at their probe's index; the winner scan
+//! is serial); these tests pin that contract against regressions.
+
+use pinum_advisor::greedy::{GreedyOptions, GreedyResult};
+use pinum_advisor::search::{Anneal, EagerGreedy, LazyGreedy, SearchScope, SwapHillClimb};
+use pinum_advisor::SearchStrategy;
+use pinum_catalog::{Catalog, Column, ColumnType, Index, Table};
+use pinum_core::access_costs::{collect_pinum, AccessCostCatalog};
+use pinum_core::builder::{build_cache_pinum, BuilderOptions};
+use pinum_core::{CandidatePool, PlanCache, ProbePool, Selection, WorkloadModel};
+use pinum_optimizer::Optimizer;
+use pinum_query::QueryBuilder;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The pool matrix every search is replayed on. The first entry is the
+/// serial reference; the rest vary both thread count and chunk size so a
+/// chunk-boundary or worker-count dependence cannot hide.
+fn pools() -> &'static [ProbePool; 4] {
+    static POOLS: OnceLock<[ProbePool; 4]> = OnceLock::new();
+    POOLS.get_or_init(|| {
+        [
+            ProbePool::with_chunk(1, 16),
+            ProbePool::with_chunk(2, 16),
+            ProbePool::with_chunk(3, 3),
+            ProbePool::with_chunk(8, 1),
+        ]
+    })
+}
+
+/// A randomized two-table star (same shape as the core SoA kernel
+/// property suite): fact/dimension sizes and per-query filter widths
+/// vary per case, so arm costs and min-scan winners differ across
+/// samples.
+fn random_workload(
+    fact_rows: u64,
+    dim_rows: u64,
+    widths: &[u32],
+) -> (CandidatePool, Vec<(PlanCache, AccessCostCatalog)>) {
+    let mut cat = Catalog::new();
+    cat.add_table(Table::new(
+        "f",
+        fact_rows,
+        vec![
+            Column::new("fk", ColumnType::Int8).with_ndv(dim_rows),
+            Column::new("v", ColumnType::Int4).with_ndv(1_000),
+            Column::new("s", ColumnType::Int4).with_ndv(100),
+        ],
+    ));
+    cat.add_table(Table::new(
+        "d",
+        dim_rows,
+        vec![
+            Column::new("k", ColumnType::Int8)
+                .with_ndv(dim_rows)
+                .with_correlation(1.0),
+            Column::new("w", ColumnType::Int4).with_ndv(50),
+        ],
+    ));
+    let queries: Vec<_> = widths
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let lo = (i as f64) * 3.0;
+            let builder = QueryBuilder::new(format!("q{i}"), &cat)
+                .table("f")
+                .filter_range(("f", "v"), lo, lo + 10.0 * w as f64)
+                .select(("f", "s"));
+            if i % 2 == 0 {
+                builder
+                    .table("d")
+                    .join(("f", "fk"), ("d", "k"))
+                    .order_by(("d", "w"))
+                    .build()
+            } else {
+                builder.order_by(("f", "s")).build()
+            }
+        })
+        .collect();
+    let f = cat.table(cat.table_id("f").unwrap()).clone();
+    let d = cat.table(cat.table_id("d").unwrap()).clone();
+    let pool = CandidatePool::from_indexes(vec![
+        Index::hypothetical(&f, vec![0], false),
+        Index::hypothetical(&f, vec![1, 0, 2], false),
+        Index::hypothetical(&f, vec![2], false),
+        Index::hypothetical(&f, vec![1], false),
+        Index::hypothetical(&d, vec![0], false),
+        Index::hypothetical(&d, vec![1], false),
+        Index::hypothetical(&d, vec![1, 0], false),
+    ]);
+    let opt = Optimizer::new(&cat);
+    let models = queries
+        .iter()
+        .map(|q| {
+            let built = build_cache_pinum(&opt, q, &BuilderOptions::default());
+            let (access, _) = collect_pinum(&opt, q, &pool);
+            (built.cache, access)
+        })
+        .collect();
+    (pool, models)
+}
+
+/// Two results must agree bit for bit — picks, trajectory, accounting,
+/// and the maintained priced state.
+fn assert_bit_identical(reference: &GreedyResult, run: &GreedyResult, label: &str) {
+    assert_eq!(reference.picked, run.picked, "{label}: picks diverged");
+    assert_eq!(
+        reference.cost_trajectory.len(),
+        run.cost_trajectory.len(),
+        "{label}: trajectory length diverged"
+    );
+    for (i, (a, b)) in reference
+        .cost_trajectory
+        .iter()
+        .zip(&run.cost_trajectory)
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: trajectory step {i} diverged ({a} vs {b})"
+        );
+    }
+    assert_eq!(
+        reference.total_bytes, run.total_bytes,
+        "{label}: selected bytes diverged"
+    );
+    assert_eq!(
+        reference.evaluations, run.evaluations,
+        "{label}: probe evaluations diverged"
+    );
+    assert_eq!(
+        reference.queries_repriced, run.queries_repriced,
+        "{label}: repriced-query accounting diverged"
+    );
+    assert_eq!(
+        reference.full_repricings, run.full_repricings,
+        "{label}: full-repricing accounting diverged"
+    );
+    let (a_ids, b_ids): (Vec<usize>, Vec<usize>) = (
+        reference.selection.ids().collect(),
+        run.selection.ids().collect(),
+    );
+    assert_eq!(a_ids, b_ids, "{label}: final selection diverged");
+    let (a_state, b_state) = (
+        reference.final_state.as_ref().expect("state tracked"),
+        run.final_state.as_ref().expect("state tracked"),
+    );
+    assert_eq!(
+        a_state.total().to_bits(),
+        b_state.total().to_bits(),
+        "{label}: final total diverged"
+    );
+    for (q, (a, b)) in a_state
+        .per_query()
+        .iter()
+        .zip(b_state.per_query())
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: final per-query cost {q} diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random admit/evict/reweight sequences, then every strategy —
+    /// scoped and unscoped, warm and cold — replayed across the pool
+    /// matrix: bit-identical to the serial reference, every time.
+    #[test]
+    fn every_strategy_is_bit_identical_across_threads_and_chunks(
+        fact_rows in 60_000u64..400_000,
+        dim_rows in 600u64..20_000,
+        widths in prop::collection::vec(1u32..20, 6),
+        ops in prop::collection::vec(0u32..3, 10),
+        picks in prop::collection::vec(0u32..64, 10),
+        scope_mask in 1u64..127,
+        qmask_bits in 1u64..63,
+        warm_bits in 0u64..128,
+    ) {
+        let (pool, models) = random_workload(fact_rows, dim_rows, &widths);
+        let seed_count = models.len() / 2;
+        let mut model = WorkloadModel::build(
+            pool.len(),
+            models.iter().take(seed_count).map(|(c, a)| (c, a)),
+        );
+        let mut pending = models.iter().skip(seed_count);
+        for (&op, &pick) in ops.iter().zip(&picks) {
+            match op {
+                0 => {
+                    if let Some((cache, access)) = pending.next() {
+                        model.admit_query_weighted(cache, access, 1.0 + (pick % 4) as f64);
+                    }
+                }
+                1 => {
+                    let live: Vec<usize> =
+                        (0..model.query_count()).filter(|&q| model.is_live(q)).collect();
+                    if live.len() > 1 {
+                        model.evict_query(live[pick as usize % live.len()]);
+                    }
+                }
+                _ => {
+                    let live: Vec<usize> =
+                        (0..model.query_count()).filter(|&q| model.is_live(q)).collect();
+                    if !live.is_empty() {
+                        model.reweight_query(
+                            live[pick as usize % live.len()],
+                            0.5 + (pick % 8) as f64,
+                        );
+                    }
+                }
+            }
+        }
+
+        let opts = GreedyOptions {
+            budget_bytes: 96 << 20,
+            benefit_per_byte: false,
+        };
+        let mask_ids: Vec<usize> =
+            (0..pool.len()).filter(|i| scope_mask & (1 << i) != 0).collect();
+        let mask = Selection::from_ids(pool.len(), &mask_ids);
+        let qmask: Vec<u32> = (0..model.query_count() as u32)
+            .filter(|q| qmask_bits & (1 << (q % 6)) != 0)
+            .collect();
+        let warm_ids: Vec<usize> =
+            (0..pool.len()).filter(|i| warm_bits & (1 << i) != 0).collect();
+        let warm = Selection::from_ids(pool.len(), &warm_ids);
+        let cold = Selection::empty(pool.len());
+
+        let strategies: [(&str, Box<dyn SearchStrategy>); 4] = [
+            ("eager", Box::new(EagerGreedy)),
+            ("lazy", Box::new(LazyGreedy)),
+            ("swap", Box::new(SwapHillClimb::default())),
+            (
+                "anneal",
+                Box::new(Anneal {
+                    seed: 0xA11E * (1 + scope_mask),
+                    iterations: 300,
+                    initial_temp: 0.05,
+                    cooling: 0.997,
+                }),
+            ),
+        ];
+        let [serial, rest @ ..] = pools(); eprintln!("case: {} queries, {} live", model.query_count(), (0..model.query_count()).filter(|&q| model.is_live(q)).count());
+        for (name, strategy) in &strategies {
+            for (scoped, warm_start) in
+                [(false, false), (false, true), (true, false), (true, true)]
+            {
+                let scope = |exec: &'static ProbePool| {
+                    let mut s = if scoped { SearchScope::masked(&mask) } else { SearchScope::all() };
+                    if scoped {
+                        s = s.with_query_mask(&qmask);
+                    }
+                    s.with_probe_pool(exec)
+                };
+                let warm = if warm_start { &warm } else { &cold };
+                let reference =
+                    strategy.search_scoped(&pool, &model, &opts, warm, &scope(serial));
+                for exec in rest {
+                    let run = strategy.search_scoped(&pool, &model, &opts, warm, &scope(exec));
+                    let label = format!(
+                        "{name} scoped={scoped} warm={warm_start} threads={} chunk={}",
+                        exec.threads(),
+                        exec.chunk_size()
+                    );
+                    assert_bit_identical(&reference, &run, &label);
+                }
+            }
+        }
+    }
+}

@@ -21,5 +21,6 @@ fn main() {
     e::search_strategies::run(scale);
     e::online_drift::run(scale);
     e::scoped_readvise::run(scale);
+    e::parallel_search::run(scale);
     println!("==== done ====");
 }

@@ -10,6 +10,7 @@ pub mod greedy_quality;
 pub mod index_selection;
 pub mod nlj;
 pub mod online_drift;
+pub mod parallel_search;
 pub mod price_kernel;
 pub mod pruning;
 pub mod redundancy;

@@ -1,0 +1,320 @@
+//! P1 — deterministic parallel probe fan-out acceptance.
+//!
+//! The PR's tentpole claim is two-sided: batched probe pricing through
+//! the persistent [`ProbePool`] must be **bit-identical** to the serial
+//! path at every thread count and chunk size — picks, trajectories, and
+//! every gated probe metric — and the probe phase itself must get
+//! meaningfully faster when real cores are available. This experiment
+//! gates both on the 200-query × ≤400-candidate scale workload:
+//!
+//! * **identity** — all four search strategies replayed on explicit
+//!   1-, 2-, and 8-thread pools (scoped and unscoped, plus a
+//!   global-pool leg so a `PINUM_THREADS` override is also covered)
+//!   must reproduce the serial run bit for bit;
+//! * **speedup** — a batched add-probe sweep on the 8-thread pool must
+//!   deliver ≥ 2.5× the 1-thread batch throughput. The bound is only
+//!   *enforced* when the machine actually has ≥ 8 cores
+//!   (`speedup_gate_enforced` in the JSON says which); the measured
+//!   ratio is reported and trend-tracked either way.
+
+use crate::experiments::advisor_scale::{build_scale_fixture, CANDIDATE_CAP, QUERIES};
+use crate::experiments::search_strategies::ANNEAL_SEED;
+use crate::json::{emit, JsonObject};
+use crate::table::{fmt_duration, TextTable};
+use pinum_advisor::greedy::{GreedyOptions, GreedyResult};
+use pinum_advisor::search::{
+    Anneal, EagerGreedy, LazyGreedy, SearchScope, SearchStrategy, SwapHillClimb,
+};
+use pinum_core::{Probe, ProbePool, Selection, WorkloadModel};
+use std::time::{Duration, Instant};
+
+/// Thread counts the identity matrix replays (first entry = reference).
+const THREADS: [usize; 3] = [1, 2, 8];
+/// Mid-search base selection for the speedup sweep (one member every N).
+const SELECTED_EVERY: usize = 50;
+/// Acceptance bound on the 8-thread batch-throughput ratio.
+const SPEEDUP_GATE: f64 = 2.5;
+
+pub struct ParallelSearchOutcome {
+    pub queries: usize,
+    pub candidates: usize,
+    /// Every strategy × scope × thread-count replay matched the serial
+    /// reference bit for bit.
+    pub identical: bool,
+    /// 8-thread / 1-thread batched probe throughput.
+    pub speedup_8t: f64,
+    /// Whether the ≥ 2.5× bound is enforced (≥ 8 cores available).
+    pub gate_enforced: bool,
+    pub serial_probes_per_second: f64,
+    pub parallel_probes_per_second: f64,
+}
+
+/// Panics unless the two results agree bit for bit — picks, trajectory,
+/// probe accounting, and the final priced state.
+fn assert_bit_identical(reference: &GreedyResult, run: &GreedyResult, label: &str) {
+    assert_eq!(reference.picked, run.picked, "{label}: picks diverged");
+    let traj =
+        |r: &GreedyResult| -> Vec<u64> { r.cost_trajectory.iter().map(|c| c.to_bits()).collect() };
+    assert_eq!(
+        traj(reference),
+        traj(run),
+        "{label}: cost trajectory diverged"
+    );
+    assert_eq!(
+        reference.evaluations, run.evaluations,
+        "{label}: probe evaluations diverged"
+    );
+    assert_eq!(
+        reference.queries_repriced, run.queries_repriced,
+        "{label}: repriced-query accounting diverged"
+    );
+    assert_eq!(
+        reference.full_repricings, run.full_repricings,
+        "{label}: full-repricing accounting diverged"
+    );
+    assert_eq!(
+        reference.total_bytes, run.total_bytes,
+        "{label}: selected bytes diverged"
+    );
+    let (a, b) = (
+        reference.final_state.as_ref().expect("state tracked"),
+        run.final_state.as_ref().expect("state tracked"),
+    );
+    assert_eq!(
+        a.total().to_bits(),
+        b.total().to_bits(),
+        "{label}: final total diverged"
+    );
+    for (q, (x, y)) in a.per_query().iter().zip(b.per_query()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}: per-query cost {q} diverged"
+        );
+    }
+}
+
+/// Times `passes` sweeps, returning wall plus a checksum that keeps the
+/// optimizer from discarding the priced totals.
+fn sweep<F: FnMut() -> f64>(passes: usize, mut pass: F) -> (Duration, f64) {
+    let start = Instant::now();
+    let mut checksum = 0.0;
+    for _ in 0..passes {
+        checksum += pass();
+    }
+    (start.elapsed(), checksum)
+}
+
+pub fn run(scale: f64) -> ParallelSearchOutcome {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "P1: parallel probe fan-out — {QUERIES} queries, candidate cap {CANDIDATE_CAP}, \
+         thread matrix {THREADS:?}, {cores} core(s) available\n"
+    );
+    let build_start = Instant::now();
+    let (_schema, _workload, pool, models) = build_scale_fixture(scale, QUERIES, CANDIDATE_CAP);
+    let model = WorkloadModel::build(pool.len(), models.iter().map(|(c, a)| (c, a)));
+    println!(
+        "built the workload model over {} queries × {} candidates in {}\n",
+        model.query_count(),
+        pool.len(),
+        fmt_duration(build_start.elapsed())
+    );
+
+    let budget = (5.0 * 1024.0 * 1024.0 * 1024.0 * scale) as u64;
+    let gopts = GreedyOptions {
+        budget_bytes: budget,
+        benefit_per_byte: false,
+    };
+
+    // ---- Identity matrix -------------------------------------------------
+    // Explicit pools (not the global one) so the matrix is independent of
+    // any PINUM_THREADS override the CI leg sets.
+    let pools: Vec<ProbePool> = THREADS.iter().map(|&t| ProbePool::new(t)).collect();
+    let strategies: [(&str, Box<dyn SearchStrategy>); 4] = [
+        ("eager-greedy", Box::new(EagerGreedy)),
+        ("lazy-greedy", Box::new(LazyGreedy)),
+        ("swap-hill-climb", Box::new(SwapHillClimb::default())),
+        ("anneal", Box::new(Anneal::with_seed(ANNEAL_SEED))),
+    ];
+    // Scoped leg: an every-other-candidate mask, a sorted every-third
+    // query mask, and a warm seed — the online re-advise shape.
+    let mask = Selection::from_ids(pool.len(), &(0..pool.len()).step_by(2).collect::<Vec<_>>());
+    let qmask: Vec<u32> = (0..model.query_count() as u32).step_by(3).collect();
+    let warm = Selection::from_ids(pool.len(), &(0..pool.len()).step_by(61).collect::<Vec<_>>());
+    let cold = Selection::empty(pool.len());
+
+    fn scope_of<'a>(
+        scoped: bool,
+        mask: &'a Selection,
+        qmask: &'a [u32],
+        exec: &'a ProbePool,
+    ) -> SearchScope<'a> {
+        let s = if scoped {
+            SearchScope::masked(mask).with_query_mask(qmask)
+        } else {
+            SearchScope::all()
+        };
+        s.with_probe_pool(exec)
+    }
+
+    let mut table = TextTable::new(vec!["strategy", "scope", "serial wall", "replays", "picks"]);
+    let mut replays = 0usize;
+    for (name, strategy) in &strategies {
+        for scoped in [false, true] {
+            let warm = if scoped { &warm } else { &cold };
+            let start = Instant::now();
+            let reference = strategy.search_scoped(
+                &pool,
+                &model,
+                &gopts,
+                warm,
+                &scope_of(scoped, &mask, &qmask, &pools[0]),
+            );
+            let serial_wall = start.elapsed();
+            for (i, exec) in pools.iter().enumerate().skip(1) {
+                let run = strategy.search_scoped(
+                    &pool,
+                    &model,
+                    &gopts,
+                    warm,
+                    &scope_of(scoped, &mask, &qmask, exec),
+                );
+                assert_bit_identical(
+                    &reference,
+                    &run,
+                    &format!("{name} scoped={scoped} threads={}", THREADS[i]),
+                );
+                replays += 1;
+            }
+            table.row(vec![
+                name.to_string(),
+                if scoped { "masked+qmask" } else { "full" }.to_string(),
+                fmt_duration(serial_wall),
+                (pools.len() - 1).to_string(),
+                reference.picked.len().to_string(),
+            ]);
+        }
+    }
+    // Global-pool leg: no explicit pool on the scope, so whatever
+    // PINUM_THREADS / the parallel feature resolved the global pool to is
+    // also pinned to the serial reference.
+    let global_run = LazyGreedy.search(&pool, &model, &gopts);
+    let serial_ref = LazyGreedy.search_scoped(
+        &pool,
+        &model,
+        &gopts,
+        &cold,
+        &SearchScope::all().with_probe_pool(&pools[0]),
+    );
+    assert_bit_identical(
+        &serial_ref,
+        &global_run,
+        &format!(
+            "lazy-greedy on the global pool ({} threads)",
+            ProbePool::global().threads()
+        ),
+    );
+    replays += 1;
+    println!("{}", table.render());
+    println!(
+        "identity: {replays} replays across threads {THREADS:?} all bit-identical \
+         to the serial reference\n"
+    );
+    let identical = true; // any divergence panicked above
+
+    // ---- Speedup sweep ---------------------------------------------------
+    let selection = Selection::from_ids(
+        pool.len(),
+        &(0..pool.len()).step_by(SELECTED_EVERY).collect::<Vec<_>>(),
+    );
+    let state = model.price_full(&selection);
+    let probes: Vec<Probe> = (0..pool.len())
+        .filter(|&c| !selection.contains(c))
+        .map(|cand| Probe::Add { cand })
+        .collect();
+    let serial_pool = &pools[0];
+    let eight_pool = &pools[2];
+
+    let batch_total = |exec: &ProbePool| -> f64 {
+        model
+            .price_delta_batch(&state, &selection, &probes, None, exec)
+            .iter()
+            .map(|d| if d.total.is_finite() { d.total } else { 0.0 })
+            .sum()
+    };
+    let (once, _) = sweep(1, || batch_total(serial_pool));
+    let passes = (0.3 / once.as_secs_f64().max(1e-6)).ceil().max(1.0) as usize;
+    let (serial_wall, serial_check) = sweep(passes, || batch_total(serial_pool));
+    let (parallel_wall, parallel_check) = sweep(passes, || batch_total(eight_pool));
+    // Same pass count, bit-identical per-probe totals ⇒ the accumulated
+    // checksums must agree to the bit.
+    assert_eq!(
+        serial_check.to_bits(),
+        parallel_check.to_bits(),
+        "speedup sweep: serial and 8-thread batches priced different totals"
+    );
+
+    let serial_pps = (passes * probes.len()) as f64 / serial_wall.as_secs_f64();
+    let parallel_pps = (passes * probes.len()) as f64 / parallel_wall.as_secs_f64();
+    let speedup_8t = parallel_pps / serial_pps.max(1e-9);
+    let gate_enforced = cores >= 8;
+
+    let mut speed_table = TextTable::new(vec!["pool", "probes/s", "passes", "wall"]);
+    for (label, pps, wall) in [
+        ("1 thread", serial_pps, serial_wall),
+        ("8 threads", parallel_pps, parallel_wall),
+    ] {
+        speed_table.row(vec![
+            label.to_string(),
+            format!("{pps:.0}"),
+            passes.to_string(),
+            fmt_duration(wall),
+        ]);
+    }
+    println!("{}", speed_table.render());
+    println!(
+        "probe-phase speedup at 8 threads: {speedup_8t:.2}x \
+         (acceptance ≥ {SPEEDUP_GATE}x, {} on this {cores}-core machine)\n",
+        if gate_enforced {
+            "enforced"
+        } else {
+            "reported only"
+        },
+    );
+
+    emit(
+        "parallel_search",
+        &JsonObject::new()
+            .int("queries", model.query_count() as u64)
+            .int("candidates", pool.len() as u64)
+            .num("scale", scale)
+            .int("cores", cores as u64)
+            .bool("identical", identical)
+            .int("replays", replays as u64)
+            .num("speedup_8t", speedup_8t)
+            .bool("speedup_gate_enforced", gate_enforced)
+            .num("serial_probes_per_second", serial_pps)
+            .num("parallel_probes_per_second", parallel_pps),
+    );
+
+    if gate_enforced {
+        assert!(
+            speedup_8t >= SPEEDUP_GATE,
+            "acceptance: 8-thread batch throughput {speedup_8t:.2}x \
+             (must be ≥ {SPEEDUP_GATE}x on a ≥8-core machine)"
+        );
+    }
+
+    ParallelSearchOutcome {
+        queries: model.query_count(),
+        candidates: pool.len(),
+        identical,
+        speedup_8t,
+        gate_enforced,
+        serial_probes_per_second: serial_pps,
+        parallel_probes_per_second: parallel_pps,
+    }
+}

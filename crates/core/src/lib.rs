@@ -78,6 +78,7 @@ pub mod cache;
 pub mod candidates;
 pub mod collector;
 pub mod costing;
+pub mod pool;
 pub mod reference;
 pub mod sampling;
 pub mod session;
@@ -94,6 +95,7 @@ pub use cache::{CachedPlan, PlanCache};
 pub use candidates::{CandidatePool, Selection};
 pub use collector::{build_workload_models, WorkloadCollector, WorkloadModels};
 pub use costing::{CacheCostModel, Estimate};
+pub use pool::ProbePool;
 pub use reference::ReferenceModel;
 pub use session::PricingSession;
-pub use workload_model::{pairwise_total, PricedWorkload, WorkloadModel};
+pub use workload_model::{pairwise_total, PricedWorkload, Probe, ProbeDelta, WorkloadModel};

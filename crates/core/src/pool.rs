@@ -1,0 +1,392 @@
+//! # Persistent probe worker pool
+//!
+//! The search strategies issue hundreds of independent `price_delta`
+//! probes per round against a fixed selection — the textbook
+//! embarrassingly-parallel shape. This module provides the std::thread
+//! worker pool those probes (and full re-pricings, and model flattening)
+//! fan out over: spawned **once**, reused across rounds and re-advises,
+//! no per-call thread creation.
+//!
+//! ## Determinism contract
+//!
+//! The pool is a pure *execution* fan-out; it must never influence
+//! *results*. Concretely:
+//!
+//! * work items are claimed as fixed-size chunks off an atomic counter,
+//!   so which worker prices which probe is scheduling-dependent — but
+//!   every output is written to a slot indexed by the item's position in
+//!   the caller's input order, so the assembled output vector is
+//!   **bit-identical for every thread count and chunk size** (each item's
+//!   computation reads only shared immutable state);
+//! * callers perform reductions (argmax/argmin over probe deltas)
+//!   serially over that ordered output, never inside workers;
+//! * a pool with `threads() <= 1` runs everything inline on the caller's
+//!   thread — byte-for-byte the serial path, no workers woken.
+//!
+//! ## Scratch-buffer reuse rules
+//!
+//! Each participant (worker threads *and* the calling thread, which
+//! always joins the fan-out as the last participant) receives a distinct
+//! `worker` index in `0..threads()`. Per-worker scratch buffers (selection
+//! bitset copies, changed-query lists) are therefore safe to index by
+//! that id and are reused across every chunk the worker claims within one
+//! dispatch; they must not outlive the dispatch or be read across workers.
+//!
+//! ## Re-entrancy
+//!
+//! Dispatched tasks may themselves reach code that wants the pool (e.g. a
+//! sampled debug assert inside a batched probe re-pricing the full
+//! workload). A thread-local marks every participant while it executes a
+//! task; [`ProbePool::run`] from a marked thread executes inline instead
+//! of dispatching, so nested pricing can never deadlock the pool.
+//!
+//! ## Sizing
+//!
+//! [`ProbePool::global`] sizes itself once per process: an explicit
+//! `PINUM_THREADS` wins (with `PINUM_THREADS=1` forcing fully serial
+//! execution even when the `parallel` feature is on); otherwise
+//! `available_parallelism` under `--features parallel`, and 1 without the
+//! feature — so default-feature builds stay exactly serial. Explicitly
+//! constructed pools ([`ProbePool::new`]) honor their thread count
+//! regardless of features, which is what the thread-invariance tests and
+//! experiments use.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Default number of probes claimed per chunk grab. Small enough to load
+/// balance uneven probe costs, large enough to amortize the atomic.
+pub const DEFAULT_CHUNK: usize = 16;
+
+std::thread_local! {
+    /// True while this thread is executing inside a pool dispatch (worker
+    /// or participating caller) — nested `run` calls go inline.
+    static IN_POOL_TASK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A dispatched task: called once per participant with its worker index.
+type Task = *const (dyn Fn(usize) + Sync);
+
+struct State {
+    /// Bumped per dispatch so sleeping workers can tell a new task from
+    /// the one they just finished.
+    epoch: u64,
+    /// The current task, lifetime-erased. Only valid while `remaining`
+    /// holds workers of the same epoch; cleared by the dispatcher after
+    /// the last worker checks out.
+    task: Option<Task>,
+    /// Spawned workers still running the current epoch's task.
+    remaining: usize,
+    shutdown: bool,
+}
+
+// The raw task pointer crosses threads inside the mutex; soundness is the
+// dispatch protocol (see `run`): the pointee outlives every dereference
+// because `run` does not return until `remaining` hits zero.
+unsafe impl Send for State {}
+
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// Persistent worker pool for batched delta pricing. See module docs for
+/// the determinism contract.
+pub struct ProbePool {
+    threads: usize,
+    chunk: usize,
+    shared: std::sync::Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ProbePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProbePool")
+            .field("threads", &self.threads)
+            .field("chunk", &self.chunk)
+            .finish()
+    }
+}
+
+impl ProbePool {
+    /// A pool executing with `threads` participants (the calling thread
+    /// plus `threads - 1` spawned workers). `threads <= 1` spawns nothing
+    /// and runs every dispatch inline.
+    pub fn new(threads: usize) -> Self {
+        Self::with_chunk(threads, DEFAULT_CHUNK)
+    }
+
+    /// [`Self::new`] with an explicit chunk size for
+    /// [`Self::for_each_chunk`] item claiming (the thread-invariance
+    /// property tests sweep this; results must not depend on it).
+    pub fn with_chunk(threads: usize, chunk: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = std::sync::Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                task: None,
+                remaining: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..threads.saturating_sub(1))
+            .map(|idx| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pinum-probe-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx))
+                    .expect("spawn probe worker")
+            })
+            .collect();
+        Self {
+            threads,
+            chunk: chunk.max(1),
+            shared,
+            workers,
+        }
+    }
+
+    /// The process-wide pool: `PINUM_THREADS` override first (=1 forces
+    /// fully serial execution even with `--features parallel`), then
+    /// `available_parallelism` when the `parallel` feature is on, else 1.
+    pub fn global() -> &'static ProbePool {
+        static GLOBAL: OnceLock<ProbePool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let threads = match std::env::var("PINUM_THREADS") {
+                Ok(v) => v
+                    .trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("PINUM_THREADS must be a positive integer: {v:?}"))
+                    .max(1),
+                Err(_) if cfg!(feature = "parallel") => std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1),
+                Err(_) => 1,
+            };
+            ProbePool::new(threads)
+        })
+    }
+
+    /// Number of participants a dispatch fans out over (callers may size
+    /// per-worker scratch arrays by this).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Items claimed per chunk grab in [`Self::for_each_chunk`].
+    pub fn chunk_size(&self) -> usize {
+        self.chunk
+    }
+
+    /// Runs `f(worker)` once on every participant — `threads - 1` workers
+    /// plus the calling thread (as the highest worker index). Blocks until
+    /// every participant returns, which is what makes the borrowed closure
+    /// sound to hand to the persistent workers. Inline (serial) when the
+    /// pool is single-threaded or when called from inside a dispatch.
+    pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.workers.is_empty() || IN_POOL_TASK.with(|c| c.get()) {
+            f(0);
+            return;
+        }
+        // Lifetime erasure: workers only dereference the pointer between
+        // dispatch and their `remaining` decrement, and we block below
+        // until every decrement happened — the borrow is live throughout.
+        let task: Task = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+        };
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex");
+            debug_assert_eq!(st.remaining, 0, "overlapping pool dispatch");
+            st.epoch += 1;
+            st.task = Some(task);
+            st.remaining = self.workers.len();
+            self.shared.work_cv.notify_all();
+        }
+        // The caller participates as the last worker index.
+        IN_POOL_TASK.with(|c| c.set(true));
+        f(self.workers.len());
+        IN_POOL_TASK.with(|c| c.set(false));
+        let mut st = self.shared.state.lock().expect("pool mutex");
+        while st.remaining > 0 {
+            st = self.shared.done_cv.wait(st).expect("pool mutex");
+        }
+        st.task = None;
+    }
+
+    /// Fans `0..items` out as chunks of [`Self::chunk_size`] claimed off
+    /// an atomic counter: `f(worker, range)` for each claimed range. The
+    /// assignment of ranges to workers is scheduling-dependent; callers
+    /// must write results by item index (see the determinism contract).
+    pub fn for_each_chunk(&self, items: usize, f: &(dyn Fn(usize, std::ops::Range<usize>) + Sync)) {
+        if items == 0 {
+            return;
+        }
+        let chunk = self.chunk;
+        let next = AtomicUsize::new(0);
+        let nchunks = items.div_ceil(chunk);
+        self.run(&|worker| loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= nchunks {
+                break;
+            }
+            let start = c * chunk;
+            let end = (start + chunk).min(items);
+            f(worker, start..end);
+        });
+    }
+}
+
+impl Drop for ProbePool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, idx: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let task: Task = {
+            let mut st = shared.state.lock().expect("pool mutex");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != last_epoch {
+                    last_epoch = st.epoch;
+                    break st.task.expect("dispatched epoch without a task");
+                }
+                st = shared.work_cv.wait(st).expect("pool mutex");
+            }
+        };
+        IN_POOL_TASK.with(|c| c.set(true));
+        // Sound per the dispatch protocol: the closure outlives this call
+        // because `run` blocks until our decrement below.
+        unsafe { (*task)(idx) };
+        IN_POOL_TASK.with(|c| c.set(false));
+        let mut st = shared.state.lock().expect("pool mutex");
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// A raw mutable pointer that may cross into workers. Safe only because
+/// every dispatch partitions the pointee by item index (disjoint writes)
+/// and `run` outlives all of them. The pointer is behind an accessor so
+/// closures capture the `Sync` wrapper, not the raw field (2021 edition
+/// closures capture disjoint fields).
+pub(crate) struct SyncPtr<T>(*mut T);
+
+// Manual impls: the wrapper is Copy for every T (it holds a pointer, not
+// a T), which the derive's `T: Copy` bound would deny.
+impl<T> Clone for SyncPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    pub(crate) fn new(ptr: *mut T) -> Self {
+        SyncPtr(ptr)
+    }
+
+    pub(crate) fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+unsafe impl<T> Send for SyncPtr<T> {}
+unsafe impl<T> Sync for SyncPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn single_threaded_pool_runs_inline() {
+        let pool = ProbePool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let hits = AtomicUsize::new(0);
+        pool.run(&|w| {
+            assert_eq!(w, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn every_participant_runs_once_per_dispatch() {
+        let pool = ProbePool::new(4);
+        for _ in 0..50 {
+            let mask = AtomicU64::new(0);
+            pool.run(&|w| {
+                let prev = mask.fetch_or(1 << w, Ordering::Relaxed);
+                assert_eq!(prev & (1 << w), 0, "worker {w} ran twice");
+            });
+            assert_eq!(mask.load(Ordering::Relaxed), 0b1111);
+        }
+    }
+
+    #[test]
+    fn chunked_fanout_covers_every_item_exactly_once() {
+        for threads in [1, 2, 3, 8] {
+            for chunk in [1, 3, 16, 64] {
+                let pool = ProbePool::with_chunk(threads, chunk);
+                let n = 137;
+                let mut out = vec![0u32; n];
+                let ptr = SyncPtr::new(out.as_mut_ptr());
+                pool.for_each_chunk(n, &|_, range| {
+                    for i in range {
+                        // Disjoint by construction: chunk ranges partition
+                        // 0..n.
+                        unsafe { *ptr.get().add(i) += i as u32 + 1 };
+                    }
+                });
+                let expect: Vec<u32> = (0..n as u32).map(|i| i + 1).collect();
+                assert_eq!(out, expect, "threads {threads} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_instead_of_deadlocking() {
+        let pool = ProbePool::new(4);
+        let inner_hits = AtomicUsize::new(0);
+        pool.run(&|_| {
+            // A nested dispatch from inside a task must not touch the
+            // sleeping workers (that would deadlock the epoch protocol).
+            pool.run(&|w| {
+                assert_eq!(w, 0, "nested dispatch must run inline");
+                inner_hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn pool_survives_many_reuses() {
+        let pool = ProbePool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..200 {
+            pool.for_each_chunk(10, &|_, range| {
+                total.fetch_add(range.len(), Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 2000);
+    }
+}

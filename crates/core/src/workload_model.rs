@@ -394,6 +394,7 @@ const INLINE_WORDS: usize = 16;
 /// arm applicability with a single word load — no `Option` compares, no
 /// bounds surprises (the view is always `pool_size` bits wide, zero
 /// padded past the selection's own word count).
+#[derive(Clone)]
 struct SelView {
     nwords: usize,
     inline: [u64; INLINE_WORDS],
@@ -447,6 +448,24 @@ impl SelView {
             &mut self.inline[..self.nwords]
         } else {
             &mut self.spill
+        }
+    }
+
+    /// Sets candidate `c`'s bit — a probe's virtual add, O(1). Batch
+    /// pricing shares one base view per worker and toggles probe bits in
+    /// and out instead of rebuilding the snapshot per probe.
+    fn set_bit(&mut self, c: usize) {
+        let w = c / 64;
+        if w < self.nwords {
+            self.words_mut()[w] |= 1u64 << (c % 64);
+        }
+    }
+
+    /// Clears candidate `c`'s bit — a probe's virtual drop, O(1).
+    fn clear_bit(&mut self, c: usize) {
+        let w = c / 64;
+        if w < self.nwords {
+            self.words_mut()[w] &= !(1u64 << (c % 64));
         }
     }
 }
@@ -1033,47 +1052,33 @@ impl WorkloadModel {
         self.weights[query] * self.price_query_in(query, words)
     }
 
-    /// Prices the entire workload under `selection`. With the `parallel`
-    /// feature, per-query pricing fans out over std threads sharing one
-    /// baked selection view; the sum tree is always assembled serially in
-    /// query order, so the result is deterministic and identical across
-    /// both code paths. Entries are weighted contributions (tombstones
-    /// contribute exactly 0.0).
+    /// Prices the entire workload under `selection`. Per-query pricing
+    /// fans out over the shared [`ProbePool`](crate::pool::ProbePool)
+    /// (no per-call thread spawning); the sum tree is always assembled
+    /// serially in query order, so the result is deterministic and
+    /// identical across every thread count — `PINUM_THREADS=1` forces
+    /// the fully serial path even with `--features parallel`. Entries
+    /// are weighted contributions (tombstones contribute exactly 0.0).
     pub fn price_full(&self, selection: &Selection) -> PricedWorkload {
         PricedWorkload::from_costs(self.per_query_costs(selection))
     }
 
-    #[cfg(not(feature = "parallel"))]
-    fn per_query_costs(&self, selection: &Selection) -> Vec<f64> {
-        let view = SelView::new(self.pool_size, selection, None, None);
-        let words = view.words();
-        (0..self.qmeta.len())
-            .map(|q| self.contribution_in(q, words))
-            .collect()
-    }
-
-    #[cfg(feature = "parallel")]
     fn per_query_costs(&self, selection: &Selection) -> Vec<f64> {
         let n = self.qmeta.len();
         let view = SelView::new(self.pool_size, selection, None, None);
         let words = view.words();
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n.div_ceil(16).max(1));
-        if threads <= 1 {
+        let pool = crate::pool::ProbePool::global();
+        if pool.threads() <= 1 || n < 32 {
             return (0..n).map(|q| self.contribution_in(q, words)).collect();
         }
         let mut per_query = vec![0.0f64; n];
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, out) in per_query.chunks_mut(chunk).enumerate() {
-                let start = t * chunk;
-                scope.spawn(move || {
-                    for (i, slot) in out.iter_mut().enumerate() {
-                        *slot = self.contribution_in(start + i, words);
-                    }
-                });
+        let out = crate::pool::SyncPtr::new(per_query.as_mut_ptr());
+        pool.for_each_chunk(n, &move |_worker, range| {
+            for q in range {
+                // SAFETY: chunk ranges are disjoint, so each index is
+                // written by exactly one worker; the Vec outlives the
+                // dispatch (for_each_chunk blocks until all chunks ran).
+                unsafe { *out.get().add(q) = self.contribution_in(q, words) };
             }
         });
         per_query
@@ -1256,6 +1261,251 @@ impl WorkloadModel {
         }
         total
     }
+
+    /// Prices a batch of independent probes against one `(selection,
+    /// state)` snapshot, fanned out over `pool`. Each result lands at
+    /// its probe's own index, so the output is deterministic regardless
+    /// of thread count or chunk claiming order, and every entry holds
+    /// the *same bits* as the serial [`Self::price_delta_into`] /
+    /// [`Self::price_delta_removed_into`] /
+    /// [`Self::price_delta_swapped_into`] call it replaces
+    /// (debug-asserted, sampled).
+    ///
+    /// Each worker owns a reusable scratch: a clone of the shared base
+    /// `SelView` bitset whose probe bits are toggled in and back out around
+    /// each probe (O(1) per probe instead of re-baking the snapshot per
+    /// probe), and a changed-query buffer that persists across the
+    /// worker's chunks. Bloom/footprint-prefiltered no-ops touch only
+    /// their (empty or tiny) inverted-index entry, so chunking keeps
+    /// their cost near zero.
+    ///
+    /// `qmask` (sorted ascending query ids) restricts re-pricing to the
+    /// masked subset of each probe's affected list — the scoped-pricing
+    /// path. Masked totals overlay only the masked changed queries and
+    /// are therefore comparable *ranks*, not exact workload totals;
+    /// callers must re-derive accepted moves through the exact serial
+    /// deltas. The sampled debug assert checks the masked changed list
+    /// equals the unmasked one restricted to the mask.
+    pub fn price_delta_batch(
+        &self,
+        state: &PricedWorkload,
+        selection: &Selection,
+        probes: &[Probe],
+        qmask: Option<&[u32]>,
+        pool: &crate::pool::ProbePool,
+    ) -> Vec<ProbeDelta> {
+        debug_assert_eq!(state.per_query.len(), self.qmeta.len(), "stale state");
+        let mut out = vec![ProbeDelta::default(); probes.len()];
+        if probes.is_empty() {
+            return out;
+        }
+        let base = SelView::new(self.pool_size, selection, None, None);
+        let mut scratch: Vec<(SelView, Vec<(u32, f64)>)> = (0..pool.threads())
+            .map(|_| (base.clone(), Vec::new()))
+            .collect();
+        let scratch_ptr = crate::pool::SyncPtr::new(scratch.as_mut_ptr());
+        let out_ptr = crate::pool::SyncPtr::new(out.as_mut_ptr());
+        pool.for_each_chunk(probes.len(), &move |worker, range| {
+            // SAFETY: each worker index is owned by exactly one thread
+            // per dispatch and chunk ranges are disjoint, so every slot
+            // is written by exactly one worker; both vectors outlive
+            // the dispatch (for_each_chunk blocks until all chunks ran).
+            let (view, changed) = unsafe { &mut *scratch_ptr.get().add(worker) };
+            for i in range {
+                let delta = self.price_one_probe(state, selection, probes[i], qmask, view, changed);
+                unsafe { *out_ptr.get().add(i) = delta };
+            }
+        });
+        out
+    }
+
+    /// One probe of a batch: toggle the probe's bits on the worker's
+    /// view, re-price its (optionally masked) affected queries, restore
+    /// the bits. Exactly the serial delta arithmetic — same affected
+    /// iteration order, same bit-equality filter, same overlay total.
+    fn price_one_probe(
+        &self,
+        state: &PricedWorkload,
+        selection: &Selection,
+        probe: Probe,
+        qmask: Option<&[u32]>,
+        view: &mut SelView,
+        changed: &mut Vec<(u32, f64)>,
+    ) -> ProbeDelta {
+        changed.clear();
+        match probe {
+            Probe::Add { cand } => {
+                debug_assert!(!selection.contains(cand), "batch adds a member");
+                view.set_bit(cand);
+            }
+            Probe::Drop { cand } => {
+                debug_assert!(selection.contains(cand), "batch drops a non-member");
+                view.clear_bit(cand);
+            }
+            Probe::Swap { add, drop } => {
+                debug_assert!(!selection.contains(add), "batch swap adds a member");
+                debug_assert!(selection.contains(drop), "batch swap drops a non-member");
+                view.set_bit(add);
+                view.clear_bit(drop);
+            }
+        }
+        let mut repriced = 0usize;
+        {
+            let words = view.words();
+            let mut mask_i = 0usize;
+            let mut visit = |q: u32| {
+                debug_assert!(self.live[q as usize], "inverted index holds a tombstone");
+                if let Some(mask) = qmask {
+                    // Both the affected list and the mask are sorted
+                    // ascending, so one forward cursor intersects them.
+                    while mask_i < mask.len() && mask[mask_i] < q {
+                        mask_i += 1;
+                    }
+                    if mask_i >= mask.len() || mask[mask_i] != q {
+                        return;
+                    }
+                }
+                repriced += 1;
+                let cost = self.contribution_in(q as usize, words);
+                if cost.to_bits() != state.per_query[q as usize].to_bits() {
+                    changed.push((q, cost));
+                }
+            };
+            match probe {
+                Probe::Add { cand } | Probe::Drop { cand } => {
+                    for &q in &self.affected[cand] {
+                        visit(q);
+                    }
+                }
+                Probe::Swap { add, drop } => {
+                    // Same sorted-merge dedup as the serial swap delta.
+                    let (a, d) = (&self.affected[add], &self.affected[drop]);
+                    let (mut i, mut j) = (0, 0);
+                    while i < a.len() || j < d.len() {
+                        let q = match (a.get(i), d.get(j)) {
+                            (Some(&x), Some(&y)) if x == y => {
+                                i += 1;
+                                j += 1;
+                                x
+                            }
+                            (Some(&x), Some(&y)) if x < y => {
+                                i += 1;
+                                x
+                            }
+                            (Some(_) | None, Some(&y)) => {
+                                j += 1;
+                                y
+                            }
+                            (Some(&x), None) => {
+                                i += 1;
+                                x
+                            }
+                            (None, None) => unreachable!(),
+                        };
+                        visit(q);
+                    }
+                }
+            }
+        }
+        match probe {
+            Probe::Add { cand } => view.clear_bit(cand),
+            Probe::Drop { cand } => view.set_bit(cand),
+            Probe::Swap { add, drop } => {
+                view.clear_bit(add);
+                view.set_bit(drop);
+            }
+        }
+        let total = state.overlaid_total(changed);
+        #[cfg(debug_assertions)]
+        if crate::sampling::should_assert() {
+            // The batch path must compute the serial delta's bits —
+            // unmasked verbatim, masked after restricting to the mask.
+            let mut serial = Vec::new();
+            let serial_total = match probe {
+                Probe::Add { cand } => self.price_delta_into(state, selection, cand, &mut serial),
+                Probe::Drop { cand } => {
+                    self.price_delta_removed_into(state, selection, cand, &mut serial)
+                }
+                Probe::Swap { add, drop } => {
+                    self.price_delta_swapped_into(state, selection, add, drop, &mut serial)
+                }
+            };
+            match qmask {
+                None => {
+                    debug_assert!(
+                        total.to_bits() == serial_total.to_bits(),
+                        "batch delta diverged from serial: {total} vs {serial_total} ({probe:?})"
+                    );
+                    debug_assert!(
+                        changed.len() == serial.len()
+                            && changed
+                                .iter()
+                                .zip(&serial)
+                                .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits()),
+                        "batch changed list diverged from serial ({probe:?})"
+                    );
+                }
+                Some(mask) => {
+                    let filtered: Vec<(u32, f64)> = serial
+                        .iter()
+                        .filter(|(q, _)| mask.binary_search(q).is_ok())
+                        .copied()
+                        .collect();
+                    debug_assert!(
+                        changed.len() == filtered.len()
+                            && changed
+                                .iter()
+                                .zip(&filtered)
+                                .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits()),
+                        "masked batch delta is not the mask-restriction of the serial delta \
+                         ({probe:?})"
+                    );
+                }
+            }
+        }
+        ProbeDelta {
+            total,
+            repriced,
+            changed: changed.len(),
+        }
+    }
+}
+
+/// One independent probe in a [`WorkloadModel::price_delta_batch`]
+/// call: the selection move whose workload total the batch prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Price `selection ∪ {cand}` — the greedy frontier probe.
+    Add { cand: usize },
+    /// Price `selection ∖ {cand}` — the drop-one neighborhood probe.
+    Drop { cand: usize },
+    /// Price `(selection ∖ {drop}) ∪ {add}` — one swap move.
+    Swap { add: usize, drop: usize },
+}
+
+/// One probe's priced outcome from [`WorkloadModel::price_delta_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeDelta {
+    /// The probed selection's workload total — bit-identical to the
+    /// serial delta (and to `price_full`) when the batch ran unmasked;
+    /// under a query mask it overlays only masked changed queries and
+    /// is a comparable rank, not an exact total.
+    pub total: f64,
+    /// Queries actually re-priced: the probe's affected list, clipped
+    /// to the query mask when one was given.
+    pub repriced: usize,
+    /// Re-priced queries whose cost moved (bit-inequality filter).
+    pub changed: usize,
+}
+
+impl Default for ProbeDelta {
+    fn default() -> Self {
+        ProbeDelta {
+            total: f64::INFINITY,
+            repriced: 0,
+            changed: 0,
+        }
+    }
 }
 
 /// Appends the distinct candidates in `cands` (one query's packed arm
@@ -1337,35 +1587,26 @@ pub(crate) fn prune_arms(arms: &mut Vec<AccessArm>) {
 }
 
 /// Flattens every `(cache, access)` pair, optionally fanning the per-query
-/// work across std threads. Each query's flattening is independent and the
-/// output order is the input order, so both paths yield identical vectors.
+/// work over the shared [`crate::pool::ProbePool`] (no per-call thread
+/// spawning). Each query's flattening is independent and the output order
+/// is the input order, so both paths yield identical vectors.
 pub(crate) fn flatten_models(
     models: &[(&PlanCache, &AccessCostCatalog)],
     parallel: bool,
 ) -> Vec<QueryModel> {
     let n = models.len();
-    let threads = if parallel {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n.div_ceil(8).max(1))
-    } else {
-        1
-    };
-    if threads <= 1 {
+    let pool = crate::pool::ProbePool::global();
+    if !parallel || pool.threads() <= 1 || n < 2 {
         return models.iter().map(|(c, a)| flatten_query(c, a)).collect();
     }
     let mut out: Vec<Option<QueryModel>> = vec![None; n];
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slots) in out.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            scope.spawn(move || {
-                for (i, slot) in slots.iter_mut().enumerate() {
-                    let (cache, access) = models[start + i];
-                    *slot = Some(flatten_query(cache, access));
-                }
-            });
+    let slots = crate::pool::SyncPtr::new(out.as_mut_ptr());
+    pool.for_each_chunk(n, &move |_worker, range| {
+        for i in range {
+            let (cache, access) = models[i];
+            // SAFETY: chunk ranges are disjoint, so each slot is written
+            // by exactly one worker; the Vec outlives the dispatch.
+            unsafe { *slots.get().add(i) = Some(flatten_query(cache, access)) };
         }
     });
     out.into_iter().map(|q| q.expect("flattened")).collect()
@@ -1459,6 +1700,7 @@ mod tests {
     use crate::builder::{build_cache_pinum, BuilderOptions};
     use crate::candidates::CandidatePool;
     use crate::costing::CacheCostModel;
+    use crate::pool::ProbePool;
     use pinum_catalog::{Catalog, Column, ColumnType, Index, Table};
     use pinum_optimizer::Optimizer;
     use pinum_query::{Query, QueryBuilder};
@@ -1913,5 +2155,143 @@ mod tests {
         assert!(state.per_query()[0].is_finite());
         assert!(state.per_query()[1].is_infinite());
         assert!(state.total().is_infinite());
+    }
+
+    /// Every add/drop/swap probe the fixture admits, as one batch.
+    fn all_probes(selection: &Selection, pool_size: usize) -> Vec<Probe> {
+        let mut probes = Vec::new();
+        for c in 0..pool_size {
+            if selection.contains(c) {
+                probes.push(Probe::Drop { cand: c });
+            } else {
+                probes.push(Probe::Add { cand: c });
+            }
+        }
+        for d in 0..pool_size {
+            if !selection.contains(d) {
+                continue;
+            }
+            for a in 0..pool_size {
+                if !selection.contains(a) {
+                    probes.push(Probe::Swap { add: a, drop: d });
+                }
+            }
+        }
+        probes
+    }
+
+    #[test]
+    fn batch_matches_serial_deltas_for_every_thread_and_chunk() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let wm = model_of(&models, &pool);
+        let selection = Selection::from_ids(pool.len(), &[1, 3]);
+        let state = wm.price_full(&selection);
+        let probes = all_probes(&selection, pool.len());
+
+        // Serial reference: the three *_into paths, one probe at a time.
+        let mut scratch = Vec::new();
+        let expect: Vec<(u64, usize)> = probes
+            .iter()
+            .map(|&p| {
+                let total = match p {
+                    Probe::Add { cand } => {
+                        wm.price_delta_into(&state, &selection, cand, &mut scratch)
+                    }
+                    Probe::Drop { cand } => {
+                        wm.price_delta_removed_into(&state, &selection, cand, &mut scratch)
+                    }
+                    Probe::Swap { add, drop } => {
+                        wm.price_delta_swapped_into(&state, &selection, add, drop, &mut scratch)
+                    }
+                };
+                (total.to_bits(), scratch.len())
+            })
+            .collect();
+
+        for threads in [1, 2, 3, 8] {
+            for chunk in [1, 3, 16] {
+                let batch_pool = ProbePool::with_chunk(threads, chunk);
+                let got = wm.price_delta_batch(&state, &selection, &probes, None, &batch_pool);
+                assert_eq!(got.len(), probes.len());
+                for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+                    assert_eq!(
+                        g.total.to_bits(),
+                        e.0,
+                        "probe {i} total diverged (threads {threads}, chunk {chunk})"
+                    );
+                    assert_eq!(
+                        g.changed, e.1,
+                        "probe {i} changed-count diverged (threads {threads}, chunk {chunk})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_repriced_counts_match_the_affected_index() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let wm = model_of(&models, &pool);
+        let selection = Selection::from_ids(pool.len(), &[0]);
+        let state = wm.price_full(&selection);
+        let probes: Vec<Probe> = (1..pool.len()).map(|cand| Probe::Add { cand }).collect();
+        let got = wm.price_delta_batch(&state, &selection, &probes, None, ProbePool::global());
+        for (p, d) in probes.iter().zip(&got) {
+            let Probe::Add { cand } = *p else {
+                unreachable!()
+            };
+            assert_eq!(d.repriced, wm.affected(cand).len());
+        }
+    }
+
+    #[test]
+    fn masked_batch_is_the_mask_restriction_of_the_serial_delta() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let wm = model_of(&models, &pool);
+        let selection = Selection::from_ids(pool.len(), &[1]);
+        let state = wm.price_full(&selection);
+        let probes = all_probes(&selection, pool.len());
+        let nq = wm.query_count() as u32;
+        // Sweep every subset mask of the (tiny) query set, including the
+        // empty and full masks.
+        let masks: Vec<Vec<u32>> = (0..(1u32 << nq))
+            .map(|bits| (0..nq).filter(|q| bits & (1 << q) != 0).collect())
+            .collect();
+        let mut scratch = Vec::new();
+        for mask in &masks {
+            let got =
+                wm.price_delta_batch(&state, &selection, &probes, Some(mask), ProbePool::global());
+            for (&p, d) in probes.iter().zip(&got) {
+                match p {
+                    Probe::Add { cand } => {
+                        wm.price_delta_into(&state, &selection, cand, &mut scratch)
+                    }
+                    Probe::Drop { cand } => {
+                        wm.price_delta_removed_into(&state, &selection, cand, &mut scratch)
+                    }
+                    Probe::Swap { add, drop } => {
+                        wm.price_delta_swapped_into(&state, &selection, add, drop, &mut scratch)
+                    }
+                };
+                let restricted: Vec<(u32, f64)> = scratch
+                    .iter()
+                    .filter(|(q, _)| mask.binary_search(q).is_ok())
+                    .copied()
+                    .collect();
+                assert_eq!(d.changed, restricted.len(), "mask {mask:?} probe {p:?}");
+                assert_eq!(
+                    d.total.to_bits(),
+                    state.overlaid_total(&restricted).to_bits(),
+                    "mask {mask:?} probe {p:?}"
+                );
+                // The full mask is exact: identical to the unmasked delta.
+                if mask.len() == nq as usize {
+                    assert_eq!(d.changed, scratch.len());
+                }
+            }
+        }
     }
 }

@@ -38,6 +38,26 @@ use pinum_core::PricedWorkload;
 use pinum_query::TemplateKey;
 use std::collections::HashMap;
 
+/// How a multi-template query's priced cost is credited to its templates
+/// when attribution sums per-template costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SharePolicy {
+    /// Divide the query's cost evenly across its templates (cost /
+    /// template count). A wide join no longer inflates *every* template
+    /// it touches by its full cost, so a genuinely hot template stands
+    /// out sooner and scoped masks stay sharp. The default.
+    #[default]
+    Split,
+    /// Credit the full cost to every template the query carries — the
+    /// original (pre-split) accounting, kept as an escape hatch. Sums
+    /// under `Full` dominate sums under [`SharePolicy::Split`] term by
+    /// term in every state, so `Split` stops a single wide query's
+    /// regression from inflating *all* of its templates past the
+    /// threshold at once — the failure mode that made `Full` masks
+    /// balloon to near-full scope.
+    Full,
+}
+
 /// Liveness/attribution status of one query slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Status {
@@ -67,6 +87,8 @@ pub struct DriftAttribution {
     /// templates interned later implicitly baseline at 0.0.
     baseline: Vec<f64>,
     baseline_captured: bool,
+    /// How multi-template queries split their cost across templates.
+    share_policy: SharePolicy,
 }
 
 impl DriftAttribution {
@@ -82,6 +104,19 @@ impl DriftAttribution {
     /// Live queries that carried template info at admission.
     pub fn attributed_live(&self) -> usize {
         self.attributed_live
+    }
+
+    /// Switches the cost-sharing policy (see [`SharePolicy`]). Takes
+    /// effect on the *next* `capture_baseline`/`regressed_queries` pair;
+    /// switching between a baseline and its comparison would compare sums
+    /// computed under different accounting.
+    pub fn set_share_policy(&mut self, policy: SharePolicy) {
+        self.share_policy = policy;
+    }
+
+    /// The active cost-sharing policy.
+    pub fn share_policy(&self) -> SharePolicy {
+        self.share_policy
     }
 
     /// Records one admission. `qid` must be the next query slot (the
@@ -146,17 +181,22 @@ impl DriftAttribution {
         self.status = status;
     }
 
-    /// Per-template cost sums under the given priced state — each live
-    /// attributed query's cost is credited to every template it carries.
+    /// Per-template cost sums under the given priced state. Under
+    /// [`SharePolicy::Split`] a query's cost is divided evenly across its
+    /// templates; under [`SharePolicy::Full`] the full cost is credited
+    /// to every template it carries.
     fn template_sums(&self, state: &PricedWorkload) -> Vec<f64> {
         let mut sums = vec![0.0; self.intern.len()];
         for (qid, ids) in self.per_query.iter().enumerate() {
             if ids.is_empty() {
                 continue;
             }
-            let cost = state.per_query()[qid];
+            let share = match self.share_policy {
+                SharePolicy::Split => state.per_query()[qid] / ids.len() as f64,
+                SharePolicy::Full => state.per_query()[qid],
+            };
             for &t in ids {
-                sums[t as usize] += cost;
+                sums[t as usize] += share;
             }
         }
         sums
@@ -323,6 +363,32 @@ mod tests {
         blind.admit(0, &[]);
         blind.capture_baseline(&state(&[10.0]));
         assert!(blind.regressed_queries(&state(&[99.0]), 0.2).is_none());
+    }
+
+    #[test]
+    fn share_splitting_only_shrinks_the_mask() {
+        let k = keys();
+        // Query 0 carries T1 alone and holds still; query 1 carries
+        // T1 + T2 and regresses. Under `Full` its regression bleeds into
+        // T1's sum and drags the stable query into the scope; under
+        // `Split` only half of it lands on T1 — below the threshold — so
+        // the mask pins exactly the regressing query.
+        let build = |policy: SharePolicy| {
+            let mut attr = DriftAttribution::new();
+            attr.set_share_policy(policy);
+            attr.admit(0, &[k[0].clone()]);
+            attr.admit(1, &[k[0].clone(), k[1].clone()]);
+            attr.capture_baseline(&state(&[10.0, 10.0]));
+            attr.regressed_queries(&state(&[10.0, 16.0]), 0.2)
+                .expect("a template regressed under both policies")
+        };
+        let full = build(SharePolicy::Full);
+        let split = build(SharePolicy::Split);
+        assert_eq!(full, vec![0, 1], "Full credits q1's rise to T1 too");
+        assert_eq!(split, vec![1], "Split pins the mask on the mover");
+        // Sharper accounting must not invent scope: the split mask only
+        // shrinks relative to the full mask.
+        assert!(split.iter().all(|q| full.contains(q)));
     }
 
     #[test]

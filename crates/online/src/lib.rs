@@ -44,7 +44,7 @@
 
 pub mod attribution;
 
-pub use attribution::DriftAttribution;
+pub use attribution::{DriftAttribution, SharePolicy};
 
 use pinum_advisor::greedy::GreedyOptions;
 use pinum_advisor::search::{SearchScope, StrategyKind};
@@ -483,17 +483,20 @@ impl OnlineAdvisor {
 
         // Scope: when drift fired and attribution can pin it on specific
         // templates, restrict the search to candidates that can affect
-        // the regressed queries (inverted index ∩ regressed set).
-        let mask: Option<Selection> = if trigger == ReadviseTrigger::Drift
+        // the regressed queries (inverted index ∩ regressed set) — and
+        // scope the *pricing* itself: the regressed set rides into the
+        // search as a query mask, so probes re-price only the queries
+        // that drifted (accepted moves re-derive exact totals).
+        let regressed: Option<Vec<u32>> = if trigger == ReadviseTrigger::Drift
             && self.opts.scoped_readvise
             && self.opts.warm_start
         {
             self.attribution
                 .regressed_queries(self.session.state(), self.opts.attribution_threshold)
-                .map(|regressed| self.scope_mask(&regressed))
         } else {
             None
         };
+        let mask: Option<Selection> = regressed.as_ref().map(|r| self.scope_mask(r));
 
         let gopts = GreedyOptions {
             budget_bytes: self.opts.budget_bytes,
@@ -503,10 +506,15 @@ impl OnlineAdvisor {
         let result = if self.opts.warm_start {
             // The tentpole handoff: the session's exact priced state
             // rides into the search, so a steady-state re-advise prices
-            // nothing it does not have to.
+            // nothing it does not have to. Batched probes fan out over
+            // the persistent process-global worker pool (the scope
+            // default), reused across every re-advise.
             let mut scope = SearchScope::all().with_warm_state(self.session.state());
             if let Some(mask) = &mask {
                 scope.mask = Some(mask);
+            }
+            if let Some(regressed) = &regressed {
+                scope = scope.with_query_mask(regressed);
             }
             strategy.search_scoped(
                 &self.pool,
@@ -647,6 +655,12 @@ impl OnlineAdvisor {
     /// The drift-attribution books behind scoped re-advising.
     pub fn attribution(&self) -> &DriftAttribution {
         &self.attribution
+    }
+
+    /// Switches how multi-template queries split their priced cost
+    /// across templates (see [`attribution::SharePolicy`]).
+    pub fn set_share_policy(&mut self, policy: attribution::SharePolicy) {
+        self.attribution.set_share_policy(policy);
     }
 
     pub fn pool(&self) -> &CandidatePool {
