@@ -24,11 +24,22 @@ const BLOCK: usize = 16;
 /// with probability `exp(-Δrel / T)` under a geometric cooling schedule,
 /// and returns the **best selection ever visited** — so the final cost is
 /// never above the greedy seed's.
+///
+/// Under a [`SearchScope::query_mask`] the Metropolis rule evaluates the
+/// *masked* delta, so a move that helps the masked queries while
+/// regressing the rest can be accepted — that is ordinary annealing
+/// (worsening moves are allowed by design), and the maintained state and
+/// best-ever tracking always use the exact unmasked totals, so the
+/// returned selection is the best true-cost state the walk visited.
 #[derive(Debug, Clone, Copy)]
 pub struct Anneal {
     /// RNG seed; the whole run is determined by it.
     pub seed: u64,
-    /// Number of proposed moves.
+    /// Number of proposals the Metropolis walk visits. Proposals drawn
+    /// into a block but discarded after an earlier acceptance are
+    /// *refunded* — they neither spend an iteration nor advance the
+    /// temperature — so the knob means the same thing it does for a
+    /// serial walk at every acceptance rate.
     pub iterations: usize,
     /// Initial temperature, in units of *relative* cost change (0.05 ⇒ a
     /// 5 % cost increase is accepted with probability 1/e at the start).
@@ -102,21 +113,24 @@ impl SearchStrategy for Anneal {
         // serially through the Metropolis rule in draw order. The first
         // acceptance applies its move and discards the block's remaining
         // proposals — their deltas (and draw-time validity) are stale
-        // against the new state. RNG consumption is therefore: all of a
-        // block's proposal draws first, then one acceptance draw per
-        // walked finite-worsening proposal — a fixed schedule, identical
-        // for every thread count and chunk size.
-        let mut moves: Vec<Option<(Move, f64)>> = Vec::with_capacity(BLOCK);
+        // against the new state. Discarded proposals are **refunded**:
+        // only walked proposals are charged against `iterations` and
+        // advance the temperature, so the knob keeps its serial meaning —
+        // the number of states the Metropolis chain actually visits —
+        // at every acceptance rate. RNG consumption is: all of a block's
+        // proposal draws first, then one acceptance draw per walked
+        // finite-worsening proposal — a fixed schedule, identical for
+        // every thread count and chunk size (though not the serial
+        // walk's stream: discarded proposals consumed draws).
+        let mut moves: Vec<Option<Move>> = Vec::with_capacity(BLOCK);
         let mut probes: Vec<Probe> = Vec::with_capacity(BLOCK);
         let mut remaining = self.iterations;
         while remaining > 0 {
             let block_len = BLOCK.min(remaining);
-            remaining -= block_len;
             let members: Vec<usize> = selection.ids().collect();
             moves.clear();
             probes.clear();
             for _ in 0..block_len {
-                temp *= self.cooling;
                 // Propose a move; invalid proposals still consume RNG
                 // draws so the stream (and thus the run) stays
                 // deterministic.
@@ -160,20 +174,26 @@ impl SearchStrategy for Anneal {
                         Move::Swap { add, drop } => Probe::Swap { add, drop },
                     });
                 }
-                moves.push(mv.map(|m| (m, temp)));
+                moves.push(mv);
             }
 
             let deltas =
                 model.price_delta_batch(&state, &selection, &probes, scope.query_mask, exec);
             let mut pi = 0usize;
+            let mut walked = 0usize;
             for entry in &moves {
-                let Some((mv, mv_temp)) = entry else { continue };
+                // Each walked proposal — valid or not — spends one
+                // iteration and one cooling step, exactly like the serial
+                // walk; the block's unwalked remainder is refunded.
+                walked += 1;
+                temp *= self.cooling;
+                let Some(mv) = entry else { continue };
                 let delta = deltas[pi];
                 pi += 1;
                 evaluations += 1;
                 queries_repriced += delta.changed;
 
-                if !accept(state.total(), delta.total, *mv_temp, &mut rng) {
+                if !accept(state.total(), delta.total, temp, &mut rng) {
                     continue;
                 }
                 // Accepted: re-derive the move's exact **unmasked** delta
@@ -218,6 +238,9 @@ impl SearchStrategy for Anneal {
                 }
                 break; // discard the block's stale remainder
             }
+            // Charge only what was walked (≥ 1, so the loop terminates);
+            // the discarded remainder is redrawn next block.
+            remaining -= walked;
         }
 
         GreedyResult {

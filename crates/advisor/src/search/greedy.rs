@@ -95,8 +95,11 @@ impl SearchStrategy for EagerGreedy {
             }
             let deltas =
                 model.price_delta_batch(&state, &selection, &probes, scope.query_mask, exec);
-            let mut best: Option<(usize, f64)> = None; // (candidate, score)
-            for (&(cand, size), delta) in frontier.iter().zip(&deltas) {
+            // Each frontier entry's score, `None` once it is no longer a
+            // contender this round (non-positive or NaN benefit, or a
+            // masked winner whose exact benefit fell through below).
+            let mut scores: Vec<Option<f64>> = Vec::with_capacity(frontier.len());
+            for (&(_, size), delta) in frontier.iter().zip(&deltas) {
                 evaluations += 1;
                 queries_repriced += delta.repriced;
                 // NaN-proof benefit guard (inf - inf probes are skipped,
@@ -104,37 +107,65 @@ impl SearchStrategy for EagerGreedy {
                 // the two stay decision-identical.
                 let benefit = state.total() - delta.total;
                 if benefit.is_nan() || benefit <= 0.0 {
+                    scores.push(None);
                     continue;
                 }
-                let score = if opts.benefit_per_byte {
+                scores.push(Some(if opts.benefit_per_byte {
                     benefit / size.max(1) as f64
                 } else {
                     benefit
-                };
-                if best.is_none_or(|(_, s)| score > s) {
-                    best = Some((cand, score));
-                }
+                }));
             }
-            match best {
-                Some((cand, _)) => {
-                    // Re-run the winning probe serially and **unmasked**
-                    // and splice the changed queries into the running
-                    // state: the accepted pick costs O(affected), never a
-                    // full re-pricing, and the exact delta total is
-                    // bit-identical to `price_full` (asserted inside the
-                    // delta itself) — so the maintained state stays exact
-                    // even when a query mask ranked the frontier.
-                    let total = model.price_delta_into(&state, &selection, cand, &mut scratch);
-                    evaluations += 1;
-                    queries_repriced += scratch.len();
-                    super::apply_changed(&mut state, &scratch, total);
-                    selection.insert(cand);
-                    picked.push(cand);
-                    used_bytes += pool.index(cand).size().total_bytes();
-                    debug_assert_state_matches(model, &selection, &state);
-                    trajectory.push(state.total());
+            let mut committed = false;
+            loop {
+                // Strict `>` argmax: the first maximum scanned (lowest
+                // candidate id) wins ties, same as the serial loop.
+                let mut best: Option<(usize, f64)> = None; // (frontier idx, score)
+                for (i, score) in scores.iter().enumerate() {
+                    if let Some(score) = *score {
+                        if best.is_none_or(|(_, s)| score > s) {
+                            best = Some((i, score));
+                        }
+                    }
                 }
-                None => break,
+                let Some((i, _)) = best else { break };
+                let cand = frontier[i].0;
+                // Re-run the winning probe serially and **unmasked** and
+                // splice the changed queries into the running state: the
+                // accepted pick costs O(affected), never a full
+                // re-pricing, and the exact delta total is bit-identical
+                // to `price_full` (asserted inside the delta itself).
+                let total = model.price_delta_into(&state, &selection, cand, &mut scratch);
+                evaluations += 1;
+                queries_repriced += scratch.len();
+                // A query mask ranks the frontier by *masked* benefit; a
+                // winner that improves the masked queries while regressing
+                // the rest would raise the true workload total. Re-check
+                // the exact benefit before committing and fall through to
+                // the next-best contender otherwise — masked search stays
+                // monotone in the true objective. Unmasked, the exact
+                // delta is bit-identical to the batch's, so this check
+                // never fires.
+                let exact_benefit = state.total() - total;
+                if exact_benefit.is_nan() || exact_benefit <= 0.0 {
+                    debug_assert!(
+                        scope.query_mask.is_some(),
+                        "unmasked exact delta diverged from its batch delta"
+                    );
+                    scores[i] = None;
+                    continue;
+                }
+                super::apply_changed(&mut state, &scratch, total);
+                selection.insert(cand);
+                picked.push(cand);
+                used_bytes += pool.index(cand).size().total_bytes();
+                debug_assert_state_matches(model, &selection, &state);
+                trajectory.push(state.total());
+                committed = true;
+                break;
+            }
+            if !committed {
+                break;
             }
         }
 
@@ -390,6 +421,22 @@ impl SearchStrategy for LazyGreedy {
                 let total = model.price_delta_into(&state, &selection, cand, &mut scratch);
                 evaluations += 1;
                 queries_repriced += scratch.len();
+                // Masked scores rank by *masked* benefit; before the pick
+                // is committed its exact unmasked benefit must also be
+                // positive, or the move would regress the true workload
+                // total. A masked winner that fails the exact check is
+                // parked like any non-positive entry (back in contention
+                // after the next pick); unmasked, the exact delta is
+                // bit-identical to the batch's and this never fires.
+                let exact_benefit = state.total() - total;
+                if exact_benefit.is_nan() || exact_benefit <= 0.0 {
+                    debug_assert!(
+                        scope.query_mask.is_some(),
+                        "unmasked exact delta diverged from its batch delta"
+                    );
+                    parked.push(top);
+                    continue;
+                }
                 super::apply_changed(&mut state, &scratch, total);
                 selection.insert(cand);
                 picked.push(cand);

@@ -70,7 +70,14 @@ use pinum_core::{CandidatePool, PricedWorkload, ProbePool, Selection, WorkloadMo
 ///   their masked deltas. Accepted moves are always re-derived with the
 ///   exact unmasked serial delta before being applied, so the maintained
 ///   state stays bit-identical to `price_full` even when the mask
-///   changes which move wins.
+///   changes which move wins. The greedy family and the swap climb also
+///   **re-check the exact benefit** before committing — a move that
+///   improves only the masked queries while regressing the full workload
+///   is skipped (the next-best contender is tried instead), so masked
+///   search never raises the true workload total. The annealing walk is
+///   the deliberate exception: its Metropolis rule may accept
+///   exact-worsening moves by design, and it returns the best *exact*
+///   state visited.
 /// * `probe_pool` overrides the worker pool probes fan out over (None =
 ///   the process-global [`ProbePool::global`]). Thread count never
 ///   changes results — the batch reduction is deterministic.

@@ -64,7 +64,6 @@ impl SearchStrategy for SwapHillClimb {
             // argmin scan breaks ties toward the first exchange scanned —
             // the climb is deterministic for every thread count. Drops
             // may touch any member; adds are restricted to the scope.
-            let mut best: Option<(usize, usize, f64)> = None; // (drop, add, cost)
             let members: Vec<usize> = selection.ids().collect();
             probes.clear();
             for &drop in &members {
@@ -82,10 +81,8 @@ impl SearchStrategy for SwapHillClimb {
             }
             let deltas =
                 model.price_delta_batch(&state, &selection, &probes, scope.query_mask, exec);
-            for (&probe, delta) in probes.iter().zip(&deltas) {
-                let Probe::Swap { add, drop } = probe else {
-                    unreachable!("swap neighborhood holds only swap probes");
-                };
+            let mut improving: Vec<(usize, f64)> = Vec::new(); // (probe idx, proposed cost)
+            for (i, delta) in deltas.iter().enumerate() {
                 evaluations += 1;
                 queries_repriced += delta.changed;
                 // Same NaN-proof guard as the greedy engines: an
@@ -94,37 +91,58 @@ impl SearchStrategy for SwapHillClimb {
                 if gain.is_nan() || gain <= 0.0 {
                     continue;
                 }
-                if best.is_none_or(|(_, _, c)| delta.total < c) {
-                    best = Some((drop, add, delta.total));
-                }
+                improving.push((i, delta.total));
             }
-            match best {
-                Some((drop, add, _)) => {
-                    // Re-run the winning probe serially and **unmasked**
-                    // and splice the changed queries into the priced
-                    // state: the accepted move costs O(affected), not an
-                    // O(workload) full re-pricing, and the exact delta
-                    // total is bit-identical to a full reprice
-                    // (debug-asserted inside the delta itself) even when
-                    // a query mask ranked the neighborhood.
-                    let total =
-                        model.price_delta_swapped_into(&state, &selection, add, drop, &mut scratch);
-                    evaluations += 1;
-                    queries_repriced += scratch.len();
-                    apply_changed(&mut state, &scratch, total);
-                    selection.remove(drop);
-                    selection.insert(add);
-                    debug_assert_state_matches(model, &selection, &state);
-                    used_bytes = used_bytes - pool.index(drop).size().total_bytes()
-                        + pool.index(add).size().total_bytes();
-                    // `picked` tracks the surviving set in acquisition
-                    // order: the dropped index leaves, the added one joins
-                    // at the end.
-                    picked.retain(|&p| p != drop);
-                    picked.push(add);
-                    trajectory.push(state.total());
+            // Lowest proposed cost first; among ties the first exchange
+            // enumerated wins — exactly the strict `<` argmin scan.
+            improving.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("NaN totals were filtered above")
+                    .then(a.0.cmp(&b.0))
+            });
+            let mut committed = false;
+            for &(i, _) in &improving {
+                let Probe::Swap { add, drop } = probes[i] else {
+                    unreachable!("swap neighborhood holds only swap probes");
+                };
+                // Re-run the candidate probe serially and **unmasked**:
+                // the exact delta total is bit-identical to a full reprice
+                // (debug-asserted inside the delta itself). A query mask
+                // ranks the neighborhood by *masked* cost, so an exchange
+                // that helps the masked queries can still regress the full
+                // workload — re-check the exact gain before splicing and
+                // fall through to the next-best exchange otherwise, so the
+                // climb stays a strict descent in the true objective.
+                // Unmasked, the first candidate always passes.
+                let total =
+                    model.price_delta_swapped_into(&state, &selection, add, drop, &mut scratch);
+                evaluations += 1;
+                queries_repriced += scratch.len();
+                let exact_gain = state.total() - total;
+                if exact_gain.is_nan() || exact_gain <= 0.0 {
+                    debug_assert!(
+                        scope.query_mask.is_some(),
+                        "unmasked exact swap delta diverged from its batch delta"
+                    );
+                    continue;
                 }
-                None => break, // local optimum under the swap neighbourhood
+                apply_changed(&mut state, &scratch, total);
+                selection.remove(drop);
+                selection.insert(add);
+                debug_assert_state_matches(model, &selection, &state);
+                used_bytes = used_bytes - pool.index(drop).size().total_bytes()
+                    + pool.index(add).size().total_bytes();
+                // `picked` tracks the surviving set in acquisition
+                // order: the dropped index leaves, the added one joins
+                // at the end.
+                picked.retain(|&p| p != drop);
+                picked.push(add);
+                trajectory.push(state.total());
+                committed = true;
+                break;
+            }
+            if !committed {
+                break; // local optimum under the swap neighbourhood
             }
         }
 

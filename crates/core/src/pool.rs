@@ -40,6 +40,20 @@
 //! task; [`ProbePool::run`] from a marked thread executes inline instead
 //! of dispatching, so nested pricing can never deadlock the pool.
 //!
+//! ## Concurrent dispatchers and panics
+//!
+//! The pool is `Sync` and [`ProbePool::global`] hands out a `&'static`
+//! reference, so *different* threads may call [`ProbePool::run`]
+//! concurrently from safe code. Whole dispatches are serialized on an
+//! internal mutex: the second dispatcher blocks until the first epoch has
+//! fully drained, so tasks never interleave and a caller's borrowed
+//! closure/buffers are never observed by a stale epoch. Task panics are
+//! contained — a panicking participant still checks out of the epoch, the
+//! dispatcher always waits the barrier out before unwinding, and the
+//! first panic payload is re-raised on the dispatching thread once the
+//! epoch is over (so a failed debug assertion inside a batched probe
+//! fails the run instead of hanging or tearing the pool).
+//!
 //! ## Sizing
 //!
 //! [`ProbePool::global`] sizes itself once per process: an explicit
@@ -51,6 +65,7 @@
 //! regardless of features, which is what the thread-invariance tests and
 //! experiments use.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
@@ -78,6 +93,9 @@ struct State {
     task: Option<Task>,
     /// Spawned workers still running the current epoch's task.
     remaining: usize,
+    /// First panic payload caught from a worker this epoch; the
+    /// dispatcher re-raises it after the barrier.
+    panic: Option<Box<dyn std::any::Any + Send>>,
     shutdown: bool,
 }
 
@@ -98,6 +116,14 @@ pub struct ProbePool {
     threads: usize,
     chunk: usize,
     shared: std::sync::Arc<Shared>,
+    /// Serializes whole dispatches. The pool is `Sync` and `global()`
+    /// hands out `&'static` references, so two threads may call `run`
+    /// concurrently from safe code; without mutual exclusion the second
+    /// dispatch would overwrite `task`/`remaining` mid-epoch and a caller
+    /// could return — freeing its borrowed closure and output buffers —
+    /// while a worker still executes them. Held for the full duration of
+    /// `run`, dispatch through barrier.
+    dispatch: Mutex<()>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -128,6 +154,7 @@ impl ProbePool {
                 epoch: 0,
                 task: None,
                 remaining: 0,
+                panic: None,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -146,6 +173,7 @@ impl ProbePool {
             threads,
             chunk: chunk.max(1),
             shared,
+            dispatch: Mutex::new(()),
             workers,
         }
     }
@@ -187,11 +215,27 @@ impl ProbePool {
     /// every participant returns, which is what makes the borrowed closure
     /// sound to hand to the persistent workers. Inline (serial) when the
     /// pool is single-threaded or when called from inside a dispatch.
+    ///
+    /// Concurrent `run` calls from different threads are serialized on an
+    /// internal mutex — the second dispatcher waits for the first epoch to
+    /// fully drain. A panic in `f` (on a worker or on the caller) does not
+    /// hang or tear the pool: every participant's exit is counted even on
+    /// unwind, the barrier is always waited out before `run` returns or
+    /// re-raises, and the first panic payload is re-raised on the calling
+    /// thread once the epoch is over.
     pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
         if self.workers.is_empty() || IN_POOL_TASK.with(|c| c.get()) {
             f(0);
             return;
         }
+        // Serialize whole dispatches (see the `dispatch` field docs). The
+        // plain-unit mutex may be poisoned by a propagated task panic
+        // unwinding through a previous `run`; there is no data to corrupt,
+        // so recover the guard.
+        let _dispatch = self
+            .dispatch
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         // Lifetime erasure: workers only dereference the pointer between
         // dispatch and their `remaining` decrement, and we block below
         // until every decrement happened — the borrow is live throughout.
@@ -204,17 +248,35 @@ impl ProbePool {
             st.epoch += 1;
             st.task = Some(task);
             st.remaining = self.workers.len();
+            st.panic = None;
             self.shared.work_cv.notify_all();
         }
-        // The caller participates as the last worker index.
+        // The caller participates as the last worker index. Its panic is
+        // caught so the barrier below always runs — unwinding past it
+        // would free the borrowed closure and output buffers while slow
+        // workers still hold pointers into them.
         IN_POOL_TASK.with(|c| c.set(true));
-        f(self.workers.len());
+        let caller = std::panic::catch_unwind(AssertUnwindSafe(|| f(self.workers.len())));
         IN_POOL_TASK.with(|c| c.set(false));
+        // Barrier: every worker checked out of this epoch (panicked ones
+        // included — their drop guard still decrements).
         let mut st = self.shared.state.lock().expect("pool mutex");
         while st.remaining > 0 {
             st = self.shared.done_cv.wait(st).expect("pool mutex");
         }
         st.task = None;
+        let worker_panic = st.panic.take();
+        drop(st);
+        // The epoch is fully drained; now it is safe to unwind. The
+        // caller's own panic wins (it is this thread's), else the first
+        // worker panic is re-raised here so a failed assertion inside a
+        // batched probe surfaces instead of being swallowed.
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            std::panic::resume_unwind(payload);
+        }
     }
 
     /// Fans `0..items` out as chunks of [`Self::chunk_size`] claimed off
@@ -271,10 +333,16 @@ fn worker_loop(shared: &Shared, idx: usize) {
         };
         IN_POOL_TASK.with(|c| c.set(true));
         // Sound per the dispatch protocol: the closure outlives this call
-        // because `run` blocks until our decrement below.
-        unsafe { (*task)(idx) };
+        // because `run` blocks until our decrement below. The task is run
+        // under `catch_unwind` so a panicking probe still reaches the
+        // decrement — otherwise the dispatcher would wait on `remaining`
+        // forever — and its payload is parked for `run` to re-raise.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*task)(idx) }));
         IN_POOL_TASK.with(|c| c.set(false));
         let mut st = shared.state.lock().expect("pool mutex");
+        if let Err(payload) = result {
+            st.panic.get_or_insert(payload);
+        }
         st.remaining -= 1;
         if st.remaining == 0 {
             shared.done_cv.notify_all();
@@ -376,6 +444,71 @@ mod tests {
             });
         });
         assert_eq!(inner_hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn concurrent_dispatchers_are_serialized() {
+        // Two threads hammer the same pool; each fans out into its own
+        // output buffer. Without dispatch serialization the epochs would
+        // interleave (counter underflow, cross-buffer writes, UAF).
+        let pool = ProbePool::new(4);
+        std::thread::scope(|s| {
+            for t in 0..2u32 {
+                let pool = &pool;
+                s.spawn(move || {
+                    for rep in 0..100 {
+                        let n = 61;
+                        let mut out = vec![0u32; n];
+                        let ptr = SyncPtr::new(out.as_mut_ptr());
+                        pool.for_each_chunk(n, &|_, range| {
+                            for i in range {
+                                unsafe { *ptr.get().add(i) = i as u32 + t };
+                            }
+                        });
+                        let expect: Vec<u32> = (0..n as u32).map(|i| i + t).collect();
+                        assert_eq!(out, expect, "thread {t} rep {rep}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn panicking_task_propagates_and_leaves_the_pool_usable() {
+        let pool = ProbePool::new(4);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|w| {
+                if w == 1 {
+                    panic!("probe assertion failed on worker {w}");
+                }
+            });
+        }))
+        .expect_err("a worker panic must re-raise on the dispatcher");
+        let msg = err
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| err.downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        assert!(
+            msg.contains("probe assertion failed"),
+            "payload lost: {msg}"
+        );
+        // Same when the *caller's* participation panics (highest index).
+        let caller_idx = pool.threads() - 1;
+        assert!(std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|w| {
+                if w == caller_idx {
+                    panic!("caller-side panic");
+                }
+            });
+        }))
+        .is_err());
+        // The epoch drained cleanly both times: the pool still works.
+        let hits = AtomicUsize::new(0);
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
     }
 
     #[test]

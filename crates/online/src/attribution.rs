@@ -87,8 +87,15 @@ pub struct DriftAttribution {
     /// templates interned later implicitly baseline at 0.0.
     baseline: Vec<f64>,
     baseline_captured: bool,
-    /// How multi-template queries split their cost across templates.
+    /// How multi-template queries split their cost across templates (the
+    /// configured policy; applied starting at the next baseline capture).
     share_policy: SharePolicy,
+    /// The policy the captured baseline was summed under. Comparisons
+    /// against that baseline always use this stamped policy, never the
+    /// configured one — sums computed under different accounting are not
+    /// comparable, so a `set_share_policy` between a capture and its
+    /// comparison must not leak in.
+    baseline_policy: SharePolicy,
 }
 
 impl DriftAttribution {
@@ -107,9 +114,11 @@ impl DriftAttribution {
     }
 
     /// Switches the cost-sharing policy (see [`SharePolicy`]). Takes
-    /// effect on the *next* `capture_baseline`/`regressed_queries` pair;
-    /// switching between a baseline and its comparison would compare sums
-    /// computed under different accounting.
+    /// effect at the *next* [`Self::capture_baseline`]: the policy is
+    /// stamped into each captured baseline, and [`Self::regressed_queries`]
+    /// always sums the current state under the stamped policy — so a
+    /// baseline and its comparison are never computed under different
+    /// accounting, no matter when the switch happens.
     pub fn set_share_policy(&mut self, policy: SharePolicy) {
         self.share_policy = policy;
     }
@@ -181,17 +190,17 @@ impl DriftAttribution {
         self.status = status;
     }
 
-    /// Per-template cost sums under the given priced state. Under
-    /// [`SharePolicy::Split`] a query's cost is divided evenly across its
-    /// templates; under [`SharePolicy::Full`] the full cost is credited
-    /// to every template it carries.
-    fn template_sums(&self, state: &PricedWorkload) -> Vec<f64> {
+    /// Per-template cost sums under the given priced state and sharing
+    /// policy. Under [`SharePolicy::Split`] a query's cost is divided
+    /// evenly across its templates; under [`SharePolicy::Full`] the full
+    /// cost is credited to every template it carries.
+    fn template_sums(&self, state: &PricedWorkload, policy: SharePolicy) -> Vec<f64> {
         let mut sums = vec![0.0; self.intern.len()];
         for (qid, ids) in self.per_query.iter().enumerate() {
             if ids.is_empty() {
                 continue;
             }
-            let share = match self.share_policy {
+            let share = match policy {
                 SharePolicy::Split => state.per_query()[qid] / ids.len() as f64,
                 SharePolicy::Full => state.per_query()[qid],
             };
@@ -203,9 +212,11 @@ impl DriftAttribution {
     }
 
     /// Captures the post-re-advise baseline from the session's exact
-    /// priced state.
+    /// priced state, stamping the configured [`SharePolicy`] into it —
+    /// every comparison against this baseline uses the stamped policy.
     pub fn capture_baseline(&mut self, state: &PricedWorkload) {
-        self.baseline = self.template_sums(state);
+        self.baseline_policy = self.share_policy;
+        self.baseline = self.template_sums(state, self.baseline_policy);
         self.baseline_captured = true;
     }
 
@@ -225,7 +236,10 @@ impl DriftAttribution {
         if !self.baseline_captured || self.attributed_live == 0 {
             return None;
         }
-        let current = self.template_sums(state);
+        // Summed under the policy stamped at capture time, so both sides
+        // of the comparison use the same accounting even if the
+        // configured policy changed since.
+        let current = self.template_sums(state, self.baseline_policy);
         let regressed_template: Vec<bool> = current
             .iter()
             .enumerate()
@@ -389,6 +403,31 @@ mod tests {
         // Sharper accounting must not invent scope: the split mask only
         // shrinks relative to the full mask.
         assert!(split.iter().all(|q| full.contains(q)));
+    }
+
+    #[test]
+    fn policy_switch_between_capture_and_compare_uses_the_stamped_policy() {
+        let k = keys();
+        // Same fixture as `share_splitting_only_shrinks_the_mask`: the
+        // policies disagree on whether q1's rise drags q0 into scope.
+        let mut attr = DriftAttribution::new();
+        attr.set_share_policy(SharePolicy::Full);
+        attr.admit(0, &[k[0].clone()]);
+        attr.admit(1, &[k[0].clone(), k[1].clone()]);
+        attr.capture_baseline(&state(&[10.0, 10.0]));
+        // Switching after the capture must not change the accounting the
+        // captured baseline is compared under: still Full.
+        attr.set_share_policy(SharePolicy::Split);
+        let regressed = attr
+            .regressed_queries(&state(&[10.0, 16.0]), 0.2)
+            .expect("a template regressed");
+        assert_eq!(regressed, vec![0, 1], "comparison leaked the new policy");
+        // The next capture picks the switched policy up.
+        attr.capture_baseline(&state(&[10.0, 10.0]));
+        let regressed = attr
+            .regressed_queries(&state(&[10.0, 16.0]), 0.2)
+            .expect("a template regressed");
+        assert_eq!(regressed, vec![1], "Split applies from the new baseline");
     }
 
     #[test]
