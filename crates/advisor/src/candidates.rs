@@ -43,16 +43,42 @@ pub fn generate_candidates_merged(catalog: &Catalog, queries: &[Query]) -> Candi
     merge_prefix_subsumed(&generate_candidates(catalog, queries)).0
 }
 
+/// Scan-cost penalty a subsuming wide index charges over the narrow one
+/// it replaces, above which [`merge_prefix_subsumed`] keeps the narrow
+/// candidate. The penalty is relative leaf-page growth — the dominant
+/// term of every scan shape the narrow index served (range scans,
+/// index-only scans, and the per-probe descent all price proportionally
+/// to the leaf size at equal selectivity). This default is calibrated so
+/// that the ordinary prefix pairs candidate generation emits (one or two
+/// extra join/filter key columns) merge exactly as the unconditional
+/// merge did, while a pathological pair — a skinny key subsumed by a
+/// fat covering index many times its size — survives, because replacing
+/// it would distort pricing far beyond the model's noise, not trim it.
+pub const MERGE_PENALTY_NOISE_FLOOR: f64 = 8.0;
+
 /// Workload-level candidate merging: drops every candidate whose key
 /// columns are a strict **prefix** of a wider candidate on the same table
-/// (same uniqueness). The wider index serves every plan shape the narrow
-/// one could — the same interesting orders (order prefixes), the same
-/// lookups, plus covering variants — at a somewhat higher per-scan cost,
-/// so this trades a little pricing fidelity for a smaller pool *before*
-/// any optimizer call or model construction happens. Returns the merged
-/// pool (survivors in original pool order, so runs are deterministic) and
-/// the number of candidates dropped.
+/// (same uniqueness), provided the wider index's scan-cost penalty stays
+/// under [`MERGE_PENALTY_NOISE_FLOOR`]. The wider index serves every plan
+/// shape the narrow one could — the same interesting orders (order
+/// prefixes), the same lookups, plus covering variants — at a somewhat
+/// higher per-scan cost, so this trades a little pricing fidelity for a
+/// smaller pool *before* any optimizer call or model construction
+/// happens. Returns the merged pool (survivors in original pool order, so
+/// runs are deterministic) and the number of candidates dropped.
 pub fn merge_prefix_subsumed(pool: &CandidatePool) -> (CandidatePool, usize) {
+    merge_prefix_subsumed_with(pool, MERGE_PENALTY_NOISE_FLOOR)
+}
+
+/// [`merge_prefix_subsumed`] with an explicit penalty ceiling:
+/// `f64::INFINITY` reproduces the unconditional (pre-cost-aware) merge;
+/// `0.0` merges only extensions that are literally free (padding can
+/// make an extra narrow column cost zero leaf pages); a negative ceiling
+/// disables merging entirely.
+pub fn merge_prefix_subsumed_with(
+    pool: &CandidatePool,
+    max_penalty: f64,
+) -> (CandidatePool, usize) {
     // Group candidate ids by (table, uniqueness); prefix subsumption never
     // crosses either boundary.
     let mut groups: HashMap<(TableId, bool), Vec<usize>> = HashMap::new();
@@ -64,19 +90,28 @@ pub fn merge_prefix_subsumed(pool: &CandidatePool) -> (CandidatePool, usize) {
     }
     let mut dropped = vec![false; pool.len()];
     for ids in groups.values() {
-        // Lexicographic order on key columns puts every strict prefix
-        // immediately before one of its extensions: if A is a prefix of
-        // some C, every B with A ≤ B ≤ C also starts with A, so checking
-        // each adjacent pair suffices.
+        // Lexicographic order on key columns makes every strict prefix's
+        // extensions a contiguous run right behind it: for A < B < C with
+        // A a prefix of C, B also starts with A. So each candidate scans
+        // forward over its own run and stops at the first non-extension.
         let mut sorted = ids.clone();
         sorted.sort_by(|&a, &b| pool.index(a).key_columns().cmp(pool.index(b).key_columns()));
-        for w in sorted.windows(2) {
-            let (ka, kb) = (
-                pool.index(w[0]).key_columns(),
-                pool.index(w[1]).key_columns(),
-            );
-            if ka.len() < kb.len() && kb[..ka.len()] == *ka {
-                dropped[w[0]] = true;
+        for (i, &a) in sorted.iter().enumerate() {
+            let narrow = pool.index(a);
+            let ka = narrow.key_columns();
+            let mut cheapest = f64::INFINITY;
+            for &b in &sorted[i + 1..] {
+                let wide = pool.index(b);
+                if !wide.key_columns().starts_with(ka) {
+                    break;
+                }
+                cheapest = cheapest.min(scan_penalty(narrow, wide));
+            }
+            // `cheapest` stays infinite when no extension exists at all —
+            // finite-check first so an `INFINITY` ceiling means "any
+            // extension subsumes", not "drop everything".
+            if cheapest.is_finite() && cheapest <= max_penalty {
+                dropped[a] = true;
             }
         }
     }
@@ -89,6 +124,14 @@ pub fn merge_prefix_subsumed(pool: &CandidatePool) -> (CandidatePool, usize) {
         .collect();
     let n_dropped = pool.len() - survivors.len();
     (CandidatePool::from_indexes(survivors), n_dropped)
+}
+
+/// Relative extra leaf pages a scan pays for using `wide` where `narrow`
+/// sufficed.
+fn scan_penalty(narrow: &Index, wide: &Index) -> f64 {
+    let n = narrow.size().leaf_pages.max(1) as f64;
+    let w = wide.size().leaf_pages as f64;
+    ((w - n) / n).max(0.0)
 }
 
 fn generate_for_relation(catalog: &Catalog, q: &Query, rel: RelIdx, pool: &mut CandidatePool) {
@@ -246,6 +289,66 @@ mod tests {
         let (merged, dropped) = merge_prefix_subsumed(&pool);
         assert_eq!(dropped, 1);
         assert!(merged.indexes().iter().all(|i| i.key_columns().len() == 2));
+    }
+
+    #[test]
+    fn cost_aware_merge_is_bit_identical_where_the_guard_does_not_fire() {
+        // On pools that candidate generation actually emits, every
+        // subsuming extension stays well under the noise floor: the
+        // cost-aware default must pick the exact survivor list (same
+        // indexes, same order) as the unconditional merge.
+        let (cat, q) = setup();
+        let pool = generate_candidates(&cat, std::slice::from_ref(&q));
+        let (merged, dropped) = merge_prefix_subsumed(&pool);
+        let (unconditional, dropped_unconditional) =
+            merge_prefix_subsumed_with(&pool, f64::INFINITY);
+        assert_eq!(dropped, dropped_unconditional);
+        let keys = |p: &CandidatePool| {
+            p.indexes()
+                .iter()
+                .map(|i| (i.table(), i.key_columns().to_vec(), i.is_unique()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(keys(&merged), keys(&unconditional));
+    }
+
+    #[test]
+    fn cost_aware_merge_keeps_a_prefix_its_wide_twin_would_overprice() {
+        // A skinny single-column key vs a fat covering extension dozens
+        // of times its leaf size: the old merge dropped the skinny index
+        // unconditionally; the cost guard must keep it.
+        let mut cat = Catalog::new();
+        let mut cols = vec![Column::new("k", ColumnType::Int4).with_ndv(100_000)];
+        for i in 0..30 {
+            cols.push(Column::new(format!("p{i}"), ColumnType::Int8).with_ndv(1_000));
+        }
+        let wide_table = cat.add_table(Table::new("fat", 1_000_000, cols));
+        let t = cat.table(wide_table).clone();
+        let narrow = Index::hypothetical(&t, vec![0], false);
+        let fat = Index::hypothetical(&t, (0..31u16).collect(), false);
+        let penalty = (fat.size().leaf_pages as f64 - narrow.size().leaf_pages as f64)
+            / narrow.size().leaf_pages as f64;
+        assert!(
+            penalty > MERGE_PENALTY_NOISE_FLOOR,
+            "fixture not fat enough: penalty {penalty:.2}"
+        );
+        let pool = CandidatePool::from_indexes(vec![narrow, fat]);
+        let (merged, dropped) = merge_prefix_subsumed(&pool);
+        assert_eq!(dropped, 0, "cost guard should keep the skinny index");
+        assert_eq!(merged.len(), 2);
+        // The unconditional merge (penalty ceiling lifted) still drops it.
+        let (_, dropped_unconditional) = merge_prefix_subsumed_with(&pool, f64::INFINITY);
+        assert_eq!(dropped_unconditional, 1);
+        // A negative ceiling disables merging outright; a zero ceiling
+        // admits only literally-free extensions (alignment padding can
+        // make one extra narrow column cost zero leaf pages).
+        let (cat2, q) = setup();
+        let generated = generate_candidates(&cat2, std::slice::from_ref(&q));
+        let (_, dropped_negative) = merge_prefix_subsumed_with(&generated, -1.0);
+        assert_eq!(dropped_negative, 0);
+        let (_, dropped_zero) = merge_prefix_subsumed_with(&generated, 0.0);
+        let (_, dropped_default) = merge_prefix_subsumed(&generated);
+        assert!(dropped_zero <= dropped_default);
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub mod greedy;
 pub mod search;
 pub mod tool;
 
-pub use candidates::{generate_candidates, generate_candidates_merged, merge_prefix_subsumed};
+pub use candidates::{
+    generate_candidates, generate_candidates_merged, merge_prefix_subsumed,
+    merge_prefix_subsumed_with, MERGE_PENALTY_NOISE_FLOOR,
+};
 pub use greedy::{greedy_select, greedy_select_model, GreedyOptions, GreedyResult};
 pub use search::{Anneal, EagerGreedy, LazyGreedy, SearchStrategy, StrategyKind, SwapHillClimb};
 pub use tool::{advise, Advice, AdvisorOptions, CostOracle, QueryOutcome};

@@ -22,5 +22,6 @@ fn main() {
     e::online_drift::run(scale);
     e::scoped_readvise::run(scale);
     e::parallel_search::run(scale);
+    e::multi_tenant::run(scale);
     println!("==== done ====");
 }

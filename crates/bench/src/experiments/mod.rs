@@ -8,6 +8,7 @@ pub mod cost_accuracy;
 pub mod engine_validation;
 pub mod greedy_quality;
 pub mod index_selection;
+pub mod multi_tenant;
 pub mod nlj;
 pub mod online_drift;
 pub mod parallel_search;

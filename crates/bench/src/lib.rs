@@ -19,6 +19,7 @@
 //! | `exp_price_kernel` | pricing-kernel microbench: SoA delta kernel vs the frozen nested reference engine (200×400) |
 //! | `exp_search_strategies` | pluggable search strategies (eager/lazy greedy, swap hill climb, anneal) over one shared model |
 //! | `exp_online_drift` | online tuning under workload drift: the `pinum_online` daemon vs periodic full rebuild-and-reselect |
+//! | `exp_multi_tenant` | multi-tenant `pinum-server` over loopback TCP: per-tenant wire determinism, budget aging bounds, shard throughput |
 //! | `exp_trend` | cross-commit trend gate: diffs `PINUM_JSON_DIR` output against the committed baseline (`baselines/trend.json`) |
 //! | `exp_all` | runs everything in sequence |
 //!

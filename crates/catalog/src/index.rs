@@ -114,6 +114,41 @@ impl Index {
         self.id = id;
     }
 
+    /// Rebuilds an index from a field-exact snapshot — the wire codec
+    /// round-trips indexes through this. Unlike
+    /// [`Self::materialized`]/[`Self::hypothetical`] nothing is derived:
+    /// every field (id included) is taken verbatim, so a decoded index is
+    /// bit-identical to the encoded one and sizes/correlations computed
+    /// on the sender survive the trip.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        id: IndexId,
+        table: TableId,
+        key_columns: Vec<u16>,
+        unique: bool,
+        kind: IndexKind,
+        size: IndexSize,
+        correlation: f64,
+        rows: u64,
+        name: String,
+    ) -> Self {
+        assert!(
+            !key_columns.is_empty(),
+            "index needs at least one key column"
+        );
+        Self {
+            id,
+            table,
+            key_columns,
+            unique,
+            kind,
+            size,
+            correlation,
+            rows,
+            name,
+        }
+    }
+
     pub fn id(&self) -> IndexId {
         self.id
     }

@@ -69,6 +69,21 @@ impl AccessCostCatalog {
         self.per_rel.len()
     }
 
+    /// Rebuilds a catalog from snapshot parts — the wire codec
+    /// round-trips catalogs through this. `per_rel` must be exactly as a
+    /// collector produced it (entries ascending by cost per relation); no
+    /// re-sort is applied, so a decoded catalog is bit-identical to the
+    /// encoded one.
+    pub fn from_parts(per_rel: Vec<Vec<CandidateAccess>>, params: CostParams) -> Self {
+        Self { per_rel, params }
+    }
+
+    /// Snapshot view of every relation's priced entries (encode side of
+    /// [`Self::from_parts`]).
+    pub fn per_rel(&self) -> &[Vec<CandidateAccess>] {
+        &self.per_rel
+    }
+
     pub fn entries(&self, rel: RelIdx) -> &[CandidateAccess] {
         &self.per_rel[rel as usize]
     }

@@ -64,6 +64,21 @@
 //! constructed pools ([`ProbePool::new`]) honor their thread count
 //! regardless of features, which is what the thread-invariance tests and
 //! experiments use.
+//!
+//! Hosts that fan *dispatches* out across their own threads — the
+//! multi-tenant server runs one dispatcher per shard, all sharing this
+//! global pool — must call [`ProbePool::init_global_for_dispatchers`]
+//! before the first pricing call. Each dispatch is serialized on the
+//! internal mutex, but the defaulted `available_parallelism` sizing
+//! assumes one dispatcher: with S shards on a C-core box the shard
+//! threads themselves already occupy cores, and a C-thread pool on top
+//! oversubscribes the machine (S + C - 1 runnable threads per dispatch).
+//! The dispatcher-aware default divides the cores among dispatchers
+//! (`max(1, cores / dispatchers)`), so a 2-shard server on a 1-core
+//! machine gets a 1-thread pool and stays strictly serial per tenant. An
+//! explicit `PINUM_THREADS` still overrides — the operator's word wins
+//! over the heuristic. Sizing is process-wide and first-caller-wins; a
+//! later call with a different dispatcher count does not resize the pool.
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -73,6 +88,34 @@ use std::thread::JoinHandle;
 /// Default number of probes claimed per chunk grab. Small enough to load
 /// balance uneven probe costs, large enough to amortize the atomic.
 pub const DEFAULT_CHUNK: usize = 16;
+
+/// The process-wide pool behind [`ProbePool::global`] /
+/// [`ProbePool::init_global_for_dispatchers`]; built exactly once, by
+/// whichever of the two is reached first.
+static GLOBAL: OnceLock<ProbePool> = OnceLock::new();
+
+/// The default global-pool sizing rule, as a pure function so the clamp
+/// is testable without touching process state. `env` is the parsed
+/// `PINUM_THREADS` override (always wins, floored at 1), `parallel` is
+/// whether the `parallel` feature is compiled in, `cores` is
+/// `available_parallelism`, and `dispatchers` is how many host threads
+/// will dispatch into the pool concurrently. Without an override the
+/// cores are divided among dispatchers and floored at 1 — so a 2-shard
+/// server on a 1-core machine gets a serial pool instead of an
+/// oversubscribed one, and a plain single-dispatcher process keeps the
+/// historical `available_parallelism` default.
+pub fn global_pool_threads(
+    env: Option<usize>,
+    parallel: bool,
+    cores: usize,
+    dispatchers: usize,
+) -> usize {
+    match env {
+        Some(t) => t.max(1),
+        None if parallel => (cores / dispatchers.max(1)).max(1),
+        None => 1,
+    }
+}
 
 std::thread_local! {
     /// True while this thread is executing inside a pool dispatch (worker
@@ -181,21 +224,39 @@ impl ProbePool {
     /// The process-wide pool: `PINUM_THREADS` override first (=1 forces
     /// fully serial execution even with `--features parallel`), then
     /// `available_parallelism` when the `parallel` feature is on, else 1.
+    /// Equivalent to [`Self::init_global_for_dispatchers`]`(1)`.
     pub fn global() -> &'static ProbePool {
-        static GLOBAL: OnceLock<ProbePool> = OnceLock::new();
+        Self::init_global_for_dispatchers(1)
+    }
+
+    /// The process-wide pool, sized for a host that runs `dispatchers`
+    /// concurrent dispatching threads (e.g. the multi-tenant server's
+    /// shards). First caller wins: if the global pool is already built,
+    /// the existing pool is returned unchanged. The default sizing is
+    /// [`global_pool_threads`]; see the module-level *Sizing* docs for
+    /// the oversubscription rationale.
+    pub fn init_global_for_dispatchers(dispatchers: usize) -> &'static ProbePool {
         GLOBAL.get_or_init(|| {
-            let threads = match std::env::var("PINUM_THREADS") {
-                Ok(v) => v
-                    .trim()
-                    .parse::<usize>()
-                    .unwrap_or_else(|_| panic!("PINUM_THREADS must be a positive integer: {v:?}"))
-                    .max(1),
-                Err(_) if cfg!(feature = "parallel") => std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1),
-                Err(_) => 1,
+            let env = match std::env::var("PINUM_THREADS") {
+                Ok(v) => Some(
+                    v.trim()
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| {
+                            panic!("PINUM_THREADS must be a positive integer: {v:?}")
+                        })
+                        .max(1),
+                ),
+                Err(_) => None,
             };
-            ProbePool::new(threads)
+            let cores = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            ProbePool::new(global_pool_threads(
+                env,
+                cfg!(feature = "parallel"),
+                cores,
+                dispatchers,
+            ))
         })
     }
 
@@ -509,6 +570,24 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn global_sizing_clamps_for_dispatchers() {
+        // An explicit PINUM_THREADS always wins, floored at 1.
+        assert_eq!(global_pool_threads(Some(3), true, 1, 2), 3);
+        assert_eq!(global_pool_threads(Some(0), true, 8, 1), 1);
+        assert_eq!(global_pool_threads(Some(5), false, 8, 4), 5);
+        // Defaulted sizing divides cores among dispatchers, floored at 1:
+        // a 2-shard server on a 1-core box must stay serial per tenant.
+        assert_eq!(global_pool_threads(None, true, 1, 2), 1);
+        assert_eq!(global_pool_threads(None, true, 8, 2), 4);
+        assert_eq!(global_pool_threads(None, true, 8, 16), 1);
+        // A single dispatcher keeps the historical default.
+        assert_eq!(global_pool_threads(None, true, 8, 1), 8);
+        assert_eq!(global_pool_threads(None, true, 8, 0), 8);
+        // Without the parallel feature the default is always serial.
+        assert_eq!(global_pool_threads(None, false, 64, 1), 1);
     }
 
     #[test]

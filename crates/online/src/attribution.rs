@@ -56,6 +56,18 @@ pub enum SharePolicy {
     /// threshold at once — the failure mode that made `Full` masks
     /// balloon to near-full scope.
     Full,
+    /// Divide the query's cost across its templates in proportion to
+    /// each relation's share of the query's access costs (recorded at
+    /// admission from the cheapest access arm per relation). A wide join
+    /// whose cost lives almost entirely in its fact-table scan credits
+    /// that template with almost all of the movement, instead of
+    /// spraying an even 1/N over dimension templates whose scans are
+    /// noise — so the mask pins on the template that actually moved the
+    /// money. Falls back to the even [`SharePolicy::Split`] weighting
+    /// for admissions that carried no share data. Like `Split`, sums
+    /// under `Full` dominate these term by term, so the mask only ever
+    /// shrinks relative to `Full`.
+    AccessShare,
 }
 
 /// Liveness/attribution status of one query slot.
@@ -78,6 +90,10 @@ pub struct DriftAttribution {
     /// Query slot → template ids it carries (deduplicated; empty for
     /// dead or unattributed slots).
     per_query: Vec<Vec<u32>>,
+    /// Query slot → normalized cost share per template id (parallel to
+    /// `per_query`, summing to 1.0 for live attributed slots). Even
+    /// 1/N when the admission carried no share data.
+    per_query_share: Vec<Vec<f64>>,
     status: Vec<Status>,
     /// Live attributed / unattributed slot counts (cheap invariants for
     /// the fallback decisions).
@@ -131,7 +147,19 @@ impl DriftAttribution {
     /// Records one admission. `qid` must be the next query slot (the
     /// streaming model issues them densely); `templates` may be empty,
     /// which marks the query unattributed (conservatively regressed).
+    /// Cost shares are the even split; use [`Self::admit_with_shares`] to
+    /// record per-relation access-cost weights for
+    /// [`SharePolicy::AccessShare`].
     pub fn admit(&mut self, qid: usize, templates: &[TemplateKey]) {
+        self.admit_with_shares(qid, templates, &[]);
+    }
+
+    /// [`Self::admit`] with per-template cost weights, aligned with
+    /// `templates` (one per relation — relations carrying the same
+    /// template pool their weights). Pass an empty slice (or weights
+    /// that don't sum to something positive and finite) to fall back to
+    /// the even split.
+    pub fn admit_with_shares(&mut self, qid: usize, templates: &[TemplateKey], shares: &[f64]) {
         assert_eq!(
             qid,
             self.per_query.len(),
@@ -139,24 +167,51 @@ impl DriftAttribution {
         );
         if templates.is_empty() {
             self.per_query.push(Vec::new());
+            self.per_query_share.push(Vec::new());
             self.status.push(Status::Unattributed);
             self.unattributed_live += 1;
             return;
         }
-        let mut ids: Vec<u32> = templates
+        assert!(
+            shares.is_empty() || shares.len() == templates.len(),
+            "cost shares must align with templates"
+        );
+        let total: f64 = shares.iter().copied().filter(|s| *s > 0.0).sum();
+        let even = 1.0 / templates.len() as f64;
+        let mut pairs: Vec<(u32, f64)> = templates
             .iter()
-            .map(|key| match self.intern.get(key) {
-                Some(&id) => id,
-                None => {
-                    let id = self.intern.len() as u32;
-                    self.intern.insert(key.clone(), id);
-                    id
-                }
+            .enumerate()
+            .map(|(i, key)| {
+                let id = match self.intern.get(key) {
+                    Some(&id) => id,
+                    None => {
+                        let id = self.intern.len() as u32;
+                        self.intern.insert(key.clone(), id);
+                        id
+                    }
+                };
+                let weight = if total > 0.0 && total.is_finite() {
+                    shares[i].max(0.0) / total
+                } else {
+                    even
+                };
+                (id, weight)
             })
             .collect();
-        ids.sort_unstable();
-        ids.dedup();
+        // Relations carrying the same template pool their shares.
+        pairs.sort_by_key(|a| a.0);
+        let mut ids = Vec::with_capacity(pairs.len());
+        let mut weights: Vec<f64> = Vec::with_capacity(pairs.len());
+        for (id, w) in pairs {
+            if ids.last() == Some(&id) {
+                *weights.last_mut().expect("parallel to ids") += w;
+            } else {
+                ids.push(id);
+                weights.push(w);
+            }
+        }
         self.per_query.push(ids);
+        self.per_query_share.push(weights);
         self.status.push(Status::Attributed);
         self.attributed_live += 1;
     }
@@ -171,6 +226,7 @@ impl DriftAttribution {
         }
         self.status[qid] = Status::Dead;
         self.per_query[qid] = Vec::new();
+        self.per_query_share[qid] = Vec::new();
     }
 
     /// Applies a model compaction's old→new id mapping (`u32::MAX` for
@@ -179,33 +235,50 @@ impl DriftAttribution {
         assert_eq!(remap.len(), self.per_query.len(), "stale compaction remap");
         let live = remap.iter().filter(|&&n| n != u32::MAX).count();
         let mut per_query = vec![Vec::new(); live];
+        let mut per_query_share = vec![Vec::new(); live];
         let mut status = vec![Status::Dead; live];
         for (old, &new) in remap.iter().enumerate() {
             if new != u32::MAX {
                 per_query[new as usize] = std::mem::take(&mut self.per_query[old]);
+                per_query_share[new as usize] = std::mem::take(&mut self.per_query_share[old]);
                 status[new as usize] = self.status[old];
             }
         }
         self.per_query = per_query;
+        self.per_query_share = per_query_share;
         self.status = status;
     }
 
     /// Per-template cost sums under the given priced state and sharing
     /// policy. Under [`SharePolicy::Split`] a query's cost is divided
     /// evenly across its templates; under [`SharePolicy::Full`] the full
-    /// cost is credited to every template it carries.
+    /// cost is credited to every template it carries; under
+    /// [`SharePolicy::AccessShare`] it is divided by the normalized
+    /// access-cost weights recorded at admission.
     fn template_sums(&self, state: &PricedWorkload, policy: SharePolicy) -> Vec<f64> {
         let mut sums = vec![0.0; self.intern.len()];
         for (qid, ids) in self.per_query.iter().enumerate() {
             if ids.is_empty() {
                 continue;
             }
-            let share = match policy {
-                SharePolicy::Split => state.per_query()[qid] / ids.len() as f64,
-                SharePolicy::Full => state.per_query()[qid],
-            };
-            for &t in ids {
-                sums[t as usize] += share;
+            let cost = state.per_query()[qid];
+            match policy {
+                SharePolicy::Split => {
+                    let share = cost / ids.len() as f64;
+                    for &t in ids {
+                        sums[t as usize] += share;
+                    }
+                }
+                SharePolicy::Full => {
+                    for &t in ids {
+                        sums[t as usize] += cost;
+                    }
+                }
+                SharePolicy::AccessShare => {
+                    for (&t, &w) in ids.iter().zip(&self.per_query_share[qid]) {
+                        sums[t as usize] += cost * w;
+                    }
+                }
             }
         }
         sums
@@ -403,6 +476,82 @@ mod tests {
         // Sharper accounting must not invent scope: the split mask only
         // shrinks relative to the full mask.
         assert!(split.iter().all(|q| full.contains(q)));
+    }
+
+    #[test]
+    fn access_shares_pin_the_mask_on_the_template_that_moved_the_money() {
+        let k = keys();
+        // Wide-join fixture: query 0 carries T0 alone; query 1 joins the
+        // T0 relation (90% of its access cost) with a cheap T1 dimension
+        // (10%)... except here it is T1 that holds the money: q1's cost
+        // lives in T1's relation (90%) and barely touches T0 (10%).
+        // When q1 regresses 10 → 16:
+        //   Full:        T0 sum 20 → 26 (+30% > 20%): both queries in scope.
+        //   AccessShare: T0 sum 11 → 11.6 (+5.5%): only q1 in scope.
+        let build = |policy: SharePolicy, shares: &[f64]| {
+            let mut attr = DriftAttribution::new();
+            attr.set_share_policy(policy);
+            attr.admit(0, &[k[0].clone()]);
+            attr.admit_with_shares(1, &[k[0].clone(), k[1].clone()], shares);
+            attr.capture_baseline(&state(&[10.0, 10.0]));
+            attr.regressed_queries(&state(&[10.0, 16.0]), 0.2)
+                .expect("a template regressed under both policies")
+        };
+        let full = build(SharePolicy::Full, &[1.0, 9.0]);
+        let access = build(SharePolicy::AccessShare, &[1.0, 9.0]);
+        assert_eq!(full, vec![0, 1], "Full drags the stable T0 member in");
+        assert_eq!(access, vec![1], "AccessShare pins the mover");
+        // The sharper lens must only shrink the mask, never grow it.
+        assert!(access.iter().all(|q| full.contains(q)));
+    }
+
+    #[test]
+    fn access_share_without_share_data_falls_back_to_the_even_split() {
+        let k = keys();
+        let run = |policy: SharePolicy, shares: &[f64]| {
+            let mut attr = DriftAttribution::new();
+            attr.set_share_policy(policy);
+            attr.admit(0, &[k[0].clone()]);
+            attr.admit_with_shares(1, &[k[0].clone(), k[1].clone()], shares);
+            attr.capture_baseline(&state(&[10.0, 10.0]));
+            attr.regressed_queries(&state(&[10.0, 16.0]), 0.2)
+        };
+        // No shares, zero shares, and non-finite shares all degrade to
+        // exactly Split's accounting.
+        let split = run(SharePolicy::Split, &[]);
+        for degenerate in [&[][..], &[0.0, 0.0][..], &[f64::INFINITY, 1.0][..]] {
+            assert_eq!(run(SharePolicy::AccessShare, degenerate), split);
+        }
+    }
+
+    #[test]
+    fn shares_pool_when_relations_repeat_a_template_and_survive_remap() {
+        let k = keys();
+        let mut attr = DriftAttribution::new();
+        attr.set_share_policy(SharePolicy::AccessShare);
+        // Self-join shape: two relations carry the same template; their
+        // shares pool onto one id, totalling 1.0 with T1's remainder.
+        attr.admit_with_shares(
+            0,
+            &[k[0].clone(), k[0].clone(), k[1].clone()],
+            &[3.0, 1.0, 1.0],
+        );
+        attr.admit(1, &[k[1].clone()]);
+        attr.capture_baseline(&state(&[10.0, 10.0]));
+        // q0 rises 10 → 14: T0 carries 0.8 of it (8 → 11.2, +40%),
+        // T1 only 0.2 (12 → 12.8, +6.7%) — the mask holds q0 alone.
+        let regressed = attr
+            .regressed_queries(&state(&[14.0, 10.0]), 0.2)
+            .expect("T0 regressed");
+        assert_eq!(regressed, vec![0]);
+        // Compaction: q0 dies, q1 slides to slot 0 and keeps working.
+        attr.evict(0);
+        attr.remap(&[u32::MAX, 0]);
+        attr.capture_baseline(&state(&[10.0]));
+        let regressed = attr
+            .regressed_queries(&state(&[30.0]), 0.2)
+            .expect("T1 regressed after remap");
+        assert_eq!(regressed, vec![0]);
     }
 
     #[test]

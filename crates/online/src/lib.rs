@@ -341,6 +341,39 @@ impl OnlineAdvisor {
         weight: f64,
         templates: &[TemplateKey],
     ) -> Admission {
+        let mut admission = self.splice_admission(cache, access, weight, templates);
+        admission.readvise = self.maybe_readvise();
+        admission
+    }
+
+    /// [`Self::admit_attributed`] with the re-advise **deferred**: the
+    /// splice and all bookkeeping run exactly as in the inline path, but
+    /// instead of executing a triggered re-advise the pending trigger is
+    /// *returned* for the caller to run later via
+    /// [`Self::readvise_triggered`]. As long as no other mutation touches
+    /// this advisor in between (the multi-tenant server serializes every
+    /// tenant on one shard, so none does), the deferred execution is
+    /// bit-identical to the inline one — which is how a global re-advise
+    /// budget can gate *when* re-advises run without changing *what* they
+    /// compute.
+    pub fn admit_attributed_deferred(
+        &mut self,
+        cache: &PlanCache,
+        access: &AccessCostCatalog,
+        weight: f64,
+        templates: &[TemplateKey],
+    ) -> (Admission, Option<ReadviseTrigger>) {
+        let admission = self.splice_admission(cache, access, weight, templates);
+        (admission, self.pending_trigger())
+    }
+
+    fn splice_admission(
+        &mut self,
+        cache: &PlanCache,
+        access: &AccessCostCatalog,
+        weight: f64,
+        templates: &[TemplateKey],
+    ) -> Admission {
         // --- Session splice: O(this query's arms) + pricing the one
         // newcomer under the current selection — never an O(window)
         // *re-pricing* (an overflow eviction below re-sums the priced
@@ -358,30 +391,49 @@ impl OnlineAdvisor {
         debug_assert_eq!(self.qid_ordinal.len(), qid);
         self.admission_qid.push(qid as u32);
         self.qid_ordinal.push(ordinal as u32);
-        self.attribution.admit(qid, templates);
+        // Per-relation access-cost shares for SharePolicy::AccessShare:
+        // each relation's cheapest access arm (entries are sorted
+        // ascending) approximates its slice of the query's cost. When the
+        // template list doesn't line up one-per-relation, the attribution
+        // falls back to the even split.
+        if templates.len() == access.per_rel().len() {
+            let shares: Vec<f64> = access
+                .per_rel()
+                .iter()
+                .map(|entries| entries.first().map_or(0.0, |e| e.cost))
+                .collect();
+            self.attribution.admit_with_shares(qid, templates, &shares);
+        } else {
+            self.attribution.admit(qid, templates);
+        }
 
         // --- Window overflow: retract the oldest resident. ---
         let evicted = if self.window.len() > self.opts.window_capacity {
             let oldest = self.window.pop_front().expect("window non-empty");
-            self.session.evict_query(oldest);
-            self.attribution.evict(oldest);
-            self.admission_qid[self.qid_ordinal[oldest] as usize - self.admission_base] = u32::MAX;
-            self.stats.evictions += 1;
+            self.retract(oldest);
             Some(oldest)
         } else {
             None
         };
 
         self.admits_since_advise += 1;
-        let readvise = self.maybe_readvise();
         Admission {
             qid,
             ordinal,
             evicted,
             model_wall,
             model_arms,
-            readvise,
+            readvise: None,
         }
+    }
+
+    /// Removes one query from the session, the attribution books, and the
+    /// ordinal map (the window entry is the caller's to drop).
+    fn retract(&mut self, qid: usize) {
+        self.session.evict_query(qid);
+        self.attribution.evict(qid);
+        self.admission_qid[self.qid_ordinal[qid] as usize - self.admission_base] = u32::MAX;
+        self.stats.evictions += 1;
     }
 
     /// Applies an in-place reweight event — "the query admitted as
@@ -393,10 +445,62 @@ impl OnlineAdvisor {
     /// ([`OnlineStats::reweight_misses`]); an ordinal that was **never
     /// issued** is a caller bug and panics with a descriptive message.
     pub fn reweight_admission(&mut self, admission: usize, weight: f64) -> Option<ReadviseReport> {
-        if admission < self.admission_base {
-            // Retired by compaction: the target predates every live
-            // resident, so it is evicted by definition.
+        let (applied, trigger) = self.reweight_admission_deferred(admission, weight);
+        debug_assert!(applied || trigger.is_none());
+        trigger.map(|t| self.readvise_with(t))
+    }
+
+    /// [`Self::reweight_admission`] with the re-advise **deferred** (see
+    /// [`Self::admit_attributed_deferred`] for the contract). Returns
+    /// whether the reweight was applied (vs dropped as an evicted-target
+    /// no-op) and the drift trigger to execute via
+    /// [`Self::readvise_triggered`], if the hotter query tripped the
+    /// monitor.
+    pub fn reweight_admission_deferred(
+        &mut self,
+        admission: usize,
+        weight: f64,
+    ) -> (bool, Option<ReadviseTrigger>) {
+        let Some(qid) = self.resolve_ordinal(admission, "reweighting") else {
             self.stats.reweight_misses += 1;
+            return (false, None);
+        };
+        self.session.reweight_query(qid, weight);
+        self.stats.reweights += 1;
+        if self.drift_fired() {
+            (true, Some(ReadviseTrigger::Drift))
+        } else {
+            (true, None)
+        }
+    }
+
+    /// Evicts the query admitted as ordinal `admission` from the window
+    /// right now (ahead of the sliding window retiring it) — e.g. a
+    /// tenant retracting a statement it no longer runs. Returns whether a
+    /// live resident was evicted; a target that already slid out is a
+    /// no-op, and an ordinal that was never issued panics like
+    /// [`Self::reweight_admission`]. Evictions never trigger a re-advise
+    /// and do not advance the epoch clock; the next admission or
+    /// reweight re-reads the drift monitor as usual.
+    pub fn evict_admission(&mut self, admission: usize) -> bool {
+        let Some(qid) = self.resolve_ordinal(admission, "evicting") else {
+            return false;
+        };
+        let pos = self
+            .window
+            .iter()
+            .position(|&w| w == qid)
+            .expect("live qid must be in the window");
+        self.window.remove(pos);
+        self.retract(qid);
+        true
+    }
+
+    /// Ordinal → live qid, or `None` when the admission has left the
+    /// window (ordinals below the compaction base are evicted by
+    /// definition). A never-issued ordinal is a caller bug and panics.
+    fn resolve_ordinal(&self, admission: usize, verb: &str) -> Option<usize> {
+        if admission < self.admission_base {
             return None;
         }
         let issued = self.admission_base + self.admission_qid.len();
@@ -404,18 +508,13 @@ impl OnlineAdvisor {
             .admission_qid
             .get(admission - self.admission_base)
             .unwrap_or_else(|| {
-                panic!("reweighting unknown admission ordinal {admission} (only {issued} issued)")
+                panic!("{verb} unknown admission ordinal {admission} (only {issued} issued)")
             });
         if qid == u32::MAX {
-            self.stats.reweight_misses += 1;
-            return None;
+            None
+        } else {
+            Some(qid as usize)
         }
-        self.session.reweight_query(qid as usize, weight);
-        self.stats.reweights += 1;
-        if self.drift_fired() {
-            return Some(self.readvise_with(ReadviseTrigger::Drift));
-        }
-        None
     }
 
     /// Whether the window's mean priced cost has regressed past the
@@ -435,21 +534,37 @@ impl OnlineAdvisor {
         )
     }
 
-    fn maybe_readvise(&mut self) -> Option<ReadviseReport> {
-        let trigger = if self.admits_since_advise >= self.opts.epoch_length {
-            ReadviseTrigger::Epoch
+    /// The re-advise the daemon would run right now, if any: epoch
+    /// boundaries outrank the drift detector. Pure read — the deferred
+    /// admission/reweight entry points return this for the caller to
+    /// execute later.
+    fn pending_trigger(&self) -> Option<ReadviseTrigger> {
+        if self.admits_since_advise >= self.opts.epoch_length {
+            Some(ReadviseTrigger::Epoch)
         } else if self.drift_fired() {
-            ReadviseTrigger::Drift
+            Some(ReadviseTrigger::Drift)
         } else {
-            return None;
-        };
-        Some(self.readvise_with(trigger))
+            None
+        }
+    }
+
+    fn maybe_readvise(&mut self) -> Option<ReadviseReport> {
+        self.pending_trigger().map(|t| self.readvise_with(t))
     }
 
     /// Forces a re-advising round right now (callers use this to flush a
     /// warm-up batch; the daemon itself re-advises on epochs and drift).
     pub fn readvise(&mut self) -> ReadviseReport {
         self.readvise_with(ReadviseTrigger::Forced)
+    }
+
+    /// Executes a re-advise previously deferred by
+    /// [`Self::admit_attributed_deferred`] /
+    /// [`Self::reweight_admission_deferred`], under the returned trigger.
+    /// Bit-identical to the inline execution provided no other mutation
+    /// touched the advisor since the trigger was computed.
+    pub fn readvise_triggered(&mut self, trigger: ReadviseTrigger) -> ReadviseReport {
+        self.readvise_with(trigger)
     }
 
     fn readvise_with(&mut self, trigger: ReadviseTrigger) -> ReadviseReport {
@@ -1211,6 +1326,92 @@ mod tests {
             .last()
             .expect("window holds the newest admission");
         assert_eq!(advisor.model().weight(qid), 3.5);
+    }
+
+    #[test]
+    fn deferred_readvising_is_bit_identical_to_inline() {
+        let (_s, queries, pool, models) = fixture(3, 10);
+        // Inline daemon: re-advises execute inside admit/reweight.
+        let mut inline = OnlineAdvisor::new(pool.clone(), opts(12, 5));
+        // Deferred daemon: triggers are returned and executed one step
+        // later (the server's budget gate, minus the budget).
+        let mut deferred = OnlineAdvisor::new(pool.clone(), opts(12, 5));
+        for (i, (c, a)) in models.iter().enumerate() {
+            let templates = query_templates(&queries[i].0);
+            let adm_inline = inline.admit_attributed(c, a, queries[i].1, &templates);
+            let (adm_def, trigger) =
+                deferred.admit_attributed_deferred(c, a, queries[i].1, &templates);
+            assert_eq!(adm_inline.qid, adm_def.qid);
+            assert_eq!(adm_inline.ordinal, adm_def.ordinal);
+            assert_eq!(adm_inline.evicted, adm_def.evicted);
+            assert_eq!(
+                adm_inline.readvise.as_ref().map(|r| r.trigger),
+                trigger,
+                "admission {i}: trigger sequences diverged"
+            );
+            if let Some(t) = trigger {
+                let r_def = deferred.readvise_triggered(t);
+                let r_inl = adm_inline.readvise.expect("inline fired");
+                assert_eq!(r_inl.cost_before.to_bits(), r_def.cost_before.to_bits());
+                assert_eq!(r_inl.cost_after.to_bits(), r_def.cost_after.to_bits());
+                assert_eq!(r_inl.picks, r_def.picks);
+                assert_eq!(r_inl.scoped, r_def.scoped);
+            }
+            // Interleave some deferred reweights to cover that path too.
+            if i % 4 == 3 {
+                let w = queries[i].1 * 1.5;
+                let inl = inline.reweight_admission(adm_inline.ordinal, w);
+                let (applied, t) = deferred.reweight_admission_deferred(adm_def.ordinal, w);
+                assert!(applied);
+                assert_eq!(inl.as_ref().map(|r| r.trigger), t);
+                if let Some(t) = t {
+                    let r_def = deferred.readvise_triggered(t);
+                    let r_inl = inl.expect("inline fired");
+                    assert_eq!(r_inl.cost_after.to_bits(), r_def.cost_after.to_bits());
+                }
+            }
+        }
+        assert_eq!(inline.selection(), deferred.selection());
+        assert_eq!(
+            inline.current_cost().to_bits(),
+            deferred.current_cost().to_bits()
+        );
+        assert_eq!(inline.stats().readvises, deferred.stats().readvises);
+        assert_eq!(
+            inline.stats().drift_readvises,
+            deferred.stats().drift_readvises
+        );
+        assert_eq!(
+            inline.stats().scoped_readvises,
+            deferred.stats().scoped_readvises
+        );
+    }
+
+    #[test]
+    fn explicit_eviction_retracts_a_resident() {
+        let (_s, _q, pool, models) = fixture(2, 10);
+        let mut advisor = OnlineAdvisor::new(pool, opts(16, 1_000_000));
+        let mut ordinals = Vec::new();
+        for (c, a) in &models[..8] {
+            ordinals.push(advisor.admit(c, a).ordinal);
+        }
+        assert_eq!(advisor.window_len(), 8);
+        let before = advisor.current_cost();
+        assert!(advisor.evict_admission(ordinals[2]));
+        assert_eq!(advisor.window_len(), 7);
+        assert_eq!(advisor.model().live_query_count(), 7);
+        assert_eq!(advisor.stats().evictions, 1);
+        assert!(
+            advisor.current_cost() <= before,
+            "evicting a resident cannot raise the priced total"
+        );
+        // Evicting it again (or reweighting it) is a clean no-op.
+        assert!(!advisor.evict_admission(ordinals[2]));
+        assert!(advisor.reweight_admission(ordinals[2], 5.0).is_none());
+        assert_eq!(advisor.stats().reweight_misses, 1);
+        // The remaining residents still resolve.
+        assert!(advisor.evict_admission(ordinals[7]));
+        assert_eq!(advisor.window_len(), 6);
     }
 
     #[test]

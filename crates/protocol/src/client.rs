@@ -1,0 +1,53 @@
+//! Blocking TCP client: one connection, one outstanding request at a
+//! time (write a frame, read the matching response). This is all the
+//! experiments and tests need; a pipelined client would only have to
+//! match responses by request id.
+
+use crate::frame::{read_response, write_request, FrameIn};
+use crate::messages::{Request, Response};
+use crate::WireError;
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A synchronous connection to the daemon.
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects over TCP. `TCP_NODELAY` is set: frames are whole logical
+    /// messages and the request/response lockstep would otherwise pay
+    /// Nagle delays on every call.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Self {
+            reader: stream,
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends `req` and blocks for its response. The response's request
+    /// id must echo the one sent — a mismatch means the stream is out of
+    /// sync and is reported as malformed.
+    pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_request(&mut self.writer, id, req)?;
+        std::io::Write::flush(&mut self.writer)?;
+        match read_response(&mut self.reader)? {
+            FrameIn::Msg { request_id, msg } => {
+                if request_id != id {
+                    return Err(WireError::Malformed("response id does not echo request id"));
+                }
+                Ok(msg)
+            }
+            FrameIn::Eof => Err(WireError::TruncatedFrame),
+            FrameIn::Bad { error, .. } => Err(error),
+        }
+    }
+}

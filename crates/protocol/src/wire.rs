@@ -1,0 +1,246 @@
+//! Primitive byte-level encode/decode: the bounds-checked cursor every
+//! message body is read through, and the little-endian writers. See the
+//! crate docs for the encoding table.
+
+use crate::WireError;
+
+/// Bounds-checked read cursor over one frame's payload. Every accessor
+/// returns [`WireError::Truncated`] instead of slicing out of range, so
+/// decoding arbitrary bytes can never panic.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the whole payload was consumed — frame decoding
+    /// requires this, so trailing garbage is caught, not ignored.
+    pub fn exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Bit-exact f64 (IEEE 754 pattern; NaN payloads survive).
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("bool byte not 0 or 1")),
+        }
+    }
+
+    /// `u32` element count, validated against the bytes actually left in
+    /// the frame: each element of the claimed vector occupies at least
+    /// `min_elem` bytes, so a count the remaining payload cannot back is
+    /// rejected *before* any allocation (a 4-byte prefix must not be
+    /// able to request a multi-gigabyte `Vec`).
+    pub fn len(&mut self, min_elem: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.checked_mul(min_elem.max(1))
+            .is_none_or(|bytes| bytes > self.remaining())
+        {
+            return Err(WireError::Malformed("element count exceeds payload"));
+        }
+        Ok(n)
+    }
+
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let n = self.len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("invalid UTF-8"))
+    }
+
+    /// One-byte presence tag, then `read` when present.
+    pub fn option<T>(
+        &mut self,
+        read: impl FnOnce(&mut Self) -> Result<T, WireError>,
+    ) -> Result<Option<T>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(read(self)?)),
+            _ => Err(WireError::Malformed("option tag not 0 or 1")),
+        }
+    }
+
+    /// Length-validated vector of `min_elem`-byte-minimum elements.
+    pub fn vec<T>(
+        &mut self,
+        min_elem: usize,
+        mut read: impl FnMut(&mut Self) -> Result<T, WireError>,
+    ) -> Result<Vec<T>, WireError> {
+        let n = self.len(min_elem)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(read(self)?);
+        }
+        Ok(out)
+    }
+}
+
+// --- Writers. Encoding is infallible (Vec<u8> sink). ---
+
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+pub fn put_len(out: &mut Vec<u8>, n: usize) {
+    debug_assert!(n <= u32::MAX as usize, "collection too large for the wire");
+    put_u32(out, n as u32);
+}
+
+pub fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_len(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub fn put_option<T>(out: &mut Vec<u8>, v: &Option<T>, write: impl FnOnce(&mut Vec<u8>, &T)) {
+    match v {
+        None => out.push(0),
+        Some(inner) => {
+            out.push(1);
+            write(out, inner);
+        }
+    }
+}
+
+pub fn put_vec<T>(out: &mut Vec<u8>, items: &[T], mut write: impl FnMut(&mut Vec<u8>, &T)) {
+    put_len(out, items.len());
+    for item in items {
+        write(out, item);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u16(&mut buf, 0xBEEF);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f64(&mut buf, -0.0);
+        put_bool(&mut buf, true);
+        put_string(&mut buf, "héllo");
+        put_option(&mut buf, &Some(3u16), |o, v| put_u16(o, *v));
+        put_option::<u16>(&mut buf, &None, |o, v| put_u16(o, *v));
+        put_vec(&mut buf, &[1u32, 2, 3], |o, v| put_u32(o, *v));
+
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.u8().unwrap(), 7);
+        assert_eq!(c.u16().unwrap(), 0xBEEF);
+        assert_eq!(c.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(c.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(c.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(c.bool().unwrap());
+        assert_eq!(c.string().unwrap(), "héllo");
+        assert_eq!(c.option(|c| c.u16()).unwrap(), Some(3));
+        assert_eq!(c.option(|c| c.u16()).unwrap(), None);
+        assert_eq!(c.vec(4, |c| c.u32()).unwrap(), vec![1, 2, 3]);
+        assert!(c.exhausted());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut c = Cursor::new(&[1, 2]);
+        assert!(matches!(c.u32(), Err(WireError::Truncated)));
+        // The failed read consumed nothing usable; u16 still works.
+        assert_eq!(c.u16().unwrap(), 0x0201);
+    }
+
+    #[test]
+    fn hostile_lengths_are_rejected_before_allocation() {
+        // Claims 2^32-1 elements with 4 bytes of backing.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        put_u32(&mut buf, 0);
+        let mut c = Cursor::new(&buf);
+        assert!(matches!(
+            c.vec(8, |c| c.f64()),
+            Err(WireError::Malformed(_))
+        ));
+        // Same guard on strings.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1000);
+        buf.extend_from_slice(b"short");
+        assert!(matches!(
+            Cursor::new(&buf).string(),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn bad_tags_are_malformed() {
+        assert!(matches!(
+            Cursor::new(&[2]).bool(),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            Cursor::new(&[9]).option(|c| c.u8()),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            Cursor::new(&[0xFF, 0xFE]).string(),
+            Err(WireError::Truncated) | Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -115,6 +115,14 @@ impl Ioc {
         self.0
     }
 
+    /// Rebuilds a combination from its [`Self::raw`] encoding — the wire
+    /// codec round-trips IOCs through this. The encoding is only
+    /// meaningful against the same [`InterestingOrders`] it was packed
+    /// for.
+    pub fn from_raw(raw: u64) -> Ioc {
+        Ioc(raw)
+    }
+
     /// The nibble of relation `rel`: `0` for Φ, else 1-based order index.
     #[inline]
     pub fn nibble(self, rel: RelIdx) -> u8 {

@@ -21,7 +21,7 @@ pub mod template;
 
 pub use builder::QueryBuilder;
 pub use ioc::{InterestingOrders, Ioc, IocIter};
-pub use template::{RelTemplate, TemplateKey};
+pub use template::{FilterKey, RelTemplate, TemplateKey};
 
 use pinum_catalog::{Catalog, TableId};
 

@@ -66,7 +66,7 @@ impl RelTemplate {
 /// tag, and the constants' IEEE 754 bit patterns (so `-0.0` and `0.0`
 /// templates stay distinct — they are distinct inputs to selectivity
 /// arithmetic even when they price equally).
-type FilterKey = (u16, u8, u64, u64);
+pub type FilterKey = (u16, u8, u64, u64);
 
 fn filter_key(column: u16, op: FilterOp) -> FilterKey {
     match op {
@@ -86,6 +86,18 @@ pub struct TemplateKey {
 impl TemplateKey {
     pub fn table(&self) -> TableId {
         self.table
+    }
+
+    /// The filter identities, in query order.
+    pub fn filters(&self) -> &[FilterKey] {
+        &self.filters
+    }
+
+    /// Rebuilds a key from its parts — the wire codec round-trips
+    /// template keys through this. Equality/hashing are field-exact, so a
+    /// reconstructed key matches the original iff every part matches.
+    pub fn from_parts(table: TableId, filters: Vec<FilterKey>) -> Self {
+        Self { table, filters }
     }
 }
 

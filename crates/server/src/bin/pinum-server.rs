@@ -1,0 +1,66 @@
+//! CLI entry point for the multi-tenant advisor daemon.
+//!
+//! ```text
+//! pinum-server [--port N] [--shards N] [--budget N]
+//! ```
+//!
+//! - `--port` (default 0): TCP port to bind on 127.0.0.1; 0 picks an
+//!   ephemeral port. The bound address is printed as
+//!   `listening on <addr>` so harnesses can parse it.
+//! - `--shards` (default 4): shard worker threads; tenants are assigned
+//!   by tenant-id hash.
+//! - `--budget` (default 2): re-advises allowed to run concurrently.
+//!
+//! `PINUM_THREADS` passes through to the probe pool: it overrides the
+//! pool's worker count exactly as in the library (see the Sizing notes
+//! on `pinum_core::ProbePool`); without it the pool divides the cores by
+//! `--shards` so concurrent re-advises do not oversubscribe.
+//!
+//! The process exits after a wire `Shutdown` request.
+
+use pinum_server::{Server, ServerConfig};
+
+fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let value = args.get(pos + 1).unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    });
+    match value.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("error: {flag} wants an unsigned integer, got {value:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: pinum-server [--port N] [--shards N] [--budget N]");
+        return;
+    }
+    let port = parse_flag(&args, "--port").unwrap_or(0) as u16;
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        shards: parse_flag(&args, "--shards").unwrap_or(defaults.shards as u64) as usize,
+        budget: parse_flag(&args, "--budget").unwrap_or(defaults.budget as u64) as usize,
+    };
+
+    let handle = match Server::start(("127.0.0.1", port), config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", handle.addr());
+    // Make sure the harness sees the address even through a pipe.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    handle.wait_for_shutdown();
+    handle.shutdown();
+    println!("shutdown complete");
+}

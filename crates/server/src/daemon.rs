@@ -1,0 +1,516 @@
+//! The daemon: sharded tenant ownership, blocking accept loop, and the
+//! request dispatch that ties the wire format to [`OnlineAdvisor`].
+//!
+//! ## Threading model
+//!
+//! - **Shard workers** (fixed count, chosen at start-up): each owns the
+//!   `TenantState` map for the tenants that hash to it and applies their
+//!   mutations strictly in mailbox order. A tenant lives on exactly one
+//!   shard, so its advisor sees the same serial mutation order it would
+//!   see in a single-threaded embedding — which is what makes every
+//!   per-tenant result bit-identical to the in-process baseline.
+//! - **Connection readers** (one per accepted socket): decode frames and
+//!   forward them to the owning shard's mailbox together with a reply
+//!   sender. Structurally broken payloads that left the framing intact
+//!   are answered inline with a `Malformed` error and the connection
+//!   keeps going; torn framing closes the connection.
+//! - **Connection writers** (one per socket): drain the reply channel so
+//!   a slow client never blocks a shard worker.
+//!
+//! Re-advises — the expensive operation — are gated by the process-wide
+//! [`ReadviseBudget`]: the shard worker
+//! computes the trigger with the deferred admission APIs, *then* blocks
+//! on a permit, then executes. Deferral never changes what the re-advise
+//! computes, only when it runs.
+
+use crate::budget::ReadviseBudget;
+use crate::convert::{self, ConvertError};
+use pinum_core::ProbePool;
+use pinum_online::OnlineAdvisor;
+use pinum_protocol::{
+    read_request, write_response, ErrorCode, FrameIn, Request, Response, WireAdmission,
+    WireAdmitResult, WireBudgetStats,
+};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Start-up knobs. The CLI binary maps its flags onto this 1:1.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Shard worker threads. Tenants are assigned by tenant-id hash.
+    pub shards: usize,
+    /// Re-advises allowed to run concurrently across all tenants.
+    pub budget: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            budget: 2,
+        }
+    }
+}
+
+/// Which shard owns a tenant (Fibonacci-hash of the id, so dense tenant
+/// ids still spread across shards).
+pub fn shard_of(tenant: u64, shards: usize) -> usize {
+    ((tenant.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % shards.max(1)
+}
+
+struct TenantState {
+    advisor: OnlineAdvisor,
+}
+
+enum ShardMsg {
+    Request {
+        request_id: u64,
+        req: Box<Request>,
+        reply: mpsc::Sender<(u64, Response)>,
+    },
+    Stop,
+}
+
+/// Connection registry: one peer clone (for forced close at shutdown)
+/// plus the reader thread's handle, per accepted connection.
+type ConnRegistry = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// The daemon. [`Server::start`] binds, spawns the workers, and returns
+/// a [`ServerHandle`] for shutdown; the listener itself runs on its own
+/// thread.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port — read it back via
+    /// [`ServerHandle::addr`]) and starts the shard workers and accept
+    /// loop. Also sizes the process-global [`ProbePool`] for this many
+    /// dispatching shards, so concurrent re-advises do not oversubscribe
+    /// the cores (`PINUM_THREADS` still overrides; see the pool docs).
+    pub fn start(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let shards = config.shards.max(1);
+        ProbePool::init_global_for_dispatchers(shards);
+        let budget = Arc::new(ReadviseBudget::new(config.budget));
+
+        let mut shard_txs = Vec::with_capacity(shards);
+        let mut shard_threads = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::channel::<ShardMsg>();
+            let budget = budget.clone();
+            shard_txs.push(tx);
+            shard_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pinum-shard-{shard}"))
+                    .spawn(move || shard_worker(rx, &budget))
+                    .expect("spawn shard worker"),
+            );
+        }
+
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let shutdown = shutdown.clone();
+            let conns = conns.clone();
+            let shard_txs = shard_txs.clone();
+            std::thread::Builder::new()
+                .name("pinum-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let Ok(peer) = stream.try_clone() else {
+                            continue;
+                        };
+                        let shard_txs = shard_txs.clone();
+                        let shutdown = shutdown.clone();
+                        let reader = std::thread::Builder::new()
+                            .name("pinum-conn".into())
+                            .spawn(move || serve_connection(stream, &shard_txs, &shutdown))
+                            .expect("spawn connection reader");
+                        conns.lock().expect("conns lock").push((peer, reader));
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+
+        Ok(ServerHandle {
+            addr: local_addr,
+            shutdown,
+            accept: Some(accept),
+            shard_txs,
+            shard_threads,
+            conns,
+            budget,
+        })
+    }
+}
+
+/// Owner handle: keeps the daemon alive; dropping it (or calling
+/// [`ServerHandle::shutdown`]) stops the accept loop, closes every
+/// connection, and joins all worker threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    shard_txs: Vec<mpsc::Sender<ShardMsg>>,
+    shard_threads: Vec<JoinHandle<()>>,
+    conns: ConnRegistry,
+    budget: Arc<ReadviseBudget>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a wire `Shutdown` request (or [`Self::shutdown`]) has
+    /// been seen.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a wire `Shutdown` request arrives (the binary's main
+    /// thread parks on this).
+    pub fn wait_for_shutdown(&self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+
+    /// Longest any tenant waited for a re-advise permit, in grant
+    /// events — the figure the multi-tenant experiment bounds.
+    pub fn max_readvise_wait_events(&self) -> u64 {
+        self.budget.max_wait_events()
+    }
+
+    /// Stops the daemon and joins every thread. Idempotent; also runs on
+    /// drop.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+        // Close every live connection so its reader sees EOF.
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conns lock"));
+        for (stream, reader) in conns {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            let _ = reader.join();
+        }
+        for tx in &self.shard_txs {
+            let _ = tx.send(ShardMsg::Stop);
+        }
+        for t in self.shard_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    shard_txs: &[mpsc::Sender<ShardMsg>],
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<(u64, Response)>();
+    let writer = std::thread::Builder::new()
+        .name("pinum-conn-writer".into())
+        .spawn(move || {
+            let mut out = std::io::BufWriter::new(write_half);
+            while let Ok((id, resp)) = reply_rx.recv() {
+                if write_response(&mut out, id, &resp).is_err() {
+                    break;
+                }
+                if std::io::Write::flush(&mut out).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn connection writer");
+
+    loop {
+        match read_request(&mut stream) {
+            Ok(FrameIn::Msg { request_id, msg }) => match msg {
+                Request::Shutdown => {
+                    let _ = reply_tx.send((request_id, Response::ShuttingDown));
+                    shutdown.store(true, Ordering::SeqCst);
+                    // Nudge the accept loop awake so it observes the flag.
+                    if let Ok(addr) = stream.local_addr() {
+                        let _ = TcpStream::connect(addr);
+                    }
+                    break;
+                }
+                req => {
+                    let tenant = req
+                        .tenant()
+                        .expect("every request except Shutdown names a tenant");
+                    let shard = shard_of(tenant, shard_txs.len());
+                    let sent = shard_txs[shard].send(ShardMsg::Request {
+                        request_id,
+                        req: Box::new(req),
+                        reply: reply_tx.clone(),
+                    });
+                    if sent.is_err() {
+                        let _ = reply_tx.send((
+                            request_id,
+                            Response::Error {
+                                code: ErrorCode::ShuttingDown,
+                                detail: "shard workers have stopped".into(),
+                            },
+                        ));
+                        break;
+                    }
+                }
+            },
+            // Framing intact, payload bad: typed error reply, keep going.
+            Ok(FrameIn::Bad { request_id, error }) if error.frame_recoverable() => {
+                let _ = reply_tx.send((
+                    request_id.unwrap_or(0),
+                    Response::Error {
+                        code: ErrorCode::Malformed,
+                        detail: error.to_string(),
+                    },
+                ));
+            }
+            // Clean EOF, torn frame, or transport error: close.
+            Ok(FrameIn::Eof) | Ok(FrameIn::Bad { .. }) | Err(_) => break,
+        }
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+    // Shut the socket down explicitly: the handle keeps a clone of this
+    // stream for forced close, and that clone would otherwise hold the
+    // fd open and deny the peer its EOF.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn shard_worker(rx: mpsc::Receiver<ShardMsg>, budget: &ReadviseBudget) {
+    let mut tenants: HashMap<u64, TenantState> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Stop => break,
+            ShardMsg::Request {
+                request_id,
+                req,
+                reply,
+            } => {
+                let resp = handle_request(&mut tenants, budget, *req);
+                // A gone client is not an error; its socket closed.
+                let _ = reply.send((request_id, resp));
+            }
+        }
+    }
+}
+
+fn malformed(e: ConvertError) -> Response {
+    Response::Error {
+        code: ErrorCode::Malformed,
+        detail: e.to_string(),
+    }
+}
+
+fn unknown_tenant(tenant: u64) -> Response {
+    Response::Error {
+        code: ErrorCode::UnknownTenant,
+        detail: format!("tenant {tenant} was never created on this daemon"),
+    }
+}
+
+fn handle_request(
+    tenants: &mut HashMap<u64, TenantState>,
+    budget: &ReadviseBudget,
+    req: Request,
+) -> Response {
+    match req {
+        Request::CreateTenant {
+            tenant,
+            pool,
+            options,
+        } => {
+            if tenants.contains_key(&tenant) {
+                return Response::Error {
+                    code: ErrorCode::TenantExists,
+                    detail: format!("tenant {tenant} already exists"),
+                };
+            }
+            let pool = match convert::pool_from_wire(&pool) {
+                Ok(p) => p,
+                Err(e) => return malformed(e),
+            };
+            let opts = match convert::options_from_wire(&options) {
+                Ok(o) => o,
+                Err(e) => return malformed(e),
+            };
+            tenants.insert(
+                tenant,
+                TenantState {
+                    advisor: OnlineAdvisor::new(pool, opts),
+                },
+            );
+            Response::TenantCreated { tenant }
+        }
+        Request::AdmitQuery { tenant, admission } => {
+            let Some(state) = tenants.get_mut(&tenant) else {
+                return unknown_tenant(tenant);
+            };
+            match admit_one(&mut state.advisor, budget, tenant, &admission) {
+                Ok(result) => Response::Admitted {
+                    results: vec![result],
+                },
+                Err(e) => malformed(e),
+            }
+        }
+        Request::AdmitBatch { tenant, admissions } => {
+            let Some(state) = tenants.get_mut(&tenant) else {
+                return unknown_tenant(tenant);
+            };
+            let mut results = Vec::with_capacity(admissions.len());
+            for admission in &admissions {
+                // Fail the batch at the first bad admission; everything
+                // before it has already been applied, exactly as if sent
+                // one by one.
+                match admit_one(&mut state.advisor, budget, tenant, admission) {
+                    Ok(result) => results.push(result),
+                    Err(e) => return malformed(e),
+                }
+            }
+            Response::Admitted { results }
+        }
+        Request::ReweightAdmission {
+            tenant,
+            admission,
+            weight,
+        } => {
+            let Some(state) = tenants.get_mut(&tenant) else {
+                return unknown_tenant(tenant);
+            };
+            if !(weight.is_finite() && weight > 0.0) {
+                return malformed(ConvertError("weight must be finite and positive"));
+            }
+            if admission >= state.advisor.stats().admits as u64 {
+                return malformed(ConvertError("admission ordinal was never issued"));
+            }
+            let (applied, trigger) = state
+                .advisor
+                .reweight_admission_deferred(admission as usize, weight);
+            let readvise = trigger.map(|t| {
+                let _permit = budget.acquire(tenant);
+                convert::report_to_wire(&state.advisor.readvise_triggered(t))
+            });
+            Response::Reweighted { applied, readvise }
+        }
+        Request::EvictQuery { tenant, admission } => {
+            let Some(state) = tenants.get_mut(&tenant) else {
+                return unknown_tenant(tenant);
+            };
+            if admission >= state.advisor.stats().admits as u64 {
+                return malformed(ConvertError("admission ordinal was never issued"));
+            }
+            Response::Evicted {
+                applied: state.advisor.evict_admission(admission as usize),
+            }
+        }
+        Request::ForceReadvise { tenant } => {
+            let Some(state) = tenants.get_mut(&tenant) else {
+                return unknown_tenant(tenant);
+            };
+            let report = {
+                let _permit = budget.acquire(tenant);
+                state.advisor.readvise()
+            };
+            Response::Readvised {
+                report: convert::report_to_wire(&report),
+            }
+        }
+        Request::GetSelection { tenant } => {
+            let Some(state) = tenants.get(&tenant) else {
+                return unknown_tenant(tenant);
+            };
+            let advisor = &state.advisor;
+            let selection = advisor.selection();
+            Response::Selection {
+                ids: selection.ids().map(|i| i as u64).collect(),
+                total_bytes: advisor.pool().selection_bytes(selection),
+                cost: advisor.current_cost(),
+            }
+        }
+        Request::GetStats { tenant } => {
+            let Some(state) = tenants.get(&tenant) else {
+                return unknown_tenant(tenant);
+            };
+            let b = budget.stats(tenant);
+            Response::Stats {
+                stats: convert::stats_to_wire(state.advisor.stats()),
+                budget: WireBudgetStats {
+                    grants: b.grants,
+                    waits: b.waits,
+                    max_wait_events: b.max_wait_events,
+                    total_wait_events: b.total_wait_events,
+                },
+            }
+        }
+        Request::Shutdown => unreachable!("shutdown is handled by the connection reader"),
+    }
+}
+
+fn admit_one(
+    advisor: &mut OnlineAdvisor,
+    budget: &ReadviseBudget,
+    tenant: u64,
+    w: &WireAdmission,
+) -> Result<WireAdmitResult, ConvertError> {
+    if !(w.weight.is_finite() && w.weight > 0.0) {
+        return Err(ConvertError("weight must be finite and positive"));
+    }
+    let cache = convert::cache_from_wire(&w.cache)?;
+    let pool_len = advisor.pool().indexes().len();
+    let access = convert::access_from_wire(&w.access, pool_len)?;
+    if access.per_rel().len() != cache.n_rels {
+        return Err(ConvertError(
+            "access catalog arity does not match the plan cache",
+        ));
+    }
+    let templates: Vec<_> = w
+        .templates
+        .iter()
+        .map(convert::template_from_wire)
+        .collect();
+    let (admission, trigger) =
+        advisor.admit_attributed_deferred(&cache, &access, w.weight, &templates);
+    // The budget gates *when* the re-advise runs, never *what* it
+    // computes: this shard thread is the only mutator of this advisor,
+    // so the deferred execution is bit-identical to the inline one.
+    let readvise = trigger.map(|t| {
+        let _permit = budget.acquire(tenant);
+        convert::report_to_wire(&advisor.readvise_triggered(t))
+    });
+    Ok(WireAdmitResult {
+        ordinal: admission.ordinal as u64,
+        qid: admission.qid as u64,
+        evicted: admission.evicted.map(|q| q as u64),
+        readvise,
+    })
+}

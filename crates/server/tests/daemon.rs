@@ -1,0 +1,415 @@
+//! End-to-end daemon tests over loopback TCP: the wire determinism
+//! contract (daemon tenants are bit-identical to in-process advisors),
+//! typed error behavior, and hostile-input survival.
+
+use pinum_core::access_costs::{collect_pinum, AccessCostCatalog};
+use pinum_core::builder::{build_cache_pinum, BuilderOptions};
+use pinum_core::{CandidatePool, PlanCache};
+use pinum_online::{query_templates, OnlineAdvisor, OnlineAdvisorOptions};
+use pinum_optimizer::Optimizer;
+use pinum_protocol::{Client, ErrorCode, Request, Response, WireAdmission, WireOptions};
+use pinum_query::{Query, TemplateKey};
+use pinum_server::{convert, Server, ServerConfig};
+use pinum_workload::drift::{DriftProfile, DriftStream};
+use pinum_workload::star::StarSchema;
+
+const BUDGET_BYTES: u64 = 1 << 30;
+
+struct Fixture {
+    queries: Vec<(Query, f64)>,
+    pool: CandidatePool,
+    models: Vec<(PlanCache, AccessCostCatalog)>,
+}
+
+/// Same construction as the online crate's own tests: a small drifting
+/// stream priced against a generated candidate pool.
+fn fixture(drift_seed: u64, phases: usize, phase_length: usize) -> Fixture {
+    let schema = StarSchema::generate(42, 0.001);
+    let profile = DriftProfile {
+        phases,
+        phase_length,
+        edge_window: 3,
+        churn: 0.05,
+        growth_per_phase: 1.0,
+    };
+    let stream: Vec<_> = DriftStream::new(&schema, drift_seed, profile).collect();
+    let queries: Vec<(Query, f64)> = stream.into_iter().map(|d| (d.query, d.weight)).collect();
+    let only: Vec<Query> = queries.iter().map(|(q, _)| q.clone()).collect();
+    let pool = pinum_advisor::candidates::generate_candidates(&schema.catalog, &only);
+    let optimizer = Optimizer::new(&schema.catalog);
+    let models = only
+        .iter()
+        .map(|q| {
+            let built = build_cache_pinum(&optimizer, q, &BuilderOptions::default());
+            let (access, _) = collect_pinum(&optimizer, q, &pool);
+            (built.cache, access)
+        })
+        .collect();
+    Fixture {
+        queries,
+        pool,
+        models,
+    }
+}
+
+fn options(window: usize, epoch: usize) -> OnlineAdvisorOptions {
+    OnlineAdvisorOptions {
+        window_capacity: window,
+        epoch_length: epoch,
+        ..OnlineAdvisorOptions::defaults(BUDGET_BYTES)
+    }
+}
+
+fn wire_options(opts: &OnlineAdvisorOptions) -> WireOptions {
+    convert::options_to_wire(opts).expect("test options are wire-expressible")
+}
+
+fn wire_admission(
+    cache: &PlanCache,
+    access: &AccessCostCatalog,
+    weight: f64,
+    templates: &[TemplateKey],
+) -> WireAdmission {
+    WireAdmission {
+        cache: convert::cache_to_wire(cache),
+        access: convert::access_to_wire(access),
+        weight,
+        templates: templates.iter().map(convert::template_to_wire).collect(),
+    }
+}
+
+/// Drives one tenant's whole stream through a wire client and returns
+/// the daemon's final (ids, cost bits, full_repricings).
+fn drive_tenant(
+    addr: std::net::SocketAddr,
+    tenant: u64,
+    fx: &Fixture,
+    opts: &OnlineAdvisorOptions,
+) -> (Vec<u64>, u64, u64) {
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client
+        .call(&Request::CreateTenant {
+            tenant,
+            pool: convert::pool_to_wire(&fx.pool),
+            options: wire_options(opts),
+        })
+        .expect("create tenant");
+    assert!(matches!(resp, Response::TenantCreated { tenant: t } if t == tenant));
+
+    for (i, (cache, access)) in fx.models.iter().enumerate() {
+        let (query, weight) = &fx.queries[i];
+        let templates = query_templates(query);
+        let resp = client
+            .call(&Request::AdmitQuery {
+                tenant,
+                admission: wire_admission(cache, access, *weight, &templates),
+            })
+            .expect("admit");
+        let Response::Admitted { results } = resp else {
+            panic!("unexpected admit reply: {resp:?}");
+        };
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].ordinal, i as u64);
+        // Exercise the deferred reweight path over the wire too.
+        if i % 4 == 3 {
+            let resp = client
+                .call(&Request::ReweightAdmission {
+                    tenant,
+                    admission: i as u64,
+                    weight: *weight * 1.5,
+                })
+                .expect("reweight");
+            assert!(matches!(resp, Response::Reweighted { applied: true, .. }));
+        }
+    }
+
+    let Response::Selection {
+        ids,
+        total_bytes,
+        cost,
+    } = client
+        .call(&Request::GetSelection { tenant })
+        .expect("selection")
+    else {
+        panic!("unexpected selection reply");
+    };
+    assert_eq!(total_bytes, {
+        let sel = pinum_core::Selection::from_ids(
+            fx.pool.indexes().len(),
+            &ids.iter().map(|&i| i as usize).collect::<Vec<_>>(),
+        );
+        fx.pool.selection_bytes(&sel)
+    });
+    let Response::Stats { stats, .. } = client.call(&Request::GetStats { tenant }).expect("stats")
+    else {
+        panic!("unexpected stats reply");
+    };
+    (ids, cost.to_bits(), stats.full_repricings)
+}
+
+/// The same stream applied to an in-process advisor (the baseline the
+/// daemon must match bit for bit).
+fn baseline(fx: &Fixture, opts: &OnlineAdvisorOptions) -> (Vec<u64>, u64, u64) {
+    let mut advisor = OnlineAdvisor::new(fx.pool.clone(), *opts);
+    for (i, (cache, access)) in fx.models.iter().enumerate() {
+        let (query, weight) = &fx.queries[i];
+        let templates = query_templates(query);
+        advisor.admit_attributed(cache, access, *weight, &templates);
+        if i % 4 == 3 {
+            advisor.reweight_admission(i, *weight * 1.5);
+        }
+    }
+    (
+        advisor.selection().ids().map(|i| i as u64).collect(),
+        advisor.current_cost().to_bits(),
+        advisor.stats().full_repricings as u64,
+    )
+}
+
+#[test]
+fn daemon_tenants_are_bit_identical_to_in_process_advisors() {
+    // Two shards, two tenants driven concurrently from separate
+    // connections: the shard serialization must keep each tenant's
+    // results exactly what a single-threaded embedding computes, even on
+    // a 1-core box (satellite: the global probe pool defaults stay
+    // deterministic under a sharded server).
+    let server = Server::start(
+        ("127.0.0.1", 0),
+        ServerConfig {
+            shards: 2,
+            budget: 1,
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+    let opts = options(12, 5);
+
+    let fixtures: Vec<Fixture> = vec![fixture(9, 3, 10), fixture(11, 3, 10)];
+    let expected: Vec<_> = fixtures.iter().map(|fx| baseline(fx, &opts)).collect();
+
+    let got: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = fixtures
+            .iter()
+            .enumerate()
+            .map(|(t, fx)| scope.spawn(move || drive_tenant(addr, t as u64, fx, &opts)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant thread"))
+            .collect()
+    });
+
+    for (tenant, (got, want)) in got.iter().zip(&expected).enumerate() {
+        assert_eq!(got.0, want.0, "tenant {tenant} selection diverged");
+        assert_eq!(got.1, want.1, "tenant {tenant} cost bits diverged");
+        assert_eq!(got.2, want.2, "tenant {tenant} full_repricings diverged");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn tenant_errors_are_typed() {
+    let server = Server::start(("127.0.0.1", 0), ServerConfig::default()).expect("start server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let resp = client
+        .call(&Request::GetSelection { tenant: 99 })
+        .expect("call");
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::UnknownTenant,
+                ..
+            }
+        ),
+        "got {resp:?}"
+    );
+
+    let fx = fixture(9, 2, 4);
+    let create = Request::CreateTenant {
+        tenant: 7,
+        pool: convert::pool_to_wire(&fx.pool),
+        options: wire_options(&options(8, 4)),
+    };
+    assert!(matches!(
+        client.call(&create).expect("create"),
+        Response::TenantCreated { tenant: 7 }
+    ));
+    let resp = client.call(&create).expect("duplicate create");
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::TenantExists,
+                ..
+            }
+        ),
+        "got {resp:?}"
+    );
+
+    // A structurally valid frame whose payload violates a domain
+    // invariant: zero decay cannot construct an advisor.
+    let mut bad_options = wire_options(&options(8, 4));
+    bad_options.decay = 0.0;
+    let resp = client
+        .call(&Request::CreateTenant {
+            tenant: 8,
+            pool: convert::pool_to_wire(&fx.pool),
+            options: bad_options,
+        })
+        .expect("bad create");
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Malformed,
+                ..
+            }
+        ),
+        "got {resp:?}"
+    );
+
+    // Reweighting an ordinal that was never issued is a typed error, not
+    // a daemon panic.
+    let resp = client
+        .call(&Request::ReweightAdmission {
+            tenant: 7,
+            admission: 1_000,
+            weight: 2.0,
+        })
+        .expect("reweight unknown ordinal");
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Malformed,
+                ..
+            }
+        ),
+        "got {resp:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn hostile_frames_get_typed_errors_and_the_connection_survives() {
+    use std::io::{Read, Write};
+
+    let server = Server::start(("127.0.0.1", 0), ServerConfig::default()).expect("start server");
+    let mut raw = std::net::TcpStream::connect(server.addr()).expect("connect raw");
+    raw.set_nodelay(true).expect("nodelay");
+
+    // Intact framing, garbage payload: version 1, request id 77, then an
+    // unknown tag. The daemon must answer with a typed error on the same
+    // connection.
+    let mut frame = Vec::new();
+    let payload = {
+        let mut p = vec![1u8]; // version
+        p.extend_from_slice(&77u64.to_le_bytes());
+        p.push(250); // unknown request tag
+        p
+    };
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    raw.write_all(&frame).expect("write hostile frame");
+
+    // Read the reply with the protocol reader to confirm it is a
+    // well-formed typed error echoing the hostile frame's request id.
+    let reply = pinum_protocol::read_response(&mut raw).expect("read reply");
+    match reply {
+        pinum_protocol::FrameIn::Msg { request_id, msg } => {
+            assert_eq!(request_id, 77);
+            assert!(
+                matches!(
+                    msg,
+                    Response::Error {
+                        code: ErrorCode::Malformed,
+                        ..
+                    }
+                ),
+                "got {msg:?}"
+            );
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    // Same connection must still serve healthy requests.
+    let mut healthy = Vec::new();
+    pinum_protocol::write_request(&mut healthy, 78, &Request::GetSelection { tenant: 1 })
+        .expect("encode healthy");
+    raw.write_all(&healthy).expect("write healthy");
+    match pinum_protocol::read_response(&mut raw).expect("read healthy reply") {
+        pinum_protocol::FrameIn::Msg { request_id, msg } => {
+            assert_eq!(request_id, 78);
+            assert!(matches!(
+                msg,
+                Response::Error {
+                    code: ErrorCode::UnknownTenant,
+                    ..
+                }
+            ));
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    // An oversized length prefix is fatal by design: the daemon drops
+    // the connection (no 64 MiB allocation, no panic) and keeps serving
+    // new ones.
+    let mut oversized = std::net::TcpStream::connect(server.addr()).expect("connect oversized");
+    oversized
+        .write_all(&u32::MAX.to_le_bytes())
+        .expect("write hostile length");
+    let mut buf = [0u8; 1];
+    let n = oversized.read(&mut buf).expect("peer closes cleanly");
+    assert_eq!(n, 0, "daemon should close an oversized-frame connection");
+
+    let mut client = Client::connect(server.addr()).expect("fresh connection");
+    let resp = client
+        .call(&Request::GetSelection { tenant: 1 })
+        .expect("daemon still alive");
+    assert!(matches!(
+        resp,
+        Response::Error {
+            code: ErrorCode::UnknownTenant,
+            ..
+        }
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn binary_smoke_boots_serves_and_shuts_down() {
+    use std::io::BufRead;
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pinum-server"))
+        .args(["--port", "0", "--shards", "2", "--budget", "1"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon binary");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("daemon prints its address")
+        .expect("read banner");
+    let addr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    let fx = fixture(9, 2, 4);
+    let opts = options(8, 4);
+    let (ids, cost_bits, _) = drive_tenant(addr.parse().expect("addr"), 3, &fx, &opts);
+    let (want_ids, want_cost, _) = baseline(&fx, &opts);
+    assert_eq!(ids, want_ids);
+    assert_eq!(cost_bits, want_cost);
+
+    let mut client = Client::connect(addr.as_str()).expect("connect for shutdown");
+    let resp = client.call(&Request::Shutdown).expect("shutdown call");
+    assert!(matches!(resp, Response::ShuttingDown));
+
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exited with {status}");
+}
