@@ -23,5 +23,6 @@ fn main() {
     e::scoped_readvise::run(scale);
     e::parallel_search::run(scale);
     e::multi_tenant::run(scale);
+    e::warm_restart::run(scale);
     println!("==== done ====");
 }

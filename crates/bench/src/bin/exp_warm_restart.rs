@@ -1,0 +1,18 @@
+//! Warm restart: kill a journaled advisor mid-stream, restore from the
+//! latest snapshot plus the replayed log tail, finish the stream, and
+//! demand bit-identity with an uninterrupted session. See
+//! `experiments::warm_restart`.
+use pinum_bench::experiments::warm_restart;
+use pinum_bench::fixtures::scale_from_env;
+
+fn main() {
+    let outcome = warm_restart::run(scale_from_env());
+    // The gates are asserted inside `run`; re-state the headline for CI.
+    println!(
+        "acceptance ok: {} restarts bit-identical, {} log records replayed, \
+         {} steady-state full re-pricings",
+        outcome.points.len(),
+        outcome.replayed_tail_total,
+        outcome.steady_full_repricings
+    );
+}

@@ -17,4 +17,5 @@ pub mod pruning;
 pub mod redundancy;
 pub mod scoped_readvise;
 pub mod search_strategies;
+pub mod warm_restart;
 pub mod whatif;

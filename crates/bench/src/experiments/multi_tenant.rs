@@ -29,7 +29,7 @@ use pinum_advisor::candidates::generate_candidates;
 use pinum_core::access_costs::{collect_pinum, AccessCostCatalog};
 use pinum_core::builder::{build_cache_pinum, BuilderOptions};
 use pinum_core::{CandidatePool, PlanCache};
-use pinum_online::{query_templates, OnlineAdvisor, OnlineAdvisorOptions};
+use pinum_online::{query_templates, AdmissionSpec, OnlineAdvisor, OnlineAdvisorOptions};
 use pinum_optimizer::Optimizer;
 use pinum_protocol::{Client, Request, Response, WireAdmission, WireBudgetStats};
 use pinum_query::Query;
@@ -177,10 +177,19 @@ fn baseline(fx: &TenantFixture, opts: &OnlineAdvisorOptions) -> TenantRun {
     for (i, (cache, access)) in fx.models.iter().enumerate() {
         let (query, weight) = &fx.queries[i];
         let templates = query_templates(query);
-        let adm = advisor.admit_attributed(cache, access, *weight, &templates);
+        let adm = advisor.apply(
+            AdmissionSpec::new(cache, access)
+                .weight(*weight)
+                .templates(&templates),
+        );
         tally(i, adm.readvise);
         if i % REWEIGHT_EVERY == REWEIGHT_EVERY - 1 {
-            tally(i, advisor.reweight_admission(i, *weight * REWEIGHT_FACTOR));
+            tally(
+                i,
+                advisor
+                    .reweight(i, *weight * REWEIGHT_FACTOR, false)
+                    .readvise,
+            );
         }
     }
     TenantRun {
@@ -290,6 +299,7 @@ fn run_server_pass(
         ServerConfig {
             shards,
             budget: BUDGET_PERMITS,
+            ..ServerConfig::default()
         },
     )
     .expect("start server");

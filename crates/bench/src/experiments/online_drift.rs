@@ -31,7 +31,7 @@ use pinum_advisor::search::StrategyKind;
 use pinum_core::access_costs::{collect_pinum, AccessCostCatalog};
 use pinum_core::builder::{build_cache_pinum, BuilderOptions};
 use pinum_core::{CandidatePool, PlanCache, WorkloadModel};
-use pinum_online::{OnlineAdvisor, OnlineAdvisorOptions, ReadviseTrigger};
+use pinum_online::{AdmissionSpec, OnlineAdvisor, OnlineAdvisorOptions, ReadviseTrigger};
 use pinum_optimizer::Optimizer;
 use pinum_workload::drift::{DriftProfile, DriftStream, DriftedQuery};
 use pinum_workload::star::StarSchema;
@@ -128,7 +128,7 @@ fn run_online(
     let mut readvises = Vec::new();
     let mut admit_wall_total = Duration::ZERO;
     for (i, ((cache, access), dq)) in models.iter().zip(stream).enumerate() {
-        let admission = advisor.admit_weighted(cache, access, dq.weight);
+        let admission = advisor.apply(AdmissionSpec::new(cache, access).weight(dq.weight));
         admit_wall_total += admission.model_wall;
         if let Some(report) = admission.readvise {
             readvises.push((i, report));

@@ -33,7 +33,8 @@ use pinum_core::access_costs::{collect_pinum, AccessCostCatalog};
 use pinum_core::builder::{build_cache_pinum, BuilderOptions};
 use pinum_core::{CandidatePool, PlanCache};
 use pinum_online::{
-    query_templates, OnlineAdvisor, OnlineAdvisorOptions, ReadviseReport, ReadviseTrigger,
+    query_templates, AdmissionSpec, OnlineAdvisor, OnlineAdvisorOptions, ReadviseReport,
+    ReadviseTrigger,
 };
 use pinum_optimizer::Optimizer;
 use pinum_query::TemplateKey;
@@ -150,17 +151,16 @@ fn run_pass(
         let readvise = match event {
             DriftEvent::Admit(_) => {
                 let (cache, access) = &models[admitted];
-                let adm = advisor.admit_attributed(
-                    cache,
-                    access,
-                    weights[admitted],
-                    &templates[admitted],
+                let adm = advisor.apply(
+                    AdmissionSpec::new(cache, access)
+                        .weight(weights[admitted])
+                        .templates(&templates[admitted]),
                 );
                 admitted += 1;
                 adm.readvise
             }
             DriftEvent::Reweight { admission, weight } => {
-                advisor.reweight_admission(*admission, *weight)
+                advisor.reweight(*admission, *weight, false).readvise
             }
         };
         if let Some(report) = readvise {

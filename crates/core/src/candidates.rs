@@ -188,6 +188,30 @@ impl Selection {
         &self.words
     }
 
+    /// The raw bitset words, for flat serialization (bit `i` of word
+    /// `i / 64` ⇔ candidate `i` selected).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a selection from raw bitset words, validating the shape:
+    /// exactly `pool_size.div_ceil(64)` words and no bit at or above
+    /// `pool_size`. The inverse of [`Selection::words`] — round-tripping
+    /// through it is bit-identical.
+    pub fn from_words(pool_size: usize, words: Vec<u64>) -> Result<Self, &'static str> {
+        if words.len() != pool_size.div_ceil(64) {
+            return Err("selection word count does not match pool size");
+        }
+        let tail_bits = pool_size % 64;
+        if tail_bits != 0 {
+            let last = words.last().copied().unwrap_or(0);
+            if last >> tail_bits != 0 {
+                return Err("selection has bits beyond the pool size");
+            }
+        }
+        Ok(Self { words })
+    }
+
     /// A copy with one more candidate.
     pub fn with(&self, id: usize) -> Self {
         let mut s = self.clone();

@@ -98,4 +98,6 @@ pub use costing::{CacheCostModel, Estimate};
 pub use pool::ProbePool;
 pub use reference::ReferenceModel;
 pub use session::PricingSession;
-pub use workload_model::{pairwise_total, PricedWorkload, Probe, ProbeDelta, WorkloadModel};
+pub use workload_model::{
+    pairwise_total, PricedWorkload, Probe, ProbeDelta, WorkloadModel, WorkloadModelParts,
+};

@@ -91,6 +91,39 @@ impl PricingSession {
         }
     }
 
+    /// Reconstructs a session bit-exactly from exported state — the
+    /// warm-restart path. Unlike [`Self::from_parts`], nothing is
+    /// re-priced: the sum tree is rebuilt from the exported per-query
+    /// costs ([`PricedWorkload::from_costs`] is a pure function of them,
+    /// so the total's bits are exactly the exported session's), and
+    /// `full_repricings` resumes at its exported value. The invariant
+    /// `state == model.price_full(&selection)` is the *caller's* claim
+    /// about the costs; it is debug-asserted (sampled) like every other
+    /// splice, and a restored session that lies here fails the same
+    /// assert every subsequent mutation would.
+    pub fn restore(
+        model: WorkloadModel,
+        selection: Selection,
+        per_query: Vec<f64>,
+        full_repricings: usize,
+    ) -> Result<Self, &'static str> {
+        if per_query.len() != model.query_count() {
+            return Err("per-query cost vector sized for a different model");
+        }
+        if selection.words().len() != model.pool_size().div_ceil(64) {
+            return Err("selection sized for a different pool");
+        }
+        let state = PricedWorkload::from_costs(per_query);
+        let session = Self {
+            model,
+            selection,
+            state,
+            full_repricings,
+        };
+        session.debug_assert_state_matches_full();
+        Ok(session)
+    }
+
     pub fn model(&self) -> &WorkloadModel {
         &self.model
     }
@@ -394,6 +427,54 @@ mod tests {
         batched.reweight_queries([(0, 0.5), (1, 3.0)]);
         assert_eq!(one_by_one.total().to_bits(), batched.total().to_bits());
         assert_eq!(one_by_one.state().per_query(), batched.state().per_query());
+    }
+
+    #[test]
+    fn restore_is_bit_exact_and_counts_no_repricing() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let mut session = PricingSession::new(pool.len());
+        session.admit_query(&models[0].0, &models[0].1);
+        session.admit_query_weighted(&models[1].0, &models[1].1, 2.5);
+        session.install(Selection::from_ids(pool.len(), &[0, 3]), None, 0);
+
+        let model = crate::workload_model::WorkloadModel::from_parts(session.model().to_parts())
+            .expect("model parts roundtrip");
+        let selection = Selection::from_words(pool.len(), session.selection().words().to_vec())
+            .expect("selection roundtrip");
+        let per_query = session.state().per_query().to_vec();
+        let restored =
+            PricingSession::restore(model, selection, per_query, session.full_repricings())
+                .expect("restore");
+        assert_eq!(
+            restored.total().to_bits(),
+            session.total().to_bits(),
+            "restored total diverged"
+        );
+        assert_eq!(restored.state().per_query(), session.state().per_query());
+        assert_eq!(restored.full_repricings(), session.full_repricings());
+        assert_eq!(restored.selection(), session.selection());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shapes() {
+        let session = PricingSession::new(70);
+        let model = crate::workload_model::WorkloadModel::from_parts(session.model().to_parts())
+            .expect("parts");
+        assert!(PricingSession::restore(
+            model.clone(),
+            Selection::empty(70),
+            vec![0.0], // one cost, zero queries
+            0,
+        )
+        .is_err());
+        assert!(PricingSession::restore(
+            model,
+            Selection::empty(5), // wrong pool width
+            Vec::new(),
+            0,
+        )
+        .is_err());
     }
 
     #[test]

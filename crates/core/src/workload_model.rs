@@ -384,6 +384,44 @@ struct QueryMeta {
     arm_count: u32,
 }
 
+/// The packed model exploded into flat parallel vectors of primitives —
+/// the serialization surface of [`WorkloadModel::to_parts`] /
+/// [`WorkloadModel::from_parts`]. Each `slot_*` / `plan_*` / `query_*`
+/// group is a struct-of-arrays view of the corresponding private meta
+/// array, so a snapshot writer can stream every field as one contiguous
+/// length-prefixed section with no pointer chasing. Derived data (the
+/// inverted index and the live count) is deliberately absent:
+/// `from_parts` recomputes it, which doubles as validation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadModelParts {
+    /// Candidate pool cardinality (`u64` so the field width is
+    /// platform-independent on the wire).
+    pub pool_size: u64,
+    pub arm_costs: Vec<f64>,
+    pub arm_cands: Vec<u32>,
+    pub slot_coef: Vec<f64>,
+    pub slot_pcoef: Vec<f64>,
+    pub slot_s_always: Vec<f64>,
+    pub slot_p_always: Vec<f64>,
+    pub slot_s_start: Vec<u32>,
+    pub slot_s_end: Vec<u32>,
+    pub slot_p_start: Vec<u32>,
+    pub slot_p_end: Vec<u32>,
+    pub slot_required: Vec<bool>,
+    pub plan_internal: Vec<f64>,
+    pub plan_slot_start: Vec<u32>,
+    pub plan_slot_end: Vec<u32>,
+    pub query_plan_start: Vec<u32>,
+    pub query_plan_end: Vec<u32>,
+    pub query_touched_start: Vec<u32>,
+    pub query_touched_end: Vec<u32>,
+    pub query_bloom: Vec<u64>,
+    pub query_arm_count: Vec<u32>,
+    pub touched: Vec<u32>,
+    pub weights: Vec<f64>,
+    pub live: Vec<bool>,
+}
+
 /// Words a [`SelView`] keeps inline before spilling to the heap: 16×64 =
 /// 1024 candidates, far above every workload in the experiments.
 const INLINE_WORDS: usize = 16;
@@ -898,6 +936,236 @@ impl WorkloadModel {
             );
             debug_assert_eq!(self.live_count, self.live.iter().filter(|l| **l).count());
         }
+    }
+
+    /// Exports the packed state as flat parallel vectors — the
+    /// serialization surface for session persistence. The parts contain
+    /// every owned field except the inverted index and the live count,
+    /// which are derived data rebuilt by [`Self::from_parts`]; the
+    /// round-trip `from_parts(to_parts())` is `==` to the original model.
+    pub fn to_parts(&self) -> WorkloadModelParts {
+        WorkloadModelParts {
+            pool_size: self.pool_size as u64,
+            arm_costs: self.arm_costs.clone(),
+            arm_cands: self.arm_cands.clone(),
+            slot_coef: self.slots.iter().map(|s| s.coef).collect(),
+            slot_pcoef: self.slots.iter().map(|s| s.pcoef).collect(),
+            slot_s_always: self.slots.iter().map(|s| s.s_always).collect(),
+            slot_p_always: self.slots.iter().map(|s| s.p_always).collect(),
+            slot_s_start: self.slots.iter().map(|s| s.s_start).collect(),
+            slot_s_end: self.slots.iter().map(|s| s.s_end).collect(),
+            slot_p_start: self.slots.iter().map(|s| s.p_start).collect(),
+            slot_p_end: self.slots.iter().map(|s| s.p_end).collect(),
+            slot_required: self.slots.iter().map(|s| s.required).collect(),
+            plan_internal: self.plans.iter().map(|p| p.internal).collect(),
+            plan_slot_start: self.plans.iter().map(|p| p.slot_start).collect(),
+            plan_slot_end: self.plans.iter().map(|p| p.slot_end).collect(),
+            query_plan_start: self.qmeta.iter().map(|q| q.plan_start).collect(),
+            query_plan_end: self.qmeta.iter().map(|q| q.plan_end).collect(),
+            query_touched_start: self.qmeta.iter().map(|q| q.touched_start).collect(),
+            query_touched_end: self.qmeta.iter().map(|q| q.touched_end).collect(),
+            query_bloom: self.qmeta.iter().map(|q| q.bloom).collect(),
+            query_arm_count: self.qmeta.iter().map(|q| q.arm_count).collect(),
+            touched: self.touched.clone(),
+            weights: self.weights.clone(),
+            live: self.live.clone(),
+        }
+    }
+
+    /// Rebuilds a model from exported parts, validating every structural
+    /// invariant the mutation paths maintain (extent bounds, per-query
+    /// footprints, blooms, arm counts, tombstone emptiness, weight
+    /// positivity) and recomputing the derived data (`affected`,
+    /// `live_count`) from scratch — the restore-side mirror of
+    /// `debug_assert_index_matches_rebuild`, but unconditional
+    /// and returning a typed error instead of panicking, since parts
+    /// arrive from disk.
+    pub fn from_parts(parts: WorkloadModelParts) -> Result<Self, &'static str> {
+        let WorkloadModelParts {
+            pool_size,
+            arm_costs,
+            arm_cands,
+            slot_coef,
+            slot_pcoef,
+            slot_s_always,
+            slot_p_always,
+            slot_s_start,
+            slot_s_end,
+            slot_p_start,
+            slot_p_end,
+            slot_required,
+            plan_internal,
+            plan_slot_start,
+            plan_slot_end,
+            query_plan_start,
+            query_plan_end,
+            query_touched_start,
+            query_touched_end,
+            query_bloom,
+            query_arm_count,
+            touched,
+            weights,
+            live,
+        } = parts;
+        let pool_size = usize::try_from(pool_size).map_err(|_| "pool size overflows usize")?;
+        if arm_costs.len() != arm_cands.len() {
+            return Err("arm cost/candidate arrays differ in length");
+        }
+        if arm_costs.iter().any(|c| !c.is_finite()) {
+            return Err("non-finite arm cost");
+        }
+        if arm_cands.iter().any(|&c| c as usize >= pool_size) {
+            return Err("arm candidate outside the pool");
+        }
+        let n_slots = slot_coef.len();
+        if [
+            slot_pcoef.len(),
+            slot_s_always.len(),
+            slot_p_always.len(),
+            slot_s_start.len(),
+            slot_s_end.len(),
+            slot_p_start.len(),
+            slot_p_end.len(),
+            slot_required.len(),
+        ]
+        .iter()
+        .any(|&l| l != n_slots)
+        {
+            return Err("slot arrays differ in length");
+        }
+        let slots: Vec<SlotMeta> = (0..n_slots)
+            .map(|i| SlotMeta {
+                coef: slot_coef[i],
+                pcoef: slot_pcoef[i],
+                s_always: slot_s_always[i],
+                p_always: slot_p_always[i],
+                s_start: slot_s_start[i],
+                s_end: slot_s_end[i],
+                p_start: slot_p_start[i],
+                p_end: slot_p_end[i],
+                required: slot_required[i],
+            })
+            .collect();
+        let n_arms = arm_costs.len() as u32;
+        for s in &slots {
+            if s.s_start > s.s_end || s.s_end > n_arms || s.p_start > s.p_end || s.p_end > n_arms {
+                return Err("slot arm extent out of bounds");
+            }
+        }
+        let n_plans = plan_internal.len();
+        if plan_slot_start.len() != n_plans || plan_slot_end.len() != n_plans {
+            return Err("plan arrays differ in length");
+        }
+        let plans: Vec<PlanMeta> = (0..n_plans)
+            .map(|i| PlanMeta {
+                internal: plan_internal[i],
+                slot_start: plan_slot_start[i],
+                slot_end: plan_slot_end[i],
+            })
+            .collect();
+        for p in &plans {
+            if p.slot_start > p.slot_end || p.slot_end as usize > n_slots {
+                return Err("plan slot extent out of bounds");
+            }
+        }
+        let n_queries = query_plan_start.len();
+        if [
+            query_plan_end.len(),
+            query_touched_start.len(),
+            query_touched_end.len(),
+            query_bloom.len(),
+            query_arm_count.len(),
+            weights.len(),
+            live.len(),
+        ]
+        .iter()
+        .any(|&l| l != n_queries)
+        {
+            return Err("query arrays differ in length");
+        }
+        let qmeta: Vec<QueryMeta> = (0..n_queries)
+            .map(|i| QueryMeta {
+                plan_start: query_plan_start[i],
+                plan_end: query_plan_end[i],
+                touched_start: query_touched_start[i],
+                touched_end: query_touched_end[i],
+                bloom: query_bloom[i],
+                arm_count: query_arm_count[i],
+            })
+            .collect();
+        if touched.iter().any(|&c| c as usize >= pool_size) {
+            return Err("touched candidate outside the pool");
+        }
+        let mut affected: Vec<Vec<u32>> = vec![Vec::new(); pool_size];
+        let mut live_count = 0usize;
+        for (qid, qm) in qmeta.iter().enumerate() {
+            if qm.plan_start > qm.plan_end
+                || qm.plan_end as usize > n_plans
+                || qm.touched_start > qm.touched_end
+                || qm.touched_end as usize > touched.len()
+            {
+                return Err("query extent out of bounds");
+            }
+            if !live[qid] {
+                if qm.plan_start != qm.plan_end
+                    || qm.touched_start != qm.touched_end
+                    || qm.bloom != 0
+                    || qm.arm_count != 0
+                {
+                    return Err("tombstone query retains plan or footprint data");
+                }
+                if weights[qid] != 0.0 {
+                    return Err("tombstone query retains a weight");
+                }
+                continue;
+            }
+            if !(weights[qid].is_finite() && weights[qid] > 0.0) {
+                return Err("live query weight not finite and positive");
+            }
+            // Recompute the footprint, bloom, and arm count from the arm
+            // extents — a checksum can vouch for bytes, not invariants.
+            let mut cands: Vec<u32> = Vec::new();
+            let mut arm_count = 0u32;
+            for plan in &plans[qm.plan_start as usize..qm.plan_end as usize] {
+                for slot in &slots[plan.slot_start as usize..plan.slot_end as usize] {
+                    cands.extend_from_slice(&arm_cands[slot.s_start as usize..slot.s_end as usize]);
+                    cands.extend_from_slice(&arm_cands[slot.p_start as usize..slot.p_end as usize]);
+                    arm_count += (slot.s_end - slot.s_start) + (slot.p_end - slot.p_start);
+                    arm_count += slot.s_always.is_finite() as u32;
+                    arm_count += slot.p_always.is_finite() as u32;
+                }
+            }
+            cands.sort_unstable();
+            cands.dedup();
+            let stored = &touched[qm.touched_start as usize..qm.touched_end as usize];
+            if stored != cands.as_slice() {
+                return Err("stored candidate footprint diverges from the arm data");
+            }
+            let bloom = cands.iter().fold(0u64, |b, &c| b | 1u64 << (c & 63));
+            if bloom != qm.bloom {
+                return Err("stored bloom prefilter diverges from the footprint");
+            }
+            if arm_count != qm.arm_count {
+                return Err("stored arm count diverges from the arm extents");
+            }
+            for c in cands {
+                affected[c as usize].push(qid as u32);
+            }
+            live_count += 1;
+        }
+        Ok(Self {
+            arm_costs,
+            arm_cands,
+            slots,
+            plans,
+            qmeta,
+            touched,
+            weights,
+            live,
+            live_count,
+            affected,
+            pool_size,
+        })
     }
 
     /// Total query *slots*, including tombstones — the length every
@@ -1811,6 +2079,54 @@ mod tests {
                 assert_eq!(delta, full.total(), "selection {ids:?} + candidate {cand}");
             }
         }
+    }
+
+    #[test]
+    fn parts_roundtrip_is_identity_even_with_tombstones() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let mut wm = model_of(&models, &pool);
+        wm.reweight_query(1, 2.5);
+        let back = WorkloadModel::from_parts(wm.to_parts()).expect("roundtrip");
+        assert_eq!(back, wm, "parts roundtrip changed the model");
+        // Tombstones must roundtrip too (empty extents, zero weight).
+        wm.evict_query(0);
+        let back = WorkloadModel::from_parts(wm.to_parts()).expect("tombstone roundtrip");
+        assert_eq!(back, wm);
+        assert_eq!(back.live_query_count(), 1);
+        let sel = Selection::from_ids(pool.len(), &[0, 3]);
+        assert_eq!(
+            back.price_full(&sel).total().to_bits(),
+            wm.price_full(&sel).total().to_bits()
+        );
+    }
+
+    #[test]
+    fn hostile_parts_are_rejected_not_panicked() {
+        let (cat, queries, pool) = setup();
+        let models = build_models(&cat, &queries, &pool);
+        let wm = model_of(&models, &pool);
+        let good = wm.to_parts();
+
+        let mut p = good.clone();
+        p.slot_s_end[0] = u32::MAX; // extent past the arm arrays
+        assert!(WorkloadModel::from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.arm_cands[0] = pool.len() as u32; // candidate outside the pool
+        assert!(WorkloadModel::from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.query_bloom[0] ^= 1; // bloom no longer matches the footprint
+        assert!(WorkloadModel::from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.weights[0] = -1.0; // live query with a non-positive weight
+        assert!(WorkloadModel::from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.weights.pop(); // query arrays out of sync
+        assert!(WorkloadModel::from_parts(p).is_err());
     }
 
     #[test]

@@ -82,6 +82,31 @@ enum Status {
     Attributed,
 }
 
+/// The attribution books exploded into plain data — the serialization
+/// surface of [`DriftAttribution::to_parts`] /
+/// [`DriftAttribution::from_parts`]. The intern map travels as the key
+/// list in dense id order (index = id), which also fixes a
+/// serialization order for a structure whose in-memory iteration order
+/// is nondeterministic; the live counters are derived and rebuilt on
+/// import.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DriftAttributionParts {
+    /// Interned template keys, index = dense template id.
+    pub templates: Vec<TemplateKey>,
+    /// Query slot → template ids (empty for dead/unattributed slots).
+    pub per_query: Vec<Vec<u32>>,
+    /// Query slot → normalized shares, parallel to `per_query`.
+    pub per_query_share: Vec<Vec<f64>>,
+    /// Query slot status: 0 = dead, 1 = unattributed, 2 = attributed.
+    pub status: Vec<u8>,
+    /// Per-template baseline sums (may be shorter than `templates` —
+    /// templates interned after the capture baseline at 0.0).
+    pub baseline: Vec<f64>,
+    pub baseline_captured: bool,
+    pub share_policy: SharePolicy,
+    pub baseline_policy: SharePolicy,
+}
+
 /// Per-template priced-cost tracking across re-advises. See module docs.
 #[derive(Debug, Default)]
 pub struct DriftAttribution {
@@ -247,6 +272,118 @@ impl DriftAttribution {
         self.per_query = per_query;
         self.per_query_share = per_query_share;
         self.status = status;
+    }
+
+    /// Exports the books as plain data (see [`DriftAttributionParts`]).
+    /// Round-tripping through [`Self::from_parts`] reproduces the books
+    /// exactly — including the intern ids, so scoped-re-advise masks
+    /// computed after a restore are bit-identical.
+    pub fn to_parts(&self) -> DriftAttributionParts {
+        // Ids are interned densely (0..len), so sorting by id linearizes
+        // the map deterministically regardless of its iteration order.
+        let mut pairs: Vec<(&TemplateKey, u32)> =
+            self.intern.iter().map(|(k, &id)| (k, id)).collect();
+        pairs.sort_unstable_by_key(|&(_, id)| id);
+        let templates: Vec<TemplateKey> = pairs.into_iter().map(|(k, _)| k.clone()).collect();
+        DriftAttributionParts {
+            templates,
+            per_query: self.per_query.clone(),
+            per_query_share: self.per_query_share.clone(),
+            status: self
+                .status
+                .iter()
+                .map(|s| match s {
+                    Status::Dead => 0,
+                    Status::Unattributed => 1,
+                    Status::Attributed => 2,
+                })
+                .collect(),
+            baseline: self.baseline.clone(),
+            baseline_captured: self.baseline_captured,
+            share_policy: self.share_policy,
+            baseline_policy: self.baseline_policy,
+        }
+    }
+
+    /// Rebuilds the books from exported parts, validating shape (status
+    /// bytes, parallel-array lengths, template-id bounds, per-status
+    /// emptiness) and recomputing the live counters. Typed errors, never
+    /// panics — parts arrive from disk.
+    pub fn from_parts(parts: DriftAttributionParts) -> Result<Self, &'static str> {
+        let DriftAttributionParts {
+            templates,
+            per_query,
+            per_query_share,
+            status,
+            baseline,
+            baseline_captured,
+            share_policy,
+            baseline_policy,
+        } = parts;
+        let mut intern = HashMap::with_capacity(templates.len());
+        for (id, key) in templates.iter().enumerate() {
+            if intern.insert(key.clone(), id as u32).is_some() {
+                return Err("duplicate interned template key");
+            }
+        }
+        let n = per_query.len();
+        if per_query_share.len() != n || status.len() != n {
+            return Err("attribution query arrays differ in length");
+        }
+        if baseline.len() > templates.len() {
+            return Err("baseline longer than the template table");
+        }
+        let mut attributed_live = 0usize;
+        let mut unattributed_live = 0usize;
+        let mut parsed_status = Vec::with_capacity(n);
+        for qid in 0..n {
+            let ids = &per_query[qid];
+            let shares = &per_query_share[qid];
+            if shares.len() != ids.len() {
+                return Err("template shares not parallel to template ids");
+            }
+            if ids.iter().any(|&t| t as usize >= templates.len()) {
+                return Err("template id outside the interned table");
+            }
+            if ids.windows(2).any(|w| w[0] >= w[1]) {
+                return Err("per-query template ids not sorted distinct");
+            }
+            let status = match status[qid] {
+                0 => Status::Dead,
+                1 => Status::Unattributed,
+                2 => Status::Attributed,
+                _ => return Err("unknown attribution status byte"),
+            };
+            match status {
+                Status::Dead | Status::Unattributed => {
+                    if !ids.is_empty() {
+                        return Err("dead or unattributed slot retains template ids");
+                    }
+                    if status == Status::Unattributed {
+                        unattributed_live += 1;
+                    }
+                }
+                Status::Attributed => {
+                    if ids.is_empty() {
+                        return Err("attributed slot has no template ids");
+                    }
+                    attributed_live += 1;
+                }
+            }
+            parsed_status.push(status);
+        }
+        Ok(Self {
+            intern,
+            per_query,
+            per_query_share,
+            status: parsed_status,
+            attributed_live,
+            unattributed_live,
+            baseline,
+            baseline_captured,
+            share_policy,
+            baseline_policy,
+        })
     }
 
     /// Per-template cost sums under the given priced state and sharing

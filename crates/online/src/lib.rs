@@ -15,8 +15,8 @@
 //!   step (debug-asserted, sampled via `PINUM_ASSERT_SAMPLE`). Admissions
 //!   may carry the query's [`TemplateKey`]s for drift attribution; the
 //!   window slides by count, with optional per-round weight decay.
-//!   In-place [`OnlineAdvisor::reweight_admission`] events (the same
-//!   query getting hotter) re-price exactly one query.
+//!   In-place [`OnlineAdvisor::reweight`] events (the same query
+//!   getting hotter) re-price exactly one query.
 //! * **attribute** — [`DriftAttribution`] tracks each template's share of
 //!   the live priced cost since the last re-advise. The mean-based drift
 //!   detector says *whether* the selection regressed; attribution says
@@ -44,14 +44,16 @@
 
 pub mod attribution;
 
-pub use attribution::{DriftAttribution, SharePolicy};
+pub use attribution::{DriftAttribution, DriftAttributionParts, SharePolicy};
 
 use pinum_advisor::greedy::GreedyOptions;
 use pinum_advisor::search::{SearchScope, StrategyKind};
 use pinum_core::access_costs::AccessCostCatalog;
 use pinum_core::builder::{build_cache_pinum, BuilderOptions};
 use pinum_core::cache::PlanCache;
-use pinum_core::{CandidatePool, PricingSession, Selection, WorkloadCollector};
+use pinum_core::{
+    CandidatePool, PricingSession, Selection, WorkloadCollector, WorkloadModel, WorkloadModelParts,
+};
 use pinum_optimizer::Optimizer;
 use pinum_query::{Query, RelIdx, RelTemplate, TemplateKey};
 use std::collections::VecDeque;
@@ -154,7 +156,7 @@ pub struct Admission {
     /// re-advise, which may compact and renumber).
     pub qid: usize,
     /// 0-based admission ordinal — stable forever; the handle
-    /// [`OnlineAdvisor::reweight_admission`] takes.
+    /// [`OnlineAdvisor::reweight`] takes.
     pub ordinal: usize,
     /// Query evicted by the window, if it overflowed.
     pub evicted: Option<usize>,
@@ -164,8 +166,124 @@ pub struct Admission {
     /// Flattened access arms of the admitted query — the unit the splice
     /// work is proportional to (never the workload size).
     pub model_arms: usize,
-    /// The re-advise this admission triggered, if any.
+    /// The re-advise this admission triggered, if any (inline specs
+    /// only — a deferred spec reports via `pending` instead).
     pub readvise: Option<ReadviseReport>,
+    /// The re-advise this admission *would* run, returned instead of
+    /// executed because the spec was [`AdmissionSpec::deferred`]. The
+    /// caller runs it via [`OnlineAdvisor::readvise_triggered`]; as long
+    /// as no other mutation touches the advisor in between, the deferred
+    /// execution is bit-identical to the inline one.
+    pub pending: Option<ReadviseTrigger>,
+}
+
+/// One canonical admission mutation — the *only* thing
+/// [`OnlineAdvisor::apply`] consumes, and (field for field) the record
+/// the persistence log serializes. The builder collapses what used to be
+/// five overlapping `admit_*` entry points into one spec:
+///
+/// ```ignore
+/// advisor.apply(AdmissionSpec::new(&cache, &access)
+///     .weight(2.5)
+///     .templates(&keys)
+///     .deferred(true));
+/// ```
+///
+/// Defaults: weight 1.0, no templates (the query counts as
+/// conservatively regressed whenever drift fires), shares derived from
+/// the access catalog (each relation's cheapest arm), re-advises inline.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionSpec<'a> {
+    /// The query's cached plans — one half of the paper's
+    /// one-optimizer-call artifact.
+    pub cache: &'a PlanCache,
+    /// The query's collected access costs — the other half.
+    pub access: &'a AccessCostCatalog,
+    /// Workload weight (finite, > 0).
+    pub weight: f64,
+    /// Per-relation [`TemplateKey`]s for drift attribution (empty ⇒
+    /// unattributed).
+    pub templates: &'a [TemplateKey],
+    /// Explicit per-template cost shares for
+    /// [`SharePolicy::AccessShare`]; `None` derives them from the access
+    /// catalog exactly as the legacy entry points did.
+    pub shares: Option<&'a [f64]>,
+    /// Defer a triggered re-advise: return it in [`Admission::pending`]
+    /// instead of executing it inline (the server's budget gate).
+    pub deferred: bool,
+}
+
+impl<'a> AdmissionSpec<'a> {
+    /// A weight-1.0, unattributed, inline admission of one `(plan cache,
+    /// access catalog)` pair.
+    pub fn new(cache: &'a PlanCache, access: &'a AccessCostCatalog) -> Self {
+        Self {
+            cache,
+            access,
+            weight: 1.0,
+            templates: &[],
+            shares: None,
+            deferred: false,
+        }
+    }
+
+    /// Sets the workload weight (e.g. an observed execution frequency).
+    pub fn weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Attaches the query's templates (as produced by
+    /// [`query_templates`]) for template-scoped drift attribution.
+    pub fn templates(mut self, templates: &'a [TemplateKey]) -> Self {
+        self.templates = templates;
+        self
+    }
+
+    /// Overrides the per-template cost shares (must be one per template).
+    pub fn shares(mut self, shares: &'a [f64]) -> Self {
+        self.shares = Some(shares);
+        self
+    }
+
+    /// Defers any triggered re-advise to the caller.
+    pub fn deferred(mut self, deferred: bool) -> Self {
+        self.deferred = deferred;
+        self
+    }
+}
+
+/// Outcome of one [`OnlineAdvisor::reweight`] event.
+#[derive(Debug, Clone)]
+pub struct ReweightOutcome {
+    /// Whether the reweight landed on a live resident (`false` ⇒ the
+    /// target had already left the window; dropped as a counted no-op).
+    pub applied: bool,
+    /// The drift re-advise the hotter query triggered, executed inline
+    /// (non-deferred events only).
+    pub readvise: Option<ReadviseReport>,
+    /// The trigger returned instead of executed (deferred events only).
+    pub pending: Option<ReadviseTrigger>,
+}
+
+/// The owned artifacts [`OnlineAdvisor::collect_admission`] builds from a
+/// raw [`Query`]: its PINUM plan cache, its access costs (collected
+/// through the daemon's shared template cache), and its templates —
+/// everything an [`AdmissionSpec`] borrows.
+#[derive(Debug, Clone)]
+pub struct CollectedAdmission {
+    pub cache: PlanCache,
+    pub access: AccessCostCatalog,
+    pub templates: Vec<TemplateKey>,
+}
+
+impl CollectedAdmission {
+    /// Borrows the artifacts as a spec at `weight`.
+    pub fn spec(&self, weight: f64) -> AdmissionSpec<'_> {
+        AdmissionSpec::new(&self.cache, &self.access)
+            .weight(weight)
+            .templates(&self.templates)
+    }
 }
 
 /// Counters proving what the daemon did (and did not) do.
@@ -173,7 +291,7 @@ pub struct Admission {
 pub struct OnlineStats {
     pub admits: usize,
     pub evictions: usize,
-    /// In-place reweight events applied ([`OnlineAdvisor::reweight_admission`]).
+    /// In-place reweight events applied ([`OnlineAdvisor::reweight`]).
     pub reweights: usize,
     /// Reweight events targeting an admission that had already left the
     /// window (dropped as no-ops).
@@ -200,10 +318,10 @@ pub struct OnlineStats {
     pub admit_arms_total: usize,
     pub admit_arms_max: usize,
     /// Optimizer calls spent on access collection by
-    /// [`OnlineAdvisor::admit_collected`] — one per *new* template shape,
+    /// [`OnlineAdvisor::collect_admission`] — one per *new* template shape,
     /// zero for admissions whose relations all hit the shared cache.
     pub collect_calls: usize,
-    /// Relation collections `admit_collected` served straight from the
+    /// Relation collections `collect_admission` served straight from the
     /// shared template cache.
     pub collect_template_hits: usize,
     /// Summed wall time of the session splices alone.
@@ -215,6 +333,41 @@ pub struct OnlineStats {
     pub last_readvise_wall: Duration,
 }
 
+/// Plain-data export of the daemon's complete mutable state — everything
+/// the `pinum-persist` snapshot format serializes. The shared template
+/// cache is deliberately **excluded**: it is a pure performance cache, so
+/// a restored daemon re-collects template shapes on demand with
+/// bit-identical results (its collection *counters* live in
+/// [`OnlineStats`] and are restored verbatim).
+#[derive(Debug, Clone)]
+pub struct OnlineAdvisorParts {
+    /// Streaming model export ([`pinum_core::WorkloadModel::to_parts`]).
+    pub model: WorkloadModelParts,
+    /// Current selection bitset words.
+    pub selection_words: Vec<u64>,
+    /// The session's spliced per-query priced costs.
+    pub per_query: Vec<f64>,
+    /// Full re-pricings the session has performed so far.
+    pub full_repricings: usize,
+    /// Attribution books export ([`DriftAttribution::to_parts`]).
+    pub attribution: DriftAttributionParts,
+    /// Live qids in admission order (front = oldest).
+    pub window: Vec<u32>,
+    /// Oldest admission ordinal the book below still holds.
+    pub admission_base: usize,
+    /// Admission ordinal − base → current qid (`u32::MAX` once evicted).
+    pub admission_qid: Vec<u32>,
+    /// Query slot → admission ordinal.
+    pub qid_ordinal: Vec<u32>,
+    /// Drift baseline: mean priced cost per live query after the last
+    /// re-advise (+∞ disarms the detector).
+    pub baseline_mean: f64,
+    /// Admissions since the last re-advise (the epoch clock).
+    pub admits_since_advise: usize,
+    /// Lifetime counters, restored verbatim.
+    pub stats: OnlineStats,
+}
+
 /// The epoch-based online tuning daemon. See the crate docs.
 pub struct OnlineAdvisor {
     pool: CandidatePool,
@@ -222,7 +375,7 @@ pub struct OnlineAdvisor {
     /// The persistent pricing session: streaming model + current
     /// selection + live priced state, spliced across the whole lifecycle.
     session: PricingSession,
-    /// Shared template cache for [`Self::admit_collected`]: admissions of
+    /// Shared template cache for [`Self::collect_admission`]: admissions of
     /// template-sharing queries skip access-collection optimizer calls.
     collector: WorkloadCollector,
     /// Per-template priced-cost attribution for scoped re-advising.
@@ -236,7 +389,7 @@ pub struct OnlineAdvisor {
     admission_base: usize,
     /// Admission ordinal − `admission_base` → current qid (`u32::MAX`
     /// once evicted). The stable handle behind
-    /// [`Self::reweight_admission`].
+    /// [`Self::reweight`].
     admission_qid: Vec<u32>,
     /// Query slot → admission ordinal (for eviction/compaction upkeep).
     qid_ordinal: Vec<u32>,
@@ -283,29 +436,35 @@ impl OnlineAdvisor {
         }
     }
 
-    /// Admits one arriving query (weight 1.0, no template attribution).
-    /// The `(cache, access)` pair is the per-query artifact of the
-    /// paper's one optimizer call — built by the caller, spliced here.
-    pub fn admit(&mut self, cache: &PlanCache, access: &AccessCostCatalog) -> Admission {
-        self.admit_attributed(cache, access, 1.0, &[])
+    /// Applies one [`AdmissionSpec`] — **the** admission entry point.
+    /// The spec's `(cache, access)` pair is the per-query artifact of
+    /// the paper's one optimizer call — built by the caller (or by
+    /// [`Self::collect_admission`]), spliced here in O(that query's
+    /// access arms) plus one single-query pricing.
+    ///
+    /// An inline spec executes any triggered re-advise before returning
+    /// ([`Admission::readvise`]); a [`AdmissionSpec::deferred`] spec
+    /// returns the trigger in [`Admission::pending`] for the caller to
+    /// run later via [`Self::readvise_triggered`] — bit-identical to the
+    /// inline execution as long as no other mutation touches this
+    /// advisor in between (the multi-tenant server serializes every
+    /// tenant on one shard, so none does), which is how a global
+    /// re-advise budget can gate *when* re-advises run without changing
+    /// *what* they compute.
+    pub fn apply(&mut self, spec: AdmissionSpec<'_>) -> Admission {
+        let mut admission = self.splice_admission(&spec);
+        if spec.deferred {
+            admission.pending = self.pending_trigger();
+        } else {
+            admission.readvise = self.maybe_readvise();
+        }
+        admission
     }
 
-    /// [`Self::admit`] with an explicit workload weight (e.g. from the
-    /// drift generator's table-growth events). No template attribution:
-    /// the query counts as conservatively regressed whenever drift fires.
-    pub fn admit_weighted(
-        &mut self,
-        cache: &PlanCache,
-        access: &AccessCostCatalog,
-        weight: f64,
-    ) -> Admission {
-        self.admit_attributed(cache, access, weight, &[])
-    }
-
-    /// Admits an arriving query *from scratch*: builds its PINUM plan
-    /// cache (two optimizer calls) and collects its access costs through
-    /// the daemon's shared template cache, then splices the pair in —
-    /// with the query's templates attached for drift attribution.
+    /// Builds the owned [`AdmissionSpec`] artifacts for a raw query:
+    /// its PINUM plan cache (two optimizer calls), its access costs
+    /// collected through the daemon's shared template cache, and its
+    /// templates.
     ///
     /// The collection side is where streaming admission meets batched
     /// collection: an admission whose relations all match templates seen
@@ -314,6 +473,45 @@ impl OnlineAdvisor {
     /// spliced model is bit-identical to one built from a dedicated
     /// per-query `collect_pinum` call — the collector debug-asserts that
     /// on every admission.
+    pub fn collect_admission(
+        &mut self,
+        optimizer: &Optimizer<'_>,
+        query: &Query,
+        builder: &BuilderOptions,
+    ) -> CollectedAdmission {
+        let built = build_cache_pinum(optimizer, query, builder);
+        let (access, cstats) = self.collector.collect(optimizer, query, &self.pool);
+        self.stats.collect_calls += cstats.optimizer_calls;
+        self.stats.collect_template_hits += query.relation_count() - cstats.optimizer_calls;
+        CollectedAdmission {
+            cache: built.cache,
+            access,
+            templates: query_templates(query),
+        }
+    }
+
+    /// Admits one arriving query (weight 1.0, no template attribution).
+    #[deprecated(since = "0.2.0", note = "use `AdmissionSpec::new` + `apply`")]
+    pub fn admit(&mut self, cache: &PlanCache, access: &AccessCostCatalog) -> Admission {
+        self.apply(AdmissionSpec::new(cache, access))
+    }
+
+    /// Admission with an explicit workload weight.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `AdmissionSpec::new(..).weight(w)` + `apply`"
+    )]
+    pub fn admit_weighted(
+        &mut self,
+        cache: &PlanCache,
+        access: &AccessCostCatalog,
+        weight: f64,
+    ) -> Admission {
+        self.apply(AdmissionSpec::new(cache, access).weight(weight))
+    }
+
+    /// From-scratch admission of a raw query.
+    #[deprecated(since = "0.2.0", note = "use `collect_admission` + `apply`")]
     pub fn admit_collected(
         &mut self,
         optimizer: &Optimizer<'_>,
@@ -321,19 +519,15 @@ impl OnlineAdvisor {
         builder: &BuilderOptions,
         weight: f64,
     ) -> Admission {
-        let built = build_cache_pinum(optimizer, query, builder);
-        let (access, cstats) = self.collector.collect(optimizer, query, &self.pool);
-        self.stats.collect_calls += cstats.optimizer_calls;
-        self.stats.collect_template_hits += query.relation_count() - cstats.optimizer_calls;
-        let templates = query_templates(query);
-        self.admit_attributed(&built.cache, &access, weight, &templates)
+        let collected = self.collect_admission(optimizer, query, builder);
+        self.apply(collected.spec(weight))
     }
 
-    /// The full admission entry point: weight plus the query's
-    /// [`TemplateKey`]s (as produced by [`query_templates`]) for
-    /// template-scoped drift attribution. An empty template list is
-    /// valid — the query is then conservatively treated as regressed
-    /// whenever drift fires.
+    /// Weighted, template-attributed admission.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `AdmissionSpec::new(..).weight(w).templates(t)` + `apply`"
+    )]
     pub fn admit_attributed(
         &mut self,
         cache: &PlanCache,
@@ -341,21 +535,18 @@ impl OnlineAdvisor {
         weight: f64,
         templates: &[TemplateKey],
     ) -> Admission {
-        let mut admission = self.splice_admission(cache, access, weight, templates);
-        admission.readvise = self.maybe_readvise();
-        admission
+        self.apply(
+            AdmissionSpec::new(cache, access)
+                .weight(weight)
+                .templates(templates),
+        )
     }
 
-    /// [`Self::admit_attributed`] with the re-advise **deferred**: the
-    /// splice and all bookkeeping run exactly as in the inline path, but
-    /// instead of executing a triggered re-advise the pending trigger is
-    /// *returned* for the caller to run later via
-    /// [`Self::readvise_triggered`]. As long as no other mutation touches
-    /// this advisor in between (the multi-tenant server serializes every
-    /// tenant on one shard, so none does), the deferred execution is
-    /// bit-identical to the inline one — which is how a global re-advise
-    /// budget can gate *when* re-advises run without changing *what* they
-    /// compute.
+    /// Attributed admission with the re-advise deferred.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `AdmissionSpec::new(..).deferred(true)` + `apply`; the trigger is `Admission::pending`"
+    )]
     pub fn admit_attributed_deferred(
         &mut self,
         cache: &PlanCache,
@@ -363,17 +554,25 @@ impl OnlineAdvisor {
         weight: f64,
         templates: &[TemplateKey],
     ) -> (Admission, Option<ReadviseTrigger>) {
-        let admission = self.splice_admission(cache, access, weight, templates);
-        (admission, self.pending_trigger())
+        let admission = self.apply(
+            AdmissionSpec::new(cache, access)
+                .weight(weight)
+                .templates(templates)
+                .deferred(true),
+        );
+        let pending = admission.pending;
+        (admission, pending)
     }
 
-    fn splice_admission(
-        &mut self,
-        cache: &PlanCache,
-        access: &AccessCostCatalog,
-        weight: f64,
-        templates: &[TemplateKey],
-    ) -> Admission {
+    fn splice_admission(&mut self, spec: &AdmissionSpec<'_>) -> Admission {
+        let AdmissionSpec {
+            cache,
+            access,
+            weight,
+            templates,
+            shares,
+            deferred: _,
+        } = *spec;
         // --- Session splice: O(this query's arms) + pricing the one
         // newcomer under the current selection — never an O(window)
         // *re-pricing* (an overflow eviction below re-sums the priced
@@ -392,17 +591,21 @@ impl OnlineAdvisor {
         self.admission_qid.push(qid as u32);
         self.qid_ordinal.push(ordinal as u32);
         // Per-relation access-cost shares for SharePolicy::AccessShare:
-        // each relation's cheapest access arm (entries are sorted
-        // ascending) approximates its slice of the query's cost. When the
-        // template list doesn't line up one-per-relation, the attribution
-        // falls back to the even split.
-        if templates.len() == access.per_rel().len() {
-            let shares: Vec<f64> = access
+        // explicit when the spec carried them, else each relation's
+        // cheapest access arm (entries are sorted ascending)
+        // approximates its slice of the query's cost. When neither holds
+        // — no override and the template list doesn't line up
+        // one-per-relation — the attribution falls back to the even
+        // split.
+        if let Some(shares) = shares {
+            self.attribution.admit_with_shares(qid, templates, shares);
+        } else if templates.len() == access.per_rel().len() {
+            let derived: Vec<f64> = access
                 .per_rel()
                 .iter()
                 .map(|entries| entries.first().map_or(0.0, |e| e.cost))
                 .collect();
-            self.attribution.admit_with_shares(qid, templates, &shares);
+            self.attribution.admit_with_shares(qid, templates, &derived);
         } else {
             self.attribution.admit(qid, templates);
         }
@@ -424,6 +627,7 @@ impl OnlineAdvisor {
             model_wall,
             model_arms,
             readvise: None,
+            pending: None,
         }
     }
 
@@ -438,40 +642,58 @@ impl OnlineAdvisor {
 
     /// Applies an in-place reweight event — "the query admitted as
     /// ordinal `admission` now runs at `weight`" — re-pricing exactly
-    /// that query. Returns the re-advise it triggered, if the hotter
-    /// query pushed the monitor past the drift threshold (reweights do
-    /// not advance the epoch clock). An event whose target has already
-    /// slid out of the window is dropped as a counted no-op
-    /// ([`OnlineStats::reweight_misses`]); an ordinal that was **never
-    /// issued** is a caller bug and panics with a descriptive message.
-    pub fn reweight_admission(&mut self, admission: usize, weight: f64) -> Option<ReadviseReport> {
-        let (applied, trigger) = self.reweight_admission_deferred(admission, weight);
-        debug_assert!(applied || trigger.is_none());
-        trigger.map(|t| self.readvise_with(t))
+    /// that query. If the hotter query pushed the monitor past the drift
+    /// threshold, the triggered re-advise executes inline
+    /// ([`ReweightOutcome::readvise`]) unless `deferred`, in which case
+    /// the trigger is returned in [`ReweightOutcome::pending`] for
+    /// [`Self::readvise_triggered`] (same contract as a deferred
+    /// [`AdmissionSpec`]). Reweights do not advance the epoch clock. An
+    /// event whose target has already slid out of the window is dropped
+    /// as a counted no-op ([`OnlineStats::reweight_misses`]); an ordinal
+    /// that was **never issued** is a caller bug and panics with a
+    /// descriptive message.
+    pub fn reweight(&mut self, admission: usize, weight: f64, deferred: bool) -> ReweightOutcome {
+        let Some(qid) = self.resolve_ordinal(admission, "reweighting") else {
+            self.stats.reweight_misses += 1;
+            return ReweightOutcome {
+                applied: false,
+                readvise: None,
+                pending: None,
+            };
+        };
+        self.session.reweight_query(qid, weight);
+        self.stats.reweights += 1;
+        let trigger = self.drift_fired().then_some(ReadviseTrigger::Drift);
+        if deferred {
+            ReweightOutcome {
+                applied: true,
+                readvise: None,
+                pending: trigger,
+            }
+        } else {
+            ReweightOutcome {
+                applied: true,
+                readvise: trigger.map(|t| self.readvise_with(t)),
+                pending: None,
+            }
+        }
     }
 
-    /// [`Self::reweight_admission`] with the re-advise **deferred** (see
-    /// [`Self::admit_attributed_deferred`] for the contract). Returns
-    /// whether the reweight was applied (vs dropped as an evicted-target
-    /// no-op) and the drift trigger to execute via
-    /// [`Self::readvise_triggered`], if the hotter query tripped the
-    /// monitor.
+    /// In-place reweight with the re-advise inline.
+    #[deprecated(since = "0.2.0", note = "use `reweight(admission, weight, false)`")]
+    pub fn reweight_admission(&mut self, admission: usize, weight: f64) -> Option<ReadviseReport> {
+        self.reweight(admission, weight, false).readvise
+    }
+
+    /// In-place reweight with the re-advise deferred.
+    #[deprecated(since = "0.2.0", note = "use `reweight(admission, weight, true)`")]
     pub fn reweight_admission_deferred(
         &mut self,
         admission: usize,
         weight: f64,
     ) -> (bool, Option<ReadviseTrigger>) {
-        let Some(qid) = self.resolve_ordinal(admission, "reweighting") else {
-            self.stats.reweight_misses += 1;
-            return (false, None);
-        };
-        self.session.reweight_query(qid, weight);
-        self.stats.reweights += 1;
-        if self.drift_fired() {
-            (true, Some(ReadviseTrigger::Drift))
-        } else {
-            (true, None)
-        }
+        let outcome = self.reweight(admission, weight, true);
+        (outcome.applied, outcome.pending)
     }
 
     /// Evicts the query admitted as ordinal `admission` from the window
@@ -479,7 +701,7 @@ impl OnlineAdvisor {
     /// tenant retracting a statement it no longer runs. Returns whether a
     /// live resident was evicted; a target that already slid out is a
     /// no-op, and an ordinal that was never issued panics like
-    /// [`Self::reweight_admission`]. Evictions never trigger a re-advise
+    /// [`Self::reweight`]. Evictions never trigger a re-advise
     /// and do not advance the epoch clock; the next admission or
     /// reweight re-reads the drift monitor as usual.
     pub fn evict_admission(&mut self, admission: usize) -> bool {
@@ -558,9 +780,9 @@ impl OnlineAdvisor {
         self.readvise_with(ReadviseTrigger::Forced)
     }
 
-    /// Executes a re-advise previously deferred by
-    /// [`Self::admit_attributed_deferred`] /
-    /// [`Self::reweight_admission_deferred`], under the returned trigger.
+    /// Executes a re-advise previously deferred by an
+    /// [`AdmissionSpec::deferred`] admission or a deferred
+    /// [`Self::reweight`], under the returned trigger.
     /// Bit-identical to the inline execution provided no other mutation
     /// touched the advisor since the trigger was computed.
     pub fn readvise_triggered(&mut self, trigger: ReadviseTrigger) -> ReadviseReport {
@@ -782,6 +1004,10 @@ impl OnlineAdvisor {
         &self.pool
     }
 
+    pub fn options(&self) -> &OnlineAdvisorOptions {
+        &self.opts
+    }
+
     pub fn window_len(&self) -> usize {
         self.window.len()
     }
@@ -807,14 +1033,140 @@ impl OnlineAdvisor {
         &self.stats
     }
 
-    /// The shared template cache behind [`Self::admit_collected`].
+    /// Exports the daemon's complete mutable state as plain flat arrays
+    /// (see [`OnlineAdvisorParts`] for what is — and is not — included).
+    pub fn to_parts(&self) -> OnlineAdvisorParts {
+        OnlineAdvisorParts {
+            model: self.session.model().to_parts(),
+            selection_words: self.session.selection().words().to_vec(),
+            per_query: self.session.state().per_query().to_vec(),
+            full_repricings: self.session.full_repricings(),
+            attribution: self.attribution.to_parts(),
+            window: self.window.iter().map(|&q| q as u32).collect(),
+            admission_base: self.admission_base,
+            admission_qid: self.admission_qid.clone(),
+            qid_ordinal: self.qid_ordinal.clone(),
+            baseline_mean: self.baseline_mean,
+            admits_since_advise: self.admits_since_advise,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Rebuilds a daemon from [`Self::to_parts`] output over the same
+    /// candidate pool and options, **bit-identical** to the exported
+    /// daemon: same selection and priced bits, same counters, and the
+    /// restore itself performs zero full re-pricings (the priced state is
+    /// adopted, the pairwise tree rebuilt as the pure function of the
+    /// per-query costs it is). Validates every cross-array invariant and
+    /// returns an error — never panics — on inconsistent or hostile
+    /// input. The shared template cache starts empty.
+    pub fn from_parts(
+        pool: CandidatePool,
+        opts: OnlineAdvisorOptions,
+        parts: OnlineAdvisorParts,
+    ) -> Result<Self, &'static str> {
+        if opts.window_capacity < 1
+            || opts.epoch_length < 1
+            || !(opts.drift_threshold >= 0.0 && opts.drift_threshold.is_finite())
+            || !(opts.attribution_threshold >= 0.0 && opts.attribution_threshold.is_finite())
+            || !(opts.decay > 0.0 && opts.decay <= 1.0)
+        {
+            return Err("invalid daemon options");
+        }
+        let OnlineAdvisorParts {
+            model,
+            selection_words,
+            per_query,
+            full_repricings,
+            attribution,
+            window,
+            admission_base,
+            admission_qid,
+            qid_ordinal,
+            baseline_mean,
+            admits_since_advise,
+            stats,
+        } = parts;
+        if baseline_mean.is_nan() {
+            return Err("drift baseline is NaN");
+        }
+        // Cross-array bookkeeping invariants, checked against the raw
+        // parts before any of them is consumed.
+        let query_count = model.query_plan_start.len();
+        if qid_ordinal.len() != query_count {
+            return Err("ordinal map sized for a different model");
+        }
+        if attribution.per_query.len() != query_count {
+            return Err("attribution books sized for a different model");
+        }
+        let live_count = model.live.iter().filter(|&&l| l).count();
+        if window.len() != live_count || window.len() > opts.window_capacity {
+            return Err("window does not match the model's live set");
+        }
+        if admission_base + admission_qid.len() != stats.admits {
+            return Err("admission book does not end at the admission counter");
+        }
+        for (off, &q) in admission_qid.iter().enumerate() {
+            if q == u32::MAX {
+                continue;
+            }
+            let q = q as usize;
+            if q >= query_count || !model.live[q] || qid_ordinal[q] as usize != admission_base + off
+            {
+                return Err("admission book does not round-trip through the ordinal map");
+            }
+        }
+        let mut prev_ordinal = None;
+        let mut seen = vec![false; query_count];
+        for &q in &window {
+            let q = q as usize;
+            if q >= query_count || !model.live[q] || seen[q] {
+                return Err("window holds a dead, duplicate, or out-of-range query");
+            }
+            seen[q] = true;
+            let ordinal = qid_ordinal[q] as usize;
+            if ordinal < admission_base
+                || ordinal - admission_base >= admission_qid.len()
+                || admission_qid[ordinal - admission_base] as usize != q
+            {
+                return Err("a resident's ordinal does not resolve back to it");
+            }
+            if prev_ordinal.is_some_and(|p| ordinal <= p) {
+                return Err("window is not in admission order");
+            }
+            prev_ordinal = Some(ordinal);
+        }
+        let model = WorkloadModel::from_parts(model)?;
+        if model.pool_size() != pool.len() {
+            return Err("model built over a different candidate pool");
+        }
+        let selection = Selection::from_words(pool.len(), selection_words)?;
+        let session = PricingSession::restore(model, selection, per_query, full_repricings)?;
+        let attribution = DriftAttribution::from_parts(attribution)?;
+        Ok(Self {
+            pool,
+            opts,
+            session,
+            collector: WorkloadCollector::new(),
+            attribution,
+            window: window.into_iter().map(|q| q as usize).collect(),
+            admission_base,
+            admission_qid,
+            qid_ordinal,
+            baseline_mean,
+            admits_since_advise,
+            stats,
+        })
+    }
+
+    /// The shared template cache behind [`Self::collect_admission`].
     pub fn collector(&self) -> &WorkloadCollector {
         &self.collector
     }
 }
 
 /// The [`TemplateKey`]s of every relation of `query` — the attribution
-/// payload for [`OnlineAdvisor::admit_attributed`].
+/// payload for [`AdmissionSpec::templates`].
 pub fn query_templates(query: &Query) -> Vec<TemplateKey> {
     (0..query.relation_count() as RelIdx)
         .map(|rel| RelTemplate::of(query, rel).key())
@@ -896,7 +1248,7 @@ mod tests {
         let (_s, queries, pool, models) = fixture(2, 10);
         let mut advisor = OnlineAdvisor::new(pool, opts(8, 5));
         for (i, (c, a)) in models.iter().enumerate() {
-            let adm = advisor.admit_weighted(c, a, queries[i].1);
+            let adm = advisor.apply(AdmissionSpec::new(c, a).weight(queries[i].1));
             assert_eq!(adm.evicted.is_some(), i >= 8);
             assert_eq!(adm.ordinal, i);
             assert!(advisor.window_len() <= 8);
@@ -920,7 +1272,7 @@ mod tests {
         );
         let mut at = Vec::new();
         for (i, (c, a)) in models.iter().enumerate() {
-            if let Some(r) = advisor.admit(c, a).readvise {
+            if let Some(r) = advisor.apply(AdmissionSpec::new(c, a)).readvise {
                 assert_eq!(r.trigger, ReadviseTrigger::Epoch);
                 at.push(i);
             }
@@ -935,7 +1287,7 @@ mod tests {
         let (_s, _q, pool, models) = fixture(3, 8);
         let mut advisor = OnlineAdvisor::new(pool, opts(12, 6));
         for (c, a) in &models {
-            if let Some(r) = advisor.admit(c, a).readvise {
+            if let Some(r) = advisor.apply(AdmissionSpec::new(c, a)).readvise {
                 assert!(
                     r.cost_after <= r.cost_before * (1.0 + 1e-12)
                         || (r.cost_after.is_finite() && r.cost_before.is_infinite()),
@@ -952,7 +1304,7 @@ mod tests {
         let (_s, _q, pool, models) = fixture(2, 12);
         let mut advisor = OnlineAdvisor::new(pool, opts(10, 4));
         for (c, a) in &models {
-            advisor.admit(c, a);
+            advisor.apply(AdmissionSpec::new(c, a));
         }
         assert_eq!(advisor.stats().full_rebuilds, 0);
         assert!(advisor.stats().admit_arms_max > 0);
@@ -966,7 +1318,7 @@ mod tests {
         let mut total_fulls = 0usize;
         let mut steady = 0usize;
         for (c, a) in &models {
-            if let Some(r) = advisor.admit(c, a).readvise {
+            if let Some(r) = advisor.apply(AdmissionSpec::new(c, a)).readvise {
                 total_fulls += r.full_repricings;
                 // A round that kept the selection (picks unchanged is not
                 // directly visible here, but zero full re-pricings must
@@ -1004,8 +1356,9 @@ mod tests {
         for (i, (c, a)) in models.iter().enumerate() {
             let (query, weight) = &queries[i];
             rels_total += query.relation_count();
-            let adm_cold = cold.admit_weighted(c, a, *weight);
-            let adm_shared = shared.admit_collected(&optimizer, query, &builder, *weight);
+            let adm_cold = cold.apply(AdmissionSpec::new(c, a).weight(*weight));
+            let collected = shared.collect_admission(&optimizer, query, &builder);
+            let adm_shared = shared.apply(collected.spec(*weight));
             assert_eq!(adm_cold.qid, adm_shared.qid);
             assert_eq!(adm_cold.evicted, adm_shared.evicted);
             assert_eq!(
@@ -1052,7 +1405,7 @@ mod tests {
         let run = || {
             let mut advisor = OnlineAdvisor::new(pool.clone(), opts(8, 4));
             for (i, (c, a)) in models.iter().enumerate() {
-                advisor.admit_weighted(c, a, queries[i].1);
+                advisor.apply(AdmissionSpec::new(c, a).weight(queries[i].1));
             }
             (
                 advisor.current_cost(),
@@ -1081,7 +1434,7 @@ mod tests {
                 },
             );
             for (i, (c, a)) in models.iter().enumerate() {
-                advisor.admit_weighted(c, a, queries[i].1);
+                advisor.apply(AdmissionSpec::new(c, a).weight(queries[i].1));
             }
             (
                 advisor.current_cost(),
@@ -1113,7 +1466,7 @@ mod tests {
                 },
             );
             for (c, a) in &models {
-                advisor.admit(c, a);
+                advisor.apply(AdmissionSpec::new(c, a));
             }
             advisor.readvise();
             advisor.current_cost()
@@ -1132,7 +1485,7 @@ mod tests {
         let run = |compact_at: Option<usize>| {
             let mut advisor = OnlineAdvisor::new(pool.clone(), opts(7, 5));
             for (i, (c, a)) in models.iter().enumerate() {
-                advisor.admit(c, a);
+                advisor.apply(AdmissionSpec::new(c, a));
                 if compact_at == Some(i) {
                     advisor.compact();
                 }
@@ -1166,7 +1519,7 @@ mod tests {
         let window = 4;
         let mut advisor = OnlineAdvisor::new(pool, opts(window, 3));
         for (c, a) in &models {
-            advisor.admit(c, a);
+            advisor.apply(AdmissionSpec::new(c, a));
             // Slot count must track the window, not lifetime admissions:
             // compaction fires at re-advise once tombstones outnumber
             // live queries, and an epoch is never more than 3 admits away.
@@ -1195,7 +1548,7 @@ mod tests {
             window
         );
         assert!(base > 0, "compaction never retired a dead prefix");
-        assert!(advisor.reweight_admission(0, 9.9).is_none());
+        assert!(!advisor.reweight(0, 9.9, false).applied);
         assert_eq!(advisor.stats().reweight_misses, 1);
     }
 
@@ -1210,7 +1563,7 @@ mod tests {
             },
         );
         for (c, a) in &models[..10] {
-            advisor.admit(c, a);
+            advisor.apply(AdmissionSpec::new(c, a));
         }
         // Two epochs passed (admissions 5 and 10): the first resident
         // decayed twice, the most recent admission only once (it was in
@@ -1235,14 +1588,14 @@ mod tests {
         );
         // Warm up on phase 0 and pin a baseline.
         for (c, a) in &models[..12] {
-            advisor.admit(c, a);
+            advisor.apply(AdmissionSpec::new(c, a));
         }
         advisor.readvise();
         // Stream the later phases; the mix shift should regress the old
         // selection enough to fire Drift before any epoch boundary.
         let mut drifted = false;
         for (c, a) in &models[12..] {
-            if let Some(r) = advisor.admit(c, a).readvise {
+            if let Some(r) = advisor.apply(AdmissionSpec::new(c, a)).readvise {
                 assert_eq!(r.trigger, ReadviseTrigger::Drift);
                 drifted = true;
                 break;
@@ -1262,7 +1615,7 @@ mod tests {
             },
         );
         for (c, a) in &models[..12] {
-            advisor.admit(c, a);
+            advisor.apply(AdmissionSpec::new(c, a));
         }
         advisor.readvise();
         let before = advisor.current_cost();
@@ -1272,7 +1625,7 @@ mod tests {
         let mut weight = 1.0;
         for _ in 0..24 {
             weight *= 2.0;
-            if let Some(r) = advisor.reweight_admission(3, weight) {
+            if let Some(r) = advisor.reweight(3, weight, false).readvise {
                 fired = Some(r);
                 break;
             }
@@ -1295,11 +1648,11 @@ mod tests {
         let (_s, _q, pool, models) = fixture(2, 10);
         let mut advisor = OnlineAdvisor::new(pool, opts(4, 6));
         for (c, a) in &models[..10] {
-            advisor.admit(c, a);
+            advisor.apply(AdmissionSpec::new(c, a));
         }
         // Admission 0 slid out of the 4-query window long ago.
         let before = advisor.current_cost();
-        assert!(advisor.reweight_admission(0, 100.0).is_none());
+        assert!(!advisor.reweight(0, 100.0, false).applied);
         assert_eq!(advisor.stats().reweight_misses, 1);
         assert_eq!(advisor.stats().reweights, 0);
         assert_eq!(advisor.current_cost().to_bits(), before.to_bits());
@@ -1311,7 +1664,7 @@ mod tests {
         let mut advisor = OnlineAdvisor::new(pool, opts(5, 4));
         let mut last_ordinal = 0;
         for (c, a) in &models {
-            last_ordinal = advisor.admit(c, a).ordinal;
+            last_ordinal = advisor.apply(AdmissionSpec::new(c, a)).ordinal;
         }
         assert!(
             advisor.stats().compactions > 0,
@@ -1319,7 +1672,7 @@ mod tests {
         );
         // The newest admission is certainly still resident; its ordinal
         // handle must still resolve after however many compactions.
-        let _ = advisor.reweight_admission(last_ordinal, 3.5);
+        assert!(advisor.reweight(last_ordinal, 3.5, false).applied);
         assert_eq!(advisor.stats().reweight_misses, 0);
         let qid = *advisor
             .window_ids()
@@ -1338,9 +1691,18 @@ mod tests {
         let mut deferred = OnlineAdvisor::new(pool.clone(), opts(12, 5));
         for (i, (c, a)) in models.iter().enumerate() {
             let templates = query_templates(&queries[i].0);
-            let adm_inline = inline.admit_attributed(c, a, queries[i].1, &templates);
-            let (adm_def, trigger) =
-                deferred.admit_attributed_deferred(c, a, queries[i].1, &templates);
+            let adm_inline = inline.apply(
+                AdmissionSpec::new(c, a)
+                    .weight(queries[i].1)
+                    .templates(&templates),
+            );
+            let adm_def = deferred.apply(
+                AdmissionSpec::new(c, a)
+                    .weight(queries[i].1)
+                    .templates(&templates)
+                    .deferred(true),
+            );
+            let trigger = adm_def.pending;
             assert_eq!(adm_inline.qid, adm_def.qid);
             assert_eq!(adm_inline.ordinal, adm_def.ordinal);
             assert_eq!(adm_inline.evicted, adm_def.evicted);
@@ -1360,9 +1722,10 @@ mod tests {
             // Interleave some deferred reweights to cover that path too.
             if i % 4 == 3 {
                 let w = queries[i].1 * 1.5;
-                let inl = inline.reweight_admission(adm_inline.ordinal, w);
-                let (applied, t) = deferred.reweight_admission_deferred(adm_def.ordinal, w);
-                assert!(applied);
+                let inl = inline.reweight(adm_inline.ordinal, w, false).readvise;
+                let out = deferred.reweight(adm_def.ordinal, w, true);
+                let t = out.pending;
+                assert!(out.applied);
                 assert_eq!(inl.as_ref().map(|r| r.trigger), t);
                 if let Some(t) = t {
                     let r_def = deferred.readvise_triggered(t);
@@ -1393,7 +1756,7 @@ mod tests {
         let mut advisor = OnlineAdvisor::new(pool, opts(16, 1_000_000));
         let mut ordinals = Vec::new();
         for (c, a) in &models[..8] {
-            ordinals.push(advisor.admit(c, a).ordinal);
+            ordinals.push(advisor.apply(AdmissionSpec::new(c, a)).ordinal);
         }
         assert_eq!(advisor.window_len(), 8);
         let before = advisor.current_cost();
@@ -1407,11 +1770,193 @@ mod tests {
         );
         // Evicting it again (or reweighting it) is a clean no-op.
         assert!(!advisor.evict_admission(ordinals[2]));
-        assert!(advisor.reweight_admission(ordinals[2], 5.0).is_none());
+        assert!(!advisor.reweight(ordinals[2], 5.0, false).applied);
         assert_eq!(advisor.stats().reweight_misses, 1);
         // The remaining residents still resolve.
         assert!(advisor.evict_admission(ordinals[7]));
         assert_eq!(advisor.window_len(), 6);
+    }
+
+    /// The deprecated pre-spec entry points are one-line shims over
+    /// [`OnlineAdvisor::apply`]/[`OnlineAdvisor::reweight`]; their observable
+    /// behaviour must stay bit-identical to the spec path they forward to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_are_bit_identical_to_specs() {
+        let (_s, queries, pool, models) = fixture(3, 10);
+        let mut legacy = OnlineAdvisor::new(pool.clone(), opts(12, 5));
+        let mut spec = OnlineAdvisor::new(pool.clone(), opts(12, 5));
+        for (i, (c, a)) in models.iter().enumerate() {
+            let templates = query_templates(&queries[i].0);
+            let w = queries[i].1;
+            let (adm_old, adm_new) = match i % 4 {
+                0 => (legacy.admit(c, a), spec.apply(AdmissionSpec::new(c, a))),
+                1 => (
+                    legacy.admit_weighted(c, a, w),
+                    spec.apply(AdmissionSpec::new(c, a).weight(w)),
+                ),
+                2 => (
+                    legacy.admit_attributed(c, a, w, &templates),
+                    spec.apply(AdmissionSpec::new(c, a).weight(w).templates(&templates)),
+                ),
+                _ => {
+                    let (adm, trig) = legacy.admit_attributed_deferred(c, a, w, &templates);
+                    let adm_new = spec.apply(
+                        AdmissionSpec::new(c, a)
+                            .weight(w)
+                            .templates(&templates)
+                            .deferred(true),
+                    );
+                    assert_eq!(trig, adm_new.pending, "admission {i}: pending diverged");
+                    if let Some(t) = trig {
+                        legacy.readvise_triggered(t);
+                        spec.readvise_triggered(t);
+                    }
+                    (adm, adm_new)
+                }
+            };
+            assert_eq!(adm_old.qid, adm_new.qid);
+            assert_eq!(adm_old.ordinal, adm_new.ordinal);
+            assert_eq!(adm_old.evicted, adm_new.evicted);
+            assert_eq!(
+                adm_old.readvise.as_ref().map(|r| r.trigger),
+                adm_new.readvise.as_ref().map(|r| r.trigger)
+            );
+            if i % 5 == 4 {
+                let r_old = legacy.reweight_admission(adm_old.ordinal, w * 2.0);
+                let out = spec.reweight(adm_new.ordinal, w * 2.0, false);
+                assert!(out.applied);
+                assert_eq!(
+                    r_old.as_ref().map(|r| r.cost_after.to_bits()),
+                    out.readvise.as_ref().map(|r| r.cost_after.to_bits())
+                );
+            }
+        }
+        assert_eq!(legacy.selection(), spec.selection());
+        assert_eq!(
+            legacy.current_cost().to_bits(),
+            spec.current_cost().to_bits()
+        );
+        assert_eq!(legacy.stats().readvises, spec.stats().readvises);
+        assert_eq!(legacy.stats().reweights, spec.stats().reweights);
+    }
+
+    /// A parts round-trip mid-stream is invisible: the restored daemon
+    /// finishes the stream bit-identically to one that never stopped —
+    /// selection, priced bits, counters, ordinal handles — and the
+    /// restore itself performs zero full re-pricings.
+    #[test]
+    fn parts_roundtrip_resumes_bit_identically() {
+        let (_s, queries, pool, models) = fixture(3, 10);
+        let o = OnlineAdvisorOptions {
+            drift_threshold: 0.05,
+            ..opts(12, 5)
+        };
+        let drive = |advisor: &mut OnlineAdvisor, range: std::ops::Range<usize>| {
+            for i in range {
+                let templates = query_templates(&queries[i].0);
+                advisor.apply(
+                    AdmissionSpec::new(&models[i].0, &models[i].1)
+                        .weight(queries[i].1)
+                        .templates(&templates),
+                );
+                if i % 7 == 6 {
+                    advisor.reweight(i, queries[i].1 * 2.0, false);
+                }
+            }
+        };
+        let mut baseline = OnlineAdvisor::new(pool.clone(), o);
+        drive(&mut baseline, 0..models.len());
+
+        let mut first = OnlineAdvisor::new(pool.clone(), o);
+        drive(&mut first, 0..17);
+        let parts = first.to_parts();
+        let fulls_at_export = parts.full_repricings;
+        let mut restored =
+            OnlineAdvisor::from_parts(pool.clone(), o, parts).expect("exported parts are valid");
+        assert_eq!(restored.session().full_repricings(), fulls_at_export);
+        assert_eq!(
+            restored.current_cost().to_bits(),
+            first.current_cost().to_bits()
+        );
+        drive(&mut restored, 17..models.len());
+
+        assert_eq!(baseline.selection(), restored.selection());
+        assert_eq!(
+            baseline.current_cost().to_bits(),
+            restored.current_cost().to_bits()
+        );
+        assert_eq!(
+            baseline.session().state().per_query(),
+            restored.session().state().per_query()
+        );
+        let (b, r) = (baseline.stats(), restored.stats());
+        assert_eq!(b.admits, r.admits);
+        assert_eq!(b.evictions, r.evictions);
+        assert_eq!(b.reweights, r.reweights);
+        assert_eq!(b.readvises, r.readvises);
+        assert_eq!(b.drift_readvises, r.drift_readvises);
+        assert_eq!(b.scoped_readvises, r.scoped_readvises);
+        assert_eq!(b.compactions, r.compactions);
+        assert_eq!(b.full_rebuilds, r.full_rebuilds);
+        assert_eq!(b.full_repricings, r.full_repricings);
+        assert_eq!(
+            baseline.admission_book_span(),
+            restored.admission_book_span()
+        );
+        assert_eq!(baseline.window_ids(), restored.window_ids());
+        assert_eq!(
+            baseline.attribution().template_count(),
+            restored.attribution().template_count()
+        );
+    }
+
+    /// Corrupted parts are rejected with typed errors, never panics.
+    #[test]
+    fn hostile_advisor_parts_are_rejected() {
+        let (_s, queries, pool, models) = fixture(2, 8);
+        let o = opts(10, 4);
+        let mut advisor = OnlineAdvisor::new(pool.clone(), o);
+        for (i, (c, a)) in models.iter().enumerate() {
+            let templates = query_templates(&queries[i].0);
+            advisor.apply(
+                AdmissionSpec::new(c, a)
+                    .weight(queries[i].1)
+                    .templates(&templates),
+            );
+        }
+        let good = advisor.to_parts();
+        assert!(OnlineAdvisor::from_parts(pool.clone(), o, good.clone()).is_ok());
+
+        let mut p = good.clone();
+        p.window.pop();
+        assert!(OnlineAdvisor::from_parts(pool.clone(), o, p).is_err());
+
+        let mut p = good.clone();
+        p.stats.admits += 1;
+        assert!(OnlineAdvisor::from_parts(pool.clone(), o, p).is_err());
+
+        let mut p = good.clone();
+        if let Some(w) = p.window.first_mut() {
+            *w = u32::MAX - 1;
+        }
+        assert!(OnlineAdvisor::from_parts(pool.clone(), o, p).is_err());
+
+        let mut p = good.clone();
+        p.baseline_mean = f64::NAN;
+        assert!(OnlineAdvisor::from_parts(pool.clone(), o, p).is_err());
+
+        let mut p = good.clone();
+        p.per_query.pop();
+        assert!(OnlineAdvisor::from_parts(pool.clone(), o, p).is_err());
+
+        let mut p = good.clone();
+        p.selection_words.push(u64::MAX);
+        assert!(OnlineAdvisor::from_parts(pool.clone(), o, p).is_err());
+
+        let mut p = good.clone();
+        p.attribution.status.fill(9);
+        assert!(OnlineAdvisor::from_parts(pool, o, p).is_err());
     }
 
     #[test]
@@ -1430,7 +1975,11 @@ mod tests {
             // template shift can fire the drift detector.
             for (i, (c, a)) in models.iter().enumerate() {
                 let templates = query_templates(&queries[i].0);
-                advisor.admit_attributed(c, a, queries[i].1, &templates);
+                advisor.apply(
+                    AdmissionSpec::new(c, a)
+                        .weight(queries[i].1)
+                        .templates(&templates),
+                );
                 if i == 11 {
                     advisor.readvise();
                 }

@@ -1,0 +1,471 @@
+//! # pinum-persist: durable advisor state
+//!
+//! The online daemon's value is the state it accumulates: a streaming
+//! [`pinum_core::WorkloadModel`] whose priced totals are *spliced, never
+//! rebuilt*, across thousands of admissions. Losing that state to a
+//! restart means re-paying every optimizer call the paper's one-call
+//! construction saved. This crate makes the state survive:
+//!
+//! - [`snapshot`] — a versioned binary image of the complete daemon
+//!   (model SoA arrays, selection bitset, spliced per-query costs,
+//!   attribution books, ordinal bookkeeping, counters), framed like the
+//!   wire protocol: magic, format version, length checked against a cap
+//!   *before* allocation, FNV-1a 64 checksum verified before decoding.
+//! - [`log`] — an append-only record of every mutation the daemon
+//!   accepted ([`pinum_online::AdmissionSpec`] payloads, reweights,
+//!   evictions, executed deferred triggers, policy changes), fsynced
+//!   record by record.
+//! - [`PersistentAdvisor`] — the write-ahead pairing of the two: log
+//!   first, apply second, snapshot every K admissions. Recovery loads
+//!   the newest snapshot that validates (falling back to its
+//!   predecessor if the final write was torn) and replays the log tail
+//!   through the very same [`pinum_online::OnlineAdvisor::apply`] entry
+//!   point the live daemon used.
+//!
+//! The contract is the repo-wide determinism discipline extended across
+//! process death: a restored daemon is **bit-identical** to one that
+//! never stopped — same selection words, same priced-cost bits, same
+//! counters, same future decisions — and the restore itself performs
+//! **zero** full re-pricings, because
+//! [`pinum_core::PricingSession::restore`] adopts the serialized
+//! per-query costs and re-derives the pairwise total tree as the pure
+//! function of them that it is. `exp_warm_restart` gates this end to
+//! end: kill mid-stream, restore, finish the stream, compare every bit
+//! against an uninterrupted baseline.
+//!
+//! [`convert`] (re-exported to `pinum-server`) hosts the validated
+//! wire ↔ domain conversions both the TCP daemon and the on-disk
+//! formats share.
+
+pub mod codec;
+pub mod convert;
+pub mod log;
+pub mod snapshot;
+
+use pinum_online::{
+    Admission, AdmissionSpec, OnlineAdvisor, OnlineAdvisorOptions, ReadviseReport, ReadviseTrigger,
+    ReweightOutcome, SharePolicy,
+};
+use pinum_protocol::WireError;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::convert::ConvertError;
+use crate::log::{read_log, LogRecord, LogWriter};
+use crate::snapshot::{load_latest, write_snapshot};
+use pinum_core::CandidatePool;
+
+/// Anything that can go wrong persisting or recovering advisor state.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem trouble.
+    Io(std::io::Error),
+    /// Structurally malformed bytes (shares the protocol's error type).
+    Wire(WireError),
+    /// Structurally valid bytes that violate a domain invariant.
+    Convert(ConvertError),
+    /// A cross-file or cross-array consistency violation.
+    State(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "persistence I/O error: {e}"),
+            Self::Wire(e) => write!(f, "malformed persisted bytes: {e}"),
+            Self::Convert(e) => write!(f, "invalid persisted payload: {e}"),
+            Self::State(msg) => write!(f, "inconsistent persisted state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<WireError> for PersistError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+impl From<ConvertError> for PersistError {
+    fn from(e: ConvertError) -> Self {
+        Self::Convert(e)
+    }
+}
+
+impl From<&'static str> for PersistError {
+    fn from(msg: &'static str) -> Self {
+        Self::State(msg)
+    }
+}
+
+/// What recovery found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Log position of the snapshot the daemon was rebuilt from
+    /// (`None` ⇒ rebuilt from the log alone, starting at `Create`).
+    pub snapshot_seq: Option<u64>,
+    /// Newer snapshot files that failed validation and were skipped.
+    pub snapshots_discarded: usize,
+    /// Log records replayed on top of the snapshot.
+    pub replayed: usize,
+    /// Bytes discarded behind the first torn or corrupt log record.
+    pub log_discarded_bytes: u64,
+}
+
+struct Store {
+    dir: PathBuf,
+    writer: LogWriter,
+    /// Sequence number of the last record written (or replayed).
+    seq: u64,
+    /// Admissions between automatic snapshots (0 = only on request).
+    snapshot_every: usize,
+    admits_since_snapshot: usize,
+    last_snapshot_seq: Option<u64>,
+}
+
+/// A write-ahead persistent wrapper around [`OnlineAdvisor`].
+///
+/// Every mutation is appended to the log *before* it touches the
+/// advisor, so a crash between the two replays the mutation on restart
+/// rather than losing it. Read accessors pass through via
+/// [`Self::advisor`]; mutations **must** go through this wrapper (there
+/// is deliberately no `advisor_mut`).
+///
+/// Construct with [`Self::volatile`] (no disk, zero overhead — the
+/// server's default), [`Self::create`] (fresh durable tenant), or
+/// [`Self::open`] (recover an existing one).
+pub struct PersistentAdvisor {
+    advisor: OnlineAdvisor,
+    store: Option<Store>,
+}
+
+/// The log file name inside a tenant's persistence directory.
+pub const LOG_FILE: &str = "events.log";
+
+fn validate_opts(opts: &OnlineAdvisorOptions) -> Result<(), PersistError> {
+    if opts.window_capacity < 1
+        || opts.epoch_length < 1
+        || !(opts.drift_threshold >= 0.0 && opts.drift_threshold.is_finite())
+        || !(opts.attribution_threshold >= 0.0 && opts.attribution_threshold.is_finite())
+        || !(opts.decay > 0.0 && opts.decay <= 1.0)
+    {
+        return Err(PersistError::State("invalid advisor options"));
+    }
+    Ok(())
+}
+
+impl PersistentAdvisor {
+    /// A purely in-memory advisor — identical behaviour, no disk I/O.
+    pub fn volatile(pool: CandidatePool, opts: OnlineAdvisorOptions) -> Self {
+        Self {
+            advisor: OnlineAdvisor::new(pool, opts),
+            store: None,
+        }
+    }
+
+    /// Creates a fresh durable tenant in `dir` (created if missing; any
+    /// existing log there is truncated). The `Create` record — pool +
+    /// options — is on disk when this returns.
+    pub fn create(
+        dir: &Path,
+        pool: CandidatePool,
+        opts: OnlineAdvisorOptions,
+        snapshot_every: usize,
+    ) -> Result<Self, PersistError> {
+        validate_opts(&opts)?;
+        fs::create_dir_all(dir)?;
+        let mut writer = LogWriter::create(&dir.join(LOG_FILE))?;
+        writer.append(
+            1,
+            &LogRecord::Create {
+                pool: pool.clone(),
+                opts,
+            },
+        )?;
+        Ok(Self {
+            advisor: OnlineAdvisor::new(pool, opts),
+            store: Some(Store {
+                dir: dir.to_path_buf(),
+                writer,
+                seq: 1,
+                snapshot_every,
+                admits_since_snapshot: 0,
+                last_snapshot_seq: None,
+            }),
+        })
+    }
+
+    /// Recovers a durable tenant from `dir`: newest valid snapshot (a
+    /// corrupt final snapshot falls back to its predecessor) plus the
+    /// log tail after it, replayed through the same `apply` path the
+    /// live daemon used. A torn log tail is truncated and reported —
+    /// recovery never panics on a crashed predecessor's leftovers.
+    pub fn open(dir: &Path, snapshot_every: usize) -> Result<(Self, RecoveryReport), PersistError> {
+        let log_path = dir.join(LOG_FILE);
+        let recovered = read_log(&log_path)?;
+        let (snap, snapshots_discarded) = load_latest(dir)?;
+        let (mut advisor, base_seq, snapshot_seq, last_snapshot_seq) = match snap {
+            Some(s) => {
+                validate_opts(&s.opts)?;
+                let seq = s.log_seq;
+                (
+                    OnlineAdvisor::from_parts(s.pool, s.opts, s.parts)?,
+                    seq,
+                    Some(seq),
+                    Some(seq),
+                )
+            }
+            None => {
+                let Some((_, LogRecord::Create { pool, opts })) = recovered.records.first() else {
+                    return Err(PersistError::State(
+                        "no valid snapshot and no create record to recover from",
+                    ));
+                };
+                validate_opts(opts)?;
+                (OnlineAdvisor::new(pool.clone(), *opts), 1, None, None)
+            }
+        };
+        // The writer appends and fsyncs before applying, and snapshots
+        // cut at the last applied record — so an intact log can only end
+        // *at or after* the newest snapshot's cut. Ending before it
+        // means the log was damaged mid-file (the reader truncates from
+        // the first bad record); appending past the snapshot would then
+        // leave a sequence gap no future recovery could trust.
+        let last_log_seq = recovered.records.last().map_or(0, |&(s, _)| s);
+        if last_log_seq < base_seq {
+            return Err(PersistError::State(
+                "log is corrupt before the snapshot cut",
+            ));
+        }
+        let mut replayed = 0usize;
+        let mut seq = base_seq;
+        for (record_seq, record) in &recovered.records {
+            if *record_seq <= base_seq {
+                continue;
+            }
+            if *record_seq != seq + 1 {
+                return Err(PersistError::State("log tail does not continue snapshot"));
+            }
+            replay(&mut advisor, record)?;
+            seq = *record_seq;
+            replayed += 1;
+        }
+        let writer = LogWriter::reopen(&log_path, recovered.valid_len)?;
+        let report = RecoveryReport {
+            snapshot_seq,
+            snapshots_discarded,
+            replayed,
+            log_discarded_bytes: recovered.discarded_bytes,
+        };
+        Ok((
+            Self {
+                advisor,
+                store: Some(Store {
+                    dir: dir.to_path_buf(),
+                    writer,
+                    seq,
+                    snapshot_every,
+                    admits_since_snapshot: 0,
+                    last_snapshot_seq,
+                }),
+            },
+            report,
+        ))
+    }
+
+    /// [`Self::open`] when `dir` holds a log, [`Self::create`]
+    /// otherwise.
+    pub fn open_or_create(
+        dir: &Path,
+        pool: CandidatePool,
+        opts: OnlineAdvisorOptions,
+        snapshot_every: usize,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        if dir.join(LOG_FILE).exists() {
+            Self::open(dir, snapshot_every)
+        } else {
+            Ok((
+                Self::create(dir, pool, opts, snapshot_every)?,
+                RecoveryReport::default(),
+            ))
+        }
+    }
+
+    /// Read-only view of the wrapped daemon.
+    pub fn advisor(&self) -> &OnlineAdvisor {
+        &self.advisor
+    }
+
+    /// Whether mutations are being journaled to disk.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Sequence number of the last logged mutation (0 when volatile).
+    pub fn log_seq(&self) -> u64 {
+        self.store.as_ref().map_or(0, |s| s.seq)
+    }
+
+    /// Log position of the newest snapshot written or recovered from.
+    pub fn last_snapshot_seq(&self) -> Option<u64> {
+        self.store.as_ref().and_then(|s| s.last_snapshot_seq)
+    }
+
+    fn append(&mut self, record: &LogRecord) -> Result<(), PersistError> {
+        if let Some(store) = &mut self.store {
+            store.writer.append(store.seq + 1, record)?;
+            store.seq += 1;
+        }
+        Ok(())
+    }
+
+    /// Journals and applies one admission. On the durable path the spec
+    /// payload is on disk before the splice runs (write-ahead), and
+    /// every `snapshot_every` admissions a snapshot is cut afterwards.
+    pub fn apply(&mut self, spec: AdmissionSpec<'_>) -> Result<Admission, PersistError> {
+        self.append(&LogRecord::Admit {
+            cache: spec.cache.clone(),
+            access: spec.access.clone(),
+            weight: spec.weight,
+            templates: spec.templates.to_vec(),
+            shares: spec.shares.map(<[f64]>::to_vec),
+            deferred: spec.deferred,
+        })?;
+        let admission = self.advisor.apply(spec);
+        let snapshot_due = self.store.as_mut().is_some_and(|store| {
+            store.admits_since_snapshot += 1;
+            store.snapshot_every > 0 && store.admits_since_snapshot >= store.snapshot_every
+        });
+        if snapshot_due {
+            self.snapshot_now()?;
+        }
+        Ok(admission)
+    }
+
+    /// Journals and applies one reweight event.
+    pub fn reweight(
+        &mut self,
+        admission: usize,
+        weight: f64,
+        deferred: bool,
+    ) -> Result<ReweightOutcome, PersistError> {
+        self.append(&LogRecord::Reweight {
+            ordinal: admission as u64,
+            weight,
+            deferred,
+        })?;
+        Ok(self.advisor.reweight(admission, weight, deferred))
+    }
+
+    /// Journals and applies one explicit eviction.
+    pub fn evict_admission(&mut self, admission: usize) -> Result<bool, PersistError> {
+        self.append(&LogRecord::Evict {
+            ordinal: admission as u64,
+        })?;
+        Ok(self.advisor.evict_admission(admission))
+    }
+
+    /// Journals and executes a forced re-advise.
+    pub fn readvise(&mut self) -> Result<ReadviseReport, PersistError> {
+        self.readvise_triggered(ReadviseTrigger::Forced)
+    }
+
+    /// Journals and executes a re-advise under `trigger` — the deferred
+    /// counterpart of the inline rounds [`Self::apply`] runs itself.
+    /// Inline rounds are deterministic consequences of the admission
+    /// stream and are never journaled; this one is, because *when* the
+    /// caller releases a deferred trigger is outside the advisor's
+    /// control.
+    pub fn readvise_triggered(
+        &mut self,
+        trigger: ReadviseTrigger,
+    ) -> Result<ReadviseReport, PersistError> {
+        self.append(&LogRecord::Readvise { trigger })?;
+        Ok(self.advisor.readvise_triggered(trigger))
+    }
+
+    /// Journals and applies an explicit compaction.
+    pub fn compact(&mut self) -> Result<(), PersistError> {
+        self.append(&LogRecord::Compact)?;
+        self.advisor.compact();
+        Ok(())
+    }
+
+    /// Journals and applies a share-policy change.
+    pub fn set_share_policy(&mut self, policy: SharePolicy) -> Result<(), PersistError> {
+        self.append(&LogRecord::SetSharePolicy { policy })?;
+        self.advisor.set_share_policy(policy);
+        Ok(())
+    }
+
+    /// Cuts a snapshot right now. Returns the log position it covers,
+    /// or `None` when the advisor is volatile.
+    pub fn snapshot_now(&mut self) -> Result<Option<u64>, PersistError> {
+        let Some(store) = &mut self.store else {
+            return Ok(None);
+        };
+        write_snapshot(
+            &store.dir,
+            store.seq,
+            self.advisor.pool(),
+            self.advisor.options(),
+            &self.advisor.to_parts(),
+        )?;
+        store.admits_since_snapshot = 0;
+        store.last_snapshot_seq = Some(store.seq);
+        Ok(Some(store.seq))
+    }
+}
+
+/// Replays one recovered record through the same advisor entry points
+/// the live daemon used. Pending triggers returned by deferred specs are
+/// dropped here: their *execution* shows up as its own
+/// [`LogRecord::Readvise`] record at the position the caller actually
+/// released it.
+fn replay(advisor: &mut OnlineAdvisor, record: &LogRecord) -> Result<(), PersistError> {
+    match record {
+        LogRecord::Create { .. } => {
+            return Err(PersistError::State("duplicate create record in log"))
+        }
+        LogRecord::Admit {
+            cache,
+            access,
+            weight,
+            templates,
+            shares,
+            deferred,
+        } => {
+            let mut spec = AdmissionSpec::new(cache, access)
+                .weight(*weight)
+                .templates(templates)
+                .deferred(*deferred);
+            if let Some(shares) = shares {
+                spec = spec.shares(shares);
+            }
+            advisor.apply(spec);
+        }
+        LogRecord::Reweight {
+            ordinal,
+            weight,
+            deferred,
+        } => {
+            advisor.reweight(*ordinal as usize, *weight, *deferred);
+        }
+        LogRecord::Evict { ordinal } => {
+            advisor.evict_admission(*ordinal as usize);
+        }
+        LogRecord::Readvise { trigger } => {
+            advisor.readvise_triggered(*trigger);
+        }
+        LogRecord::Compact => advisor.compact(),
+        LogRecord::SetSharePolicy { policy } => advisor.set_share_policy(*policy),
+    }
+    Ok(())
+}

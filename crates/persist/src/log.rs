@@ -1,0 +1,353 @@
+//! The append-only mutation log.
+//!
+//! Every state-changing call a [`crate::PersistentAdvisor`] accepts is
+//! written here *before* it is applied, as one self-checking record:
+//!
+//! ```text
+//! file   := magic:u32 version:u32 record*
+//! record := len:u32 payload checksum:u64      (checksum = FNV-1a 64 of payload)
+//! payload:= seq:u64 tag:u8 body
+//! ```
+//!
+//! Replaying the records in order through the same advisor code paths
+//! reproduces the daemon **bit-identically** — the advisor is
+//! deterministic, so the log only needs to capture its *inputs*. That is
+//! also why epoch- and drift-triggered re-advises that execute inline
+//! never appear in the log: they are consequences of the recorded
+//! admissions, and replay re-derives them. Deferred triggers *do* get a
+//! [`LogRecord::Readvise`] record at the moment the caller actually
+//! executes them, because the budget gate that defers them lives outside
+//! the advisor and is free to reorder across admissions.
+//!
+//! A torn tail (the record being written when the process died) is
+//! detected by the length/checksum pair and *truncated*: recovery keeps
+//! every record before it and reports the discarded byte count. A
+//! corrupt record mid-file poisons everything after it — the reader
+//! cannot resynchronize reliably — so the tail from the first bad record
+//! onward is discarded the same way.
+
+use pinum_core::access_costs::AccessCostCatalog;
+use pinum_core::cache::PlanCache;
+use pinum_core::CandidatePool;
+use pinum_online::attribution::SharePolicy;
+use pinum_online::{OnlineAdvisorOptions, ReadviseTrigger};
+use pinum_protocol::wire::{put_bool, put_f64, put_u32, put_u64, put_u8, put_vec, Cursor};
+use pinum_protocol::{WireAccessCatalog, WireError, WireIndex, WirePlanCache, WireTemplate};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::codec::{self, fnv1a};
+use crate::convert::{
+    access_from_wire, access_to_wire, cache_from_wire, cache_to_wire, pool_from_wire, pool_to_wire,
+    template_from_wire, template_to_wire,
+};
+use crate::PersistError;
+
+/// Log file magic: `PLOG`.
+pub const LOG_MAGIC: u32 = 0x504C_4F47;
+/// Bumped on every incompatible layout change.
+pub const LOG_VERSION: u32 = 1;
+/// Per-record payload cap, checked before allocating (a log record is at
+/// most one admission's artifacts — far below this).
+pub const MAX_RECORD_LEN: usize = 64 * 1024 * 1024;
+
+/// One logged mutation, in domain terms.
+#[derive(Debug, Clone)]
+pub enum LogRecord {
+    /// The tenant's birth certificate: candidate pool + advisor options.
+    /// Always the first record (seq 1); never appears again.
+    Create {
+        pool: CandidatePool,
+        opts: OnlineAdvisorOptions,
+    },
+    /// One admission — the full [`pinum_online::AdmissionSpec`] payload.
+    Admit {
+        cache: PlanCache,
+        access: AccessCostCatalog,
+        weight: f64,
+        templates: Vec<TemplateKeyOwned>,
+        shares: Option<Vec<f64>>,
+        deferred: bool,
+    },
+    /// One reweight event against a stable admission ordinal.
+    Reweight {
+        ordinal: u64,
+        weight: f64,
+        deferred: bool,
+    },
+    /// One explicit eviction.
+    Evict { ordinal: u64 },
+    /// A re-advise executed *by the caller*: a forced round, or a
+    /// deferred epoch/drift trigger the budget gate released.
+    Readvise { trigger: ReadviseTrigger },
+    /// An explicit compaction (re-advise-time auto-compactions are
+    /// consequences and are not logged).
+    Compact,
+    /// A share-policy change.
+    SetSharePolicy { policy: SharePolicy },
+}
+
+/// Alias kept for readability in [`LogRecord::Admit`].
+pub type TemplateKeyOwned = pinum_query::TemplateKey;
+
+const TAG_CREATE: u8 = 1;
+const TAG_ADMIT: u8 = 2;
+const TAG_REWEIGHT: u8 = 3;
+const TAG_EVICT: u8 = 4;
+const TAG_READVISE: u8 = 5;
+const TAG_COMPACT: u8 = 6;
+const TAG_SET_SHARE_POLICY: u8 = 7;
+
+fn encode_trigger(out: &mut Vec<u8>, t: ReadviseTrigger) {
+    put_u8(
+        out,
+        match t {
+            ReadviseTrigger::Epoch => 0,
+            ReadviseTrigger::Drift => 1,
+            ReadviseTrigger::Forced => 2,
+        },
+    );
+}
+
+fn decode_trigger(c: &mut Cursor<'_>) -> Result<ReadviseTrigger, WireError> {
+    Ok(match c.u8()? {
+        0 => ReadviseTrigger::Epoch,
+        1 => ReadviseTrigger::Drift,
+        2 => ReadviseTrigger::Forced,
+        _ => return Err(WireError::Malformed("unknown readvise trigger tag")),
+    })
+}
+
+fn encode_record(out: &mut Vec<u8>, seq: u64, record: &LogRecord) {
+    put_u64(out, seq);
+    match record {
+        LogRecord::Create { pool, opts } => {
+            put_u8(out, TAG_CREATE);
+            put_vec(out, &pool_to_wire(pool), |o, ix| ix.encode(o));
+            codec::encode_options(out, opts);
+        }
+        LogRecord::Admit {
+            cache,
+            access,
+            weight,
+            templates,
+            shares,
+            deferred,
+        } => {
+            put_u8(out, TAG_ADMIT);
+            put_f64(out, *weight);
+            put_bool(out, *deferred);
+            codec::put_shares(out, shares);
+            cache_to_wire(cache).encode(out);
+            access_to_wire(access).encode(out);
+            put_vec(out, templates, |o, t| template_to_wire(t).encode(o));
+        }
+        LogRecord::Reweight {
+            ordinal,
+            weight,
+            deferred,
+        } => {
+            put_u8(out, TAG_REWEIGHT);
+            put_u64(out, *ordinal);
+            put_f64(out, *weight);
+            put_bool(out, *deferred);
+        }
+        LogRecord::Evict { ordinal } => {
+            put_u8(out, TAG_EVICT);
+            put_u64(out, *ordinal);
+        }
+        LogRecord::Readvise { trigger } => {
+            put_u8(out, TAG_READVISE);
+            encode_trigger(out, *trigger);
+        }
+        LogRecord::Compact => put_u8(out, TAG_COMPACT),
+        LogRecord::SetSharePolicy { policy } => {
+            put_u8(out, TAG_SET_SHARE_POLICY);
+            codec::encode_share_policy(out, *policy);
+        }
+    }
+}
+
+/// `pool_len` scopes candidate-id validation for admission payloads; it
+/// is `None` only until the `Create` record has been decoded.
+fn decode_record(
+    c: &mut Cursor<'_>,
+    pool_len: Option<usize>,
+) -> Result<(u64, LogRecord), PersistError> {
+    let seq = c.u64()?;
+    let tag = c.u8()?;
+    let record = match tag {
+        TAG_CREATE => {
+            let pool = pool_from_wire(&c.vec(4, WireIndex::decode)?)?;
+            let opts = codec::decode_options(c)?;
+            LogRecord::Create { pool, opts }
+        }
+        TAG_ADMIT => {
+            let pool_len =
+                pool_len.ok_or(PersistError::State("admission before the create record"))?;
+            let weight = c.f64()?;
+            let deferred = c.bool()?;
+            let shares = codec::shares(c)?;
+            let cache = cache_from_wire(&WirePlanCache::decode(c)?)?;
+            let access = access_from_wire(&WireAccessCatalog::decode(c)?, pool_len)?;
+            let templates = c
+                .vec(4, WireTemplate::decode)?
+                .iter()
+                .map(template_from_wire)
+                .collect();
+            LogRecord::Admit {
+                cache,
+                access,
+                weight,
+                templates,
+                shares,
+                deferred,
+            }
+        }
+        TAG_REWEIGHT => LogRecord::Reweight {
+            ordinal: c.u64()?,
+            weight: c.f64()?,
+            deferred: c.bool()?,
+        },
+        TAG_EVICT => LogRecord::Evict { ordinal: c.u64()? },
+        TAG_READVISE => LogRecord::Readvise {
+            trigger: decode_trigger(c)?,
+        },
+        TAG_COMPACT => LogRecord::Compact,
+        TAG_SET_SHARE_POLICY => LogRecord::SetSharePolicy {
+            policy: codec::decode_share_policy(c)?,
+        },
+        _ => return Err(WireError::Malformed("unknown log record tag").into()),
+    };
+    if !c.exhausted() {
+        return Err(WireError::Malformed("log record has trailing bytes").into());
+    }
+    Ok((seq, record))
+}
+
+/// Append handle over the tenant's `events.log`.
+pub struct LogWriter {
+    file: File,
+}
+
+impl LogWriter {
+    /// Creates a fresh log (truncating any existing file) and writes the
+    /// header.
+    pub fn create(path: &Path) -> Result<Self, PersistError> {
+        let mut file = File::create(path)?;
+        let mut header = Vec::with_capacity(8);
+        put_u32(&mut header, LOG_MAGIC);
+        put_u32(&mut header, LOG_VERSION);
+        file.write_all(&header)?;
+        file.sync_data()?;
+        Ok(Self { file })
+    }
+
+    /// Reopens an existing log for appending. `valid_len` is the byte
+    /// length of the intact prefix as reported by [`read_log`]; anything
+    /// beyond it (a torn tail) is truncated away first so new records
+    /// never land after garbage.
+    pub fn reopen(path: &Path, valid_len: u64) -> Result<Self, PersistError> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = OpenOptions::new().append(true).open(path)?;
+        file.flush()?;
+        Ok(Self { file })
+    }
+
+    /// Appends one record durably (length + payload + checksum, then
+    /// `fdatasync`): when this returns, a crash at any later point
+    /// replays the record.
+    pub fn append(&mut self, seq: u64, record: &LogRecord) -> Result<(), PersistError> {
+        let mut payload = Vec::new();
+        encode_record(&mut payload, seq, record);
+        let mut framed = Vec::with_capacity(payload.len() + 12);
+        put_u32(&mut framed, payload.len() as u32);
+        framed.extend_from_slice(&payload);
+        put_u64(&mut framed, fnv1a(&payload));
+        self.file.write_all(&framed)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Everything [`read_log`] recovered.
+pub struct RecoveredLog {
+    /// The intact records, in order. Sequence numbers are checked to be
+    /// contiguous starting at 1.
+    pub records: Vec<(u64, LogRecord)>,
+    /// Byte length of the intact prefix (header + whole records).
+    pub valid_len: u64,
+    /// Bytes discarded behind the first torn or corrupt record.
+    pub discarded_bytes: u64,
+}
+
+/// Reads a log file, stopping cleanly at the first torn or corrupt
+/// record. Structural corruption *of the tail* is expected after a
+/// crash and is reported, not an error; a bad header or a non-contiguous
+/// sequence is real corruption and fails the whole recovery.
+pub fn read_log(path: &Path) -> Result<RecoveredLog, PersistError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 8 {
+        return Err(PersistError::State("log file shorter than its header"));
+    }
+    {
+        let mut c = Cursor::new(&bytes[..8]);
+        if c.u32()? != LOG_MAGIC {
+            return Err(PersistError::State("log file has the wrong magic"));
+        }
+        if c.u32()? != LOG_VERSION {
+            return Err(PersistError::State("log file has an unsupported version"));
+        }
+    }
+    let mut records = Vec::new();
+    let mut pool_len = None;
+    let mut offset = 8usize;
+    let mut next_seq = 1u64;
+    loop {
+        let rest = &bytes[offset..];
+        if rest.is_empty() {
+            break;
+        }
+        // Frame: len u32 + payload + checksum u64. Anything that does
+        // not parse from here on is a torn tail.
+        let Some(framed) = try_frame(rest) else { break };
+        let Ok((seq, record)) = decode_record(&mut Cursor::new(framed), pool_len) else {
+            break;
+        };
+        if seq != next_seq {
+            return Err(PersistError::State("log sequence numbers not contiguous"));
+        }
+        if let LogRecord::Create { pool, .. } = &record {
+            if pool_len.is_some() {
+                return Err(PersistError::State("duplicate create record in log"));
+            }
+            pool_len = Some(pool.len());
+        }
+        next_seq += 1;
+        records.push((seq, record));
+        offset += 12 + framed.len();
+    }
+    Ok(RecoveredLog {
+        records,
+        valid_len: offset as u64,
+        discarded_bytes: (bytes.len() - offset) as u64,
+    })
+}
+
+/// Extracts one whole checksum-verified record payload from the head of
+/// `rest`, or `None` if the bytes do not contain one (torn tail).
+fn try_frame(rest: &[u8]) -> Option<&[u8]> {
+    if rest.len() < 12 {
+        return None;
+    }
+    let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+    if len > MAX_RECORD_LEN || rest.len() < 12 + len {
+        return None;
+    }
+    let payload = &rest[4..4 + len];
+    let stored = u64::from_le_bytes(rest[4 + len..12 + len].try_into().unwrap());
+    (fnv1a(payload) == stored).then_some(payload)
+}

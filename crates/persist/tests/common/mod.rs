@@ -1,0 +1,115 @@
+//! Shared fixture for the persistence integration tests: a small
+//! drifting workload priced once, plus helpers to drive an advisor and
+//! fingerprint its complete observable state.
+
+use pinum_advisor::candidates::generate_candidates;
+use pinum_core::access_costs::{collect_pinum, AccessCostCatalog};
+use pinum_core::builder::{build_cache_pinum, BuilderOptions};
+use pinum_core::{CandidatePool, PlanCache};
+use pinum_online::{query_templates, OnlineAdvisor, OnlineAdvisorOptions};
+use pinum_optimizer::Optimizer;
+use pinum_query::TemplateKey;
+use pinum_workload::drift::{DriftProfile, DriftStream};
+use pinum_workload::star::StarSchema;
+
+pub const BUDGET: u64 = 1 << 30;
+
+pub struct Fixture {
+    pub pool: CandidatePool,
+    // Read by the crash-injection binary only; each test binary compiles
+    // its own copy of this module.
+    #[allow(dead_code)]
+    pub weights: Vec<f64>,
+    pub templates: Vec<Vec<TemplateKey>>,
+    pub models: Vec<(PlanCache, AccessCostCatalog)>,
+}
+
+/// One optimizer pass over a small drifting stream — everything an
+/// admission needs, priced up front so tests only exercise the advisor.
+pub fn fixture(phases: usize, phase_length: usize) -> Fixture {
+    let schema = StarSchema::generate(42, 0.001);
+    let profile = DriftProfile {
+        phases,
+        phase_length,
+        edge_window: 3,
+        churn: 0.05,
+        growth_per_phase: 1.0,
+    };
+    let stream: Vec<_> = DriftStream::new(&schema, 9, profile).collect();
+    let queries: Vec<_> = stream.into_iter().map(|d| (d.query, d.weight)).collect();
+    let only: Vec<_> = queries.iter().map(|(q, _)| q.clone()).collect();
+    let pool = generate_candidates(&schema.catalog, &only);
+    let optimizer = Optimizer::new(&schema.catalog);
+    let models = only
+        .iter()
+        .map(|q| {
+            let built = build_cache_pinum(&optimizer, q, &BuilderOptions::default());
+            let (access, _) = collect_pinum(&optimizer, q, &pool);
+            (built.cache, access)
+        })
+        .collect();
+    Fixture {
+        pool,
+        weights: queries.iter().map(|(_, w)| *w).collect(),
+        templates: queries.iter().map(|(q, _)| query_templates(q)).collect(),
+        models,
+    }
+}
+
+pub fn opts(window: usize, epoch: usize) -> OnlineAdvisorOptions {
+    OnlineAdvisorOptions {
+        window_capacity: window,
+        epoch_length: epoch,
+        ..OnlineAdvisorOptions::defaults(BUDGET)
+    }
+}
+
+/// Every bit the determinism contract covers: selection words via ids,
+/// priced-cost bits (total and per query), and the counters.
+pub fn fingerprint(advisor: &OnlineAdvisor) -> (Vec<usize>, u64, Vec<u64>, Vec<u64>) {
+    let stats = advisor.stats();
+    (
+        advisor.selection().ids().collect(),
+        advisor.current_cost().to_bits(),
+        advisor
+            .to_parts()
+            .per_query
+            .iter()
+            .map(|c| c.to_bits())
+            .collect(),
+        vec![
+            stats.admits as u64,
+            stats.evictions as u64,
+            stats.reweights as u64,
+            stats.readvises as u64,
+            stats.epoch_readvises as u64,
+            stats.drift_readvises as u64,
+            stats.forced_readvises as u64,
+            stats.scoped_readvises as u64,
+            stats.full_repricings as u64,
+            stats.compactions as u64,
+        ],
+    )
+}
+
+/// Self-cleaning scratch directory (no external tempfile dependency).
+pub struct ScratchDir(pub std::path::PathBuf);
+
+impl ScratchDir {
+    pub fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "pinum-persist-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Self(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}

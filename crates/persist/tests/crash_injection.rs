@@ -1,0 +1,230 @@
+//! Crash injection: every way a predecessor process can die mid-write
+//! must leave a directory the next process either recovers from
+//! bit-identically (reporting what it discarded) or rejects with a typed
+//! error — mirroring the protocol crate's recoverable-vs-fatal split.
+//! Never a panic.
+
+mod common;
+
+use common::{fingerprint, fixture, opts, Fixture, ScratchDir};
+use pinum_online::{AdmissionSpec, OnlineAdvisor};
+use pinum_persist::{PersistError, PersistentAdvisor, LOG_FILE};
+use std::path::Path;
+
+/// One stream position's spec: the fixture's weight and templates.
+fn spec_at(fx: &Fixture, i: usize) -> AdmissionSpec<'_> {
+    let (cache, access) = &fx.models[i];
+    AdmissionSpec::new(cache, access)
+        .weight(fx.weights[i])
+        .templates(&fx.templates[i])
+}
+
+/// Drives admissions `range` — plus a deterministic sprinkle of
+/// reweights — through the journaled advisor.
+fn drive_durable(advisor: &mut PersistentAdvisor, fx: &Fixture, range: std::ops::Range<usize>) {
+    for i in range {
+        advisor.apply(spec_at(fx, i)).expect("apply");
+        if i % 4 == 3 {
+            advisor
+                .reweight(i, fx.weights[i] * 1.5, false)
+                .expect("reweight");
+        }
+    }
+}
+
+/// The identical stream through a plain in-memory advisor.
+fn drive_volatile(advisor: &mut OnlineAdvisor, fx: &Fixture, range: std::ops::Range<usize>) {
+    for i in range {
+        advisor.apply(spec_at(fx, i));
+        if i % 4 == 3 {
+            advisor.reweight(i, fx.weights[i] * 1.5, false);
+        }
+    }
+}
+
+fn flip_byte(path: &Path, offset_from_end: usize) {
+    let mut bytes = std::fs::read(path).expect("read file");
+    let len = bytes.len();
+    assert!(offset_from_end < len);
+    bytes[len - 1 - offset_from_end] ^= 0xFF;
+    std::fs::write(path, bytes).expect("write file");
+}
+
+fn truncate_by(path: &Path, bytes: u64) {
+    let len = std::fs::metadata(path).expect("stat").len();
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .expect("open");
+    f.set_len(len - bytes).expect("truncate");
+}
+
+fn newest_snapshot(dir: &Path) -> std::path::PathBuf {
+    let mut snaps: Vec<_> = std::fs::read_dir(dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("snap-") && n.ends_with(".bin"))
+        })
+        .collect();
+    snaps.sort();
+    snaps.pop().expect("at least one snapshot")
+}
+
+#[test]
+fn torn_log_tail_is_truncated_and_reported() {
+    let fx = fixture(2, 10);
+    let scratch = ScratchDir::new("torn-tail");
+    let n = fx.models.len();
+
+    let mut durable =
+        PersistentAdvisor::create(&scratch.0, fx.pool.clone(), opts(12, 5), 0).expect("create");
+    drive_durable(&mut durable, &fx, 0..n);
+    let full_log_seq = durable.log_seq();
+    drop(durable);
+
+    // Tear the final record: strip a few bytes, as a crash mid-append
+    // would. The final admission lands on seq `full_log_seq`; recovery
+    // must keep everything before it and report the discarded bytes.
+    truncate_by(&scratch.0.join(LOG_FILE), 5);
+    let (restored, report) = PersistentAdvisor::open(&scratch.0, 0).expect("open");
+    assert!(
+        report.log_discarded_bytes > 0,
+        "torn bytes must be reported"
+    );
+    assert_eq!(report.snapshot_seq, None, "no snapshot was ever cut");
+    assert_eq!(restored.log_seq(), full_log_seq - 1);
+
+    // Bit-identical to a session that simply never saw the torn record.
+    // The stream's last position (i = 19) admits and then reweights, so
+    // the torn final record is that reweight: the prefix baseline is the
+    // whole stream minus it.
+    let mut prefix = OnlineAdvisor::new(fx.pool.clone(), opts(12, 5));
+    drive_volatile(&mut prefix, &fx, 0..n - 1);
+    prefix.apply(spec_at(&fx, n - 1));
+    assert_eq!(fingerprint(restored.advisor()), fingerprint(&prefix));
+}
+
+#[test]
+fn corrupt_final_snapshot_falls_back_to_its_predecessor() {
+    let fx = fixture(2, 10);
+    let scratch = ScratchDir::new("bad-snap");
+    let n = fx.models.len();
+
+    let mut durable =
+        PersistentAdvisor::create(&scratch.0, fx.pool.clone(), opts(12, 5), 4).expect("create");
+    drive_durable(&mut durable, &fx, 0..n);
+    assert!(
+        durable.last_snapshot_seq().is_some(),
+        "snapshot_every=4 over {n} admissions must have cut snapshots"
+    );
+    drop(durable);
+
+    // Corrupt the newest snapshot's payload; the kept predecessor must
+    // take over, with a longer log replay making up the difference.
+    flip_byte(&newest_snapshot(&scratch.0), 20);
+    let (restored, report) = PersistentAdvisor::open(&scratch.0, 4).expect("open");
+    assert_eq!(report.snapshots_discarded, 1);
+    assert!(
+        report.replayed > 0,
+        "the fallback snapshot is older, so some log tail must replay"
+    );
+
+    let mut baseline = OnlineAdvisor::new(fx.pool.clone(), opts(12, 5));
+    drive_volatile(&mut baseline, &fx, 0..n);
+    assert_eq!(fingerprint(restored.advisor()), fingerprint(&baseline));
+}
+
+#[test]
+fn torn_snapshot_write_and_torn_log_tail_together_still_recover() {
+    let fx = fixture(2, 10);
+    let scratch = ScratchDir::new("double-fault");
+    let n = fx.models.len();
+
+    let mut durable =
+        PersistentAdvisor::create(&scratch.0, fx.pool.clone(), opts(12, 5), 4).expect("create");
+    drive_durable(&mut durable, &fx, 0..n);
+    drop(durable);
+
+    // A crash that interrupted the final snapshot AND tore the log tail:
+    // truncate the newest snapshot (a torn rename-source write) and
+    // clip the log's last record.
+    truncate_by(&newest_snapshot(&scratch.0), 40);
+    truncate_by(&scratch.0.join(LOG_FILE), 3);
+    let (restored, report) = PersistentAdvisor::open(&scratch.0, 4).expect("open");
+    assert_eq!(report.snapshots_discarded, 1);
+    assert!(report.log_discarded_bytes > 0);
+
+    let mut prefix = OnlineAdvisor::new(fx.pool.clone(), opts(12, 5));
+    drive_volatile(&mut prefix, &fx, 0..n - 1);
+    prefix.apply(spec_at(&fx, n - 1));
+    assert_eq!(fingerprint(restored.advisor()), fingerprint(&prefix));
+
+    // And the survivor keeps journaling: re-apply the lost reweight (the
+    // torn final record) and land exactly on the uninterrupted run.
+    let mut restored = restored;
+    restored
+        .reweight(n - 1, fx.weights[n - 1] * 1.5, false)
+        .expect("reweight");
+    let mut baseline = OnlineAdvisor::new(fx.pool.clone(), opts(12, 5));
+    drive_volatile(&mut baseline, &fx, 0..n);
+    assert_eq!(fingerprint(restored.advisor()), fingerprint(&baseline));
+}
+
+#[test]
+fn mid_log_corruption_before_the_snapshot_cut_is_a_typed_error() {
+    let fx = fixture(2, 10);
+    let scratch = ScratchDir::new("mid-log");
+    let n = fx.models.len();
+
+    let mut durable =
+        PersistentAdvisor::create(&scratch.0, fx.pool.clone(), opts(12, 5), 4).expect("create");
+    drive_durable(&mut durable, &fx, 0..n);
+    durable.snapshot_now().expect("snapshot at the very end");
+    drop(durable);
+
+    // Corrupt the log deep before the snapshot cut (inside the large
+    // `Create` record). The reader must truncate from the first bad
+    // record, leaving an intact log that ends before the snapshot —
+    // appending there would create an untrustworthy sequence gap, so
+    // recovery refuses with a typed error instead of panicking or
+    // silently rewriting history.
+    let log = scratch.0.join(LOG_FILE);
+    flip_byte(
+        &log,
+        std::fs::metadata(&log).expect("stat").len() as usize - 100,
+    );
+    match PersistentAdvisor::open(&scratch.0, 4) {
+        Err(PersistError::State(msg)) => {
+            assert!(msg.contains("snapshot cut"), "unexpected message: {msg}")
+        }
+        Err(other) => panic!("expected a typed state error, got {other:?}"),
+        Ok(_) => panic!("recovery must refuse a log corrupted before the snapshot cut"),
+    }
+}
+
+#[test]
+fn open_or_create_round_trips_and_missing_dirs_are_io_errors() {
+    let fx = fixture(2, 4);
+    let scratch = ScratchDir::new("open-or-create");
+    let missing = scratch.0.join("never-created");
+    assert!(matches!(
+        PersistentAdvisor::open(&missing, 0),
+        Err(PersistError::Io(_))
+    ));
+
+    let dir = scratch.0.join("tenant");
+    let (mut advisor, report) =
+        PersistentAdvisor::open_or_create(&dir, fx.pool.clone(), opts(8, 4), 0).expect("create");
+    assert_eq!(report, pinum_persist::RecoveryReport::default());
+    drive_durable(&mut advisor, &fx, 0..4);
+    let before = fingerprint(advisor.advisor());
+    drop(advisor);
+
+    let (reopened, report) =
+        PersistentAdvisor::open_or_create(&dir, fx.pool.clone(), opts(8, 4), 0).expect("reopen");
+    assert_eq!(report.replayed, 5, "4 admissions + 1 reweight");
+    assert_eq!(fingerprint(reopened.advisor()), before);
+}

@@ -154,6 +154,7 @@ pub fn read_response<R: Read>(r: &mut R) -> Result<FrameIn<Response>, WireError>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ErrorCode;
 
     #[test]
     fn request_frames_roundtrip() {
@@ -173,6 +174,63 @@ mod tests {
             other => panic!("expected a message, got {other:?}"),
         }
         assert!(matches!(read_request(&mut r).unwrap(), FrameIn::Eof));
+    }
+
+    #[test]
+    fn persistence_messages_roundtrip() {
+        let reqs = [
+            Request::SnapshotNow { tenant: 9 },
+            Request::TenantEpoch { tenant: 9 },
+        ];
+        let mut buf = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            write_request(&mut buf, i as u64, req).unwrap();
+            assert_eq!(req.tenant(), Some(9));
+        }
+        let mut r = buf.as_slice();
+        for (i, req) in reqs.iter().enumerate() {
+            match read_request(&mut r).unwrap() {
+                FrameIn::Msg { request_id, msg } => {
+                    assert_eq!(request_id, i as u64);
+                    assert_eq!(&msg, req);
+                }
+                other => panic!("expected a message, got {other:?}"),
+            }
+        }
+
+        let resps = [
+            Response::SnapshotTaken { log_seq: 41 },
+            Response::Epoch {
+                durable: true,
+                log_seq: 41,
+                snapshot_seq: Some(30),
+            },
+            Response::Epoch {
+                durable: false,
+                log_seq: 0,
+                snapshot_seq: None,
+            },
+            Response::Error {
+                code: ErrorCode::PersistenceDisabled,
+                detail: "volatile tenant".into(),
+            },
+            Response::Error {
+                code: ErrorCode::Persistence,
+                detail: "journal write failed".into(),
+            },
+        ];
+        let mut buf = Vec::new();
+        for (i, resp) in resps.iter().enumerate() {
+            write_response(&mut buf, i as u64, resp).unwrap();
+        }
+        let mut r = buf.as_slice();
+        for resp in &resps {
+            match read_response(&mut r).unwrap() {
+                FrameIn::Msg { msg, .. } => assert_eq!(&msg, resp),
+                other => panic!("expected a message, got {other:?}"),
+            }
+        }
+        assert!(matches!(read_response(&mut r).unwrap(), FrameIn::Eof));
     }
 
     #[test]

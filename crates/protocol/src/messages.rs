@@ -30,7 +30,7 @@ pub struct WireIndex {
 }
 
 impl WireIndex {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub fn encode(&self, out: &mut Vec<u8>) {
         put_u32(out, self.id);
         put_u32(out, self.table);
         put_vec(out, &self.key_columns, |o, v| put_u16(o, *v));
@@ -44,7 +44,7 @@ impl WireIndex {
         put_string(out, &self.name);
     }
 
-    fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
+    pub fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         Ok(Self {
             id: c.u32()?,
             table: c.u32()?,
@@ -77,7 +77,7 @@ pub struct WireCostParams {
 }
 
 impl WireCostParams {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub fn encode(&self, out: &mut Vec<u8>) {
         put_f64(out, self.seq_page_cost);
         put_f64(out, self.random_page_cost);
         put_f64(out, self.cpu_tuple_cost);
@@ -87,7 +87,7 @@ impl WireCostParams {
         put_u64(out, self.work_mem_kb);
     }
 
-    fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
+    pub fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         Ok(Self {
             seq_page_cost: c.f64()?,
             random_page_cost: c.f64()?,
@@ -117,7 +117,7 @@ pub struct WireProbe {
 }
 
 impl WireProbe {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub fn encode(&self, out: &mut Vec<u8>) {
         put_u64(out, self.index_leaf_pages);
         put_u32(out, self.index_height);
         put_f64(out, self.index_rows);
@@ -130,7 +130,7 @@ impl WireProbe {
         put_f64(out, self.loop_count);
     }
 
-    fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
+    pub fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         Ok(Self {
             index_leaf_pages: c.u64()?,
             index_height: c.u32()?,
@@ -157,14 +157,14 @@ pub struct WireAccess {
 }
 
 impl WireAccess {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub fn encode(&self, out: &mut Vec<u8>) {
         put_option(out, &self.candidate, |o, v| put_u32(o, *v));
         put_option(out, &self.order, |o, v| put_u16(o, *v));
         put_f64(out, self.cost);
         put_option(out, &self.probe, |o, p| p.encode(o));
     }
 
-    fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
+    pub fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         Ok(Self {
             candidate: c.option(|c| c.u32())?,
             order: c.option(|c| c.u16())?,
@@ -185,14 +185,14 @@ pub struct WireAccessCatalog {
 }
 
 impl WireAccessCatalog {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub fn encode(&self, out: &mut Vec<u8>) {
         put_vec(out, &self.per_rel, |o, rel| {
             put_vec(o, rel, |o, a| a.encode(o));
         });
         self.params.encode(out);
     }
 
-    fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
+    pub fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         Ok(Self {
             per_rel: c.vec(4, |c| c.vec(1, WireAccess::decode))?,
             params: WireCostParams::decode(c)?,
@@ -213,7 +213,7 @@ pub struct WirePlan {
 }
 
 impl WirePlan {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub fn encode(&self, out: &mut Vec<u8>) {
         put_u64(out, self.ioc);
         put_f64(out, self.internal);
         put_vec(out, &self.coefs, |o, v| put_f64(o, *v));
@@ -223,7 +223,7 @@ impl WirePlan {
         put_string(out, &self.description);
     }
 
-    fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
+    pub fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         Ok(Self {
             ioc: c.u64()?,
             internal: c.f64()?,
@@ -248,7 +248,7 @@ pub struct WirePlanCache {
 }
 
 impl WirePlanCache {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub fn encode(&self, out: &mut Vec<u8>) {
         put_string(out, &self.query_name);
         put_u32(out, self.n_rels);
         put_vec(out, &self.orders, |o, rel| {
@@ -257,7 +257,7 @@ impl WirePlanCache {
         put_vec(out, &self.plans, |o, p| p.encode(o));
     }
 
-    fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
+    pub fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         Ok(Self {
             query_name: c.string()?,
             n_rels: c.u32()?,
@@ -277,7 +277,7 @@ pub struct WireTemplate {
 }
 
 impl WireTemplate {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub fn encode(&self, out: &mut Vec<u8>) {
         put_u32(out, self.table);
         put_vec(out, &self.filters, |o, &(col, tag, lo, hi)| {
             put_u16(o, col);
@@ -287,7 +287,7 @@ impl WireTemplate {
         });
     }
 
-    fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
+    pub fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         Ok(Self {
             table: c.u32()?,
             filters: c.vec(19, |c| Ok((c.u16()?, c.u8()?, c.u64()?, c.u64()?)))?,
@@ -315,7 +315,7 @@ pub struct WireOptions {
 }
 
 impl WireOptions {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub fn encode(&self, out: &mut Vec<u8>) {
         put_u64(out, self.window_capacity);
         put_u64(out, self.epoch_length);
         put_f64(out, self.drift_threshold);
@@ -328,7 +328,7 @@ impl WireOptions {
         put_f64(out, self.attribution_threshold);
     }
 
-    fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
+    pub fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         Ok(Self {
             window_capacity: c.u64()?,
             epoch_length: c.u64()?,
@@ -345,8 +345,8 @@ impl WireOptions {
 }
 
 /// One admission's payload: the per-query one-optimizer-call artifacts
-/// plus weight and attribution templates — exactly what
-/// `OnlineAdvisor::admit_attributed` consumes.
+/// plus weight and attribution templates — exactly one
+/// `pinum_online::AdmissionSpec` for `OnlineAdvisor::apply`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireAdmission {
     pub cache: WirePlanCache,
@@ -356,14 +356,14 @@ pub struct WireAdmission {
 }
 
 impl WireAdmission {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub fn encode(&self, out: &mut Vec<u8>) {
         self.cache.encode(out);
         self.access.encode(out);
         put_f64(out, self.weight);
         put_vec(out, &self.templates, |o, t| t.encode(o));
     }
 
-    fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
+    pub fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         Ok(Self {
             cache: WirePlanCache::decode(c)?,
             access: WireAccessCatalog::decode(c)?,
@@ -391,7 +391,7 @@ pub struct WireReadviseReport {
 }
 
 impl WireReadviseReport {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub fn encode(&self, out: &mut Vec<u8>) {
         put_u8(out, self.trigger);
         put_f64(out, self.wall_seconds);
         put_f64(out, self.cost_before);
@@ -404,7 +404,7 @@ impl WireReadviseReport {
         put_u64(out, self.scope_candidates);
     }
 
-    fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
+    pub fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         Ok(Self {
             trigger: match c.u8()? {
                 t @ 0..=2 => t,
@@ -433,14 +433,14 @@ pub struct WireAdmitResult {
 }
 
 impl WireAdmitResult {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub fn encode(&self, out: &mut Vec<u8>) {
         put_u64(out, self.ordinal);
         put_u64(out, self.qid);
         put_option(out, &self.evicted, |o, v| put_u64(o, *v));
         put_option(out, &self.readvise, |o, r| r.encode(o));
     }
 
-    fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
+    pub fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         Ok(Self {
             ordinal: c.u64()?,
             qid: c.u64()?,
@@ -474,7 +474,7 @@ pub struct WireStats {
 }
 
 impl WireStats {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub fn encode(&self, out: &mut Vec<u8>) {
         put_u64(out, self.admits);
         put_u64(out, self.evictions);
         put_u64(out, self.reweights);
@@ -494,7 +494,7 @@ impl WireStats {
         put_f64(out, self.last_readvise_wall_seconds);
     }
 
-    fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
+    pub fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         Ok(Self {
             admits: c.u64()?,
             evictions: c.u64()?,
@@ -532,14 +532,14 @@ pub struct WireBudgetStats {
 }
 
 impl WireBudgetStats {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub fn encode(&self, out: &mut Vec<u8>) {
         put_u64(out, self.grants);
         put_u64(out, self.waits);
         put_u64(out, self.max_wait_events);
         put_u64(out, self.total_wait_events);
     }
 
-    fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
+    pub fn decode(c: &mut Cursor<'_>) -> Result<Self, WireError> {
         Ok(Self {
             grants: c.u64()?,
             waits: c.u64()?,
@@ -561,6 +561,12 @@ pub enum ErrorCode {
     Malformed,
     /// The daemon is shutting down and no longer serves tenant requests.
     ShuttingDown,
+    /// A durability-only request (`SnapshotNow`) hit a tenant the daemon
+    /// runs without a snapshot directory.
+    PersistenceDisabled,
+    /// A journal or snapshot write failed; the in-memory tenant is still
+    /// consistent but the mutation was refused.
+    Persistence,
 }
 
 impl ErrorCode {
@@ -570,6 +576,8 @@ impl ErrorCode {
             ErrorCode::UnknownTenant => 2,
             ErrorCode::Malformed => 3,
             ErrorCode::ShuttingDown => 4,
+            ErrorCode::PersistenceDisabled => 5,
+            ErrorCode::Persistence => 6,
         }
     }
 
@@ -579,6 +587,8 @@ impl ErrorCode {
             2 => ErrorCode::UnknownTenant,
             3 => ErrorCode::Malformed,
             4 => ErrorCode::ShuttingDown,
+            5 => ErrorCode::PersistenceDisabled,
+            6 => ErrorCode::Persistence,
             _ => return Err(WireError::Malformed("unknown error code")),
         })
     }
@@ -621,6 +631,12 @@ pub enum Request {
     GetStats { tenant: u64 },
     /// Asks the daemon to stop accepting and drain.
     Shutdown,
+    /// Cuts a snapshot of the tenant's state right now (durable daemons
+    /// only — volatile ones answer `PersistenceDisabled`).
+    SnapshotNow { tenant: u64 },
+    /// Reads the tenant's persistence epoch: last journaled mutation and
+    /// last snapshot cut, for deciding when a restart would be cheap.
+    TenantEpoch { tenant: u64 },
 }
 
 impl Request {
@@ -635,6 +651,8 @@ impl Request {
             Request::GetSelection { .. } => 7,
             Request::GetStats { .. } => 8,
             Request::Shutdown => 9,
+            Request::SnapshotNow { .. } => 10,
+            Request::TenantEpoch { .. } => 11,
         }
     }
 
@@ -648,7 +666,9 @@ impl Request {
             | Request::EvictQuery { tenant, .. }
             | Request::ForceReadvise { tenant }
             | Request::GetSelection { tenant }
-            | Request::GetStats { tenant } => Some(tenant),
+            | Request::GetStats { tenant }
+            | Request::SnapshotNow { tenant }
+            | Request::TenantEpoch { tenant } => Some(tenant),
             Request::Shutdown => None,
         }
     }
@@ -687,7 +707,9 @@ impl Request {
             }
             Request::ForceReadvise { tenant }
             | Request::GetSelection { tenant }
-            | Request::GetStats { tenant } => put_u64(out, *tenant),
+            | Request::GetStats { tenant }
+            | Request::SnapshotNow { tenant }
+            | Request::TenantEpoch { tenant } => put_u64(out, *tenant),
             Request::Shutdown => {}
         }
     }
@@ -720,6 +742,8 @@ impl Request {
             7 => Request::GetSelection { tenant: c.u64()? },
             8 => Request::GetStats { tenant: c.u64()? },
             9 => Request::Shutdown,
+            10 => Request::SnapshotNow { tenant: c.u64()? },
+            11 => Request::TenantEpoch { tenant: c.u64()? },
             other => return Err(WireError::UnknownTag(other)),
         })
     }
@@ -764,6 +788,20 @@ pub enum Response {
         code: ErrorCode,
         detail: String,
     },
+    /// Answer to `SnapshotNow`: the log position the snapshot covers.
+    SnapshotTaken {
+        log_seq: u64,
+    },
+    /// Answer to `TenantEpoch`.
+    Epoch {
+        /// Whether the tenant journals its mutations at all.
+        durable: bool,
+        /// Sequence number of the last journaled mutation (0 when
+        /// volatile).
+        log_seq: u64,
+        /// Log position of the newest snapshot, if one was ever cut.
+        snapshot_seq: Option<u64>,
+    },
 }
 
 impl Response {
@@ -778,6 +816,8 @@ impl Response {
             Response::Stats { .. } => 7,
             Response::ShuttingDown => 8,
             Response::Error { .. } => 9,
+            Response::SnapshotTaken { .. } => 10,
+            Response::Epoch { .. } => 11,
         }
     }
 
@@ -809,6 +849,16 @@ impl Response {
                 put_u8(out, code.tag());
                 put_string(out, detail);
             }
+            Response::SnapshotTaken { log_seq } => put_u64(out, *log_seq),
+            Response::Epoch {
+                durable,
+                log_seq,
+                snapshot_seq,
+            } => {
+                put_bool(out, *durable);
+                put_u64(out, *log_seq);
+                put_option(out, snapshot_seq, |o, s| put_u64(o, *s));
+            }
         }
     }
 
@@ -839,6 +889,12 @@ impl Response {
             9 => Response::Error {
                 code: ErrorCode::from_tag(c.u8()?)?,
                 detail: c.string()?,
+            },
+            10 => Response::SnapshotTaken { log_seq: c.u64()? },
+            11 => Response::Epoch {
+                durable: c.bool()?,
+                log_seq: c.u64()?,
+                snapshot_seq: c.option(|c| c.u64())?,
             },
             other => return Err(WireError::UnknownTag(other)),
         })

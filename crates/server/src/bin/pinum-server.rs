@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pinum-server [--port N] [--shards N] [--budget N]
+//!              [--snapshot-dir PATH] [--snapshot-every N]
 //! ```
 //!
 //! - `--port` (default 0): TCP port to bind on 127.0.0.1; 0 picks an
@@ -10,6 +11,11 @@
 //! - `--shards` (default 4): shard worker threads; tenants are assigned
 //!   by tenant-id hash.
 //! - `--budget` (default 2): re-advises allowed to run concurrently.
+//! - `--snapshot-dir` (default: none, volatile): root directory for
+//!   tenant journals and snapshots. Tenants found under it are recovered
+//!   at start-up, bit-identical to the daemon that wrote them.
+//! - `--snapshot-every` (default 32): admissions between automatic
+//!   snapshots per tenant; 0 cuts snapshots only on `SnapshotNow`.
 //!
 //! `PINUM_THREADS` passes through to the probe pool: it overrides the
 //! pool's worker count exactly as in the library (see the Sizing notes
@@ -38,14 +44,30 @@ fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: pinum-server [--port N] [--shards N] [--budget N]");
+        println!(
+            "usage: pinum-server [--port N] [--shards N] [--budget N] \
+             [--snapshot-dir PATH] [--snapshot-every N]"
+        );
         return;
     }
     let port = parse_flag(&args, "--port").unwrap_or(0) as u16;
+    let snapshot_dir =
+        args.iter()
+            .position(|a| a == "--snapshot-dir")
+            .map(|pos| match args.get(pos + 1) {
+                Some(value) => std::path::PathBuf::from(value),
+                None => {
+                    eprintln!("error: --snapshot-dir needs a value");
+                    std::process::exit(2);
+                }
+            });
     let defaults = ServerConfig::default();
     let config = ServerConfig {
         shards: parse_flag(&args, "--shards").unwrap_or(defaults.shards as u64) as usize,
         budget: parse_flag(&args, "--budget").unwrap_or(defaults.budget as u64) as usize,
+        snapshot_every: parse_flag(&args, "--snapshot-every")
+            .unwrap_or(defaults.snapshot_every as u64) as usize,
+        snapshot_dir,
     };
 
     let handle = match Server::start(("127.0.0.1", port), config) {

@@ -1,5 +1,11 @@
 //! The daemon: sharded tenant ownership, blocking accept loop, and the
-//! request dispatch that ties the wire format to [`OnlineAdvisor`].
+//! request dispatch that ties the wire format to
+//! [`pinum_online::OnlineAdvisor`] through a write-ahead
+//! [`PersistentAdvisor`] per tenant. With `--snapshot-dir` set, each
+//! shard journals its tenants' mutations before applying them, cuts a
+//! snapshot every K admissions (the shard thread is the tenant's only
+//! mutator, so no locking), and recovers every tenant it owns at
+//! start-up — bit-identical to a daemon that never stopped.
 //!
 //! ## Threading model
 //!
@@ -26,24 +32,34 @@
 use crate::budget::ReadviseBudget;
 use crate::convert::{self, ConvertError};
 use pinum_core::ProbePool;
-use pinum_online::OnlineAdvisor;
+use pinum_online::AdmissionSpec;
+use pinum_persist::{PersistError, PersistentAdvisor};
 use pinum_protocol::{
     read_request, write_response, ErrorCode, FrameIn, Request, Response, WireAdmission,
     WireAdmitResult, WireBudgetStats,
 };
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Start-up knobs. The CLI binary maps its flags onto this 1:1.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Shard worker threads. Tenants are assigned by tenant-id hash.
     pub shards: usize,
     /// Re-advises allowed to run concurrently across all tenants.
     pub budget: usize,
+    /// Root directory for tenant journals and snapshots. `None` (the
+    /// default) runs every tenant fully in memory; when set, each tenant
+    /// lives in `tenant-<id>/` under it, existing tenants are recovered
+    /// at start-up, and every mutation is journaled write-ahead.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Admissions between automatic snapshots on a durable tenant's
+    /// shard thread (0 = only on `SnapshotNow`).
+    pub snapshot_every: usize,
 }
 
 impl Default for ServerConfig {
@@ -51,8 +67,15 @@ impl Default for ServerConfig {
         Self {
             shards: 4,
             budget: 2,
+            snapshot_dir: None,
+            snapshot_every: 32,
         }
     }
+}
+
+/// The on-disk directory of one tenant under the daemon's snapshot root.
+pub fn tenant_dir(root: &std::path::Path, tenant: u64) -> PathBuf {
+    root.join(format!("tenant-{tenant}"))
 }
 
 /// Which shard owns a tenant (Fibonacci-hash of the id, so dense tenant
@@ -62,7 +85,7 @@ pub fn shard_of(tenant: u64, shards: usize) -> usize {
 }
 
 struct TenantState {
-    advisor: OnlineAdvisor,
+    advisor: PersistentAdvisor,
 }
 
 enum ShardMsg {
@@ -99,11 +122,17 @@ impl Server {
         for shard in 0..shards {
             let (tx, rx) = mpsc::channel::<ShardMsg>();
             let budget = budget.clone();
+            let persistence = Persistence {
+                root: config.snapshot_dir.clone(),
+                snapshot_every: config.snapshot_every,
+                shard,
+                shards,
+            };
             shard_txs.push(tx);
             shard_threads.push(
                 std::thread::Builder::new()
                     .name(format!("pinum-shard-{shard}"))
-                    .spawn(move || shard_worker(rx, &budget))
+                    .spawn(move || shard_worker(rx, &budget, &persistence))
                     .expect("spawn shard worker"),
             );
         }
@@ -307,8 +336,68 @@ fn serve_connection(
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
-fn shard_worker(rx: mpsc::Receiver<ShardMsg>, budget: &ReadviseBudget) {
+/// Per-shard persistence context: the snapshot root (if any) plus the
+/// shard coordinates needed to claim tenant directories at start-up.
+struct Persistence {
+    root: Option<PathBuf>,
+    snapshot_every: usize,
+    shard: usize,
+    shards: usize,
+}
+
+/// Recovers every durable tenant under `root` that hashes to this shard.
+/// A tenant whose files will not recover is skipped with a note on
+/// stderr — one corrupt directory must not take the daemon down.
+fn recover_shard_tenants(
+    tenants: &mut HashMap<u64, TenantState>,
+    persistence: &Persistence,
+) -> std::io::Result<()> {
+    let Some(root) = &persistence.root else {
+        return Ok(());
+    };
+    if !root.exists() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(root)? {
+        let path = entry?.path();
+        let Some(tenant) = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_prefix("tenant-"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if shard_of(tenant, persistence.shards) != persistence.shard {
+            continue;
+        }
+        match PersistentAdvisor::open(&path, persistence.snapshot_every) {
+            Ok((advisor, report)) => {
+                if report.log_discarded_bytes > 0 || report.snapshots_discarded > 0 {
+                    eprintln!(
+                        "pinum-server: tenant {tenant} recovered with losses: \
+                         {} torn log bytes truncated, {} corrupt snapshot(s) skipped",
+                        report.log_discarded_bytes, report.snapshots_discarded
+                    );
+                }
+                tenants.insert(tenant, TenantState { advisor });
+            }
+            Err(e) => {
+                eprintln!("pinum-server: tenant {tenant} not recovered ({e}); skipping");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn shard_worker(rx: mpsc::Receiver<ShardMsg>, budget: &ReadviseBudget, persistence: &Persistence) {
     let mut tenants: HashMap<u64, TenantState> = HashMap::new();
+    if let Err(e) = recover_shard_tenants(&mut tenants, persistence) {
+        eprintln!(
+            "pinum-server: shard {} could not scan the snapshot root ({e})",
+            persistence.shard
+        );
+    }
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Stop => break,
@@ -317,7 +406,7 @@ fn shard_worker(rx: mpsc::Receiver<ShardMsg>, budget: &ReadviseBudget) {
                 req,
                 reply,
             } => {
-                let resp = handle_request(&mut tenants, budget, *req);
+                let resp = handle_request(&mut tenants, budget, persistence, *req);
                 // A gone client is not an error; its socket closed.
                 let _ = reply.send((request_id, resp));
             }
@@ -339,9 +428,17 @@ fn unknown_tenant(tenant: u64) -> Response {
     }
 }
 
+fn persistence_failed(e: &PersistError) -> Response {
+    Response::Error {
+        code: ErrorCode::Persistence,
+        detail: e.to_string(),
+    }
+}
+
 fn handle_request(
     tenants: &mut HashMap<u64, TenantState>,
     budget: &ReadviseBudget,
+    persistence: &Persistence,
     req: Request,
 ) -> Response {
     match req {
@@ -364,12 +461,21 @@ fn handle_request(
                 Ok(o) => o,
                 Err(e) => return malformed(e),
             };
-            tenants.insert(
-                tenant,
-                TenantState {
-                    advisor: OnlineAdvisor::new(pool, opts),
-                },
-            );
+            let advisor = match &persistence.root {
+                Some(root) => {
+                    match PersistentAdvisor::create(
+                        &tenant_dir(root, tenant),
+                        pool,
+                        opts,
+                        persistence.snapshot_every,
+                    ) {
+                        Ok(a) => a,
+                        Err(e) => return persistence_failed(&e),
+                    }
+                }
+                None => PersistentAdvisor::volatile(pool, opts),
+            };
+            tenants.insert(tenant, TenantState { advisor });
             Response::TenantCreated { tenant }
         }
         Request::AdmitQuery { tenant, admission } => {
@@ -380,7 +486,7 @@ fn handle_request(
                 Ok(result) => Response::Admitted {
                     results: vec![result],
                 },
-                Err(e) => malformed(e),
+                Err(error) => error,
             }
         }
         Request::AdmitBatch { tenant, admissions } => {
@@ -394,7 +500,7 @@ fn handle_request(
                 // one by one.
                 match admit_one(&mut state.advisor, budget, tenant, admission) {
                     Ok(result) => results.push(result),
-                    Err(e) => return malformed(e),
+                    Err(error) => return error,
                 }
             }
             Response::Admitted { results }
@@ -410,27 +516,36 @@ fn handle_request(
             if !(weight.is_finite() && weight > 0.0) {
                 return malformed(ConvertError("weight must be finite and positive"));
             }
-            if admission >= state.advisor.stats().admits as u64 {
+            if admission >= state.advisor.advisor().stats().admits as u64 {
                 return malformed(ConvertError("admission ordinal was never issued"));
             }
-            let (applied, trigger) = state
-                .advisor
-                .reweight_admission_deferred(admission as usize, weight);
-            let readvise = trigger.map(|t| {
+            let outcome = match state.advisor.reweight(admission as usize, weight, true) {
+                Ok(o) => o,
+                Err(e) => return persistence_failed(&e),
+            };
+            let mut readvise = None;
+            if let Some(t) = outcome.pending {
                 let _permit = budget.acquire(tenant);
-                convert::report_to_wire(&state.advisor.readvise_triggered(t))
-            });
-            Response::Reweighted { applied, readvise }
+                match state.advisor.readvise_triggered(t) {
+                    Ok(report) => readvise = Some(convert::report_to_wire(&report)),
+                    Err(e) => return persistence_failed(&e),
+                }
+            }
+            Response::Reweighted {
+                applied: outcome.applied,
+                readvise,
+            }
         }
         Request::EvictQuery { tenant, admission } => {
             let Some(state) = tenants.get_mut(&tenant) else {
                 return unknown_tenant(tenant);
             };
-            if admission >= state.advisor.stats().admits as u64 {
+            if admission >= state.advisor.advisor().stats().admits as u64 {
                 return malformed(ConvertError("admission ordinal was never issued"));
             }
-            Response::Evicted {
-                applied: state.advisor.evict_admission(admission as usize),
+            match state.advisor.evict_admission(admission as usize) {
+                Ok(applied) => Response::Evicted { applied },
+                Err(e) => persistence_failed(&e),
             }
         }
         Request::ForceReadvise { tenant } => {
@@ -441,15 +556,18 @@ fn handle_request(
                 let _permit = budget.acquire(tenant);
                 state.advisor.readvise()
             };
-            Response::Readvised {
-                report: convert::report_to_wire(&report),
+            match report {
+                Ok(report) => Response::Readvised {
+                    report: convert::report_to_wire(&report),
+                },
+                Err(e) => persistence_failed(&e),
             }
         }
         Request::GetSelection { tenant } => {
             let Some(state) = tenants.get(&tenant) else {
                 return unknown_tenant(tenant);
             };
-            let advisor = &state.advisor;
+            let advisor = state.advisor.advisor();
             let selection = advisor.selection();
             Response::Selection {
                 ids: selection.ids().map(|i| i as u64).collect(),
@@ -463,7 +581,7 @@ fn handle_request(
             };
             let b = budget.stats(tenant);
             Response::Stats {
-                stats: convert::stats_to_wire(state.advisor.stats()),
+                stats: convert::stats_to_wire(state.advisor.advisor().stats()),
                 budget: WireBudgetStats {
                     grants: b.grants,
                     waits: b.waits,
@@ -472,41 +590,85 @@ fn handle_request(
                 },
             }
         }
+        Request::SnapshotNow { tenant } => {
+            let Some(state) = tenants.get_mut(&tenant) else {
+                return unknown_tenant(tenant);
+            };
+            match state.advisor.snapshot_now() {
+                Ok(Some(log_seq)) => Response::SnapshotTaken { log_seq },
+                Ok(None) => Response::Error {
+                    code: ErrorCode::PersistenceDisabled,
+                    detail: format!("tenant {tenant} runs without a snapshot directory"),
+                },
+                Err(e) => persistence_failed(&e),
+            }
+        }
+        Request::TenantEpoch { tenant } => {
+            let Some(state) = tenants.get(&tenant) else {
+                return unknown_tenant(tenant);
+            };
+            Response::Epoch {
+                durable: state.advisor.is_durable(),
+                log_seq: state.advisor.log_seq(),
+                snapshot_seq: state.advisor.last_snapshot_seq(),
+            }
+        }
         Request::Shutdown => unreachable!("shutdown is handled by the connection reader"),
     }
 }
 
+// The Err side is the complete wire `Response` for the failed admission
+// — built once per error, so its size is irrelevant.
+#[allow(clippy::result_large_err)]
 fn admit_one(
-    advisor: &mut OnlineAdvisor,
+    advisor: &mut PersistentAdvisor,
     budget: &ReadviseBudget,
     tenant: u64,
     w: &WireAdmission,
-) -> Result<WireAdmitResult, ConvertError> {
-    if !(w.weight.is_finite() && w.weight > 0.0) {
-        return Err(ConvertError("weight must be finite and positive"));
-    }
-    let cache = convert::cache_from_wire(&w.cache)?;
-    let pool_len = advisor.pool().indexes().len();
-    let access = convert::access_from_wire(&w.access, pool_len)?;
-    if access.per_rel().len() != cache.n_rels {
-        return Err(ConvertError(
-            "access catalog arity does not match the plan cache",
-        ));
-    }
+) -> Result<WireAdmitResult, Response> {
+    let check = |ok: bool, msg: &'static str| {
+        if ok {
+            Ok(())
+        } else {
+            Err(malformed(ConvertError(msg)))
+        }
+    };
+    check(
+        w.weight.is_finite() && w.weight > 0.0,
+        "weight must be finite and positive",
+    )?;
+    let cache = convert::cache_from_wire(&w.cache).map_err(malformed)?;
+    let pool_len = advisor.advisor().pool().indexes().len();
+    let access = convert::access_from_wire(&w.access, pool_len).map_err(malformed)?;
+    check(
+        access.per_rel().len() == cache.n_rels,
+        "access catalog arity does not match the plan cache",
+    )?;
     let templates: Vec<_> = w
         .templates
         .iter()
         .map(convert::template_from_wire)
         .collect();
-    let (admission, trigger) =
-        advisor.admit_attributed_deferred(&cache, &access, w.weight, &templates);
+    // The wire admission IS an `AdmissionSpec`; deferred because the
+    // triggered re-advise must wait for a budget permit.
+    let spec = AdmissionSpec::new(&cache, &access)
+        .weight(w.weight)
+        .templates(&templates)
+        .deferred(true);
+    let admission = advisor.apply(spec).map_err(|e| persistence_failed(&e))?;
     // The budget gates *when* the re-advise runs, never *what* it
     // computes: this shard thread is the only mutator of this advisor,
     // so the deferred execution is bit-identical to the inline one.
-    let readvise = trigger.map(|t| {
-        let _permit = budget.acquire(tenant);
-        convert::report_to_wire(&advisor.readvise_triggered(t))
-    });
+    let readvise = match admission.pending {
+        Some(t) => {
+            let _permit = budget.acquire(tenant);
+            let report = advisor
+                .readvise_triggered(t)
+                .map_err(|e| persistence_failed(&e))?;
+            Some(convert::report_to_wire(&report))
+        }
+        None => None,
+    };
     Ok(WireAdmitResult {
         ordinal: admission.ordinal as u64,
         qid: admission.qid as u64,

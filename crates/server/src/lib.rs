@@ -9,8 +9,9 @@
 //!   bit-identical to a single-tenant in-process run of the same stream.
 //! - [`budget`] — the global re-advise budget: at most K re-advises run
 //!   concurrently, with an aging queue so no tenant starves.
-//! - [`convert`] — validated wire ↔ domain conversions; malformed
-//!   payloads become typed error replies, never daemon panics.
+//! - [`convert`] (re-exported from `pinum_persist`) — validated wire ↔
+//!   domain conversions; malformed payloads become typed error replies,
+//!   never daemon panics.
 //!
 //! The determinism contract is the whole point: moving a tenant behind
 //! the daemon changes *where* and *when* its advisor runs, never *what*
@@ -18,9 +19,8 @@
 //! TCP.
 
 pub mod budget;
-pub mod convert;
 pub mod daemon;
 
 pub use budget::{BudgetPermit, ReadviseBudget, TenantBudgetStats};
-pub use convert::ConvertError;
 pub use daemon::{shard_of, Server, ServerConfig, ServerHandle};
+pub use pinum_persist::convert::{self, ConvertError};

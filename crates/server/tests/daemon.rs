@@ -5,7 +5,7 @@
 use pinum_core::access_costs::{collect_pinum, AccessCostCatalog};
 use pinum_core::builder::{build_cache_pinum, BuilderOptions};
 use pinum_core::{CandidatePool, PlanCache};
-use pinum_online::{query_templates, OnlineAdvisor, OnlineAdvisorOptions};
+use pinum_online::{query_templates, AdmissionSpec, OnlineAdvisor, OnlineAdvisorOptions};
 use pinum_optimizer::Optimizer;
 use pinum_protocol::{Client, ErrorCode, Request, Response, WireAdmission, WireOptions};
 use pinum_query::{Query, TemplateKey};
@@ -154,9 +154,13 @@ fn baseline(fx: &Fixture, opts: &OnlineAdvisorOptions) -> (Vec<u64>, u64, u64) {
     for (i, (cache, access)) in fx.models.iter().enumerate() {
         let (query, weight) = &fx.queries[i];
         let templates = query_templates(query);
-        advisor.admit_attributed(cache, access, *weight, &templates);
+        advisor.apply(
+            AdmissionSpec::new(cache, access)
+                .weight(*weight)
+                .templates(&templates),
+        );
         if i % 4 == 3 {
-            advisor.reweight_admission(i, *weight * 1.5);
+            advisor.reweight(i, *weight * 1.5, false);
         }
     }
     (
@@ -178,6 +182,7 @@ fn daemon_tenants_are_bit_identical_to_in_process_advisors() {
         ServerConfig {
             shards: 2,
             budget: 1,
+            ..ServerConfig::default()
         },
     )
     .expect("start server");
@@ -375,6 +380,194 @@ fn hostile_frames_get_typed_errors_and_the_connection_survives() {
             ..
         }
     ));
+    server.shutdown();
+}
+
+/// Self-cleaning scratch directory (no external tempfile dependency).
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "pinum-daemon-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Self(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn restarted_daemon_resumes_bit_identically_over_the_wire() {
+    let scratch = ScratchDir::new("warm-restart");
+    let config = ServerConfig {
+        shards: 2,
+        budget: 1,
+        snapshot_dir: Some(scratch.0.clone()),
+        snapshot_every: 4,
+    };
+    let fx = fixture(9, 3, 10);
+    let opts = options(12, 5);
+    let expected = baseline(&fx, &opts);
+    let tenant = 5u64;
+    let split = fx.models.len() / 2;
+
+    // First daemon: create the tenant and admit the first half of the
+    // stream, then stop without any orderly per-tenant flush — the
+    // journal plus the periodic snapshots must carry the state over.
+    let server = Server::start(("127.0.0.1", 0), config.clone()).expect("start server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let resp = client
+        .call(&Request::CreateTenant {
+            tenant,
+            pool: convert::pool_to_wire(&fx.pool),
+            options: wire_options(&opts),
+        })
+        .expect("create tenant");
+    assert!(matches!(resp, Response::TenantCreated { .. }));
+    for (i, (cache, access)) in fx.models.iter().take(split).enumerate() {
+        let (query, weight) = &fx.queries[i];
+        let templates = query_templates(query);
+        let resp = client
+            .call(&Request::AdmitQuery {
+                tenant,
+                admission: wire_admission(cache, access, *weight, &templates),
+            })
+            .expect("admit");
+        assert!(matches!(resp, Response::Admitted { .. }));
+        if i % 4 == 3 {
+            let resp = client
+                .call(&Request::ReweightAdmission {
+                    tenant,
+                    admission: i as u64,
+                    weight: *weight * 1.5,
+                })
+                .expect("reweight");
+            assert!(matches!(resp, Response::Reweighted { applied: true, .. }));
+        }
+    }
+    // The explicit snapshot request answers with the journal position.
+    let resp = client
+        .call(&Request::SnapshotNow { tenant })
+        .expect("snapshot now");
+    let Response::SnapshotTaken { log_seq } = resp else {
+        panic!("unexpected snapshot reply: {resp:?}");
+    };
+    let resp = client
+        .call(&Request::TenantEpoch { tenant })
+        .expect("tenant epoch");
+    assert_eq!(
+        resp,
+        Response::Epoch {
+            durable: true,
+            log_seq,
+            snapshot_seq: Some(log_seq),
+        }
+    );
+    drop(client);
+    server.shutdown();
+
+    // Second daemon on the same directory: the tenant must already be
+    // there (no CreateTenant) and finish the stream bit-identically.
+    let server = Server::start(("127.0.0.1", 0), config).expect("restart server");
+    let mut client = Client::connect(server.addr()).expect("reconnect");
+    let resp = client
+        .call(&Request::TenantEpoch { tenant })
+        .expect("epoch after restart");
+    assert!(
+        matches!(resp, Response::Epoch { durable: true, log_seq: l, .. } if l >= log_seq),
+        "got {resp:?}"
+    );
+    for (i, (cache, access)) in fx.models.iter().enumerate().skip(split) {
+        let (query, weight) = &fx.queries[i];
+        let templates = query_templates(query);
+        let resp = client
+            .call(&Request::AdmitQuery {
+                tenant,
+                admission: wire_admission(cache, access, *weight, &templates),
+            })
+            .expect("admit after restart");
+        let Response::Admitted { results } = resp else {
+            panic!("unexpected admit reply: {resp:?}");
+        };
+        assert_eq!(results[0].ordinal, i as u64, "ordinals continue seamlessly");
+        if i % 4 == 3 {
+            let resp = client
+                .call(&Request::ReweightAdmission {
+                    tenant,
+                    admission: i as u64,
+                    weight: *weight * 1.5,
+                })
+                .expect("reweight after restart");
+            assert!(matches!(resp, Response::Reweighted { applied: true, .. }));
+        }
+    }
+    let Response::Selection { ids, cost, .. } = client
+        .call(&Request::GetSelection { tenant })
+        .expect("selection")
+    else {
+        panic!("unexpected selection reply");
+    };
+    let Response::Stats { stats, .. } = client.call(&Request::GetStats { tenant }).expect("stats")
+    else {
+        panic!("unexpected stats reply");
+    };
+    assert_eq!(ids, expected.0, "selection diverged across restart");
+    assert_eq!(cost.to_bits(), expected.1, "cost bits diverged");
+    assert_eq!(
+        stats.full_repricings, expected.2,
+        "full re-pricings diverged"
+    );
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_requests_on_a_volatile_daemon_are_typed_errors() {
+    let server = Server::start(("127.0.0.1", 0), ServerConfig::default()).expect("start server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let fx = fixture(9, 2, 4);
+    let opts = options(8, 4);
+    let resp = client
+        .call(&Request::CreateTenant {
+            tenant: 1,
+            pool: convert::pool_to_wire(&fx.pool),
+            options: wire_options(&opts),
+        })
+        .expect("create tenant");
+    assert!(matches!(resp, Response::TenantCreated { .. }));
+    let resp = client
+        .call(&Request::SnapshotNow { tenant: 1 })
+        .expect("snapshot now");
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::PersistenceDisabled,
+                ..
+            }
+        ),
+        "got {resp:?}"
+    );
+    let resp = client
+        .call(&Request::TenantEpoch { tenant: 1 })
+        .expect("tenant epoch");
+    assert_eq!(
+        resp,
+        Response::Epoch {
+            durable: false,
+            log_seq: 0,
+            snapshot_seq: None,
+        }
+    );
     server.shutdown();
 }
 

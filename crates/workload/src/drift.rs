@@ -31,8 +31,8 @@
 //! [`DriftEvent::Reweight`] events (a recent admission's weight
 //! compounds by `ReweightProfile::factor`) with the base stream's
 //! admissions, addressed by **admission ordinal** so consumers like
-//! `pinum_online::OnlineAdvisor::reweight_admission` can apply them
-//! without tracking model query ids.
+//! `pinum_online::OnlineAdvisor::reweight` can apply them without
+//! tracking model query ids.
 
 use crate::star::{FkEdge, StarSchema};
 use pinum_query::{Query, QueryBuilder};
