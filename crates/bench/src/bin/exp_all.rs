@@ -24,5 +24,6 @@ fn main() {
     e::parallel_search::run(scale);
     e::multi_tenant::run(scale);
     e::warm_restart::run(scale);
+    e::durable_throughput::run(scale);
     println!("==== done ====");
 }

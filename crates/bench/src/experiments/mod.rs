@@ -5,6 +5,7 @@ pub mod advisor_scale;
 pub mod batched_collection;
 pub mod cache_construction;
 pub mod cost_accuracy;
+pub mod durable_throughput;
 pub mod engine_validation;
 pub mod greedy_quality;
 pub mod index_selection;

@@ -179,6 +179,28 @@ impl PricingSession {
         qid
     }
 
+    /// Splices a batch of arriving `(cache, access, weight)` queries:
+    /// one model maintenance pass ([`WorkloadModel::admit_batch`]), one
+    /// single-query pricing per newcomer, and one sum-tree extension
+    /// ([`PricedWorkload::extend_query_costs`] — at most one capacity
+    /// rebuild). Returns the first new query id; the batch occupies
+    /// `first..first + queries.len()`.
+    ///
+    /// Bit-identical to `queries.len()` serial
+    /// [`Self::admit_query_weighted`] calls: pricing a newcomer reads
+    /// only its own packed arms, so later batch members' presence cannot
+    /// change its bits, and the tree extension is exact.
+    pub fn admit_batch(&mut self, queries: &[(&PlanCache, &AccessCostCatalog, f64)]) -> usize {
+        let first = self.model.admit_batch(queries);
+        debug_assert_eq!(self.state.per_query().len(), first);
+        let costs: Vec<f64> = (first..first + queries.len())
+            .map(|qid| self.contribution(qid))
+            .collect();
+        self.state.extend_query_costs(&costs);
+        self.debug_assert_state_matches_full();
+        first
+    }
+
     /// Retracts a live query: its priced contribution drops to exactly
     /// 0.0 (what a tombstone prices to), re-totaling only the tree path
     /// above its leaf — O(log n) float additions, no re-pricing.

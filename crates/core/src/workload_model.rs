@@ -267,6 +267,26 @@ impl PricedWorkload {
         }
     }
 
+    /// Appends a batch of newly admitted queries' costs with at most
+    /// **one** capacity rebuild. Bit-identical to pushing them one at a
+    /// time: the tree is a pure function of (leaves, capacity), the
+    /// final capacity is the same power of two either way, and the
+    /// rebuild's zero padding adds exact +0.0.
+    pub fn extend_query_costs(&mut self, costs: &[f64]) {
+        let need = self.per_query.len() + costs.len();
+        if need > self.tree.len() / 2 {
+            self.per_query.extend_from_slice(costs);
+            let all = std::mem::take(&mut self.per_query);
+            *self = Self::from_costs(all);
+        } else {
+            for &cost in costs {
+                let q = self.per_query.len();
+                self.per_query.push(cost);
+                self.set_query_cost(q, cost);
+            }
+        }
+    }
+
     /// Splices a delta's `(query, cost)` list (ascending by query) into
     /// the snapshot — O(changed·log n). After this,
     /// [`Self::total`] equals what [`Self::overlaid_total`] returned for
@@ -761,6 +781,36 @@ impl WorkloadModel {
         self.finish_admit(weight);
         self.debug_assert_index_matches_rebuild();
         qid
+    }
+
+    /// Splices a batch of queries in one maintenance pass: every query is
+    /// flattened and packed, the inverted index takes each newcomer's
+    /// entries as the same O(1) sorted pushes the serial path does (new
+    /// ids are issued in ascending order, so the lists stay sorted), and
+    /// the expensive index-rebuild debug assert runs **once** for the
+    /// whole batch instead of once per query. Returns the first new query
+    /// id; the batch occupies `first..first + queries.len()`.
+    ///
+    /// Bit-identical to `queries.len()` serial
+    /// [`Self::admit_query_weighted`] calls: admission never reads other
+    /// queries' state, so batching changes no intermediate value.
+    pub fn admit_batch(&mut self, queries: &[(&PlanCache, &AccessCostCatalog, f64)]) -> usize {
+        let first = self.qmeta.len();
+        assert!(
+            first + queries.len() < u32::MAX as usize,
+            "query id space exhausted"
+        );
+        for &(cache, access, weight) in queries {
+            assert!(
+                weight.is_finite() && weight > 0.0,
+                "query weight must be finite and positive, got {weight}"
+            );
+            let qm = flatten_query(cache, access);
+            self.push_query(&qm);
+            self.finish_admit(weight);
+        }
+        self.debug_assert_index_matches_rebuild();
+        first
     }
 
     /// Retracts a live query: its inverted-index entries are removed

@@ -461,6 +461,164 @@ impl OnlineAdvisor {
         admission
     }
 
+    /// Applies a batch of admissions with per-spec [`Admission`] results
+    /// **identical to serial [`Self::apply`] calls** (bit for bit in
+    /// every deterministic field; `model_wall` is wall clock and is
+    /// reported as each spec's share of the batched splice).
+    ///
+    /// The win is that window/drift bookkeeping runs once per
+    /// *trigger-free run* instead of once per spec: a maximal prefix
+    /// where no window overflow can evict (the window has room for the
+    /// whole run), no epoch boundary falls inside the run, and the drift
+    /// detector either is disarmed (no baseline yet) or can only *report*
+    /// (every spec in the run is deferred — a fired drift becomes
+    /// [`Admission::pending`] without mutating state, so per-spec checks
+    /// can be replayed retroactively from the spliced sum tree). Such a
+    /// run splices through [`PricingSession::admit_batch`] — one model
+    /// maintenance pass, one tree extension. Specs outside a run (an
+    /// inline spec under an armed detector, a spec landing on an epoch
+    /// boundary, a window-overflow eviction) fall back to serial
+    /// [`Self::apply`], so triggers still fire at exactly the serial
+    /// positions.
+    pub fn apply_batch(&mut self, specs: &[AdmissionSpec<'_>]) -> Vec<Admission> {
+        let mut out = Vec::with_capacity(specs.len());
+        let mut rest = specs;
+        while !rest.is_empty() {
+            let k = self.trigger_free_run(rest, true);
+            if k >= 2 {
+                self.splice_run(&rest[..k], &mut out);
+                rest = &rest[k..];
+            } else {
+                out.push(self.apply(rest[0]));
+                rest = &rest[1..];
+            }
+        }
+        out
+    }
+
+    /// [`Self::apply_batch`] for callers that gate re-advises behind an
+    /// external budget (the multi-tenant server): `spec.deferred` is
+    /// ignored and every triggered re-advise executes inline under a
+    /// guard obtained from `acquire` — the guard is held for the whole
+    /// re-advise, exactly like the serial server path's budget permit.
+    /// Because fired triggers mutate state here, a trigger-free run
+    /// additionally requires the drift detector to be disarmed; armed
+    /// stretches degrade to serial applies with identical results.
+    pub fn apply_batch_gated<G>(
+        &mut self,
+        specs: &[AdmissionSpec<'_>],
+        mut acquire: impl FnMut(ReadviseTrigger) -> G,
+    ) -> Vec<Admission> {
+        let mut out = Vec::with_capacity(specs.len());
+        let mut rest = specs;
+        while !rest.is_empty() {
+            let k = self.trigger_free_run(rest, false);
+            if k >= 2 {
+                self.splice_run(&rest[..k], &mut out);
+                rest = &rest[k..];
+            } else {
+                let mut admission = self.splice_admission(&rest[0]);
+                if let Some(trigger) = self.pending_trigger() {
+                    let _permit = acquire(trigger);
+                    admission.readvise = Some(self.readvise_with(trigger));
+                }
+                out.push(admission);
+                rest = &rest[1..];
+            }
+        }
+        out
+    }
+
+    /// Length of the maximal trigger-free run at the head of `specs`:
+    /// the window can absorb the whole run without overflow, no spec
+    /// lands on an epoch boundary, and a fired drift either cannot
+    /// happen (baseline disarmed) or cannot mutate
+    /// (`allow_deferred_drift` and every spec deferred).
+    fn trigger_free_run(&self, specs: &[AdmissionSpec<'_>], allow_deferred_drift: bool) -> usize {
+        let window_room = self.opts.window_capacity.saturating_sub(self.window.len());
+        let epoch_room = (self.opts.epoch_length - 1).saturating_sub(self.admits_since_advise);
+        let k = specs.len().min(window_room).min(epoch_room);
+        if !self.baseline_mean.is_finite() {
+            return k;
+        }
+        if allow_deferred_drift {
+            specs.iter().take(k).take_while(|s| s.deferred).count()
+        } else {
+            0
+        }
+    }
+
+    /// Splices a trigger-free run through one batched session admission,
+    /// appending one [`Admission`] per spec to `out`. Per-spec drift
+    /// *reports* (the armed, all-deferred case) are recomputed
+    /// retroactively: the drift check for spec `i` compares against the
+    /// sum tree with every later newcomer's leaf overlaid to 0.0 — the
+    /// tree is a pure function of its leaves and contributions are
+    /// non-negative, so the overlay reproduces the serial intermediate
+    /// total bit for bit.
+    fn splice_run(&mut self, specs: &[AdmissionSpec<'_>], out: &mut Vec<Admission>) {
+        let splice = Instant::now();
+        let queries: Vec<(&PlanCache, &AccessCostCatalog, f64)> = specs
+            .iter()
+            .map(|s| (s.cache, s.access, s.weight))
+            .collect();
+        let first = self.session.admit_batch(&queries);
+        let model_wall = splice.elapsed();
+        let base = out.len();
+        for (i, spec) in specs.iter().enumerate() {
+            let qid = first + i;
+            let model_arms = self.session.model().query_arm_count(qid);
+            let ordinal = self.admission_base + self.admission_qid.len();
+            self.stats.admits += 1;
+            self.stats.admit_arms_total += model_arms;
+            self.stats.admit_arms_max = self.stats.admit_arms_max.max(model_arms);
+            self.window.push_back(qid);
+            debug_assert_eq!(self.qid_ordinal.len(), qid);
+            self.admission_qid.push(qid as u32);
+            self.qid_ordinal.push(ordinal as u32);
+            if let Some(shares) = spec.shares {
+                self.attribution
+                    .admit_with_shares(qid, spec.templates, shares);
+            } else if spec.templates.len() == spec.access.per_rel().len() {
+                let derived: Vec<f64> = spec
+                    .access
+                    .per_rel()
+                    .iter()
+                    .map(|entries| entries.first().map_or(0.0, |e| e.cost))
+                    .collect();
+                self.attribution
+                    .admit_with_shares(qid, spec.templates, &derived);
+            } else {
+                self.attribution.admit(qid, spec.templates);
+            }
+            self.admits_since_advise += 1;
+            out.push(Admission {
+                qid,
+                ordinal,
+                evicted: None,
+                model_wall: model_wall / specs.len() as u32,
+                model_arms,
+                readvise: None,
+                pending: None,
+            });
+        }
+        self.stats.model_admit_wall += model_wall;
+        if self.baseline_mean.is_finite() {
+            // Armed detector, all specs deferred: replay each serial
+            // intermediate drift check from the final tree.
+            for i in 0..specs.len() {
+                let later: Vec<(u32, f64)> = ((first + i + 1)..(first + specs.len()))
+                    .map(|q| (q as u32, 0.0))
+                    .collect();
+                let total = self.session.state().overlaid_total(&later);
+                let window_len = self.window.len() - (specs.len() - 1 - i);
+                if self.drift_fired_at(total, window_len) {
+                    out[base + i].pending = Some(ReadviseTrigger::Drift);
+                }
+            }
+        }
+    }
+
     /// Builds the owned [`AdmissionSpec`] artifacts for a raw query:
     /// its PINUM plan cache (two optimizer calls), its access costs
     /// collected through the daemon's shared template cache, and its
@@ -743,10 +901,17 @@ impl OnlineAdvisor {
     /// threshold (written so a NaN mean — possible only if the state
     /// were corrupted — also fires and self-heals on the re-advise).
     fn drift_fired(&self) -> bool {
-        if self.window.is_empty() || !self.baseline_mean.is_finite() {
+        self.drift_fired_at(self.session.total(), self.window.len())
+    }
+
+    /// [`Self::drift_fired`] against an explicit total and window length
+    /// — the batched admission path replays intermediate checks through
+    /// this with overlaid tree totals.
+    fn drift_fired_at(&self, total: f64, window_len: usize) -> bool {
+        if window_len == 0 || !self.baseline_mean.is_finite() {
             return false;
         }
-        let mean_now = self.session.total() / self.window.len() as f64;
+        let mean_now = total / window_len as f64;
         let bound = self.baseline_mean * (1.0 + self.opts.drift_threshold);
         // Fires on Greater *and* on NaN (incomparable) — an unpriceable
         // window must trigger the re-advise that can heal it.

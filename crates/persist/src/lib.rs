@@ -55,6 +55,8 @@ use crate::log::{read_log, LogRecord, LogWriter};
 use crate::snapshot::{load_latest, write_snapshot};
 use pinum_core::CandidatePool;
 
+pub use crate::log::{GroupCommitPolicy, PersistStats};
+
 /// Anything that can go wrong persisting or recovering advisor state.
 #[derive(Debug)]
 pub enum PersistError {
@@ -347,6 +349,67 @@ impl PersistentAdvisor {
             self.snapshot_now()?;
         }
         Ok(admission)
+    }
+
+    /// Journals and applies a batch of admissions with group-committed
+    /// durability: all N specs are encoded as ordinary `Admit` records
+    /// and made durable by [`LogWriter::append_batch`] — one buffered
+    /// write and **one** fsync per `policy` chunk — *before* any of them
+    /// touches the advisor. A crash after the fsync replays the whole
+    /// batch (redo semantics: the recovered state equals the
+    /// uninterrupted run); a crash mid-write tears between records, so
+    /// recovery keeps a valid record prefix and the un-fsynced rest was
+    /// never applied.
+    ///
+    /// Execution goes through
+    /// [`OnlineAdvisor::apply_batch_gated`]: triggered re-advises run
+    /// inline under a guard from `acquire` (the server's budget permit).
+    /// Because they execute at their exact trigger positions, the batch
+    /// journals plain inline admissions (`deferred: false`) and no
+    /// `Readvise` records — replay re-derives every round, exactly like
+    /// the inline serial path. Snapshot accounting advances once per
+    /// batch.
+    pub fn apply_batch<G>(
+        &mut self,
+        specs: &[AdmissionSpec<'_>],
+        policy: GroupCommitPolicy,
+        acquire: impl FnMut(ReadviseTrigger) -> G,
+    ) -> Result<Vec<Admission>, PersistError> {
+        if let Some(store) = &mut self.store {
+            let records: Vec<LogRecord> = specs
+                .iter()
+                .map(|spec| LogRecord::Admit {
+                    cache: spec.cache.clone(),
+                    access: spec.access.clone(),
+                    weight: spec.weight,
+                    templates: spec.templates.to_vec(),
+                    shares: spec.shares.map(<[f64]>::to_vec),
+                    deferred: false,
+                })
+                .collect();
+            store.writer.append_batch(store.seq + 1, &records, policy)?;
+            store.seq += specs.len() as u64;
+        }
+        let admissions = self.advisor.apply_batch_gated(specs, acquire);
+        let snapshot_due = self.store.as_mut().is_some_and(|store| {
+            store.admits_since_snapshot += specs.len();
+            store.snapshot_every > 0 && store.admits_since_snapshot >= store.snapshot_every
+        });
+        if snapshot_due {
+            self.snapshot_now()?;
+        }
+        Ok(admissions)
+    }
+
+    /// Durability counters of the underlying log writer (appends,
+    /// fsyncs, group-commit batches, largest batch), accumulated since
+    /// this process created or reopened the log. Zeroes when volatile.
+    /// Snapshot-file fsyncs are not counted — these are write-ahead-log
+    /// counters, the denominator of the fsyncs-per-admission gate.
+    pub fn persist_stats(&self) -> PersistStats {
+        self.store
+            .as_ref()
+            .map_or_else(PersistStats::default, |s| s.writer.stats())
     }
 
     /// Journals and applies one reweight event.

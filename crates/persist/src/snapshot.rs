@@ -83,11 +83,13 @@ pub fn write_snapshot(
         f.sync_all()?;
     }
     fs::rename(&tmp, &path)?;
-    if let Ok(d) = File::open(dir) {
-        // Make the rename itself durable where the platform supports
-        // syncing directories; ignore failures (e.g. on Windows).
-        let _ = d.sync_all();
-    }
+    // Make the rename itself durable. A failure here means the snapshot
+    // may silently vanish on power loss (the data blocks are synced but
+    // the directory entry is not), so it propagates like any other
+    // persistence error instead of being swallowed — the caller still
+    // holds the log, which replays past the missing snapshot.
+    let d = File::open(dir)?;
+    d.sync_all()?;
     prune(dir)?;
     Ok(path)
 }

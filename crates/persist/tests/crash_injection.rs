@@ -8,7 +8,7 @@ mod common;
 
 use common::{fingerprint, fixture, opts, Fixture, ScratchDir};
 use pinum_online::{AdmissionSpec, OnlineAdvisor};
-use pinum_persist::{PersistError, PersistentAdvisor, LOG_FILE};
+use pinum_persist::{GroupCommitPolicy, PersistError, PersistentAdvisor, LOG_FILE};
 use std::path::Path;
 
 /// One stream position's spec: the fixture's weight and templates.
@@ -203,6 +203,100 @@ fn mid_log_corruption_before_the_snapshot_cut_is_a_typed_error() {
         Err(other) => panic!("expected a typed state error, got {other:?}"),
         Ok(_) => panic!("recovery must refuse a log corrupted before the snapshot cut"),
     }
+}
+
+#[test]
+fn torn_group_committed_batch_tail_replays_the_longest_valid_prefix() {
+    // Small on purpose: the sweep below runs one full recovery per byte
+    // of the group-committed batch's span.
+    let fx = fixture(1, 4);
+    let scratch = ScratchDir::new("torn-batch");
+    let n = fx.models.len();
+
+    let mut durable =
+        PersistentAdvisor::create(&scratch.0, fx.pool.clone(), opts(8, 4), 0).expect("create");
+    let specs: Vec<AdmissionSpec<'_>> = (0..n).map(|i| spec_at(&fx, i)).collect();
+    durable
+        .apply_batch(&specs, GroupCommitPolicy::default(), |_| ())
+        .expect("apply batch");
+    assert_eq!(durable.log_seq(), 1 + n as u64);
+    drop(durable);
+
+    // Expected advisor state after each possible surviving prefix.
+    let baselines: Vec<_> = (0..=n)
+        .map(|k| {
+            let mut adv = OnlineAdvisor::new(fx.pool.clone(), opts(8, 4));
+            for i in 0..k {
+                adv.apply(spec_at(&fx, i));
+            }
+            fingerprint(&adv)
+        })
+        .collect();
+
+    // Frame boundaries from the on-disk layout: an 8-byte header, then
+    // per record `[len u32][payload][checksum u64]`. `boundaries[m]` is
+    // the byte just past record m+1; `boundaries[0]` ends `Create`.
+    let log = scratch.0.join(LOG_FILE);
+    let bytes = std::fs::read(&log).expect("read log");
+    let mut boundaries = Vec::new();
+    let mut off = 8usize;
+    while off < bytes.len() {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        off += 4 + len + 8;
+        boundaries.push(off);
+    }
+    assert_eq!(off, bytes.len(), "log parses cleanly frame by frame");
+    assert_eq!(
+        boundaries.len(),
+        1 + n,
+        "Create plus one frame per admission"
+    );
+
+    // The batch went down in one buffered write; a crash can cut it at
+    // ANY byte. Every cut must recover the longest valid record prefix,
+    // report exactly the torn remainder, and land bit-identical to a
+    // serial run that stopped at the same prefix — never panic.
+    for cut in boundaries[0]..=bytes.len() {
+        std::fs::write(&log, &bytes[..cut]).expect("rewrite truncated log");
+        let (restored, report) = PersistentAdvisor::open(&scratch.0, 0).expect("open at torn cut");
+        let valid_records = boundaries.iter().filter(|&&b| b <= cut).count();
+        let admits = valid_records - 1; // minus the Create record
+        assert_eq!(
+            restored.log_seq(),
+            valid_records as u64,
+            "cut at byte {cut}"
+        );
+        assert_eq!(
+            report.log_discarded_bytes,
+            (cut - boundaries[valid_records - 1]) as u64,
+            "cut at byte {cut}"
+        );
+        assert_eq!(
+            fingerprint(restored.advisor()),
+            baselines[admits],
+            "cut at byte {cut} diverged from the {admits}-admission prefix"
+        );
+    }
+}
+
+#[test]
+fn snapshot_failures_propagate_instead_of_being_swallowed() {
+    let fx = fixture(1, 4);
+    let scratch = ScratchDir::new("snap-error");
+    let dir = scratch.0.join("tenant");
+
+    let mut durable =
+        PersistentAdvisor::create(&dir, fx.pool.clone(), opts(8, 4), 0).expect("create");
+    drive_durable(&mut durable, &fx, 0..2);
+    assert!(durable.snapshot_now().expect("healthy snapshot").is_some());
+
+    // Pull the tenant directory out from under the advisor. Every step
+    // of the snapshot write — temp file, rename, and the directory fsync
+    // that makes the rename itself durable — must now surface as a typed
+    // I/O error. The directory fsync in particular used to be swallowed;
+    // this pins the choice that it propagates like the rest.
+    std::fs::remove_dir_all(&dir).expect("remove tenant dir");
+    assert!(matches!(durable.snapshot_now(), Err(PersistError::Io(_))));
 }
 
 #[test]

@@ -1,7 +1,9 @@
-//! Blocking TCP client: one connection, one outstanding request at a
-//! time (write a frame, read the matching response). This is all the
-//! experiments and tests need; a pipelined client would only have to
-//! match responses by request id.
+//! Blocking TCP client. [`Client::call`] is the one-outstanding-request
+//! lockstep most experiments and tests use; [`Client::send`] /
+//! [`Client::recv`] / [`Client::call_pipelined`] keep multiple request
+//! ids in flight on the same connection, matching responses by the
+//! echoed id — how a caller feeds the server's same-tenant admission
+//! coalescing without paying a round trip per admission.
 
 use crate::frame::{read_response, write_request, FrameIn};
 use crate::messages::{Request, Response};
@@ -35,19 +37,77 @@ impl Client {
     /// id must echo the one sent — a mismatch means the stream is out of
     /// sync and is reported as malformed.
     pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        let id = self.send(req)?;
+        self.flush()?;
+        let (request_id, msg) = self.recv()?;
+        if request_id != id {
+            return Err(WireError::Malformed("response id does not echo request id"));
+        }
+        Ok(msg)
+    }
+
+    /// Writes one request frame into the connection's buffer *without*
+    /// flushing or waiting, returning the request id it was assigned.
+    /// Pair with [`Self::flush`] and [`Self::recv`]; any number of ids
+    /// may be in flight at once.
+    pub fn send(&mut self, req: &Request) -> Result<u64, WireError> {
         let id = self.next_id;
         self.next_id += 1;
         write_request(&mut self.writer, id, req)?;
+        Ok(id)
+    }
+
+    /// Flushes buffered request frames to the socket.
+    pub fn flush(&mut self) -> Result<(), WireError> {
         std::io::Write::flush(&mut self.writer)?;
+        Ok(())
+    }
+
+    /// Blocks for the next response frame, whatever request it answers.
+    /// The server may interleave responses across tenants (different
+    /// shards drain at their own pace), so the caller matches the
+    /// returned request id against its in-flight set.
+    pub fn recv(&mut self) -> Result<(u64, Response), WireError> {
         match read_response(&mut self.reader)? {
-            FrameIn::Msg { request_id, msg } => {
-                if request_id != id {
-                    return Err(WireError::Malformed("response id does not echo request id"));
-                }
-                Ok(msg)
-            }
+            FrameIn::Msg { request_id, msg } => Ok((request_id, msg)),
             FrameIn::Eof => Err(WireError::TruncatedFrame),
             FrameIn::Bad { error, .. } => Err(error),
         }
+    }
+
+    /// Pipelines `reqs`: writes every frame, flushes **once**, then
+    /// reads until each request has its response, returned in request
+    /// order. This is what lets a server shard see several same-tenant
+    /// admissions queued back to back and coalesce them into one
+    /// group-committed batch. A response id that matches no outstanding
+    /// request (or a duplicate) means the stream is out of sync and is
+    /// reported as malformed.
+    pub fn call_pipelined(&mut self, reqs: &[Request]) -> Result<Vec<Response>, WireError> {
+        let mut ids = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            ids.push(self.send(req)?);
+        }
+        self.flush()?;
+        let mut slots: Vec<Option<Response>> = (0..reqs.len()).map(|_| None).collect();
+        for _ in 0..reqs.len() {
+            let (request_id, msg) = self.recv()?;
+            let Some(slot) = ids
+                .iter()
+                .position(|&id| id == request_id)
+                .map(|i| &mut slots[i])
+            else {
+                return Err(WireError::Malformed(
+                    "response id matches no pipelined request",
+                ));
+            };
+            if slot.is_some() {
+                return Err(WireError::Malformed("duplicate response id in pipeline"));
+            }
+            *slot = Some(msg);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect())
     }
 }

@@ -204,11 +204,19 @@ mod tests {
                 durable: true,
                 log_seq: 41,
                 snapshot_seq: Some(30),
+                appends: 41,
+                fsyncs: 7,
+                batches: 5,
+                max_batch_records: 16,
             },
             Response::Epoch {
                 durable: false,
                 log_seq: 0,
                 snapshot_seq: None,
+                appends: 0,
+                fsyncs: 0,
+                batches: 0,
+                max_batch_records: 0,
             },
             Response::Error {
                 code: ErrorCode::PersistenceDisabled,

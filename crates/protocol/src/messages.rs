@@ -801,6 +801,15 @@ pub enum Response {
         log_seq: u64,
         /// Log position of the newest snapshot, if one was ever cut.
         snapshot_seq: Option<u64>,
+        /// Write-ahead-log durability counters since this process
+        /// created or reopened the log (all 0 when volatile): records
+        /// appended, fsyncs issued, group-commit batches written, and
+        /// the largest record count folded into one fsync. `fsyncs <
+        /// appends` is the observable group-commit win.
+        appends: u64,
+        fsyncs: u64,
+        batches: u64,
+        max_batch_records: u64,
     },
 }
 
@@ -854,10 +863,18 @@ impl Response {
                 durable,
                 log_seq,
                 snapshot_seq,
+                appends,
+                fsyncs,
+                batches,
+                max_batch_records,
             } => {
                 put_bool(out, *durable);
                 put_u64(out, *log_seq);
                 put_option(out, snapshot_seq, |o, s| put_u64(o, *s));
+                put_u64(out, *appends);
+                put_u64(out, *fsyncs);
+                put_u64(out, *batches);
+                put_u64(out, *max_batch_records);
             }
         }
     }
@@ -895,6 +912,10 @@ impl Response {
                 durable: c.bool()?,
                 log_seq: c.u64()?,
                 snapshot_seq: c.option(|c| c.u64())?,
+                appends: c.u64()?,
+                fsyncs: c.u64()?,
+                batches: c.u64()?,
+                max_batch_records: c.u64()?,
             },
             other => return Err(WireError::UnknownTag(other)),
         })

@@ -31,14 +31,17 @@
 
 use crate::budget::ReadviseBudget;
 use crate::convert::{self, ConvertError};
+use pinum_core::access_costs::AccessCostCatalog;
+use pinum_core::cache::PlanCache;
 use pinum_core::ProbePool;
-use pinum_online::AdmissionSpec;
-use pinum_persist::{PersistError, PersistentAdvisor};
+use pinum_online::{Admission, AdmissionSpec};
+use pinum_persist::{GroupCommitPolicy, PersistError, PersistentAdvisor};
 use pinum_protocol::{
     read_request, write_response, ErrorCode, FrameIn, Request, Response, WireAdmission,
     WireAdmitResult, WireBudgetStats,
 };
-use std::collections::HashMap;
+use pinum_query::TemplateKey;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -390,6 +393,9 @@ fn recover_shard_tenants(
     Ok(())
 }
 
+/// One queued request together with everything needed to answer it.
+type QueuedRequest = (u64, Box<Request>, mpsc::Sender<(u64, Response)>);
+
 fn shard_worker(rx: mpsc::Receiver<ShardMsg>, budget: &ReadviseBudget, persistence: &Persistence) {
     let mut tenants: HashMap<u64, TenantState> = HashMap::new();
     if let Err(e) = recover_shard_tenants(&mut tenants, persistence) {
@@ -398,17 +404,240 @@ fn shard_worker(rx: mpsc::Receiver<ShardMsg>, budget: &ReadviseBudget, persisten
             persistence.shard
         );
     }
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            ShardMsg::Stop => break,
-            ShardMsg::Request {
+    let mut queue: VecDeque<QueuedRequest> = VecDeque::new();
+    let mut stopping = false;
+    while !stopping {
+        // Block for the next message, then drain whatever else already
+        // sits in the mailbox: the drained backlog is what same-tenant
+        // coalescing feeds on. An empty mailbox degrades to the old
+        // one-message-at-a-time loop with identical results.
+        match rx.recv() {
+            Ok(ShardMsg::Stop) | Err(_) => break,
+            Ok(ShardMsg::Request {
                 request_id,
                 req,
                 reply,
-            } => {
-                let resp = handle_request(&mut tenants, budget, persistence, *req);
+            }) => queue.push_back((request_id, req, reply)),
+        }
+        loop {
+            match rx.try_recv() {
+                Ok(ShardMsg::Request {
+                    request_id,
+                    req,
+                    reply,
+                }) => queue.push_back((request_id, req, reply)),
+                // Stop mid-drain still answers everything already queued.
+                Ok(ShardMsg::Stop) => {
+                    stopping = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        process_queue(&mut queue, &mut tenants, budget, persistence);
+    }
+}
+
+/// The tenant a request admits into, if it is an admission message.
+fn admission_tenant(req: &Request) -> Option<u64> {
+    match req {
+        Request::AdmitQuery { tenant, .. } | Request::AdmitBatch { tenant, .. } => Some(*tenant),
+        _ => None,
+    }
+}
+
+/// Destructures an admission request into its tenant and admission list;
+/// any other request comes back untouched for [`handle_request`].
+#[allow(clippy::result_large_err)] // Err is the request handed back whole, by design
+fn as_admissions(req: Request) -> Result<(u64, Vec<WireAdmission>), Request> {
+    match req {
+        Request::AdmitQuery { tenant, admission } => Ok((tenant, vec![admission])),
+        Request::AdmitBatch { tenant, admissions } => Ok((tenant, admissions)),
+        other => Err(other),
+    }
+}
+
+/// Answers every queued request in arrival order. Maximal contiguous
+/// runs of admission messages for the same tenant are coalesced into
+/// group-committed batches by [`handle_admission_run`]; everything else
+/// dispatches one message at a time. Arrival order is preserved exactly,
+/// so per-tenant results stay bit-identical to the serial loop.
+fn process_queue(
+    queue: &mut VecDeque<QueuedRequest>,
+    tenants: &mut HashMap<u64, TenantState>,
+    budget: &ReadviseBudget,
+    persistence: &Persistence,
+) {
+    while let Some((request_id, req, reply)) = queue.pop_front() {
+        match as_admissions(*req) {
+            Ok((tenant, admissions)) => {
+                let mut run = vec![(request_id, admissions, reply)];
+                while queue
+                    .front()
+                    .is_some_and(|(_, req, _)| admission_tenant(req) == Some(tenant))
+                {
+                    let (id, req, reply) = queue.pop_front().expect("front was just checked");
+                    let (_, admissions) =
+                        as_admissions(*req).expect("front matched an admission message");
+                    run.push((id, admissions, reply));
+                }
+                handle_admission_run(tenants, budget, tenant, run);
+            }
+            Err(req) => {
+                let resp = handle_request(tenants, budget, persistence, req);
                 // A gone client is not an error; its socket closed.
                 let _ = reply.send((request_id, resp));
+            }
+        }
+    }
+}
+
+/// One wire admission converted and validated, ready to borrow into an
+/// [`AdmissionSpec`].
+type ConvertedAdmission = (PlanCache, AccessCostCatalog, Vec<TemplateKey>, f64);
+
+/// One queued admission message inside a coalesced same-tenant run:
+/// request id, its admission list, and the connection's reply channel.
+type AdmissionRun = (u64, Vec<WireAdmission>, mpsc::Sender<(u64, Response)>);
+
+/// Validates one wire admission exactly like the serial [`admit_one`]
+/// path, without touching the advisor — conversion happens up-front so a
+/// malformed admission is rejected before anything is journaled.
+#[allow(clippy::result_large_err)]
+fn convert_admission(pool_len: usize, w: &WireAdmission) -> Result<ConvertedAdmission, Response> {
+    let check = |ok: bool, msg: &'static str| {
+        if ok {
+            Ok(())
+        } else {
+            Err(malformed(ConvertError(msg)))
+        }
+    };
+    check(
+        w.weight.is_finite() && w.weight > 0.0,
+        "weight must be finite and positive",
+    )?;
+    let cache = convert::cache_from_wire(&w.cache).map_err(malformed)?;
+    let access = convert::access_from_wire(&w.access, pool_len).map_err(malformed)?;
+    check(
+        access.per_rel().len() == cache.n_rels,
+        "access catalog arity does not match the plan cache",
+    )?;
+    let templates: Vec<_> = w
+        .templates
+        .iter()
+        .map(convert::template_from_wire)
+        .collect();
+    Ok((cache, access, templates, w.weight))
+}
+
+fn result_to_wire(admission: Admission) -> WireAdmitResult {
+    WireAdmitResult {
+        ordinal: admission.ordinal as u64,
+        qid: admission.qid as u64,
+        evicted: admission.evicted.map(|q| q as u64),
+        readvise: admission.readvise.as_ref().map(convert::report_to_wire),
+    }
+}
+
+/// Applies a contiguous run of same-tenant admission messages through
+/// [`PersistentAdvisor::apply_batch`]: every admission in a segment is
+/// journaled with **one** group-committed fsync per
+/// [`GroupCommitPolicy`] chunk, then spliced through the batched session
+/// path. The shard thread is the tenant's only mutator and the segment
+/// preserves arrival order, so each result is bit-identical to sending
+/// the same admissions one at a time.
+///
+/// A conversion failure ends the current segment at the failing message:
+/// the valid prefix (prior messages plus the failing message's own valid
+/// leading admissions) is applied — exactly what the serial path would
+/// have applied before hitting the error — the failing message gets its
+/// error response, and the remaining messages start a fresh segment.
+fn handle_admission_run(
+    tenants: &mut HashMap<u64, TenantState>,
+    budget: &ReadviseBudget,
+    tenant: u64,
+    run: Vec<AdmissionRun>,
+) {
+    let Some(state) = tenants.get_mut(&tenant) else {
+        for (id, _, reply) in run {
+            let _ = reply.send((id, unknown_tenant(tenant)));
+        }
+        return;
+    };
+    let pool_len = state.advisor.advisor().pool().indexes().len();
+    let mut msgs: VecDeque<_> = run.into();
+    while !msgs.is_empty() {
+        // Convert up-front until the first invalid admission; `counts`
+        // records how many converted admissions belong to each message.
+        let mut converted: Vec<ConvertedAdmission> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        let mut whole_msgs = 0usize;
+        let mut failure: Option<Response> = None;
+        'convert: for (_, admissions, _) in &msgs {
+            let mut n = 0usize;
+            for w in admissions {
+                match convert_admission(pool_len, w) {
+                    Ok(c) => {
+                        converted.push(c);
+                        n += 1;
+                    }
+                    Err(resp) => {
+                        failure = Some(resp);
+                        counts.push(n);
+                        break 'convert;
+                    }
+                }
+            }
+            counts.push(n);
+            whole_msgs += 1;
+        }
+
+        // Deferred so the triggered re-advise waits for a budget permit;
+        // the permit guard is held across each re-advise the batch runs.
+        let specs: Vec<AdmissionSpec<'_>> = converted
+            .iter()
+            .map(|(cache, access, templates, weight)| {
+                AdmissionSpec::new(cache, access)
+                    .weight(*weight)
+                    .templates(templates)
+                    .deferred(true)
+            })
+            .collect();
+        let applied = if specs.is_empty() {
+            Ok(Vec::new())
+        } else {
+            state
+                .advisor
+                .apply_batch(&specs, GroupCommitPolicy::default(), |_| {
+                    budget.acquire(tenant)
+                })
+        };
+
+        match applied {
+            Ok(admissions) => {
+                let mut results = admissions.into_iter();
+                for &n in counts.iter().take(whole_msgs) {
+                    let (id, _, reply) = msgs.pop_front().expect("message per count");
+                    let batch: Vec<_> = results.by_ref().take(n).map(result_to_wire).collect();
+                    let _ = reply.send((id, Response::Admitted { results: batch }));
+                }
+                if let Some(resp) = failure {
+                    // The failing message's valid prefix was applied —
+                    // serial semantics — but its response is the error.
+                    let (id, _, reply) = msgs.pop_front().expect("failing message queued");
+                    let _ = reply.send((id, resp));
+                }
+            }
+            Err(e) => {
+                // The journal write failed before any admission touched
+                // the advisor, so the whole segment (including the
+                // conversion-failed message, whose prefix never applied)
+                // reports the persistence error.
+                let segment = whole_msgs + usize::from(failure.is_some());
+                for _ in 0..segment {
+                    let (id, _, reply) = msgs.pop_front().expect("message per segment entry");
+                    let _ = reply.send((id, persistence_failed(&e)));
+                }
             }
         }
     }
@@ -478,6 +707,11 @@ fn handle_request(
             tenants.insert(tenant, TenantState { advisor });
             Response::TenantCreated { tenant }
         }
+        // The two admission arms below are the reference serial path.
+        // `process_queue` routes every admission message through
+        // `handle_admission_run` instead, so these arms are reached only
+        // by direct `handle_request` callers — kept because they define
+        // the semantics the coalesced path must reproduce bit for bit.
         Request::AdmitQuery { tenant, admission } => {
             let Some(state) = tenants.get_mut(&tenant) else {
                 return unknown_tenant(tenant);
@@ -607,10 +841,15 @@ fn handle_request(
             let Some(state) = tenants.get(&tenant) else {
                 return unknown_tenant(tenant);
             };
+            let p = state.advisor.persist_stats();
             Response::Epoch {
                 durable: state.advisor.is_durable(),
                 log_seq: state.advisor.log_seq(),
                 snapshot_seq: state.advisor.last_snapshot_seq(),
+                appends: p.appends,
+                fsyncs: p.fsyncs,
+                batches: p.batches,
+                max_batch_records: p.max_batch_records,
             }
         }
         Request::Shutdown => unreachable!("shutdown is handled by the connection reader"),

@@ -464,13 +464,17 @@ fn restarted_daemon_resumes_bit_identically_over_the_wire() {
     let resp = client
         .call(&Request::TenantEpoch { tenant })
         .expect("tenant epoch");
-    assert_eq!(
-        resp,
-        Response::Epoch {
-            durable: true,
-            log_seq,
-            snapshot_seq: Some(log_seq),
-        }
+    assert!(
+        matches!(
+            resp,
+            Response::Epoch {
+                durable: true,
+                log_seq: l,
+                snapshot_seq: Some(s),
+                ..
+            } if l == log_seq && s == log_seq
+        ),
+        "got {resp:?}"
     );
     drop(client);
     server.shutdown();
@@ -531,6 +535,205 @@ fn restarted_daemon_resumes_bit_identically_over_the_wire() {
 }
 
 #[test]
+fn batched_admissions_group_commit_and_surface_persist_counters() {
+    let scratch = ScratchDir::new("group-commit");
+    let config = ServerConfig {
+        shards: 1,
+        budget: 1,
+        snapshot_dir: Some(scratch.0.clone()),
+        snapshot_every: 0,
+    };
+    let server = Server::start(("127.0.0.1", 0), config).expect("start server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let fx = fixture(9, 3, 10);
+    let opts = options(12, 5);
+    let tenant = 3u64;
+
+    // In-process baseline: the identical stream, one admission at a time.
+    let mut advisor = OnlineAdvisor::new(fx.pool.clone(), opts);
+    for (i, (cache, access)) in fx.models.iter().enumerate() {
+        let (query, weight) = &fx.queries[i];
+        let templates = query_templates(query);
+        advisor.apply(
+            AdmissionSpec::new(cache, access)
+                .weight(*weight)
+                .templates(&templates),
+        );
+    }
+
+    let resp = client
+        .call(&Request::CreateTenant {
+            tenant,
+            pool: convert::pool_to_wire(&fx.pool),
+            options: wire_options(&opts),
+        })
+        .expect("create tenant");
+    assert!(matches!(resp, Response::TenantCreated { .. }));
+
+    // One AdmitBatch message is the deterministic coalescing case: the
+    // shard journals the whole run through group-committed chunks.
+    let admissions: Vec<WireAdmission> = fx
+        .models
+        .iter()
+        .enumerate()
+        .map(|(i, (cache, access))| {
+            let (query, weight) = &fx.queries[i];
+            wire_admission(cache, access, *weight, &query_templates(query))
+        })
+        .collect();
+    let n = admissions.len() as u64;
+    assert!(n > 1 && n <= 64, "fixture fits in one default policy chunk");
+    let resp = client
+        .call(&Request::AdmitBatch { tenant, admissions })
+        .expect("admit batch");
+    let Response::Admitted { results } = resp else {
+        panic!("unexpected admit reply: {resp:?}");
+    };
+    assert_eq!(results.len() as u64, n);
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.ordinal, i as u64, "batch preserves admission order");
+    }
+
+    // Batched admission is bit-identical to the serial baseline.
+    let Response::Selection { ids, cost, .. } = client
+        .call(&Request::GetSelection { tenant })
+        .expect("selection")
+    else {
+        panic!("unexpected selection reply");
+    };
+    assert_eq!(
+        ids,
+        advisor
+            .selection()
+            .ids()
+            .map(|i| i as u64)
+            .collect::<Vec<_>>(),
+        "batched selection diverged from the serial baseline"
+    );
+    assert_eq!(cost.to_bits(), advisor.current_cost().to_bits());
+
+    // The persist counters surface over the wire: every admission was
+    // journaled (write-ahead), but group commit amortized durability to
+    // one fsync per policy chunk — far fewer fsyncs than admissions.
+    let resp = client
+        .call(&Request::TenantEpoch { tenant })
+        .expect("tenant epoch");
+    let Response::Epoch {
+        durable,
+        log_seq,
+        appends,
+        fsyncs,
+        batches,
+        max_batch_records,
+        ..
+    } = resp
+    else {
+        panic!("unexpected epoch reply: {resp:?}");
+    };
+    assert!(durable);
+    // Seq 1 is the Create record; the batch holds the rest.
+    assert_eq!(log_seq, 1 + n);
+    assert_eq!(appends, 1 + n);
+    assert_eq!(batches, 1);
+    assert_eq!(max_batch_records, n);
+    // Header + Create + one group commit for the whole batch.
+    assert_eq!(fsyncs, 3);
+    assert!(
+        fsyncs < appends,
+        "group commit must fsync fewer times than it appends ({fsyncs} vs {appends})"
+    );
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_admissions_match_the_lockstep_client() {
+    let server = Server::start(
+        ("127.0.0.1", 0),
+        ServerConfig {
+            shards: 1,
+            budget: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let fx = fixture(9, 3, 10);
+    let opts = options(12, 5);
+    let tenant = 8u64;
+    let expected = baseline(&fx, &opts);
+
+    let resp = client
+        .call(&Request::CreateTenant {
+            tenant,
+            pool: convert::pool_to_wire(&fx.pool),
+            options: wire_options(&opts),
+        })
+        .expect("create tenant");
+    assert!(matches!(resp, Response::TenantCreated { .. }));
+
+    // Keep several AdmitQuery requests in flight at once — the shard may
+    // coalesce whatever it finds queued, and the reweights (sent in
+    // lockstep between windows, as they must observe the admissions
+    // before them) interleave exactly as the serial client's would.
+    let mut next = 0usize;
+    while next < fx.models.len() {
+        let window_end = (next + 4).min(fx.models.len());
+        let reqs: Vec<Request> = (next..window_end)
+            .map(|i| {
+                let (cache, access) = &fx.models[i];
+                let (query, weight) = &fx.queries[i];
+                Request::AdmitQuery {
+                    tenant,
+                    admission: wire_admission(cache, access, *weight, &query_templates(query)),
+                }
+            })
+            .collect();
+        let resps = client.call_pipelined(&reqs).expect("pipelined admits");
+        for (offset, resp) in resps.iter().enumerate() {
+            let Response::Admitted { results } = resp else {
+                panic!("unexpected admit reply: {resp:?}");
+            };
+            assert_eq!(results[0].ordinal, (next + offset) as u64);
+        }
+        for i in next..window_end {
+            if i % 4 == 3 {
+                let weight = fx.queries[i].1;
+                let resp = client
+                    .call(&Request::ReweightAdmission {
+                        tenant,
+                        admission: i as u64,
+                        weight: weight * 1.5,
+                    })
+                    .expect("reweight");
+                assert!(matches!(resp, Response::Reweighted { applied: true, .. }));
+            }
+        }
+        next = window_end;
+    }
+
+    let Response::Selection { ids, cost, .. } = client
+        .call(&Request::GetSelection { tenant })
+        .expect("selection")
+    else {
+        panic!("unexpected selection reply");
+    };
+    let Response::Stats { stats, .. } = client.call(&Request::GetStats { tenant }).expect("stats")
+    else {
+        panic!("unexpected stats reply");
+    };
+    assert_eq!(ids, expected.0, "pipelined selection diverged");
+    assert_eq!(cost.to_bits(), expected.1, "pipelined cost bits diverged");
+    assert_eq!(
+        stats.full_repricings, expected.2,
+        "pipelined full re-pricings diverged"
+    );
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
 fn snapshot_requests_on_a_volatile_daemon_are_typed_errors() {
     let server = Server::start(("127.0.0.1", 0), ServerConfig::default()).expect("start server");
     let mut client = Client::connect(server.addr()).expect("connect");
@@ -566,6 +769,10 @@ fn snapshot_requests_on_a_volatile_daemon_are_typed_errors() {
             durable: false,
             log_seq: 0,
             snapshot_seq: None,
+            appends: 0,
+            fsyncs: 0,
+            batches: 0,
+            max_batch_records: 0,
         }
     );
     server.shutdown();
